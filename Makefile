@@ -1,0 +1,25 @@
+# Convenience targets for the repro project.
+
+.PHONY: install test bench examples smoke all clean
+
+install:
+	pip install -e .
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+examples:
+	for ex in examples/*.py; do echo "== $$ex"; python $$ex || exit 1; done
+
+smoke:
+	python -c "import repro; print('repro', repro.__version__)"
+	repro-part --demo 2000 8 --seed 1 --quiet
+
+all: install test bench
+
+clean:
+	rm -rf build dist src/*.egg-info .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,67 @@
+"""P1 -- Extension: simulated parallel scaling (future-work direction).
+
+Runs the coarse-grain parallel formulation on the alpha-beta simulated
+cluster, sweeping rank counts on two graph sizes.  Expected shapes (these
+mirror the parallel follow-on literature, reproduced here in simulation
+because the SC'98 paper names the parallel formulation as future work):
+
+* quality: parallel cut within ~1.5x of serial at every p, balance kept;
+* fixed problem size: efficiency decays as p grows;
+* scaled problem: the bigger graph sustains a given rank count better
+  (the isoefficiency direction).
+"""
+
+from __future__ import annotations
+
+from _util import emit_table, timed, type1_graph
+
+from repro.parallel import parallel_part_graph
+from repro.partition import PartitionOptions, part_graph
+
+K = 16
+M = 3
+SEED = 10
+RANKS = (1, 2, 4, 8, 16)
+
+
+def _sweep():
+    rows = []
+    eff = {}
+    for name in ("sm1", "sm3"):
+        g = type1_graph(name, M)
+        serial, _ = timed(part_graph, g, K, seed=SEED)
+        t1 = None
+        for p in RANKS:
+            res, wall = timed(
+                parallel_part_graph, g, K, p, options=PartitionOptions(seed=SEED)
+            )
+            if t1 is None:
+                t1 = res.simulated_time
+            speed = t1 / res.simulated_time
+            eff[(name, p)] = speed / p
+            rows.append([
+                name, p, res.edgecut,
+                f"{res.edgecut / serial.edgecut:.2f}",
+                f"{res.max_imbalance:.3f}",
+                f"{res.simulated_time * 1e3:.2f}",
+                f"{speed:.2f}", f"{speed / p:.2f}",
+            ])
+    return rows, eff
+
+
+def test_parallel_scaling_shape(once):
+    rows, eff = once(_sweep)
+    emit_table(
+        "parallel_sim",
+        ["graph", "ranks", "cut", "cut/serial", "imbalance",
+         "t_sim (ms)", "speedup", "efficiency"],
+        rows,
+        f"P1 (extension): simulated parallel scaling (m={M}, k={K})",
+    )
+    for row in rows:
+        assert float(row[3]) <= 1.6, "parallel quality must track serial"
+        assert float(row[4]) <= 1.10
+    # Fixed-size efficiency decays with p...
+    assert eff[("sm1", 16)] <= eff[("sm1", 2)] + 1e-9
+    # ...and the larger graph holds efficiency at least as well at p=16.
+    assert eff[("sm3", 16)] >= eff[("sm1", 16)] * 0.9

@@ -1,0 +1,54 @@
+"""E6 -- Recursive bisection vs multilevel k-way (the two formulations).
+
+The paper develops both a recursive-bisection and a k-way ("horizontal")
+multi-constraint algorithm.  Expected shape: comparable cuts (within ~1.5x
+either way), both feasible; k-way is the faster formulation at larger k
+because it coarsens once instead of once per split.
+"""
+
+from __future__ import annotations
+
+from _util import emit_table, timed, type1_graph
+
+from repro.partition import part_graph
+
+GRAPH = "sm2"
+KS = (8, 16, 32)
+MS = (2, 4)
+SEED = 5
+
+
+def _sweep():
+    rows = []
+    checks = []
+    for m in MS:
+        g = type1_graph(GRAPH, m)
+        for k in KS:
+            rb, rb_secs = timed(part_graph, g, k, method="recursive", seed=SEED)
+            kw, kw_secs = timed(part_graph, g, k, method="kway", seed=SEED)
+            rows.append([
+                m, k,
+                rb.edgecut, f"{rb.max_imbalance:.3f}", f"{rb_secs:.1f}",
+                kw.edgecut, f"{kw.max_imbalance:.3f}", f"{kw_secs:.1f}",
+                f"{kw.edgecut / max(rb.edgecut, 1):.2f}",
+            ])
+            checks.append((rb, kw, rb_secs, kw_secs, k))
+    return rows, checks
+
+
+def test_rb_vs_kway(once):
+    rows, checks = once(_sweep)
+    emit_table(
+        "rb_vs_kway",
+        ["m", "k", "RB cut", "RB imb", "RB t(s)",
+         "kway cut", "kway imb", "kway t(s)", "kway/RB cut"],
+        rows,
+        f"E6: recursive bisection vs multilevel k-way ({GRAPH})",
+    )
+    for rb, kw, rb_secs, kw_secs, k in checks:
+        assert rb.max_imbalance <= 1.10
+        assert kw.max_imbalance <= 1.10
+        assert 0.5 <= kw.edgecut / max(rb.edgecut, 1) <= 1.9
+    # k-way should win on time at the largest k (coarsen once, not log k times).
+    big = [c for c in checks if c[4] == 32]
+    assert any(kw_secs <= rb_secs for _, _, rb_secs, kw_secs, _ in big)

@@ -1,0 +1,46 @@
+"""E4 -- Run time as a function of the number of constraints.
+
+Paper analogue: the run-time tables report that a three-constraint
+partitioning takes about twice as long as a single-constraint one (the
+algorithm is O(nm)).  Expected shape here: time grows roughly linearly and
+mildly in m -- t(m=3)/t(m=1) in the 1.2-3x band, never superlinear blow-up.
+"""
+
+from __future__ import annotations
+
+from _util import emit_table, get_graph, timed, type1_graph
+
+from repro.partition import part_graph
+
+GRAPH = "sm2"
+K = 16
+MS = (1, 2, 3, 4, 5)
+SEED = 3
+
+
+def _sweep():
+    rows = []
+    times = {}
+    for m in MS:
+        g = get_graph(GRAPH) if m == 1 else type1_graph(GRAPH, m)
+        res, secs = timed(part_graph, g, K, seed=SEED)
+        times[m] = secs
+        rows.append([
+            m, f"{secs:.2f}", f"{secs / times[1]:.2f}",
+            res.edgecut, f"{res.max_imbalance:.3f}",
+        ])
+    return rows, times
+
+
+def test_runtime_scaling_in_m(once):
+    rows, times = once(_sweep)
+    emit_table(
+        "runtime_m",
+        ["constraints m", "time (s)", "time / time(m=1)", "edge-cut", "max imbalance"],
+        rows,
+        f"E4: k-way partitioning time vs number of constraints ({GRAPH}, k={K})",
+    )
+    # Paper claim shape: ~2x from m=1 to m=3, bounded growth overall.
+    assert times[3] / times[1] <= 4.0
+    assert times[5] / times[1] <= 7.0
+    assert times[5] >= times[1] * 0.8  # more constraints never get cheaper

@@ -1,0 +1,51 @@
+"""E5 -- Run time as a function of graph size.
+
+Paper analogue: the multilevel algorithm is O(nm); the run-time tables show
+time tracking problem size (mrng2 -> mrng3 -> mrng4 at fixed m).  Expected
+shape: doubling n roughly doubles time (factor in the 1.4-3.5 band per
+doubling -- Python constant factors wobble, the trend must stay near
+linear).
+"""
+
+from __future__ import annotations
+
+from _util import GRAPH_SIZES, emit_table, timed, type1_graph
+
+from repro.partition import part_graph
+
+K = 16
+M = 3
+SEED = 4
+
+
+def _sweep():
+    rows = []
+    times = []
+    for name in ("sm1", "sm2", "sm3"):
+        g = type1_graph(name, M)
+        res, secs = timed(part_graph, g, K, seed=SEED)
+        times.append(secs)
+        rows.append([
+            name, g.nvtxs, f"{secs:.2f}",
+            f"{secs / times[0]:.2f}",
+            f"{1e3 * secs / g.nvtxs:.3f}",
+            res.edgecut, f"{res.max_imbalance:.3f}",
+        ])
+    return rows, times
+
+
+def test_runtime_scaling_in_n(once):
+    rows, times = once(_sweep)
+    emit_table(
+        "runtime_n",
+        ["graph", "vertices", "time (s)", "time / time(sm1)",
+         "ms per vertex", "edge-cut", "max imbalance"],
+        rows,
+        f"E5: k-way partitioning time vs graph size (m={M}, k={K})",
+    )
+    # Near-linear: each x2 in n costs at most ~x3.5 in time; the per-vertex
+    # cost must not grow by more than ~2x across the x4 ladder.
+    assert times[1] / times[0] <= 3.5
+    assert times[2] / times[1] <= 3.5
+    per_vertex = [t / n for t, n in zip(times, (3000, 6000, 12000))]
+    assert per_vertex[2] <= 2.5 * per_vertex[0]

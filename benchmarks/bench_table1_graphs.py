@@ -1,0 +1,40 @@
+"""T1 -- Test-graph characteristics table.
+
+Reproduces the shape of the paper's Table 1 ("Characteristics of the various
+graphs used in the experiments"): the synthetic ladder sm1..sm4 mirrors the
+mrng1..mrng4 family (x2/x4 size steps, ~4 edges per vertex) scaled to
+laptop-Python budgets.
+"""
+
+from __future__ import annotations
+
+from _util import GRAPH_SIZES, emit_table, get_graph, timed
+
+
+def test_table1_graph_characteristics(once):
+    def build_all():
+        rows = []
+        for name in GRAPH_SIZES:
+            g, secs = timed(get_graph, name)
+            rows.append([
+                name,
+                g.nvtxs,
+                g.nedges,
+                f"{g.nedges / g.nvtxs:.2f}",
+                int(g.degrees().max()),
+                f"{secs:.2f}",
+            ])
+        return rows
+
+    rows = once(build_all)
+    emit_table(
+        "table1_graphs",
+        ["graph", "vertices", "edges", "edges/vertex", "max degree", "gen (s)"],
+        rows,
+        "T1: characteristics of the synthetic test graphs (mrng-ladder stand-ins)",
+    )
+    # Sanity: the ladder doubles/quadruples and stays mesh-dense.
+    sizes = [GRAPH_SIZES[n] for n in GRAPH_SIZES]
+    assert sizes == sorted(sizes)
+    for row in rows:
+        assert 3.0 <= float(row[3]) <= 5.0

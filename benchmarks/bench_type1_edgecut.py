@@ -1,0 +1,62 @@
+"""E1/E3/E7 -- Edge-cut and balance of the multi-constraint partitioner on
+Type-1 (region-constant weight) problems, normalised by the
+single-constraint baseline.
+
+Paper analogue: the SC'98 quality figures (and Figures 3-5 of the parallel
+follow-on share the layout): bars "m cons 1" with edge-cut normalised by
+single-constraint MeTiS plus the achieved balance.  Expected shape:
+normalised cut roughly 1.1-2x, growing with m (E7); balance within the 5%
+tolerance for every constraint (E3).
+"""
+
+from __future__ import annotations
+
+from _util import emit_table, timed, type1_graph, get_graph
+
+from repro.baselines import part_graph_single
+from repro.partition import part_graph
+
+GRAPHS = ("sm1", "sm2")
+KS = (8, 16)
+MS = (2, 3, 4, 5)
+SEED = 1
+
+
+def _sweep():
+    rows = []
+    checks = []
+    for name in GRAPHS:
+        for k in KS:
+            base = get_graph(name)
+            sc, sc_secs = timed(part_graph, base, k, seed=SEED)
+            for m in MS:
+                g = type1_graph(name, m)
+                mc, mc_secs = timed(part_graph, g, k, seed=SEED)
+                ratio = mc.edgecut / max(sc.edgecut, 1)
+                rows.append([
+                    name, k, f"{m} cons 1",
+                    mc.edgecut, f"{ratio:.2f}",
+                    f"{mc.max_imbalance:.3f}",
+                    "yes" if mc.feasible else "NO",
+                    f"{mc_secs:.1f}",
+                ])
+                checks.append((ratio, mc.max_imbalance))
+    return rows, checks
+
+
+def test_type1_edgecut_vs_single_constraint(once):
+    rows, checks = once(_sweep)
+    emit_table(
+        "type1_edgecut",
+        ["graph", "k", "problem", "edge-cut", "cut / single-constraint",
+         "max imbalance", "balanced", "time (s)"],
+        rows,
+        "E1: Type-1 problems -- multi-constraint k-way cut normalised by the "
+        "single-constraint partitioner (tolerance 5%)",
+    )
+    ratios = [r for r, _ in checks]
+    imbs = [i for _, i in checks]
+    # Shape assertions mirroring the paper's claims:
+    assert max(imbs) <= 1.10, "balance must stay near the 5% tolerance"
+    assert sum(ratios) / len(ratios) <= 2.2, "MC cut should stay within ~2x of SC"
+    assert min(ratios) >= 0.8, "MC cut cannot beat SC wildly (sanity)"

@@ -1,0 +1,21 @@
+"""Benchmark-suite configuration.
+
+Every benchmark is a single macro-run (``rounds=1``): individual runs take
+seconds, so statistical repetition would waste the budget without changing
+the story the tables tell.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a callable exactly once under pytest-benchmark timing."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return run

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Adaptive repartitioning of a moving multi-phase workload.
+
+A crash front sweeps across the mesh over 8 timesteps: the second phase's
+active zone (and its weight) moves, so yesterday's balanced decomposition
+drifts out of balance.  Three policies are compared per step:
+
+* **static**  -- keep the t=0 partition (no migration, balance decays);
+* **scratch** -- repartition from scratch each step (best cut, huge
+  migration);
+* **adaptive** -- ``repro.adaptive.adaptive_repartition`` (local refinement
+  unless a fresh partition is worth its migration).
+
+Run:  python examples/adaptive_repartitioning.py
+"""
+
+import numpy as np
+
+from repro import mesh_like, part_graph
+from repro.adaptive import adaptive_repartition, migration_stats
+from repro.graph.ops import bfs_levels
+from repro.metrics import format_table
+from repro.weights import max_imbalance
+
+N = 8000
+K = 8
+STEPS = 8
+SEED = 3
+
+
+def step_weights(graph, front_pos: float) -> np.ndarray:
+    """Two-constraint weights for one timestep: constraint 0 = base FE work
+    (uniform), constraint 1 = contact work in a band of the mesh whose
+    position follows ``front_pos`` in [0, 1] (measured by BFS depth from a
+    fixed corner, a cheap geometry-free 'sweep coordinate')."""
+    depth = step_weights.depth
+    dmax = depth.max()
+    # The front sweeps the bulk of the mesh but stops short of the sparse
+    # far tail of the BFS ordering, where the active band would hold too
+    # few (weight-5, indivisible) elements to be divisible 8 ways at 5%.
+    centre = (0.1 + 0.7 * front_pos) * dmax
+    band = np.abs(depth - centre) <= 0.1 * dmax
+    contact = np.where(band, 5, 0)
+    if contact.sum() == 0:
+        contact[0] = 5
+    return np.stack([np.ones(graph.nvtxs, dtype=np.int64), contact], axis=1)
+
+
+def main() -> None:
+    graph = mesh_like(N, seed=SEED)
+    step_weights.depth = bfs_levels(graph, 0).astype(np.float64)
+
+    g0 = graph.with_vwgt(step_weights(graph, 0.0))
+    base = part_graph(g0, K, seed=SEED)
+    static = base.part
+    scratch_prev = base.part
+    adaptive_prev = base.part
+
+    rows = []
+    totals = {"scratch": 0, "adaptive": 0}
+    for t in range(1, STEPS + 1):
+        g = graph.with_vwgt(step_weights(graph, t / STEPS))
+
+        st_imb = max_imbalance(g.vwgt, static, K)
+
+        sc = part_graph(g, K, seed=SEED + t)
+        sc_mig = migration_stats(g.vwgt, scratch_prev, sc.part)
+        scratch_prev = sc.part
+        totals["scratch"] += sc_mig["volume"]
+
+        ad = adaptive_repartition(g, adaptive_prev, K, itr=0.5, seed=SEED + t)
+        adaptive_prev = ad.part
+        totals["adaptive"] += ad.migration["volume"]
+
+        rows.append([
+            t, f"{st_imb:.2f}",
+            sc.edgecut, f"{sc_mig['moved_fraction']:.0%}",
+            ad.edgecut, f"{ad.migration['moved_fraction']:.0%}",
+            ad.strategy, f"{ad.max_imbalance:.3f}",
+        ])
+
+    print(format_table(
+        ["step", "static imb", "scratch cut", "scratch moved",
+         "adaptive cut", "adaptive moved", "choice", "adaptive imb"],
+        rows,
+        title=f"Moving crash front, {K}-way, {STEPS} steps "
+              f"(tolerance 5%, itr=0.5)",
+    ))
+    print()
+    ratio = totals["scratch"] / max(totals["adaptive"], 1)
+    print(f"Total migrated weight: scratch={totals['scratch']}, "
+          f"adaptive={totals['adaptive']}  ({ratio:.1f}x less movement)")
+    print("The static partition's imbalance grows as the front moves;")
+    print("adaptive repartitioning keeps balance at a fraction of the")
+    print("migration cost of partitioning from scratch.")
+
+
+if __name__ == "__main__":
+    main()

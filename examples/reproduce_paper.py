@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""One-shot reproduction driver (fast slice).
+
+Runs a condensed version of the headline experiments without pytest and
+prints the paper-shaped tables:
+
+* E1 slice -- multi-constraint cut vs single-constraint, m = 2..5;
+* E2 slice -- per-phase balance: multi-constraint vs sum-balanced;
+* E4 slice -- run time vs number of constraints;
+* M1 slice -- modelled multi-phase makespan win.
+
+The full sweeps (all graphs, all k, ablations, parallel scaling) live in
+``pytest benchmarks/ --benchmark-only``; this script is the five-minute
+version.
+
+Run:  python examples/reproduce_paper.py
+"""
+
+import time
+
+from repro import mesh_like, part_graph
+from repro.baselines import part_graph_single
+from repro.metrics import format_table
+from repro.multiphase import from_type2
+from repro.weights import (
+    imbalance,
+    type1_region_weights,
+    type2_multiphase,
+)
+from repro.weights.generators import coactivity_edge_weights
+
+N = 5000
+K = 8
+SEED = 1998
+
+
+def e1_slice(base):
+    sc = part_graph(base, K, seed=SEED)
+    rows = []
+    for m in (2, 3, 4, 5):
+        g = base.with_vwgt(type1_region_weights(base, m, seed=SEED + m))
+        mc = part_graph(g, K, seed=SEED)
+        rows.append([
+            f"{m} cons 1", mc.edgecut,
+            f"{mc.edgecut / max(sc.edgecut, 1):.2f}",
+            f"{mc.max_imbalance:.3f}",
+            "yes" if mc.feasible else "NO",
+        ])
+    print(format_table(
+        ["problem", "MC cut", "cut / SC", "max imbalance", "balanced"],
+        rows,
+        f"E1 (slice): Type-1 problems, k={K}, tolerance 5%",
+    ))
+
+
+def e2_slice(base):
+    rows = []
+    for m in (2, 3, 4):
+        vw, act = type2_multiphase(base, m, seed=SEED + m)
+        g = base.with_vwgt(vw).with_adjwgt(coactivity_edge_weights(base, act))
+        sc = part_graph_single(g, K, mode="sum", seed=SEED)
+        mc = part_graph(g, K, seed=SEED)
+        rows.append([
+            f"{m} cons 2",
+            f"{float(imbalance(g.vwgt, sc.part, K).max()):.3f}",
+            f"{mc.max_imbalance:.3f}",
+            f"{mc.edgecut / max(sc.edgecut, 1):.2f}",
+        ])
+    print(format_table(
+        ["problem", "SC worst phase imb", "MC worst phase imb", "cut price"],
+        rows,
+        f"\nE2 (slice): Type-2 multi-phase problems, k={K}",
+    ))
+
+
+def e4_slice(base):
+    rows = []
+    t1 = None
+    for m in (1, 2, 3, 5):
+        g = base if m == 1 else base.with_vwgt(
+            type1_region_weights(base, m, seed=SEED + m)
+        )
+        t0 = time.perf_counter()
+        part_graph(g, K, seed=SEED)
+        dt = time.perf_counter() - t0
+        if t1 is None:
+            t1 = dt
+        rows.append([m, f"{dt:.2f}", f"{dt / t1:.2f}"])
+    print(format_table(
+        ["constraints m", "time (s)", "vs m=1"],
+        rows,
+        "\nE4 (slice): run time vs number of constraints (O(nm) claim)",
+    ))
+
+
+def m1_slice(base):
+    rows = []
+    for m in (2, 4):
+        sim = from_type2(base, m, seed=SEED + m)
+        g = sim.weighted_graph()
+        sc = part_graph_single(g, K, mode="sum", seed=SEED)
+        mc = part_graph(g, K, seed=SEED)
+        rows.append([
+            m,
+            f"{sim.efficiency(sc.part, K):.2f}",
+            f"{sim.efficiency(mc.part, K):.2f}",
+            f"{sim.makespan(sc.part, K) / sim.makespan(mc.part, K):.2f}x",
+        ])
+    print(format_table(
+        ["phases", "SC efficiency", "MC efficiency", "MC speedup"],
+        rows,
+        "\nM1 (slice): modelled multi-phase timestep duration",
+    ))
+
+
+def main() -> None:
+    print(f"Reproduction slice on a {N}-vertex synthetic mesh "
+          f"(full sweeps: pytest benchmarks/ --benchmark-only)\n")
+    base = mesh_like(N, seed=SEED)
+    e1_slice(base)
+    e2_slice(base)
+    e4_slice(base)
+    m1_slice(base)
+    print("\nExpected shapes (see EXPERIMENTS.md): cut ratio grows ~1.2 -> ~2.4")
+    print("with m; MC balances every phase at 5% where SC does not; time grows")
+    print("mildly with m; MC wins the modelled makespan.")
+
+
+if __name__ == "__main__":
+    main()

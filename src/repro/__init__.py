@@ -1,0 +1,99 @@
+"""repro: multilevel multi-constraint graph partitioning.
+
+A from-scratch Python reproduction of the algorithms of
+
+    G. Karypis and V. Kumar,
+    "Multilevel Algorithms for Multi-Constraint Graph Partitioning",
+    Proceedings of Supercomputing (SC) 1998.
+
+Quickstart
+----------
+>>> from repro import mesh_like, type1_region_weights, part_graph
+>>> g = mesh_like(2000, seed=0)
+>>> g = g.with_vwgt(type1_region_weights(g, 3, seed=1))   # 3 constraints
+>>> res = part_graph(g, 8, ubvec=1.05, seed=2)
+>>> res.feasible
+True
+
+Package map
+-----------
+``repro.graph``      CSR graphs, IO, generators, graph algorithms.
+``repro.weights``    balance arithmetic + synthetic multi-weight workloads.
+``repro.coarsen``    matchings and the multilevel coarsener.
+``repro.initpart``   balanced-bisection theory + initial partitioning.
+``repro.refine``     multi-constraint FM and greedy k-way refiners.
+``repro.partition``  multilevel drivers and the :func:`part_graph` API.
+``repro.metrics``    quality metrics and reports.
+``repro.baselines``  single-constraint / spectral / trivial comparators.
+``repro.multiphase`` multi-phase computation model (the motivating use).
+``repro.parallel``   simulated coarse-grain parallel formulation
+                     (future-work extension; see DESIGN.md).
+"""
+
+from .errors import (
+    BalanceError,
+    ConvergenceError,
+    GraphError,
+    GraphFormatError,
+    PartitionError,
+    ReproError,
+    WeightError,
+)
+from .graph import (
+    Graph,
+    delaunay_mesh,
+    from_edges,
+    grid_2d,
+    grid_3d,
+    mesh_like,
+    random_geometric,
+    read_metis_graph,
+    write_metis_graph,
+)
+from .metrics import PartitionReport, comm_volume, edge_cut
+from .partition import PartitionOptions, PartitionResult, part_graph
+from .weights import (
+    coactivity_edge_weights,
+    imbalance,
+    max_imbalance,
+    type1_region_weights,
+    type2_multiphase,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # errors
+    "ReproError",
+    "GraphError",
+    "GraphFormatError",
+    "WeightError",
+    "PartitionError",
+    "BalanceError",
+    "ConvergenceError",
+    # graph
+    "Graph",
+    "from_edges",
+    "grid_2d",
+    "grid_3d",
+    "mesh_like",
+    "delaunay_mesh",
+    "random_geometric",
+    "read_metis_graph",
+    "write_metis_graph",
+    # weights
+    "imbalance",
+    "max_imbalance",
+    "type1_region_weights",
+    "type2_multiphase",
+    "coactivity_edge_weights",
+    # partitioning
+    "part_graph",
+    "PartitionResult",
+    "PartitionOptions",
+    # metrics
+    "edge_cut",
+    "comm_volume",
+    "PartitionReport",
+]

@@ -1,0 +1,38 @@
+"""Random-number-generator plumbing.
+
+Every stochastic component of the library accepts either an integer seed, a
+:class:`numpy.random.Generator`, or ``None`` and converts it with
+:func:`as_rng`.  Child generators for independent subtasks (e.g. the two
+halves of a recursive bisection) are derived with :func:`spawn` so results
+stay reproducible regardless of evaluation order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+RngLike = "int | np.random.Generator | None"
+
+
+def as_rng(seed=None) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` (fresh entropy), an integer seed, a ``Generator`` (returned
+        unchanged), or anything else accepted by :func:`numpy.random.default_rng`.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` independent child generators from ``rng``.
+
+    The children are seeded from the parent stream, so a fixed parent seed
+    yields a fixed family of children.
+    """
+    seeds = rng.integers(0, 2**63 - 1, size=n, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]

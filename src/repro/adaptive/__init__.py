@@ -1,0 +1,18 @@
+"""Adaptive repartitioning: local refinement of an existing partition under
+changed weights, migration accounting, and the cut-vs-migration trade."""
+
+from .repart import (
+    RepartitionResult,
+    adaptive_repartition,
+    migration_stats,
+    migration_volume,
+    refine_partition,
+)
+
+__all__ = [
+    "migration_volume",
+    "migration_stats",
+    "refine_partition",
+    "adaptive_repartition",
+    "RepartitionResult",
+]

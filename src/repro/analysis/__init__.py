@@ -1,0 +1,16 @@
+"""Multilevel diagnostics: coarsening profiles, matching efficiency,
+partition anatomy."""
+
+from .diagnostics import (
+    coarsening_profile,
+    matching_efficiency,
+    partition_anatomy,
+    profile_text,
+)
+
+__all__ = [
+    "coarsening_profile",
+    "matching_efficiency",
+    "partition_anatomy",
+    "profile_text",
+]

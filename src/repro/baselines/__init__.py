@@ -1,0 +1,23 @@
+"""Baseline partitioners: single-constraint multilevel (the paper's MeTiS
+comparator), trivial partitions, and spectral recursive bisection."""
+
+from .geometric import morton_order, rcb, rib, sfc_partition
+from .simple import bfs_partition, block_partition, random_partition
+from .single import COLLAPSE_MODES, as_single_constraint, part_graph_single
+from .spectral import fiedler_vector, spectral_bisection, spectral_recursive
+
+__all__ = [
+    "as_single_constraint",
+    "part_graph_single",
+    "COLLAPSE_MODES",
+    "random_partition",
+    "block_partition",
+    "bfs_partition",
+    "fiedler_vector",
+    "spectral_bisection",
+    "spectral_recursive",
+    "rcb",
+    "rib",
+    "sfc_partition",
+    "morton_order",
+]

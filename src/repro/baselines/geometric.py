@@ -1,0 +1,142 @@
+"""Geometric partitioning baselines.
+
+Before multilevel schemes took over, meshes were partitioned geometrically;
+these are the classic comparators of the paper's era and remain useful
+sanity anchors (they need coordinates, which our mesh generators attach):
+
+* :func:`rcb` -- recursive coordinate bisection (Berger--Bokhari): split at
+  the weighted median along the longest axis, recurse;
+* :func:`rib` -- recursive inertial bisection (Simon): like RCB but along
+  the principal (inertial) axis of the point set;
+* :func:`sfc_partition` -- space-filling-curve partitioning: order vertices
+  along a Morton (Z-order) curve and cut the order into ``k`` weight-equal
+  slabs (the cheap dynamic-balancing favourite).
+
+All balance the per-vertex *sum* of constraint weights (geometric methods
+have no notion of multiple constraints -- part of the paper's motivation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import GraphError, PartitionError
+from ..graph.csr import Graph
+
+__all__ = ["rcb", "rib", "sfc_partition", "morton_order"]
+
+
+def _coords_and_weights(graph: Graph):
+    if graph.coords is None:
+        raise GraphError("geometric partitioners need vertex coordinates")
+    w = graph.vwgt.sum(axis=1).astype(np.float64)
+    if w.sum() == 0:
+        w = np.ones(graph.nvtxs)
+    return graph.coords.astype(np.float64), w
+
+
+def _check_nparts(graph: Graph, nparts: int):
+    if nparts < 1:
+        raise PartitionError("nparts must be >= 1")
+    if nparts > max(graph.nvtxs, 1):
+        raise PartitionError("more parts than vertices")
+
+
+def _weighted_median_split(order: np.ndarray, w: np.ndarray, frac: float) -> int:
+    """Index into ``order`` where the weight prefix first reaches ``frac``
+    of the total (at least 1, at most len-1 when possible)."""
+    csum = np.cumsum(w[order])
+    k = int(np.searchsorted(csum, frac * csum[-1])) + 1
+    return min(max(k, 1), order.shape[0] - 1) if order.shape[0] > 1 else 0
+
+
+def rcb(graph: Graph, nparts: int) -> np.ndarray:
+    """Recursive coordinate bisection along the longest axis."""
+    _check_nparts(graph, nparts)
+    pts, w = _coords_and_weights(graph)
+    out = np.zeros(graph.nvtxs, dtype=np.int64)
+    _rcb(pts, w, np.arange(graph.nvtxs, dtype=np.int64), nparts, out, axis_mode="extent")
+    return out
+
+
+def rib(graph: Graph, nparts: int) -> np.ndarray:
+    """Recursive inertial bisection: split along the principal axis."""
+    _check_nparts(graph, nparts)
+    pts, w = _coords_and_weights(graph)
+    out = np.zeros(graph.nvtxs, dtype=np.int64)
+    _rcb(pts, w, np.arange(graph.nvtxs, dtype=np.int64), nparts, out, axis_mode="inertial")
+    return out
+
+
+def _rcb(pts, w, ids, nparts, out, axis_mode: str) -> None:
+    if nparts == 1 or ids.shape[0] <= 1:
+        return
+    kl = (nparts + 1) // 2
+    kr = nparts - kl
+    sub = pts[ids]
+    if axis_mode == "extent":
+        axis = int(np.argmax(sub.max(axis=0) - sub.min(axis=0)))
+        proj = sub[:, axis]
+    else:
+        centred = sub - np.average(sub, axis=0, weights=w[ids])
+        cov = (centred * w[ids, None]).T @ centred
+        vals, vecs = np.linalg.eigh(cov)
+        proj = centred @ vecs[:, -1]
+    order = ids[np.argsort(proj, kind="stable")]
+    k = _weighted_median_split(order, w, kl / nparts)
+    # Guarantee each side can host its part count.
+    k = min(max(k, kl), order.shape[0] - kr)
+    left, right = order[:k], order[k:]
+    out[right] += kl
+    if kl > 1:
+        _rcb(pts, w, left, kl, out, axis_mode)
+    if kr > 1:
+        _rcb(pts, w, right, kr, out, axis_mode)
+
+
+def morton_order(coords: np.ndarray, bits: int = 16) -> np.ndarray:
+    """Vertex ordering along a Morton (Z-order) curve.
+
+    Coordinates are scaled to a ``2^bits`` grid per axis and their bits
+    interleaved; supports 2-D and 3-D.
+    """
+    pts = np.asarray(coords, dtype=np.float64)
+    if pts.ndim != 2 or pts.shape[1] not in (2, 3):
+        raise GraphError("morton_order supports 2-D or 3-D coordinates")
+    lo = pts.min(axis=0)
+    span = pts.max(axis=0) - lo
+    span[span == 0] = 1.0
+    grid = ((pts - lo) / span * (2**bits - 1)).astype(np.uint64)
+
+    def spread(x: np.ndarray, stride: int) -> np.ndarray:
+        out = np.zeros_like(x)
+        for b in range(bits):
+            out |= ((x >> np.uint64(b)) & np.uint64(1)) << np.uint64(stride * b)
+        return out
+
+    d = pts.shape[1]
+    key = np.zeros(pts.shape[0], dtype=np.uint64)
+    for axis in range(d):
+        key |= spread(grid[:, axis], d) << np.uint64(axis)
+    return np.argsort(key, kind="stable")
+
+
+def sfc_partition(graph: Graph, nparts: int) -> np.ndarray:
+    """Space-filling-curve partitioning: weight-equal slabs of the Morton
+    order."""
+    _check_nparts(graph, nparts)
+    pts, w = _coords_and_weights(graph)
+    order = morton_order(pts)
+    csum = np.cumsum(w[order])
+    total = csum[-1]
+    bounds = np.searchsorted(csum, total * np.arange(1, nparts) / nparts)
+    part = np.zeros(graph.nvtxs, dtype=np.int64)
+    prev = 0
+    for j, b in enumerate(list(bounds) + [graph.nvtxs]):
+        b = max(int(b), prev + 1) if graph.nvtxs - prev > (nparts - j) else int(b)
+        b = min(b, graph.nvtxs)
+        part[order[prev:b]] = j
+        prev = b
+    # Any trailing unassigned (degenerate) vertices go to the last part.
+    part[order[prev:]] = nparts - 1
+    return part

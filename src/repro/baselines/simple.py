@@ -1,0 +1,49 @@
+"""Trivial baselines: random, block, and BFS region-growing partitions.
+
+These anchor the benchmark tables: any multilevel result should beat BFS
+growth on cut, and random partitioning bounds the worst case.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._rng import as_rng
+from ..errors import PartitionError
+from ..graph.csr import Graph
+from ..graph.ops import bfs_regions
+
+__all__ = ["random_partition", "block_partition", "bfs_partition"]
+
+
+def _check(graph: Graph, nparts: int) -> None:
+    if nparts < 1:
+        raise PartitionError("nparts must be >= 1")
+    if nparts > max(graph.nvtxs, 1):
+        raise PartitionError("more parts than vertices")
+
+
+def random_partition(graph: Graph, nparts: int, seed=None) -> np.ndarray:
+    """Balanced-by-count random partition: a shuffled block split, so part
+    sizes differ by at most one vertex (weights are ignored)."""
+    _check(graph, nparts)
+    rng = as_rng(seed)
+    n = graph.nvtxs
+    part = np.arange(n, dtype=np.int64) % nparts
+    rng.shuffle(part)
+    return part
+
+
+def block_partition(graph: Graph, nparts: int) -> np.ndarray:
+    """Contiguous-id block partition (what a naive striping of mesh element
+    ids gives)."""
+    _check(graph, nparts)
+    n = graph.nvtxs
+    return (np.arange(n, dtype=np.int64) * nparts) // max(n, 1)
+
+
+def bfs_partition(graph: Graph, nparts: int, seed=None) -> np.ndarray:
+    """Multi-seed BFS region growing: contiguous parts, roughly equal
+    vertex counts, no weight balancing and no cut optimisation."""
+    _check(graph, nparts)
+    return bfs_regions(graph, nparts, seed=seed)

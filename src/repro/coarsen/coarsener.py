@@ -1,0 +1,134 @@
+"""The coarsening phase of the multilevel paradigm.
+
+Repeatedly match and contract until the graph is small enough for initial
+partitioning.  The produced :class:`Hierarchy` records every level and its
+coarse map so the uncoarsening phase can project partitions back up.
+
+Stopping rules (all standard for multilevel partitioners):
+
+* the coarse graph has at most ``coarsen_to`` vertices, or
+* a level shrinks by less than ``min_shrink`` (matching has stalled, e.g.
+  on star-like graphs where few independent pairs exist), or
+* ``max_levels`` levels were produced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._rng import as_rng, spawn
+from ..errors import GraphError
+from ..graph.contract import contract
+from ..graph.csr import Graph
+from .matching import MATCHERS, matching_to_cmap, two_hop_matching
+
+__all__ = ["Level", "Hierarchy", "coarsen"]
+
+
+@dataclass
+class Level:
+    """One coarsening step: ``graph`` is the fine graph of the step and
+    ``cmap`` maps its vertices onto the next-coarser graph's vertices."""
+
+    graph: Graph
+    cmap: np.ndarray
+
+
+@dataclass
+class Hierarchy:
+    """A full coarsening hierarchy.
+
+    ``levels[0].graph`` is the input graph; ``coarsest`` is the final coarse
+    graph.  ``project(part)`` lifts a coarse partition one level at a time;
+    see :meth:`project_to_finest`.
+    """
+
+    levels: list[Level] = field(default_factory=list)
+    coarsest: Graph | None = None
+
+    @property
+    def nlevels(self) -> int:
+        """Number of coarsening steps performed."""
+        return len(self.levels)
+
+    def sizes(self) -> list[int]:
+        """Vertex count per level, finest first (including the coarsest)."""
+        out = [lvl.graph.nvtxs for lvl in self.levels]
+        if self.coarsest is not None:
+            out.append(self.coarsest.nvtxs)
+        return out
+
+    def project_to_finest(self, coarse_part: np.ndarray) -> np.ndarray:
+        """Project a partition of the coarsest graph to the finest graph by
+        composing the coarse maps (no refinement)."""
+        part = np.asarray(coarse_part)
+        for lvl in reversed(self.levels):
+            part = part[lvl.cmap]
+        return part
+
+
+def coarsen(
+    graph: Graph,
+    *,
+    coarsen_to: int = 100,
+    max_levels: int = 60,
+    matching: str = "hem",
+    min_shrink: float = 0.95,
+    two_hop: bool = True,
+    seed=None,
+) -> Hierarchy:
+    """Build a coarsening hierarchy for ``graph``.
+
+    Parameters
+    ----------
+    graph:
+        Input (finest) graph.
+    coarsen_to:
+        Target size of the coarsest graph.
+    max_levels:
+        Upper bound on coarsening steps.
+    matching:
+        One of ``"rm"``, ``"hem"`` (heavy-edge with balanced-edge
+        tie-break -- the paper's default) or ``"bem"``.
+    min_shrink:
+        Stop when ``ncoarse > min_shrink * nfine`` (coarsening stalled).
+    two_hop:
+        When ordinary matching stalls, pair leftover vertices that share a
+        common neighbour before giving up (keeps star-like graphs
+        coarsening).  Default on.
+    seed:
+        RNG seed / generator.
+    """
+    if matching not in MATCHERS:
+        raise GraphError(f"unknown matching scheme {matching!r}; pick from {sorted(MATCHERS)}")
+    if coarsen_to < 1:
+        raise GraphError("coarsen_to must be >= 1")
+    matcher = MATCHERS[matching]
+    rng = as_rng(seed)
+
+    # Relative weights are with respect to the *finest* totals, which are
+    # invariant under contraction, so one totals vector serves every level.
+    tvwgt = graph.total_vwgt().astype(np.float64)
+    tvwgt[tvwgt == 0] = 1.0
+
+    hier = Hierarchy()
+    cur = graph
+    while cur.nvtxs > coarsen_to and hier.nlevels < max_levels:
+        (child_rng,) = spawn(rng, 1)
+        if matching == "rm":
+            match = matcher(cur, child_rng)
+        else:
+            match = matcher(cur, child_rng, relw=cur.vwgt / tvwgt)
+        cmap, ncoarse = matching_to_cmap(match)
+        if ncoarse > min_shrink * cur.nvtxs and two_hop:
+            (hop_rng,) = spawn(rng, 1)
+            match = two_hop_matching(cur, match, seed=hop_rng)
+            cmap, ncoarse = matching_to_cmap(match)
+        if ncoarse > min_shrink * cur.nvtxs:
+            break
+        hier.levels.append(Level(graph=cur, cmap=cmap))
+        cur = contract(cur, cmap, ncoarse)
+    hier.coarsest = cur
+    return hier

@@ -1,0 +1,35 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised intentionally by this library derive from
+:class:`ReproError`, so callers can catch a single base class.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class GraphError(ReproError):
+    """The graph structure is malformed or violates a required invariant."""
+
+
+class GraphFormatError(GraphError):
+    """A graph file could not be parsed."""
+
+
+class WeightError(ReproError):
+    """Vertex or edge weights are malformed (wrong shape, negative, ...)."""
+
+
+class PartitionError(ReproError):
+    """A partitioning request is invalid or a partition vector is malformed."""
+
+
+class BalanceError(PartitionError):
+    """A balance constraint cannot be represented or satisfied."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative algorithm failed to converge within its iteration budget."""

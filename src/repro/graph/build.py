@@ -1,0 +1,167 @@
+"""Constructors that build :class:`~repro.graph.csr.Graph` objects from
+common graph representations (edge lists, adjacency lists, SciPy sparse
+matrices, NetworkX graphs) and exporters back to those representations."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import GraphError
+from .csr import Graph
+
+__all__ = [
+    "from_edges",
+    "from_adjlist",
+    "from_scipy_sparse",
+    "to_scipy_sparse",
+    "from_networkx",
+    "to_networkx",
+]
+
+_INT = np.int64
+
+
+def from_edges(nvtxs: int, edges, weights=None, vwgt=None, *, dedupe: bool = True) -> Graph:
+    """Build a graph from an undirected edge list.
+
+    Parameters
+    ----------
+    nvtxs:
+        Number of vertices.
+    edges:
+        Iterable / array of ``(u, v)`` pairs, each undirected edge listed
+        once.  Self-loops are rejected.
+    weights:
+        Optional per-edge weights aligned with ``edges`` (default 1).
+    vwgt:
+        Optional vertex weights, ``(n,)`` or ``(n, m)``.
+    dedupe:
+        When true (default), duplicate edges are merged and their weights
+        summed; when false, duplicates raise :class:`GraphError`.
+    """
+    e = np.asarray(list(edges) if not isinstance(edges, np.ndarray) else edges, dtype=_INT)
+    if e.size == 0:
+        e = e.reshape(0, 2)
+    if e.ndim != 2 or e.shape[1] != 2:
+        raise GraphError(f"edges must be (E, 2); got shape {e.shape}")
+    if weights is None:
+        w = np.ones(e.shape[0], dtype=_INT)
+    else:
+        w = np.ascontiguousarray(weights, dtype=_INT)
+        if w.shape != (e.shape[0],):
+            raise GraphError("weights must align with edges")
+
+    if e.shape[0]:
+        if e.min() < 0 or e.max() >= nvtxs:
+            raise GraphError("edge endpoints out of range")
+        if np.any(e[:, 0] == e[:, 1]):
+            raise GraphError("self-loops are not allowed")
+
+    # Canonicalise (u < v) and handle duplicates.
+    u = np.minimum(e[:, 0], e[:, 1])
+    v = np.maximum(e[:, 0], e[:, 1])
+    key = u * _INT(nvtxs) + v
+    uniq, inverse = np.unique(key, return_inverse=True)
+    if uniq.shape[0] != key.shape[0]:
+        if not dedupe:
+            raise GraphError("duplicate edges present and dedupe=False")
+        wsum = np.zeros(uniq.shape[0], dtype=_INT)
+        np.add.at(wsum, inverse, w)
+        u = (uniq // nvtxs).astype(_INT)
+        v = (uniq % nvtxs).astype(_INT)
+        w = wsum
+
+    # Symmetrise into CSR.
+    src = np.concatenate([u, v])
+    dst = np.concatenate([v, u])
+    ww = np.concatenate([w, w])
+    # Canonical CSR: adjacency lists sorted by neighbour id, so graphs that
+    # are equal as edge sets compare equal as arrays.
+    order = np.lexsort((dst, src))
+    src, dst, ww = src[order], dst[order], ww[order]
+    xadj = np.zeros(nvtxs + 1, dtype=_INT)
+    np.add.at(xadj, src + 1, 1)
+    np.cumsum(xadj, out=xadj)
+    return Graph(xadj, dst, vwgt=vwgt, adjwgt=ww, validate=False)
+
+
+def from_adjlist(adjlist, vwgt=None) -> Graph:
+    """Build a graph from an adjacency list (sequence of neighbour id
+    sequences).  Edge weights are 1; the list must be symmetric."""
+    nvtxs = len(adjlist)
+    edges = [
+        (u, v)
+        for u, nbrs in enumerate(adjlist)
+        for v in nbrs
+        if u < v
+    ]
+    g = from_edges(nvtxs, edges, vwgt=vwgt)
+    # Symmetry check: every directed entry must have appeared.
+    expected = sum(len(nbrs) for nbrs in adjlist)
+    if expected != g.adjncy.shape[0]:
+        raise GraphError("adjacency list is not symmetric")
+    return g
+
+
+def from_scipy_sparse(mat, vwgt=None) -> Graph:
+    """Build a graph from a symmetric SciPy sparse matrix.
+
+    Off-diagonal non-zeros become edges with the (integer-rounded) matrix
+    value as weight; diagonal entries are ignored.
+    """
+    import scipy.sparse as sp
+
+    m = sp.coo_matrix(mat)
+    if m.shape[0] != m.shape[1]:
+        raise GraphError("matrix must be square")
+    mask = (m.row < m.col) & (m.data != 0)
+    edges = np.stack([m.row[mask], m.col[mask]], axis=1)
+    weights = np.abs(np.rint(m.data[mask])).astype(_INT)
+    weights = np.maximum(weights, 1)
+    g = from_edges(m.shape[0], edges, weights, vwgt=vwgt)
+    return g
+
+
+def to_scipy_sparse(graph: Graph):
+    """Export the adjacency structure as a ``scipy.sparse.csr_matrix``."""
+    import scipy.sparse as sp
+
+    n = graph.nvtxs
+    return sp.csr_matrix(
+        (graph.adjwgt.astype(np.float64), graph.adjncy.astype(np.int64), graph.xadj),
+        shape=(n, n),
+    )
+
+
+def from_networkx(nxg, weight: str = "weight", vwgt=None) -> Graph:
+    """Build a graph from an (undirected) NetworkX graph.
+
+    Nodes are relabelled to ``0..n-1`` in sorted order; ``weight`` edge
+    attributes (default 1) become edge weights.
+    """
+    nodes = sorted(nxg.nodes())
+    index = {u: i for i, u in enumerate(nodes)}
+    edges, weights = [], []
+    for u, v, data in nxg.edges(data=True):
+        if u == v:
+            continue
+        edges.append((index[u], index[v]))
+        weights.append(int(data.get(weight, 1)))
+    return from_edges(len(nodes), edges, weights, vwgt=vwgt)
+
+
+def to_networkx(graph: Graph):
+    """Export to a :class:`networkx.Graph` with ``weight`` edge attributes
+    and ``vwgt`` node attributes (tuples)."""
+    import networkx as nx
+
+    nxg = nx.Graph()
+    nxg.add_nodes_from(
+        (v, {"vwgt": tuple(int(x) for x in graph.vwgt[v])})
+        for v in range(graph.nvtxs)
+    )
+    us, vs, ws = graph.edge_arrays()
+    nxg.add_weighted_edges_from(
+        zip(us.tolist(), vs.tolist(), ws.tolist()), weight="weight"
+    )
+    return nxg

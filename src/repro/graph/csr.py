@@ -1,0 +1,277 @@
+"""Compressed-sparse-row graph structure with multi-component vertex weights.
+
+This is the central substrate of the library: an undirected graph stored in
+the same CSR layout used by METIS (``xadj``/``adjncy``/``adjwgt``) extended
+with an ``(n, m)`` integer vertex-weight matrix, where ``m`` is the number of
+balance constraints of the multi-constraint partitioning problem
+(Karypis & Kumar, SC'98).
+
+Design notes
+------------
+* Arrays are stored contiguous and typed (``int64``) so that the hot
+  vectorized kernels (contraction, gain initialisation, balance sums) run at
+  NumPy speed, per the HPC-Python guidance of profiling-then-vectorising.
+* Every *undirected* edge ``{u, v}`` appears twice in ``adjncy`` (once in
+  each endpoint's adjacency list) with equal weight; :meth:`Graph.validate`
+  checks this symmetry.
+* Self-loops are disallowed: they can never be cut, so they only distort
+  coarsening statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..errors import GraphError, WeightError
+
+__all__ = ["Graph"]
+
+_INT = np.int64
+
+
+def _as_int_array(a, name: str) -> np.ndarray:
+    arr = np.ascontiguousarray(a, dtype=_INT)
+    if arr.ndim != 1:
+        raise GraphError(f"{name} must be one-dimensional, got shape {arr.shape}")
+    return arr
+
+
+class Graph:
+    """An undirected graph in CSR form with ``ncon`` vertex weights per vertex.
+
+    Parameters
+    ----------
+    xadj:
+        ``(n + 1,)`` adjacency index array; the neighbours of vertex ``v``
+        are ``adjncy[xadj[v]:xadj[v + 1]]``.
+    adjncy:
+        ``(2E,)`` flattened adjacency lists (each undirected edge stored in
+        both directions).
+    vwgt:
+        Vertex weights.  Either ``None`` (unit weights, one constraint),
+        a ``(n,)`` array (one constraint) or a ``(n, m)`` array
+        (``m`` constraints).  Must be non-negative integers.
+    adjwgt:
+        Edge weights aligned with ``adjncy``; ``None`` means unit weights.
+        Must be non-negative integers and symmetric.
+    validate:
+        When true (default) run :meth:`validate` on construction.  Internal
+        callers that construct graphs from already-checked arrays pass
+        ``False`` to skip the O(E) check.
+    """
+
+    __slots__ = ("xadj", "adjncy", "adjwgt", "vwgt", "_coords")
+
+    def __init__(self, xadj, adjncy, vwgt=None, adjwgt=None, *, validate: bool = True):
+        self.xadj = _as_int_array(xadj, "xadj")
+        self.adjncy = _as_int_array(adjncy, "adjncy")
+        n = self.xadj.shape[0] - 1
+        if n < 0:
+            raise GraphError("xadj must have at least one entry")
+
+        if vwgt is None:
+            vw = np.ones((n, 1), dtype=_INT)
+        else:
+            vw = np.ascontiguousarray(vwgt, dtype=_INT)
+            if vw.ndim == 1:
+                vw = vw.reshape(n, 1) if vw.shape[0] == n else vw
+            if vw.ndim != 2 or vw.shape[0] != n:
+                raise WeightError(
+                    f"vwgt must have shape ({n},) or ({n}, m); got {np.shape(vwgt)}"
+                )
+        self.vwgt = vw
+
+        if adjwgt is None:
+            aw = np.ones_like(self.adjncy)
+        else:
+            aw = _as_int_array(adjwgt, "adjwgt")
+        self.adjwgt = aw
+
+        # Optional vertex coordinates (set by generators); not part of the
+        # partitioning model, only used by geometric tooling and examples.
+        self._coords = None
+
+        if validate:
+            self.validate()
+
+    # ------------------------------------------------------------------ #
+    # Basic properties
+    # ------------------------------------------------------------------ #
+
+    @property
+    def nvtxs(self) -> int:
+        """Number of vertices."""
+        return self.xadj.shape[0] - 1
+
+    @property
+    def nedges(self) -> int:
+        """Number of *undirected* edges."""
+        return self.adjncy.shape[0] // 2
+
+    @property
+    def ncon(self) -> int:
+        """Number of balance constraints (vertex-weight components)."""
+        return self.vwgt.shape[1]
+
+    @property
+    def coords(self):
+        """Optional ``(n, d)`` vertex coordinates, or ``None``."""
+        return self._coords
+
+    @coords.setter
+    def coords(self, value):
+        if value is not None:
+            value = np.ascontiguousarray(value, dtype=np.float64)
+            if value.ndim != 2 or value.shape[0] != self.nvtxs:
+                raise GraphError(
+                    f"coords must have shape ({self.nvtxs}, d); got {value.shape}"
+                )
+        self._coords = value
+
+    def degree(self, v: int) -> int:
+        """Degree of vertex ``v``."""
+        return int(self.xadj[v + 1] - self.xadj[v])
+
+    def degrees(self) -> np.ndarray:
+        """``(n,)`` array of vertex degrees."""
+        return np.diff(self.xadj)
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """View of the neighbour ids of ``v`` (do not mutate)."""
+        return self.adjncy[self.xadj[v] : self.xadj[v + 1]]
+
+    def edge_weights(self, v: int) -> np.ndarray:
+        """View of the edge weights incident to ``v``, aligned with
+        :meth:`neighbors`."""
+        return self.adjwgt[self.xadj[v] : self.xadj[v + 1]]
+
+    def total_vwgt(self) -> np.ndarray:
+        """``(ncon,)`` total vertex weight per constraint."""
+        return self.vwgt.sum(axis=0, dtype=_INT)
+
+    def total_adjwgt(self) -> int:
+        """Total *undirected* edge weight (each edge counted once)."""
+        return int(self.adjwgt.sum()) // 2
+
+    def edges(self) -> Iterator[tuple[int, int, int]]:
+        """Iterate over undirected edges as ``(u, v, weight)`` with ``u < v``."""
+        for u in range(self.nvtxs):
+            for idx in range(int(self.xadj[u]), int(self.xadj[u + 1])):
+                v = int(self.adjncy[idx])
+                if u < v:
+                    yield u, v, int(self.adjwgt[idx])
+
+    def edge_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorised edge list ``(us, vs, ws)`` with ``us < vs``."""
+        src = np.repeat(np.arange(self.nvtxs, dtype=_INT), np.diff(self.xadj))
+        mask = src < self.adjncy
+        return src[mask], self.adjncy[mask], self.adjwgt[mask]
+
+    # ------------------------------------------------------------------ #
+    # Derivation helpers
+    # ------------------------------------------------------------------ #
+
+    def copy(self) -> "Graph":
+        """Deep copy."""
+        g = Graph(
+            self.xadj.copy(),
+            self.adjncy.copy(),
+            self.vwgt.copy(),
+            self.adjwgt.copy(),
+            validate=False,
+        )
+        if self._coords is not None:
+            g.coords = self._coords.copy()
+        return g
+
+    def with_vwgt(self, vwgt) -> "Graph":
+        """Return a graph sharing this topology but with new vertex weights."""
+        g = Graph(self.xadj, self.adjncy, vwgt, self.adjwgt, validate=False)
+        vw = g.vwgt
+        if vw.shape[0] != self.nvtxs:
+            raise WeightError(
+                f"vwgt must cover {self.nvtxs} vertices; got shape {vw.shape}"
+            )
+        if np.any(vw < 0):
+            raise WeightError("vertex weights must be non-negative")
+        g._coords = self._coords
+        return g
+
+    def with_adjwgt(self, adjwgt) -> "Graph":
+        """Return a graph sharing this topology but with new edge weights."""
+        g = Graph(self.xadj, self.adjncy, self.vwgt, adjwgt, validate=False)
+        if g.adjwgt.shape != self.adjncy.shape:
+            raise WeightError("adjwgt must align with adjncy")
+        if np.any(g.adjwgt < 0):
+            raise WeightError("edge weights must be non-negative")
+        g.validate()
+        g._coords = self._coords
+        return g
+
+    # ------------------------------------------------------------------ #
+    # Validation
+    # ------------------------------------------------------------------ #
+
+    def validate(self) -> None:
+        """Check structural invariants; raise :class:`GraphError` on failure.
+
+        Checks: monotone ``xadj``; neighbour ids in range; no self-loops;
+        symmetric adjacency with symmetric edge weights; non-negative
+        weights; aligned array lengths.
+        """
+        n = self.nvtxs
+        if self.xadj[0] != 0 or self.xadj[-1] != self.adjncy.shape[0]:
+            raise GraphError("xadj must start at 0 and end at len(adjncy)")
+        if np.any(np.diff(self.xadj) < 0):
+            raise GraphError("xadj must be non-decreasing")
+        if self.adjwgt.shape != self.adjncy.shape:
+            raise GraphError("adjwgt must align with adjncy")
+        if self.vwgt.shape[0] != n:
+            raise WeightError(f"vwgt has {self.vwgt.shape[0]} rows, expected {n}")
+        if np.any(self.vwgt < 0):
+            raise WeightError("vertex weights must be non-negative")
+        if np.any(self.adjwgt < 0):
+            raise WeightError("edge weights must be non-negative")
+        if self.adjncy.shape[0] == 0:
+            return
+        if self.adjncy.min() < 0 or self.adjncy.max() >= n:
+            raise GraphError("adjncy contains out-of-range vertex ids")
+
+        src = np.repeat(np.arange(n, dtype=_INT), np.diff(self.xadj))
+        if np.any(src == self.adjncy):
+            raise GraphError("self-loops are not allowed")
+
+        # Symmetry: the multiset of (u, v, w) directed edges must equal the
+        # multiset of (v, u, w).  Compare canonical sorted encodings.
+        fwd = np.lexsort((self.adjwgt, self.adjncy, src))
+        rev = np.lexsort((self.adjwgt, src, self.adjncy))
+        if not (
+            np.array_equal(src[fwd], self.adjncy[rev])
+            and np.array_equal(self.adjncy[fwd], src[rev])
+            and np.array_equal(self.adjwgt[fwd], self.adjwgt[rev])
+        ):
+            raise GraphError("adjacency (or edge weights) not symmetric")
+
+    # ------------------------------------------------------------------ #
+    # Dunder
+    # ------------------------------------------------------------------ #
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Graph(nvtxs={self.nvtxs}, nedges={self.nedges}, ncon={self.ncon})"
+        )
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return (
+            np.array_equal(self.xadj, other.xadj)
+            and np.array_equal(self.adjncy, other.adjncy)
+            and np.array_equal(self.adjwgt, other.adjwgt)
+            and np.array_equal(self.vwgt, other.vwgt)
+        )
+
+    # Graphs are mutable containers of arrays; keep them unhashable.
+    __hash__ = None

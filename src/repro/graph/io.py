@@ -1,0 +1,260 @@
+"""Reading and writing graphs in the METIS / Chaco text format, plus
+partition files and plain edge lists.
+
+METIS graph format (as used by `metis` 4.x/5.x and by the paper's tooling):
+
+* header line: ``<nvtxs> <nedges> [fmt [ncon]]``
+* ``fmt`` is up to three digits ``XYZ``: ``X`` = has vertex sizes (we reject
+  these: not part of this paper's model), ``Y`` = has vertex weights,
+  ``Z`` = has edge weights.
+* line ``v`` (1-based): ``[w_1 ... w_ncon] u_1 [ew_1] u_2 [ew_2] ...`` with
+  1-based neighbour ids.
+* ``%``-prefixed lines are comments.
+"""
+
+from __future__ import annotations
+
+import io as _io
+import os
+
+import numpy as np
+
+from ..errors import GraphFormatError, PartitionError
+from .build import from_edges
+from .csr import Graph
+
+__all__ = [
+    "read_metis_graph",
+    "write_metis_graph",
+    "read_partition",
+    "write_partition",
+    "read_edgelist",
+    "write_edgelist",
+    "save_npz",
+    "load_npz",
+]
+
+_INT = np.int64
+
+
+def _open(path_or_file, mode: str):
+    if isinstance(path_or_file, (str, os.PathLike)):
+        return open(path_or_file, mode), True
+    return path_or_file, False
+
+
+def read_metis_graph(path_or_file) -> Graph:
+    """Parse a METIS-format graph file (path or open text file)."""
+    fh, owned = _open(path_or_file, "r")
+    try:
+        lines = [ln for ln in fh if ln.strip() and not ln.lstrip().startswith("%")]
+    finally:
+        if owned:
+            fh.close()
+    if not lines:
+        raise GraphFormatError("empty graph file")
+
+    header = lines[0].split()
+    if len(header) < 2:
+        raise GraphFormatError("header must contain at least <nvtxs> <nedges>")
+    try:
+        nvtxs, nedges = int(header[0]), int(header[1])
+    except ValueError as exc:
+        raise GraphFormatError(f"bad header: {lines[0]!r}") from exc
+    fmt = header[2] if len(header) > 2 else "0"
+    ncon = int(header[3]) if len(header) > 3 else 1
+    fmt = fmt.zfill(3)
+    if len(fmt) != 3 or any(c not in "01" for c in fmt):
+        raise GraphFormatError(f"bad fmt field {fmt!r}")
+    has_vsize, has_vwgt, has_ewgt = (c == "1" for c in fmt)
+    if has_vsize:
+        raise GraphFormatError("vertex sizes (fmt=1xx) are not supported")
+    if not has_vwgt:
+        ncon = 1
+
+    if len(lines) - 1 != nvtxs:
+        raise GraphFormatError(
+            f"expected {nvtxs} vertex lines, found {len(lines) - 1}"
+        )
+
+    vwgt = np.ones((nvtxs, ncon), dtype=_INT) if not has_vwgt else np.empty((nvtxs, ncon), dtype=_INT)
+    srcs, dsts, ws = [], [], []
+    for v, line in enumerate(lines[1:]):
+        try:
+            vals = [int(t) for t in line.split()]
+        except ValueError as exc:
+            raise GraphFormatError(f"non-integer token on line {v + 2}") from exc
+        pos = 0
+        if has_vwgt:
+            if len(vals) < ncon:
+                raise GraphFormatError(f"line {v + 2}: missing vertex weights")
+            vwgt[v] = vals[:ncon]
+            pos = ncon
+        rest = vals[pos:]
+        if has_ewgt:
+            if len(rest) % 2:
+                raise GraphFormatError(f"line {v + 2}: dangling edge weight")
+            nbrs, ew = rest[0::2], rest[1::2]
+        else:
+            nbrs, ew = rest, [1] * len(rest)
+        for u, w in zip(nbrs, ew):
+            if not (1 <= u <= nvtxs):
+                raise GraphFormatError(f"line {v + 2}: neighbour id {u} out of range")
+            srcs.append(v)
+            dsts.append(u - 1)
+            ws.append(w)
+
+    if len(srcs) != 2 * nedges:
+        raise GraphFormatError(
+            f"header promises {nedges} edges but found {len(srcs)} directed entries"
+        )
+    src = np.asarray(srcs, dtype=_INT)
+    dst = np.asarray(dsts, dtype=_INT)
+    w = np.asarray(ws, dtype=_INT)
+    keep = src < dst
+    g = from_edges(nvtxs, np.stack([src[keep], dst[keep]], axis=1), w[keep],
+                   vwgt=vwgt, dedupe=False)
+    g.validate()
+    return g
+
+
+def write_metis_graph(graph: Graph, path_or_file) -> None:
+    """Write ``graph`` in METIS format.
+
+    Vertex weights are written whenever ``ncon > 1`` or any weight differs
+    from 1; edge weights whenever any differs from 1.
+    """
+    has_vwgt = graph.ncon > 1 or bool(np.any(graph.vwgt != 1))
+    has_ewgt = bool(np.any(graph.adjwgt != 1))
+    fmt = f"0{int(has_vwgt)}{int(has_ewgt)}"
+
+    buf = _io.StringIO()
+    header = f"{graph.nvtxs} {graph.nedges}"
+    if has_vwgt or has_ewgt:
+        header += f" {fmt}"
+        if has_vwgt:
+            header += f" {graph.ncon}"
+    buf.write(header + "\n")
+    for v in range(graph.nvtxs):
+        parts = []
+        if has_vwgt:
+            parts.extend(str(int(x)) for x in graph.vwgt[v])
+        nbrs = graph.neighbors(v)
+        ews = graph.edge_weights(v)
+        if has_ewgt:
+            for u, w in zip(nbrs, ews):
+                parts.append(str(int(u) + 1))
+                parts.append(str(int(w)))
+        else:
+            parts.extend(str(int(u) + 1) for u in nbrs)
+        buf.write(" ".join(parts) + "\n")
+
+    fh, owned = _open(path_or_file, "w")
+    try:
+        fh.write(buf.getvalue())
+    finally:
+        if owned:
+            fh.close()
+
+
+def read_partition(path_or_file, nvtxs: int | None = None) -> np.ndarray:
+    """Read a METIS partition file: one part id per line."""
+    fh, owned = _open(path_or_file, "r")
+    try:
+        try:
+            part = np.asarray(
+                [int(ln.strip()) for ln in fh if ln.strip()], dtype=_INT
+            )
+        except ValueError as exc:
+            raise PartitionError("partition file contains a non-integer line") from exc
+    finally:
+        if owned:
+            fh.close()
+    if nvtxs is not None and part.shape[0] != nvtxs:
+        raise PartitionError(
+            f"partition file has {part.shape[0]} entries, expected {nvtxs}"
+        )
+    if part.size and part.min() < 0:
+        raise PartitionError("partition ids must be non-negative")
+    return part
+
+
+def write_partition(part, path_or_file) -> None:
+    """Write a partition vector, one part id per line."""
+    part = np.asarray(part, dtype=_INT)
+    fh, owned = _open(path_or_file, "w")
+    try:
+        fh.write("\n".join(str(int(p)) for p in part))
+        if part.size:
+            fh.write("\n")
+    finally:
+        if owned:
+            fh.close()
+
+
+def read_edgelist(path_or_file, nvtxs: int | None = None) -> Graph:
+    """Read a whitespace edge list ``u v [w]`` (0-based ids, ``%``/``#``
+    comments allowed)."""
+    fh, owned = _open(path_or_file, "r")
+    try:
+        rows = []
+        for ln in fh:
+            s = ln.strip()
+            if not s or s[0] in "%#":
+                continue
+            toks = s.split()
+            if len(toks) not in (2, 3):
+                raise GraphFormatError(f"bad edge line: {ln!r}")
+            try:
+                rows.append(tuple(int(t) for t in toks))
+            except ValueError as exc:
+                raise GraphFormatError(f"non-integer token in {ln!r}") from exc
+    finally:
+        if owned:
+            fh.close()
+    if not rows:
+        raise GraphFormatError("empty edge list")
+    edges = np.asarray([(r[0], r[1]) for r in rows], dtype=_INT)
+    ws = np.asarray([r[2] if len(r) == 3 else 1 for r in rows], dtype=_INT)
+    n = nvtxs if nvtxs is not None else int(edges.max()) + 1
+    return from_edges(n, edges, ws)
+
+
+def write_edgelist(graph: Graph, path_or_file) -> None:
+    """Write the graph as ``u v w`` lines (0-based, each edge once)."""
+    us, vs, ws = graph.edge_arrays()
+    fh, owned = _open(path_or_file, "w")
+    try:
+        for u, v, w in zip(us.tolist(), vs.tolist(), ws.tolist()):
+            fh.write(f"{u} {v} {w}\n")
+    finally:
+        if owned:
+            fh.close()
+
+
+def save_npz(graph: Graph, path_or_file) -> None:
+    """Save a graph (structure, weights, optional coordinates) to a
+    compressed ``.npz`` file -- the fast binary alternative to the METIS
+    text format for large graphs."""
+    arrays = {
+        "xadj": graph.xadj,
+        "adjncy": graph.adjncy,
+        "adjwgt": graph.adjwgt,
+        "vwgt": graph.vwgt,
+    }
+    if graph.coords is not None:
+        arrays["coords"] = graph.coords
+    np.savez_compressed(path_or_file, **arrays)
+
+
+def load_npz(path_or_file) -> Graph:
+    """Load a graph written by :func:`save_npz` (validated on load)."""
+    with np.load(path_or_file) as data:
+        try:
+            g = Graph(data["xadj"], data["adjncy"], data["vwgt"],
+                      data["adjwgt"], validate=True)
+        except KeyError as exc:
+            raise GraphFormatError(f"npz file is missing array {exc}") from exc
+        if "coords" in data:
+            g.coords = data["coords"]
+    return g

@@ -1,0 +1,189 @@
+"""Graph algorithms used across the library: traversal, connectivity,
+induced subgraphs, and multi-source BFS region growing (the region generator
+behind the paper's synthetic Type-1/Type-2 workloads)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._rng import as_rng
+from ..errors import GraphError
+from .csr import Graph
+
+__all__ = [
+    "bfs_order",
+    "bfs_levels",
+    "connected_components",
+    "is_connected",
+    "largest_component",
+    "induced_subgraph",
+    "bfs_regions",
+    "degree_histogram",
+]
+
+_INT = np.int64
+
+
+def bfs_order(graph: Graph, source: int = 0) -> np.ndarray:
+    """Vertices reachable from ``source`` in BFS visiting order."""
+    levels = bfs_levels(graph, source)
+    reach = np.flatnonzero(levels >= 0)
+    return reach[np.argsort(levels[reach], kind="stable")]
+
+
+def bfs_levels(graph: Graph, source) -> np.ndarray:
+    """``(n,)`` BFS distance from ``source`` (an id or an array of ids);
+    unreachable vertices get ``-1``.
+
+    Implemented with vectorised frontier expansion (no per-vertex Python
+    loop): each round gathers all neighbours of the current frontier at
+    once.
+    """
+    n = graph.nvtxs
+    levels = np.full(n, -1, dtype=_INT)
+    frontier = np.atleast_1d(np.asarray(source, dtype=_INT))
+    if frontier.size and (frontier.min() < 0 or frontier.max() >= n):
+        raise GraphError("source vertex out of range")
+    levels[frontier] = 0
+    depth = 0
+    xadj, adjncy = graph.xadj, graph.adjncy
+    while frontier.size:
+        starts, ends = xadj[frontier], xadj[frontier + 1]
+        counts = ends - starts
+        if counts.sum() == 0:
+            break
+        idx = np.repeat(starts, counts) + _ranges(counts)
+        nbrs = adjncy[idx]
+        nbrs = np.unique(nbrs[levels[nbrs] < 0])
+        depth += 1
+        levels[nbrs] = depth
+        frontier = nbrs
+    return levels
+
+
+def _ranges(counts: np.ndarray) -> np.ndarray:
+    """Concatenated ``arange(c)`` for each c in counts (vectorised)."""
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=_INT)
+    out = np.ones(total, dtype=_INT)
+    out[0] = 0
+    bounds = np.cumsum(counts)[:-1]
+    # np.add.at accumulates when zero-length segments make boundaries
+    # coincide; boundaries == total come from trailing empty segments.
+    inside = bounds < total
+    np.add.at(out, bounds[inside], -counts[:-1][inside])
+    return np.cumsum(out)
+
+
+def connected_components(graph: Graph) -> np.ndarray:
+    """``(n,)`` component id per vertex (ids are ``0..ncomp-1`` in order of
+    discovery from the lowest-numbered vertex)."""
+    n = graph.nvtxs
+    comp = np.full(n, -1, dtype=_INT)
+    cid = 0
+    for v in range(n):
+        if comp[v] >= 0:
+            continue
+        levels = bfs_levels(graph, v)
+        # bfs_levels may touch vertices already labelled?  No: BFS from v
+        # only reaches vertices in v's component, which are unlabelled.
+        comp[levels >= 0] = cid
+        cid += 1
+    return comp
+
+
+def is_connected(graph: Graph) -> bool:
+    """True when the graph has a single connected component (or is empty)."""
+    if graph.nvtxs == 0:
+        return True
+    return bool(np.all(bfs_levels(graph, 0) >= 0))
+
+
+def largest_component(graph: Graph) -> tuple[Graph, np.ndarray]:
+    """Return the induced subgraph of the largest connected component and
+    the array of original vertex ids it retains."""
+    comp = connected_components(graph)
+    sizes = np.bincount(comp)
+    keep = np.flatnonzero(comp == int(np.argmax(sizes)))
+    return induced_subgraph(graph, keep), keep
+
+
+def induced_subgraph(graph: Graph, vertices) -> Graph:
+    """Induced subgraph on ``vertices`` (any order, no duplicates).
+
+    Vertex ``vertices[i]`` becomes vertex ``i`` of the subgraph; vertex
+    weights and internal edge weights are preserved.  Fully vectorised.
+    """
+    vertices = np.ascontiguousarray(vertices, dtype=_INT)
+    n = graph.nvtxs
+    if vertices.size:
+        if vertices.min() < 0 or vertices.max() >= n:
+            raise GraphError("subgraph vertex ids out of range")
+    local = np.full(n, -1, dtype=_INT)
+    local[vertices] = np.arange(vertices.shape[0], dtype=_INT)
+    if np.count_nonzero(local >= 0) != vertices.shape[0]:
+        raise GraphError("duplicate vertex ids in subgraph request")
+
+    counts = np.diff(graph.xadj)[vertices]
+    idx = np.repeat(graph.xadj[vertices], counts) + _ranges(counts)
+    src_local = np.repeat(np.arange(vertices.shape[0], dtype=_INT), counts)
+    dst_local = local[graph.adjncy[idx]]
+    w = graph.adjwgt[idx]
+    keep = dst_local >= 0
+    src_local, dst_local, w = src_local[keep], dst_local[keep], w[keep]
+
+    xadj = np.zeros(vertices.shape[0] + 1, dtype=_INT)
+    np.add.at(xadj, src_local + 1, 1)
+    np.cumsum(xadj, out=xadj)
+    sub = Graph(xadj, dst_local, graph.vwgt[vertices], w, validate=False)
+    if graph.coords is not None:
+        sub.coords = graph.coords[vertices]
+    return sub
+
+
+def bfs_regions(graph: Graph, nregions: int, seed=None) -> np.ndarray:
+    """Partition vertices into ``nregions`` contiguous regions by
+    multi-source BFS growth from random seed vertices.
+
+    This is the cheap "geometrically contiguous region" generator used to
+    synthesise the paper's Type-1 and Type-2 multi-weight workloads: it
+    produces connected, roughly equal-count regions without needing the
+    partitioner itself (avoiding a circular dependency).
+
+    Returns a ``(n,)`` region-id array.  Vertices unreachable from any seed
+    (isolated components) are assigned round-robin.
+    """
+    rng = as_rng(seed)
+    n = graph.nvtxs
+    if nregions <= 0:
+        raise GraphError("nregions must be positive")
+    if nregions >= n:
+        return np.arange(n, dtype=_INT) % nregions
+
+    seeds = rng.choice(n, size=nregions, replace=False)
+    region = np.full(n, -1, dtype=_INT)
+    region[seeds] = np.arange(nregions, dtype=_INT)
+    frontier = seeds.astype(_INT)
+    xadj, adjncy = graph.xadj, graph.adjncy
+    while frontier.size:
+        counts = xadj[frontier + 1] - xadj[frontier]
+        idx = np.repeat(xadj[frontier], counts) + _ranges(counts)
+        nbrs = adjncy[idx]
+        owners = np.repeat(region[frontier], counts)
+        unclaimed = region[nbrs] < 0
+        nbrs, owners = nbrs[unclaimed], owners[unclaimed]
+        # First claim wins within a round (stable unique keeps the earliest
+        # proposal, which belongs to a random seed ordering).
+        uniq, first = np.unique(nbrs, return_index=True)
+        region[uniq] = owners[first]
+        frontier = uniq
+    left = np.flatnonzero(region < 0)
+    if left.size:
+        region[left] = np.arange(left.size, dtype=_INT) % nregions
+    return region
+
+
+def degree_histogram(graph: Graph) -> np.ndarray:
+    """``hist[d]`` = number of vertices of degree ``d``."""
+    return np.bincount(np.diff(graph.xadj))

@@ -1,0 +1,23 @@
+"""Initial partitioning: balanced-bisection theory algorithms and the
+best-of-N initial bisection of the coarsest graph."""
+
+from .bisect import INITIAL_METHODS, gggp_bisection, grow_bisection, initial_bisection
+from .theory import (
+    alternating_bisection,
+    best_projection_bisection,
+    bisection_excess,
+    greedy_bisection,
+    prefix_bisection,
+)
+
+__all__ = [
+    "initial_bisection",
+    "grow_bisection",
+    "gggp_bisection",
+    "INITIAL_METHODS",
+    "greedy_bisection",
+    "prefix_bisection",
+    "alternating_bisection",
+    "best_projection_bisection",
+    "bisection_excess",
+]

@@ -1,0 +1,23 @@
+"""Simplicial meshes and the mesh-to-graph pipeline (dual / nodal graphs),
+mirroring the FEM inputs the paper's partitioners were built for."""
+
+from .generators import delaunay_triangulation, tet_grid, triangle_grid
+from .io import read_metis_mesh, read_xyz, write_metis_mesh, write_xyz
+from .partition import MeshPartition, nodes_from_elements, partition_mesh
+from .simplicial import SimplicialMesh, dual_graph, nodal_graph
+
+__all__ = [
+    "SimplicialMesh",
+    "dual_graph",
+    "nodal_graph",
+    "triangle_grid",
+    "tet_grid",
+    "delaunay_triangulation",
+    "partition_mesh",
+    "MeshPartition",
+    "nodes_from_elements",
+    "read_metis_mesh",
+    "write_metis_mesh",
+    "read_xyz",
+    "write_xyz",
+]

@@ -1,0 +1,82 @@
+"""Mesh generators: structured triangle/tetrahedral meshes and Delaunay
+meshes of random point clouds -- the inputs from which the paper-style dual
+graphs are derived."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._rng import as_rng
+from ..errors import GraphError
+from .simplicial import SimplicialMesh
+
+__all__ = ["triangle_grid", "tet_grid", "delaunay_triangulation"]
+
+_INT = np.int64
+
+
+def triangle_grid(nx: int, ny: int) -> SimplicialMesh:
+    """Structured triangulation of the unit square: an ``nx`` x ``ny`` node
+    grid whose cells are split into two triangles each
+    (``2 (nx-1)(ny-1)`` elements)."""
+    if nx < 2 or ny < 2:
+        raise GraphError("triangle_grid needs nx, ny >= 2")
+    xs, ys = np.meshgrid(np.linspace(0, 1, nx), np.linspace(0, 1, ny),
+                         indexing="ij")
+    points = np.stack([xs.ravel(), ys.ravel()], axis=1)
+    ids = np.arange(nx * ny).reshape(nx, ny)
+    a = ids[:-1, :-1].ravel()
+    b = ids[1:, :-1].ravel()
+    c = ids[:-1, 1:].ravel()
+    d = ids[1:, 1:].ravel()
+    lower = np.stack([a, b, d], axis=1)
+    upper = np.stack([a, d, c], axis=1)
+    return SimplicialMesh(np.concatenate([lower, upper]), points)
+
+
+def tet_grid(nx: int, ny: int, nz: int) -> SimplicialMesh:
+    """Structured tetrahedralisation of the unit cube: each grid cell is
+    split into six tetrahedra (the Kuhn / Freudenthal subdivision), giving a
+    conforming mesh of ``6 (nx-1)(ny-1)(nz-1)`` elements."""
+    if min(nx, ny, nz) < 2:
+        raise GraphError("tet_grid needs nx, ny, nz >= 2")
+    xs, ys, zs = np.meshgrid(
+        np.linspace(0, 1, nx), np.linspace(0, 1, ny), np.linspace(0, 1, nz),
+        indexing="ij",
+    )
+    points = np.stack([xs.ravel(), ys.ravel(), zs.ravel()], axis=1)
+    ids = np.arange(nx * ny * nz).reshape(nx, ny, nz)
+
+    # Cube corner ids per cell, vectorised over all cells.
+    c = {}
+    for dx in (0, 1):
+        for dy in (0, 1):
+            for dz in (0, 1):
+                c[(dx, dy, dz)] = ids[dx:nx - 1 + dx, dy:ny - 1 + dy,
+                                      dz:nz - 1 + dz].ravel()
+    # Kuhn subdivision: six tets around the main diagonal 000 -> 111.
+    # Each tet's vertices follow a monotone path of the cube corners.
+    paths = [
+        ((0, 0, 0), (1, 0, 0), (1, 1, 0), (1, 1, 1)),
+        ((0, 0, 0), (1, 0, 0), (1, 0, 1), (1, 1, 1)),
+        ((0, 0, 0), (0, 1, 0), (1, 1, 0), (1, 1, 1)),
+        ((0, 0, 0), (0, 1, 0), (0, 1, 1), (1, 1, 1)),
+        ((0, 0, 0), (0, 0, 1), (1, 0, 1), (1, 1, 1)),
+        ((0, 0, 0), (0, 0, 1), (0, 1, 1), (1, 1, 1)),
+    ]
+    tets = [np.stack([c[p0], c[p1], c[p2], c[p3]], axis=1)
+            for p0, p1, p2, p3 in paths]
+    return SimplicialMesh(np.concatenate(tets), points)
+
+
+def delaunay_triangulation(n: int, seed=None) -> SimplicialMesh:
+    """Delaunay triangulation of ``n`` uniform random points in the unit
+    square (an irregular conforming triangle mesh)."""
+    from scipy.spatial import Delaunay
+
+    if n < 4:
+        raise GraphError("delaunay_triangulation needs n >= 4")
+    rng = as_rng(seed)
+    pts = rng.random((n, 2))
+    tri = Delaunay(pts)
+    return SimplicialMesh(tri.simplices.astype(_INT), pts)

@@ -1,0 +1,125 @@
+"""METIS mesh-file IO.
+
+The METIS tool family reads meshes as element lists: a header with the
+element count, then one line of (1-based) node ids per element.  We support
+the simplicial subset (3-node triangles, 4-node tetrahedra; all elements of
+one kind per file), matching this library's :class:`SimplicialMesh`.
+Optional node coordinates use the companion ``.xyz`` convention: one
+``x y [z]`` line per node.
+"""
+
+from __future__ import annotations
+
+import io as _io
+import os
+
+import numpy as np
+
+from ..errors import GraphFormatError
+from .simplicial import SimplicialMesh
+
+__all__ = ["read_metis_mesh", "write_metis_mesh", "read_xyz", "write_xyz"]
+
+_INT = np.int64
+
+
+def _open(path_or_file, mode: str):
+    if isinstance(path_or_file, (str, os.PathLike)):
+        return open(path_or_file, mode), True
+    return path_or_file, False
+
+
+def read_metis_mesh(path_or_file, points=None) -> SimplicialMesh:
+    """Parse a METIS mesh file (simplicial elements only).
+
+    ``points`` optionally supplies node coordinates (array or a path/file in
+    ``.xyz`` format).
+    """
+    fh, owned = _open(path_or_file, "r")
+    try:
+        lines = [ln for ln in fh if ln.strip() and not ln.lstrip().startswith("%")]
+    finally:
+        if owned:
+            fh.close()
+    if not lines:
+        raise GraphFormatError("empty mesh file")
+    try:
+        ne = int(lines[0].split()[0])
+    except ValueError as exc:
+        raise GraphFormatError(f"bad mesh header: {lines[0]!r}") from exc
+    if len(lines) - 1 != ne:
+        raise GraphFormatError(f"expected {ne} element lines, found {len(lines) - 1}")
+
+    rows = []
+    width = None
+    for i, ln in enumerate(lines[1:]):
+        try:
+            nodes = [int(t) for t in ln.split()]
+        except ValueError as exc:
+            raise GraphFormatError(f"non-integer node id on line {i + 2}") from exc
+        if width is None:
+            width = len(nodes)
+            if width not in (3, 4):
+                raise GraphFormatError(
+                    "only simplicial meshes (3- or 4-node elements) are supported"
+                )
+        elif len(nodes) != width:
+            raise GraphFormatError(f"mixed element sizes at line {i + 2}")
+        if min(nodes) < 1:
+            raise GraphFormatError(f"node ids are 1-based; line {i + 2}")
+        rows.append([n - 1 for n in nodes])
+
+    pts = None
+    if points is not None:
+        pts = points if isinstance(points, np.ndarray) else read_xyz(points)
+    return SimplicialMesh(np.asarray(rows, dtype=_INT), pts)
+
+
+def write_metis_mesh(mesh: SimplicialMesh, path_or_file) -> None:
+    """Write a mesh in METIS element-list format (1-based node ids)."""
+    buf = _io.StringIO()
+    buf.write(f"{mesh.nelements}\n")
+    for row in mesh.elements:
+        buf.write(" ".join(str(int(x) + 1) for x in row) + "\n")
+    fh, owned = _open(path_or_file, "w")
+    try:
+        fh.write(buf.getvalue())
+    finally:
+        if owned:
+            fh.close()
+
+
+def read_xyz(path_or_file) -> np.ndarray:
+    """Read node coordinates: one ``x y [z]`` line per node."""
+    fh, owned = _open(path_or_file, "r")
+    try:
+        rows = []
+        for ln in fh:
+            s = ln.strip()
+            if not s or s[0] in "%#":
+                continue
+            vals = [float(t) for t in s.split()]
+            if len(vals) not in (2, 3):
+                raise GraphFormatError(f"bad coordinate line: {ln!r}")
+            rows.append(vals)
+    finally:
+        if owned:
+            fh.close()
+    if not rows:
+        raise GraphFormatError("empty coordinate file")
+    widths = {len(r) for r in rows}
+    if len(widths) != 1:
+        raise GraphFormatError("mixed 2-D and 3-D coordinate lines")
+    return np.asarray(rows, dtype=np.float64)
+
+
+def write_xyz(points: np.ndarray, path_or_file) -> None:
+    """Write node coordinates, one line per node."""
+    pts = np.asarray(points, dtype=np.float64)
+    fh, owned = _open(path_or_file, "w")
+    try:
+        for row in pts:
+            fh.write(" ".join(f"{x:.17g}" for x in row) + "\n")
+    finally:
+        if owned:
+            fh.close()

@@ -1,0 +1,143 @@
+"""Simplicial meshes and their graphs.
+
+The paper partitions *meshes* — its graphs are the duals of 2-D/3-D finite
+element meshes (each element a vertex, elements that share a face joined by
+an edge).  This module provides the mesh→graph pipeline so users can start
+from an element list instead of a prebuilt graph, mirroring METIS's
+``mesh-to-dual`` / ``mesh-to-nodal`` conversions:
+
+* :class:`SimplicialMesh` — elements as ``(nelem, d+1)`` node-id rows
+  (triangles or tetrahedra);
+* :func:`dual_graph` — elements adjacent iff they share a facet (edge in
+  2-D, triangular face in 3-D); this is the graph the partitioners see;
+* :func:`nodal_graph` — mesh nodes adjacent iff they share an element.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import GraphError
+from ..graph.build import from_edges
+from ..graph.csr import Graph
+
+__all__ = ["SimplicialMesh", "dual_graph", "nodal_graph"]
+
+_INT = np.int64
+
+
+@dataclass
+class SimplicialMesh:
+    """A simplicial mesh: ``elements[i]`` lists the ``d+1`` node ids of
+    element ``i`` (triangles for ``d=2``, tetrahedra for ``d=3``).
+
+    ``points`` is an optional ``(nnodes, d)`` coordinate array.
+    """
+
+    elements: np.ndarray
+    points: np.ndarray | None = None
+
+    def __post_init__(self):
+        self.elements = np.ascontiguousarray(self.elements, dtype=_INT)
+        if self.elements.ndim != 2 or self.elements.shape[1] not in (3, 4):
+            raise GraphError(
+                "elements must be (nelem, 3) triangles or (nelem, 4) tetrahedra"
+            )
+        if self.elements.size and self.elements.min() < 0:
+            raise GraphError("negative node ids")
+        # Nodes inside an element must be distinct.
+        srt = np.sort(self.elements, axis=1)
+        if np.any(srt[:, 1:] == srt[:, :-1]):
+            raise GraphError("degenerate element (repeated node)")
+        if self.points is not None:
+            self.points = np.ascontiguousarray(self.points, dtype=np.float64)
+            if self.points.ndim != 2:
+                raise GraphError("points must be (nnodes, d)")
+            if self.elements.size and self.elements.max() >= self.points.shape[0]:
+                raise GraphError("element references a missing point")
+
+    @property
+    def nelements(self) -> int:
+        return self.elements.shape[0]
+
+    @property
+    def nnodes(self) -> int:
+        if self.points is not None:
+            return self.points.shape[0]
+        return int(self.elements.max()) + 1 if self.elements.size else 0
+
+    @property
+    def dim(self) -> int:
+        """Topological dimension (2 for triangles, 3 for tets)."""
+        return self.elements.shape[1] - 1
+
+    def facets(self) -> np.ndarray:
+        """All element facets as sorted node-id tuples, ``(nelem * (d+1),
+        d)``; element ``i`` owns rows ``i*(d+1) .. (i+1)*(d+1)-1``."""
+        el = self.elements
+        k = el.shape[1]
+        faces = []
+        for drop in range(k):
+            keep = [c for c in range(k) if c != drop]
+            faces.append(el[:, keep])
+        # Interleave per element: row-major stacking then reshape keeps the
+        # "element i owns k consecutive rows" property.
+        stacked = np.stack(faces, axis=1).reshape(-1, k - 1)
+        return np.sort(stacked, axis=1)
+
+    def element_centroids(self) -> np.ndarray:
+        """``(nelem, d)`` centroid coordinates (requires ``points``)."""
+        if self.points is None:
+            raise GraphError("mesh has no point coordinates")
+        return self.points[self.elements].mean(axis=1)
+
+
+def dual_graph(mesh: SimplicialMesh) -> Graph:
+    """Element-adjacency (dual) graph: elements joined iff they share a
+    full facet.  This is the graph the paper's partitioners consume; element
+    centroids are attached as coordinates when available.
+
+    Fully vectorised: facets are sorted-key rows, shared facets found with
+    one ``np.unique`` over a packed key.
+    """
+    ne = mesh.nelements
+    if ne == 0:
+        return Graph(np.zeros(1, dtype=_INT), np.empty(0, dtype=_INT))
+    faces = mesh.facets()
+    k = mesh.elements.shape[1]
+    owner = np.repeat(np.arange(ne, dtype=_INT), k)
+
+    # Pack each facet row into a single comparable key via lexsort grouping.
+    order = np.lexsort(faces.T[::-1])
+    sorted_faces = faces[order]
+    sorted_owner = owner[order]
+    same_as_prev = np.all(sorted_faces[1:] == sorted_faces[:-1], axis=1)
+
+    # A facet is interior iff exactly two elements share it (conforming
+    # mesh); consecutive equal rows pair up their owners.
+    u = sorted_owner[:-1][same_as_prev]
+    v = sorted_owner[1:][same_as_prev]
+    mask = u != v
+    g = from_edges(ne, np.stack([u[mask], v[mask]], axis=1))
+    if mesh.points is not None:
+        g.coords = mesh.element_centroids()
+    return g
+
+
+def nodal_graph(mesh: SimplicialMesh) -> Graph:
+    """Node-adjacency graph: mesh nodes joined iff they appear in a common
+    element (the graph a nodal FEM discretisation communicates over)."""
+    nn = mesh.nnodes
+    el = mesh.elements
+    k = el.shape[1]
+    pairs = []
+    for i in range(k):
+        for j in range(i + 1, k):
+            pairs.append(el[:, [i, j]])
+    edges = np.concatenate(pairs) if pairs else np.empty((0, 2), dtype=_INT)
+    g = from_edges(nn, edges)
+    if mesh.points is not None:
+        g.coords = mesh.points
+    return g

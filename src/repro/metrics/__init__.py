@@ -1,0 +1,20 @@
+"""Partition-quality metrics and reports."""
+
+from .quality import (
+    boundary_vertices,
+    comm_volume,
+    edge_cut,
+    interface_sizes,
+    subdomain_matrix,
+)
+from .report import PartitionReport, format_table
+
+__all__ = [
+    "edge_cut",
+    "comm_volume",
+    "boundary_vertices",
+    "subdomain_matrix",
+    "interface_sizes",
+    "PartitionReport",
+    "format_table",
+]

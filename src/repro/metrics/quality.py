@@ -1,0 +1,78 @@
+"""Partition-quality metrics.
+
+Besides the paper's two headline numbers -- edge-cut and per-constraint load
+imbalance -- this module provides the standard secondary metrics used to
+judge partitioners: total communication volume, boundary size, and the
+subdomain connectivity matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import PartitionError
+from ..graph.csr import Graph
+from ..refine.gain import edge_cut
+
+__all__ = [
+    "edge_cut",
+    "comm_volume",
+    "boundary_vertices",
+    "subdomain_matrix",
+    "interface_sizes",
+]
+
+
+def _check(graph: Graph, part) -> np.ndarray:
+    part = np.asarray(part)
+    if part.shape != (graph.nvtxs,):
+        raise PartitionError("part vector must cover all vertices")
+    return part
+
+
+def comm_volume(graph: Graph, part) -> int:
+    """Total communication volume: for each vertex, the number of *distinct*
+    foreign parts among its neighbours, summed over vertices.  This models
+    one message-payload per (vertex, foreign subdomain) pair per exchange
+    step -- often a better predictor of communication cost than the cut."""
+    part = _check(graph, part)
+    n = graph.nvtxs
+    src = np.repeat(np.arange(n, dtype=np.int64), np.diff(graph.xadj))
+    dst_part = part[graph.adjncy]
+    foreign = dst_part != part[src]
+    pairs = np.stack([src[foreign], dst_part[foreign]], axis=1)
+    if pairs.shape[0] == 0:
+        return 0
+    uniq = np.unique(pairs, axis=0)
+    return int(uniq.shape[0])
+
+
+def boundary_vertices(graph: Graph, part) -> np.ndarray:
+    """Ids of vertices with at least one neighbour in another part."""
+    part = _check(graph, part)
+    src = np.repeat(np.arange(graph.nvtxs, dtype=np.int64), np.diff(graph.xadj))
+    crossing = part[src] != part[graph.adjncy]
+    return np.unique(src[crossing])
+
+
+def subdomain_matrix(graph: Graph, part, nparts: int) -> np.ndarray:
+    """``(k, k)`` symmetric matrix of cut edge weight between each pair of
+    parts (diagonal = internal edge weight, counted once)."""
+    part = _check(graph, part)
+    src = np.repeat(np.arange(graph.nvtxs, dtype=np.int64), np.diff(graph.xadj))
+    pu = part[src]
+    pv = part[graph.adjncy]
+    mat = np.zeros((nparts, nparts), dtype=np.int64)
+    np.add.at(mat, (pu, pv), graph.adjwgt)
+    # Off-diagonal entries already count each cross edge once per ordered
+    # pair; internal edges hit the diagonal twice (once per direction).
+    mat[np.diag_indices(nparts)] //= 2
+    return mat
+
+
+def interface_sizes(graph: Graph, part, nparts: int) -> np.ndarray:
+    """Number of foreign parts adjacent to each part (subdomain degree)."""
+    mat = subdomain_matrix(graph, part, nparts)
+    off = mat.copy()
+    np.fill_diagonal(off, 0)
+    return (off > 0).sum(axis=1)

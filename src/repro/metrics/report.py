@@ -1,0 +1,76 @@
+"""Structured quality reports and plain-text tables for experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph.csr import Graph
+from ..weights.balance import imbalance, part_weights
+from .quality import boundary_vertices, comm_volume, edge_cut, interface_sizes
+
+__all__ = ["PartitionReport", "format_table"]
+
+
+@dataclass
+class PartitionReport:
+    """Every quality number of a partition, computed in one pass."""
+
+    nparts: int
+    ncon: int
+    edgecut: int
+    comm_volume: int
+    nboundary: int
+    imbalance: np.ndarray
+    max_imbalance: float
+    part_weights: np.ndarray
+    max_subdomain_degree: int
+
+    @classmethod
+    def from_partition(cls, graph: Graph, part, nparts: int) -> "PartitionReport":
+        """Compute a full report for ``part`` on ``graph``."""
+        imb = imbalance(graph.vwgt, part, nparts)
+        return cls(
+            nparts=nparts,
+            ncon=graph.ncon,
+            edgecut=edge_cut(graph, part),
+            comm_volume=comm_volume(graph, part),
+            nboundary=int(boundary_vertices(graph, part).shape[0]),
+            imbalance=imb,
+            max_imbalance=float(imb.max(initial=0.0)),
+            part_weights=part_weights(graph.vwgt, part, nparts),
+            max_subdomain_degree=int(interface_sizes(graph, part, nparts).max(initial=0)),
+        )
+
+    def __str__(self) -> str:
+        imb = ", ".join(f"{x:.3f}" for x in self.imbalance)
+        return (
+            f"k={self.nparts} m={self.ncon} cut={self.edgecut} "
+            f"vol={self.comm_volume} boundary={self.nboundary} "
+            f"imbalance=[{imb}] maxdeg={self.max_subdomain_degree}"
+        )
+
+
+def format_table(headers: list[str], rows: list[list], title: str | None = None) -> str:
+    """Render a plain-text table (used by the benchmark harness to print the
+    same row layout the paper's tables use)."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(x) -> str:
+    if isinstance(x, float):
+        return f"{x:.3f}"
+    return str(x)

@@ -1,0 +1,13 @@
+"""Multi-phase computation model and workloads (the paper's motivation)."""
+
+from .model import MultiPhaseComputation, Phase
+from .workloads import combustion, crash_simulation, from_type2, particle_in_mesh
+
+__all__ = [
+    "Phase",
+    "MultiPhaseComputation",
+    "crash_simulation",
+    "particle_in_mesh",
+    "combustion",
+    "from_type2",
+]

@@ -1,0 +1,131 @@
+"""Model of a multi-phase computation.
+
+The paper's motivation: simulations like particle-in-mesh, crash-worthiness
+or combustion proceed in *phases* separated by synchronisation steps, so the
+wall-clock time of one timestep is
+
+    T(partition) = sum over phases p of  max over parts j of  work_p(j)
+
+(plus communication).  Balancing the *sum* of the phase works (what a
+single-constraint partitioner does) can leave individual phases arbitrarily
+imbalanced; balancing each phase = one constraint per phase.
+
+:class:`MultiPhaseComputation` evaluates partitions under this model and
+produces the constraint weights a multi-constraint partitioner needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import WeightError
+from ..graph.csr import Graph
+from ..weights.generators import coactivity_edge_weights
+
+__all__ = ["Phase", "MultiPhaseComputation"]
+
+
+@dataclass
+class Phase:
+    """One computational phase: a per-vertex cost vector (0 = inactive)."""
+
+    name: str
+    cost: np.ndarray
+
+    def __post_init__(self):
+        self.cost = np.ascontiguousarray(self.cost, dtype=np.float64)
+        if self.cost.ndim != 1:
+            raise WeightError("phase cost must be a per-vertex vector")
+        if np.any(self.cost < 0):
+            raise WeightError("phase costs must be non-negative")
+
+    @property
+    def active(self) -> np.ndarray:
+        """Boolean activity mask."""
+        return self.cost > 0
+
+    @property
+    def total_work(self) -> float:
+        return float(self.cost.sum())
+
+
+@dataclass
+class MultiPhaseComputation:
+    """A graph plus its per-phase cost structure."""
+
+    graph: Graph
+    phases: list[Phase] = field(default_factory=list)
+
+    def __post_init__(self):
+        for ph in self.phases:
+            if ph.cost.shape != (self.graph.nvtxs,):
+                raise WeightError(
+                    f"phase {ph.name!r} cost does not cover all vertices"
+                )
+        if not self.phases:
+            raise WeightError("a multi-phase computation needs at least one phase")
+
+    # ------------------------------------------------------------------ #
+    # Constraint-weight derivation
+    # ------------------------------------------------------------------ #
+
+    @property
+    def nphases(self) -> int:
+        return len(self.phases)
+
+    def vwgt(self, scale: int = 100) -> np.ndarray:
+        """``(n, nphases)`` integer constraint weights: phase costs rounded
+        onto an integer grid (``scale`` units per unit cost)."""
+        cols = [np.rint(ph.cost * scale).astype(np.int64) for ph in self.phases]
+        w = np.stack(cols, axis=1)
+        for i, ph in enumerate(self.phases):
+            if w[:, i].sum() == 0:
+                raise WeightError(f"phase {ph.name!r} has zero total cost")
+        return w
+
+    def weighted_graph(self, scale: int = 100, *, coactivity_edges: bool = True) -> Graph:
+        """The graph a multi-constraint partitioner should see: one
+        constraint per phase, and (optionally) edge weights equal to the
+        phase co-activity of the endpoints."""
+        g = self.graph.with_vwgt(self.vwgt(scale))
+        if coactivity_edges:
+            act = np.stack([ph.active for ph in self.phases], axis=1)
+            g = g.with_adjwgt(coactivity_edge_weights(self.graph, act))
+        return g
+
+    # ------------------------------------------------------------------ #
+    # Execution-time model
+    # ------------------------------------------------------------------ #
+
+    def phase_part_work(self, part, nparts: int) -> np.ndarray:
+        """``(nphases, nparts)`` work per phase per part."""
+        part = np.asarray(part)
+        if part.shape != (self.graph.nvtxs,):
+            raise WeightError("part vector must cover all vertices")
+        out = np.empty((self.nphases, nparts))
+        for i, ph in enumerate(self.phases):
+            out[i] = np.bincount(part, weights=ph.cost, minlength=nparts)
+        return out
+
+    def makespan(self, part, nparts: int) -> float:
+        """Modelled timestep duration: per-phase max-part work, summed."""
+        return float(self.phase_part_work(part, nparts).max(axis=1).sum())
+
+    def ideal_time(self, nparts: int) -> float:
+        """Lower bound: every phase perfectly balanced."""
+        return float(sum(ph.total_work for ph in self.phases)) / nparts
+
+    def efficiency(self, part, nparts: int) -> float:
+        """Parallel efficiency under the model: ideal / achieved."""
+        ms = self.makespan(part, nparts)
+        return self.ideal_time(nparts) / ms if ms > 0 else 1.0
+
+    def phase_imbalance(self, part, nparts: int) -> np.ndarray:
+        """``(nphases,)`` max-part work over average-part work, per phase
+        (the per-phase analogue of the partitioners' imbalance metric)."""
+        work = self.phase_part_work(part, nparts)
+        avg = work.mean(axis=1)
+        avg[avg == 0] = 1.0
+        return work.max(axis=1) / avg

@@ -1,0 +1,117 @@
+"""Concrete multi-phase workloads, mirroring the applications the paper's
+introduction motivates (crash-worthiness testing, particle-in-mesh,
+combustion) plus the synthetic Type-2 family of the evaluation section."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._rng import as_rng
+from ..graph.csr import Graph
+from ..graph.ops import bfs_regions
+from ..weights.generators import type2_multiphase
+from .model import MultiPhaseComputation, Phase
+
+__all__ = ["crash_simulation", "particle_in_mesh", "combustion", "from_type2"]
+
+
+def crash_simulation(
+    graph: Graph,
+    contact_fraction: float = 0.15,
+    contact_cost: float = 3.0,
+    seed=None,
+) -> MultiPhaseComputation:
+    """Crash-worthiness-style two-phase computation.
+
+    Phase "fem": finite-element computation of cost 1 on every element.
+    Phase "contact": contact detection on a contiguous crumple region
+    (``contact_fraction`` of the mesh, grown by BFS) at ``contact_cost``
+    per element -- concentrated work that a sum-balanced partition piles
+    onto few processors.
+    """
+    rng = as_rng(seed)
+    n = graph.nvtxs
+    nregions = max(4, int(round(1.0 / max(contact_fraction, 0.01))))
+    regions = bfs_regions(graph, nregions, seed=rng)
+    contact = regions == int(rng.integers(nregions))
+
+    fem = np.ones(n)
+    contact_cost_vec = np.where(contact, contact_cost, 0.0)
+    if contact_cost_vec.sum() == 0:
+        contact_cost_vec[0] = contact_cost
+    return MultiPhaseComputation(
+        graph=graph,
+        phases=[Phase("fem", fem), Phase("contact", contact_cost_vec)],
+    )
+
+
+def particle_in_mesh(
+    graph: Graph,
+    particle_fraction: float = 0.25,
+    particles_per_cell: float = 4.0,
+    seed=None,
+) -> MultiPhaseComputation:
+    """Particle-in-mesh two-phase computation.
+
+    Phase "mesh": field solve of cost 1 everywhere.
+    Phase "particles": particle push whose cost is proportional to the local
+    particle density -- particles cluster in a contiguous subregion
+    (``particle_fraction`` of cells) with density noise.
+    """
+    rng = as_rng(seed)
+    n = graph.nvtxs
+    nregions = max(4, int(round(1.0 / max(particle_fraction, 0.01))))
+    regions = bfs_regions(graph, nregions, seed=rng)
+    cloud = regions == int(rng.integers(nregions))
+    density = np.where(cloud, particles_per_cell, 0.0)
+    density *= rng.uniform(0.5, 1.5, size=n)
+    if density.sum() == 0:
+        density[0] = particles_per_cell
+    return MultiPhaseComputation(
+        graph=graph,
+        phases=[Phase("mesh", np.ones(n)), Phase("particles", density)],
+    )
+
+
+def combustion(
+    graph: Graph,
+    flame_fraction: float = 0.10,
+    chemistry_cost: float = 10.0,
+    seed=None,
+) -> MultiPhaseComputation:
+    """Combustion-style three-phase computation: flow solve everywhere,
+    chemistry only in the (contiguous) flame front at high cost, and a
+    radiation phase on a wider band around it."""
+    rng = as_rng(seed)
+    n = graph.nvtxs
+    nregions = max(8, int(round(1.0 / max(flame_fraction, 0.01))))
+    regions = bfs_regions(graph, nregions, seed=rng)
+    flame_region = int(rng.integers(nregions))
+    flame = regions == flame_region
+    # Radiation band: flame region plus one neighbouring region.
+    band = flame | (regions == ((flame_region + 1) % nregions))
+
+    chem = np.where(flame, chemistry_cost, 0.0)
+    rad = np.where(band, 2.0, 0.0)
+    if chem.sum() == 0:
+        chem[0] = chemistry_cost
+    if rad.sum() == 0:
+        rad[0] = 2.0
+    return MultiPhaseComputation(
+        graph=graph,
+        phases=[
+            Phase("flow", np.ones(n)),
+            Phase("chemistry", chem),
+            Phase("radiation", rad),
+        ],
+    )
+
+
+def from_type2(graph: Graph, nphases: int, seed=None, **kwargs) -> MultiPhaseComputation:
+    """Wrap the evaluation section's Type-2 generator as a
+    :class:`MultiPhaseComputation` (unit cost per active vertex)."""
+    _, act = type2_multiphase(graph, nphases, seed=seed, **kwargs)
+    return MultiPhaseComputation(
+        graph=graph,
+        phases=[Phase(f"phase{i}", act[:, i].astype(np.float64)) for i in range(nphases)],
+    )

@@ -1,0 +1,26 @@
+"""Simulated coarse-grain parallel formulation (future-work extension).
+
+This subpackage is **not** part of the reproduced SC'98 contribution; it
+implements the parallel formulation the paper names as future work, on a
+deterministic BSP simulation with an alpha-beta cost model (real MPI is
+unavailable offline; see DESIGN.md for the substitution rationale).
+"""
+
+from .coarsen import parallel_matching
+from .contract import parallel_contract
+from .distgraph import DistGraph
+from .driver import ParallelResult, parallel_part_graph
+from .refine import parallel_kway_refine
+from .simcomm import CostModel, SimCluster, SimStats
+
+__all__ = [
+    "SimCluster",
+    "SimStats",
+    "CostModel",
+    "DistGraph",
+    "parallel_matching",
+    "parallel_contract",
+    "parallel_kway_refine",
+    "parallel_part_graph",
+    "ParallelResult",
+]

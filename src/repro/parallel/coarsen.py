@@ -1,0 +1,115 @@
+"""Coarse-grain parallel matching with conflict arbitration.
+
+Each round, every rank proposes a heavy-edge match for its unmatched local
+vertices.  Proposals between vertices of the same rank are resolved locally;
+proposals to a remote vertex are shipped to its owner (one ``alltoall``),
+which arbitrates conflicting requests deterministically -- the heaviest edge
+wins, ties broken by the lower proposer id (the protocol of the coarse-grain
+formulation; this arbitration is what makes the parallel matching *less*
+maximal than the serial one, producing the "slow coarsening" effect the
+literature reports).  Acceptance notifications return in a second
+``alltoall``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._rng import as_rng
+from ..graph.csr import Graph
+from .distgraph import DistGraph
+from .simcomm import SimCluster
+
+__all__ = ["parallel_matching"]
+
+_INT = np.int64
+
+
+def parallel_matching(
+    dist: DistGraph,
+    cluster: SimCluster,
+    seed=None,
+    rounds: int = 4,
+) -> np.ndarray:
+    """Compute a matching of ``dist.graph`` with the coarse-grain protocol.
+
+    Returns the global match array (``match[v] = partner or v``).  All
+    communication is charged to ``cluster``.
+    """
+    g = dist.graph
+    rng = as_rng(seed)
+    n = g.nvtxs
+    match = np.arange(n, dtype=_INT)
+    xadj, adjncy, adjwgt = g.xadj, g.adjncy, g.adjwgt
+
+    for _ in range(rounds):
+        if np.all(match != np.arange(n)):
+            break
+        # ---- Phase 1: each rank proposes for its unmatched local vertices.
+        proposals: list[dict[int, np.ndarray]] = [dict() for _ in range(cluster.nranks)]
+        local_batches: list[list[tuple[int, int, int]]] = [[] for _ in range(cluster.nranks)]
+        for r in range(cluster.nranks):
+            lo, hi = dist.local_range(r)
+            ops = 0
+            out: dict[int, list[tuple[int, int, int]]] = {}
+            for v in rng.permutation(np.arange(lo, hi)).tolist():
+                if match[v] != v:
+                    continue
+                beg, end = xadj[v], xadj[v + 1]
+                nbrs = adjncy[beg:end]
+                ws = adjwgt[beg:end]
+                ops += len(nbrs)
+                best_u, best_w = -1, -1
+                for u, w in zip(nbrs.tolist(), ws.tolist()):
+                    # Ranks only know the match state of ghosts as of the
+                    # previous round; stale proposals get rejected by the
+                    # owner, which is exactly the protocol's behaviour.
+                    if match[u] == u and w > best_w:
+                        best_u, best_w = u, w
+                if best_u < 0:
+                    continue
+                owner = int(dist.owner(best_u))
+                if owner == r:
+                    # Local arbitration is immediate.
+                    if match[best_u] == best_u and match[v] == v:
+                        match[v] = best_u
+                        match[best_u] = v
+                else:
+                    out.setdefault(owner, []).append((v, best_u, best_w))
+            cluster.add_compute(r, ops)
+            for dst, rows in out.items():
+                proposals[r][dst] = np.asarray(rows, dtype=_INT).reshape(-1, 3)
+            local_batches[r] = []
+
+        delivered = cluster.alltoall(proposals)
+
+        # ---- Phase 2: owners arbitrate remote proposals.
+        accepts: list[dict[int, np.ndarray]] = [dict() for _ in range(cluster.nranks)]
+        for r in range(cluster.nranks):
+            best: dict[int, tuple[int, int]] = {}  # target -> (weight, proposer)
+            ops = 0
+            for src, arr in delivered[r].items():
+                for v, u, w in arr.tolist():
+                    ops += 1
+                    if match[u] != u:
+                        continue  # already taken this or an earlier round
+                    cur = best.get(u)
+                    # Heaviest edge wins; lower proposer id breaks ties.
+                    if cur is None or (w, -v) > (cur[0], -cur[1]):
+                        best[u] = (w, v)
+            cluster.add_compute(r, ops)
+            winners: dict[int, list[tuple[int, int]]] = {}
+            for u, (w, v) in best.items():
+                if match[u] != u or match[v] != v:
+                    continue
+                match[u] = v
+                match[v] = u
+                winners.setdefault(int(dist.owner(v)), []).append((v, u))
+            for dst, rows in winners.items():
+                accepts[r][dst] = np.asarray(rows, dtype=_INT).reshape(-1, 2)
+
+        # ---- Phase 3: acceptance notifications (match[] already updated in
+        # the shared simulation state; the exchange is charged for realism).
+        cluster.alltoall(accepts)
+
+    return match

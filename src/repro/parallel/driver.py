@@ -1,0 +1,161 @@
+"""Simulated coarse-grain parallel multilevel multi-constraint partitioner.
+
+Pipeline (all on the :class:`~repro.parallel.simcomm.SimCluster`):
+
+1. **Parallel coarsening** -- conflict-arbitrated heavy-edge matching
+   (:func:`repro.parallel.coarsen.parallel_matching`) followed by
+   contraction; the halo exchange needed to fold cross-rank edges is charged
+   to the cost model.
+2. **Initial partitioning** -- the coarsest graph is gathered to rank 0 and
+   partitioned with the serial multi-constraint recursive bisection (the
+   standard practice: the coarsest graph is tiny).
+3. **Parallel uncoarsening** -- project and refine with the reservation
+   scheme (:func:`repro.parallel.refine.parallel_kway_refine`).
+
+The returned :class:`ParallelResult` carries both the partition quality and
+the simulated-time accounting used by the scaling benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._rng import as_rng, spawn
+from ..coarsen.matching import matching_to_cmap
+from ..errors import PartitionError
+from ..graph.csr import Graph
+from ..partition.config import PartitionOptions
+from ..partition.recursive import partition_recursive
+from ..refine.gain import edge_cut
+from ..weights.balance import as_ubvec, imbalance
+from .coarsen import parallel_matching
+from .contract import parallel_contract
+from .distgraph import DistGraph
+from .refine import parallel_kway_refine
+from .simcomm import CostModel, SimCluster, SimStats
+
+__all__ = ["ParallelResult", "parallel_part_graph"]
+
+
+@dataclass
+class ParallelResult:
+    """Partition plus simulated-execution accounting."""
+
+    part: np.ndarray
+    nparts: int
+    nranks: int
+    edgecut: int
+    imbalance: np.ndarray
+    feasible: bool
+    stats: SimStats
+    levels: int
+    refine_stats: list[dict]
+    #: simulated seconds per phase: {"coarsen": ..., "initpart": ..., "refine": ...}
+    phase_times: dict | None = None
+
+    @property
+    def simulated_time(self) -> float:
+        return self.stats.simulated_time
+
+    @property
+    def max_imbalance(self) -> float:
+        """Worst imbalance over all constraints."""
+        return float(self.imbalance.max(initial=0.0))
+
+    def summary(self) -> str:
+        imb = ", ".join(f"{x:.3f}" for x in self.imbalance)
+        return (
+            f"parallel(p={self.nranks}) k={self.nparts}: cut={self.edgecut} "
+            f"imbalance=[{imb}] t_sim={self.simulated_time * 1e3:.2f}ms "
+            f"{'feasible' if self.feasible else 'INFEASIBLE'}"
+        )
+
+
+def parallel_part_graph(
+    graph: Graph,
+    nparts: int,
+    nranks: int,
+    *,
+    options: PartitionOptions | None = None,
+    cost: CostModel | None = None,
+) -> ParallelResult:
+    """Partition ``graph`` with the simulated parallel formulation.
+
+    ``nranks`` simulated ranks cooperate; quality should track the serial
+    k-way partitioner while simulated time exhibits the parallel scaling
+    shape (see benchmark P1).
+    """
+    if options is None:
+        options = PartitionOptions()
+    if nparts < 1 or nparts > max(graph.nvtxs, 1):
+        raise PartitionError("invalid nparts for this graph")
+    rng = as_rng(options.seed)
+    ub = as_ubvec(options.ubvec, graph.ncon)
+    cluster = SimCluster(nranks, cost)
+
+    coarsen_to = max(options.kway_coarsen_factor * nparts, options.coarsen_to)
+
+    def _elapsed():
+        return cluster.stats.simulated_time
+
+    phase_marks = {"start": _elapsed()}
+
+    # ---- Parallel coarsening.
+    levels: list[tuple[Graph, np.ndarray]] = []
+    cur = graph
+    while cur.nvtxs > coarsen_to and len(levels) < options.max_coarsen_levels:
+        dist = DistGraph(cur, nranks)
+        (mrng,) = spawn(rng, 1)
+        match = parallel_matching(dist, cluster, seed=mrng)
+        cmap, ncoarse = matching_to_cmap(match)
+        if ncoarse > options.min_shrink * cur.nvtxs:
+            break
+        levels.append((cur, cmap))
+        cur = parallel_contract(dist, cluster, cmap, ncoarse)
+
+    phase_marks["coarsen"] = _elapsed()
+
+    # ---- Initial partitioning at rank 0 (gather + serial RB + bcast).
+    cluster.gather([np.empty(cur.nvtxs // max(nranks, 1), dtype=np.int64)] * nranks)
+    (irng,) = spawn(rng, 1)
+    init_opts = options.with_(seed=irng, final_balance=True)
+    where = partition_recursive(cur, nparts, init_opts)
+    cluster.add_compute(0, 20 * (cur.nvtxs + 2 * cur.nedges))
+    cluster.bcast(where)
+
+    phase_marks["initpart"] = _elapsed()
+
+    # ---- Parallel uncoarsening with reservation refinement.
+    refine_stats: list[dict] = []
+    for fine, cmap in reversed(levels):
+        where = where[cmap]
+        dist = DistGraph(fine, nranks)
+        (rrng,) = spawn(rng, 1)
+        st = parallel_kway_refine(
+            dist, cluster, where, nparts,
+            ubvec=ub, npasses=options.kway_refine_passes, seed=rrng,
+        )
+        refine_stats.append(st)
+
+    phase_marks["refine"] = _elapsed()
+    phase_times = {
+        "coarsen": phase_marks["coarsen"] - phase_marks["start"],
+        "initpart": phase_marks["initpart"] - phase_marks["coarsen"],
+        "refine": phase_marks["refine"] - phase_marks["initpart"],
+    }
+
+    imb = imbalance(graph.vwgt, where, nparts)
+    return ParallelResult(
+        phase_times=phase_times,
+        part=where,
+        nparts=nparts,
+        nranks=nranks,
+        edgecut=edge_cut(graph, where),
+        imbalance=imb,
+        feasible=bool(np.all(imb <= ub + 1e-9)),
+        stats=cluster.stats,
+        levels=len(levels),
+        refine_stats=refine_stats,
+    )

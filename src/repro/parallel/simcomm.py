@@ -1,0 +1,172 @@
+"""Simulated message-passing substrate (BSP style).
+
+Real MPI is unavailable offline, so the parallel formulation runs on a
+deterministic single-process simulation: algorithms are written as
+supersteps (local compute, then collective exchange), the cluster delivers
+messages between ranks and *accounts* for them under a classic alpha-beta
+cost model:
+
+    T_superstep = max_r compute_r / rate  +  alpha * rounds  +  beta * max_r bytes_r
+
+The API mirrors the mpi4py idioms used in practice (``alltoall`` over NumPy
+buffers, ``allreduce``), so porting to mpi4py is mechanical: replace
+``SimCluster`` collectives with ``COMM_WORLD`` ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ReproError
+
+__all__ = ["CostModel", "SimCluster", "SimStats"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """alpha-beta machine model.
+
+    ``alpha``: per-message-round latency (seconds); ``beta``: per-byte
+    transfer cost (seconds/byte); ``compute_rate``: local operations per
+    second.  Defaults are loosely calibrated to a late-90s MPP (a Cray
+    T3E-like machine): 10 us latency, ~300 MB/s links, 10^8 simple graph
+    operations per second.
+    """
+
+    alpha: float = 1e-5
+    beta: float = 3.3e-9
+    compute_rate: float = 1e8
+
+
+@dataclass
+class SimStats:
+    """Aggregated accounting of a simulated run."""
+
+    nranks: int
+    supersteps: int = 0
+    total_bytes: int = 0
+    total_messages: int = 0
+    compute_time: float = 0.0
+    comm_time: float = 0.0
+
+    @property
+    def simulated_time(self) -> float:
+        """Modelled wall-clock: critical-path compute + communication."""
+        return self.compute_time + self.comm_time
+
+
+class SimCluster:
+    """A simulated cluster of ``nranks`` BSP ranks.
+
+    Usage pattern (one superstep)::
+
+        for r in range(cluster.nranks):
+            ...local work...
+            cluster.add_compute(r, ops)
+        received = cluster.alltoall(payloads)   # ends the superstep
+
+    Compute is charged per rank and folded into the critical path at the
+    next collective.
+    """
+
+    def __init__(self, nranks: int, cost: CostModel | None = None):
+        if nranks < 1:
+            raise ReproError("nranks must be >= 1")
+        self.nranks = nranks
+        self.cost = cost or CostModel()
+        self.stats = SimStats(nranks=nranks)
+        self._pending_ops = np.zeros(nranks, dtype=np.float64)
+
+    # ------------------------------------------------------------------ #
+
+    def add_compute(self, rank: int, ops: float) -> None:
+        """Charge ``ops`` local operations to ``rank`` in the current
+        superstep."""
+        self._pending_ops[rank] += ops
+
+    def _close_compute(self) -> None:
+        self.stats.compute_time += float(self._pending_ops.max(initial=0.0)) / self.cost.compute_rate
+        self._pending_ops[:] = 0.0
+
+    def _charge_comm(self, bytes_per_rank: np.ndarray, nmessages: int, rounds: int = 1) -> None:
+        self.stats.comm_time += self.cost.alpha * rounds + self.cost.beta * float(
+            bytes_per_rank.max(initial=0.0)
+        )
+        self.stats.total_bytes += int(bytes_per_rank.sum())
+        self.stats.total_messages += nmessages
+        self.stats.supersteps += 1
+
+    # ------------------------------------------------------------------ #
+    # Collectives
+    # ------------------------------------------------------------------ #
+
+    def alltoall(self, payloads: list[dict[int, np.ndarray]]) -> list[dict[int, np.ndarray]]:
+        """Personalised all-to-all: ``payloads[src][dst]`` is a NumPy array
+        to deliver; returns ``received[dst][src]``.  Closes the superstep.
+        """
+        if len(payloads) != self.nranks:
+            raise ReproError("alltoall needs one payload dict per rank")
+        self._close_compute()
+        received: list[dict[int, np.ndarray]] = [dict() for _ in range(self.nranks)]
+        out_bytes = np.zeros(self.nranks)
+        nmsg = 0
+        for src, msgs in enumerate(payloads):
+            for dst, arr in msgs.items():
+                if not (0 <= dst < self.nranks):
+                    raise ReproError(f"destination rank {dst} out of range")
+                arr = np.asarray(arr)
+                received[dst][src] = arr
+                out_bytes[src] += arr.nbytes
+                nmsg += 1
+        self._charge_comm(out_bytes, nmsg)
+        return received
+
+    def allreduce(self, values: list[np.ndarray], op: str = "sum") -> np.ndarray:
+        """Reduce per-rank arrays to a single array known to all ranks.
+        Charged as a ``log2(p)``-round butterfly.  Closes the superstep."""
+        if len(values) != self.nranks:
+            raise ReproError("allreduce needs one value per rank")
+        self._close_compute()
+        arrs = [np.asarray(v, dtype=np.float64) for v in values]
+        stack = np.stack(arrs)
+        if op == "sum":
+            out = stack.sum(axis=0)
+        elif op == "max":
+            out = stack.max(axis=0)
+        elif op == "min":
+            out = stack.min(axis=0)
+        else:
+            raise ReproError(f"unknown reduction op {op!r}")
+        rounds = max(1, int(np.ceil(np.log2(max(self.nranks, 2)))))
+        per_rank = np.full(self.nranks, float(arrs[0].nbytes) * rounds)
+        self._charge_comm(per_rank, self.nranks * rounds, rounds=rounds)
+        return out
+
+    def gather(self, values: list[np.ndarray], root: int = 0) -> list[np.ndarray]:
+        """Gather per-rank arrays at ``root``.  Closes the superstep."""
+        if len(values) != self.nranks:
+            raise ReproError("gather needs one value per rank")
+        self._close_compute()
+        out_bytes = np.zeros(self.nranks)
+        for r, v in enumerate(values):
+            if r != root:
+                out_bytes[r] = np.asarray(v).nbytes
+        self._charge_comm(out_bytes, self.nranks - 1)
+        return [np.asarray(v) for v in values]
+
+    def bcast(self, value: np.ndarray, root: int = 0) -> np.ndarray:
+        """Broadcast from ``root``; charged as a log-depth tree."""
+        self._close_compute()
+        arr = np.asarray(value)
+        rounds = max(1, int(np.ceil(np.log2(max(self.nranks, 2)))))
+        per_rank = np.full(self.nranks, float(arr.nbytes))
+        self._charge_comm(per_rank, self.nranks - 1, rounds=rounds)
+        return arr
+
+    def barrier(self) -> None:
+        """Synchronise; folds pending compute into the critical path."""
+        self._close_compute()
+        self.stats.comm_time += self.cost.alpha
+        self.stats.supersteps += 1

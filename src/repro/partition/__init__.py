@@ -1,0 +1,19 @@
+"""Multilevel partitioning drivers and public API."""
+
+from .api import METHODS, PartitionResult, part_graph
+from .config import PartitionOptions
+from .ensemble import EnsembleResult, best_of
+from .kway import partition_kway
+from .recursive import multilevel_bisection, partition_recursive
+
+__all__ = [
+    "part_graph",
+    "PartitionResult",
+    "PartitionOptions",
+    "partition_kway",
+    "partition_recursive",
+    "multilevel_bisection",
+    "METHODS",
+    "best_of",
+    "EnsembleResult",
+]

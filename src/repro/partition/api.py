@@ -1,0 +1,148 @@
+"""Public partitioning API: :func:`part_graph` and :class:`PartitionResult`."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import PartitionError
+from ..graph.csr import Graph
+from ..refine.gain import edge_cut
+from ..weights.balance import as_target_fracs, as_ubvec, imbalance
+from .config import PartitionOptions
+from .kway import partition_kway
+from .recursive import partition_recursive
+
+__all__ = ["part_graph", "PartitionResult", "METHODS"]
+
+METHODS = ("kway", "recursive")
+
+
+@dataclass
+class PartitionResult:
+    """Result of a partitioning run.
+
+    Attributes
+    ----------
+    part:
+        ``(n,)`` part id per vertex.
+    nparts, ncon:
+        Requested part count / number of constraints.
+    edgecut:
+        Total weight of cut edges.
+    imbalance:
+        ``(ncon,)`` achieved load imbalance per constraint (1.0 = perfect).
+    feasible:
+        True when every constraint is within the requested tolerance.
+    method:
+        ``"kway"`` or ``"recursive"``.
+    options:
+        The :class:`PartitionOptions` used.
+    stats:
+        Multilevel trace (levels, phase timings, per-level cut/imbalance)
+        when ``options.collect_stats`` was set; ``None`` otherwise.
+    """
+
+    part: np.ndarray
+    nparts: int
+    ncon: int
+    edgecut: int
+    imbalance: np.ndarray
+    feasible: bool
+    method: str
+    options: PartitionOptions = field(repr=False, default=None)
+    stats: dict | None = field(repr=False, default=None)
+
+    @property
+    def max_imbalance(self) -> float:
+        """Worst imbalance over all constraints."""
+        return float(self.imbalance.max(initial=0.0))
+
+    def part_sizes(self) -> np.ndarray:
+        """Vertex count per part."""
+        return np.bincount(self.part, minlength=self.nparts)
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        imb = ", ".join(f"{x:.3f}" for x in self.imbalance)
+        return (
+            f"{self.method} k={self.nparts} m={self.ncon}: "
+            f"cut={self.edgecut} imbalance=[{imb}] "
+            f"{'feasible' if self.feasible else 'INFEASIBLE'}"
+        )
+
+
+def part_graph(
+    graph: Graph,
+    nparts: int,
+    *,
+    method: str = "kway",
+    options: PartitionOptions | None = None,
+    target_fracs=None,
+    **kwargs,
+) -> PartitionResult:
+    """Partition ``graph`` into ``nparts`` parts balancing all ``ncon``
+    vertex-weight constraints while minimising the edge-cut.
+
+    Parameters
+    ----------
+    graph:
+        Input graph; ``graph.vwgt`` supplies the ``(n, m)`` constraint
+        weights (``m = 1`` reduces to classic single-constraint
+        partitioning).
+    nparts:
+        Number of parts (any integer >= 1).
+    method:
+        ``"kway"`` (multilevel k-way, default) or ``"recursive"``
+        (multilevel recursive bisection).
+    options:
+        A :class:`PartitionOptions`; alternatively pass individual option
+        fields as keyword arguments (e.g. ``ubvec=1.03, seed=42``).
+    target_fracs:
+        Optional length-``nparts`` target weight fractions (non-uniform
+        part sizes, e.g. heterogeneous processors); every constraint uses
+        the same per-part fraction.
+
+    Returns
+    -------
+    PartitionResult
+
+    Examples
+    --------
+    >>> from repro.graph import grid_2d
+    >>> from repro.partition import part_graph
+    >>> res = part_graph(grid_2d(16, 16), 4, seed=0)
+    >>> res.feasible
+    True
+    """
+    if method not in METHODS:
+        raise PartitionError(f"unknown method {method!r}; pick from {METHODS}")
+    if options is None:
+        options = PartitionOptions(**kwargs)
+    elif kwargs:
+        options = options.with_(**kwargs)
+    if graph.nvtxs == 0:
+        raise PartitionError("cannot partition an empty graph")
+
+    stats: dict | None = {} if options.collect_stats else None
+    if method == "kway":
+        part = partition_kway(graph, nparts, options, stats=stats,
+                              target_fracs=target_fracs)
+    else:
+        part = partition_recursive(graph, nparts, options, stats=stats,
+                                   target_fracs=target_fracs)
+
+    ub = as_ubvec(options.ubvec, graph.ncon)
+    imb = imbalance(graph.vwgt, part, nparts, target_fracs)
+    return PartitionResult(
+        stats=stats,
+        part=part,
+        nparts=nparts,
+        ncon=graph.ncon,
+        edgecut=edge_cut(graph, part),
+        imbalance=imb,
+        feasible=bool(np.all(imb <= ub + 1e-9)),
+        method=method,
+        options=options,
+    )

@@ -1,0 +1,86 @@
+"""Configuration objects for the partitioning drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..errors import PartitionError
+
+__all__ = ["PartitionOptions"]
+
+
+@dataclass(frozen=True)
+class PartitionOptions:
+    """Tuning knobs of the multilevel partitioners.
+
+    The defaults mirror the paper's experimental setup: heavy-edge matching
+    with balanced-edge tie-break, 5% imbalance tolerance, best-of-4 initial
+    bisections.
+
+    Attributes
+    ----------
+    ubvec:
+        Per-constraint load-imbalance tolerance; a scalar applies to every
+        constraint.  The paper uses 1.05.
+    seed:
+        RNG seed (int / Generator / None).
+    matching:
+        Matching scheme for coarsening: ``"hem"`` (default, balanced-edge
+        tie-break), ``"bem"``, ``"rm"``, or ``"fhem"`` (vectorised
+        handshaking HEM -- fastest, no balanced-edge tie-break).
+    coarsen_to:
+        Coarsest-graph size for 2-way multilevel bisection (default 100).
+    kway_coarsen_factor:
+        The k-way driver coarsens to ``max(kway_coarsen_factor * nparts,
+        coarsen_to)`` vertices.
+    max_coarsen_levels, min_shrink:
+        Coarsening loop bounds (see :func:`repro.coarsen.coarsen`).
+    init_ntries:
+        Candidate rounds in the initial bisection.
+    refine_passes:
+        FM passes per uncoarsening level (2-way).
+    kway_refine_passes:
+        Greedy passes per uncoarsening level (k-way).
+    rb_multilevel:
+        When false the recursive-bisection driver skips coarsening and
+        bisects every (sub)graph directly -- used for the initial k-way
+        partition of an already-coarse graph, and by ablation benches.
+    final_balance:
+        Run a global k-way balancing pass on the assembled partition when
+        some constraint ended outside tolerance.
+    collect_stats:
+        Record a multilevel trace (per-level sizes, cut and imbalance after
+        each refinement step, phase timings) in ``PartitionResult.stats``.
+    kway_policy:
+        Sweep order of the k-way refiner: ``"greedy"`` (randomised
+        boundary sweep) or ``"priority"`` (gain-ordered queue).
+    """
+
+    ubvec: object = 1.05
+    seed: object = None
+    matching: str = "hem"
+    coarsen_to: int = 100
+    kway_coarsen_factor: int = 30
+    max_coarsen_levels: int = 60
+    min_shrink: float = 0.95
+    init_ntries: int = 4
+    refine_passes: int = 8
+    kway_refine_passes: int = 8
+    rb_multilevel: bool = True
+    final_balance: bool = True
+    collect_stats: bool = False
+    kway_policy: str = "greedy"
+
+    def __post_init__(self):
+        if self.matching not in ("hem", "bem", "rm", "fhem"):
+            raise PartitionError(f"unknown matching scheme {self.matching!r}")
+        if self.kway_policy not in ("greedy", "priority"):
+            raise PartitionError(f"unknown k-way policy {self.kway_policy!r}")
+        if self.coarsen_to < 2:
+            raise PartitionError("coarsen_to must be >= 2")
+        if self.init_ntries < 1 or self.refine_passes < 0 or self.kway_refine_passes < 0:
+            raise PartitionError("iteration counts must be positive")
+
+    def with_(self, **kwargs) -> "PartitionOptions":
+        """Functional update (``dataclasses.replace`` wrapper)."""
+        return replace(self, **kwargs)

@@ -1,0 +1,135 @@
+"""Multilevel k-way partitioning (the "horizontal" formulation).
+
+Coarsen once to ``O(k)`` vertices, compute an initial k-way partition of the
+coarsest graph by (non-multilevel) recursive bisection, then project the
+partition back level by level, running the greedy multi-constraint k-way
+refiner at each level.  Compared to recursive bisection this sees all ``k``
+parts at once during refinement -- which is what lets it trade weight among
+*all* parts when constraints interfere, the paper's motivation for the
+horizontal formulation.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from .._rng import as_rng, spawn
+from ..coarsen.coarsener import coarsen
+from ..errors import PartitionError
+from ..graph.csr import Graph
+from ..refine.kwayref import balance_kway, kway_refine
+from ..weights.balance import as_target_fracs, as_ubvec, imbalance
+from .config import PartitionOptions
+from .recursive import partition_recursive
+
+__all__ = ["partition_kway"]
+
+
+def partition_kway(
+    graph: Graph,
+    nparts: int,
+    options: PartitionOptions | None = None,
+    stats: dict | None = None,
+    target_fracs=None,
+) -> np.ndarray:
+    """Multilevel k-way partitioning.  Returns the part vector; ``graph`` is
+    not mutated.  When ``stats`` is a dict, a multilevel trace is recorded
+    into it (see ``PartitionOptions.collect_stats``).  ``target_fracs``
+    requests non-uniform part sizes (see :func:`partition_recursive`)."""
+    if options is None:
+        options = PartitionOptions()
+    if nparts < 1:
+        raise PartitionError("nparts must be >= 1")
+    if nparts > max(graph.nvtxs, 1):
+        raise PartitionError(
+            f"cannot cut {graph.nvtxs} vertices into {nparts} non-empty parts"
+        )
+    if nparts == 1:
+        return np.zeros(graph.nvtxs, dtype=np.int64)
+
+    rng = as_rng(options.seed)
+    ub = as_ubvec(options.ubvec, graph.ncon)
+    fracs = as_target_fracs(target_fracs, nparts)
+    # More constraints need a larger coarsest graph: chunky coarse vertices
+    # leave too little freedom to satisfy m caps at once (the paper's
+    # observation that quality drops as movable vertices become scarce).
+    coarsen_to = max(
+        options.kway_coarsen_factor * nparts * max(1, graph.ncon - 1),
+        options.coarsen_to,
+    )
+
+    t0 = time.perf_counter()
+    if graph.nvtxs > 1.5 * coarsen_to:
+        hier = coarsen(
+            graph,
+            coarsen_to=coarsen_to,
+            max_levels=options.max_coarsen_levels,
+            matching=options.matching,
+            min_shrink=options.min_shrink,
+            seed=rng,
+        )
+        coarsest = hier.coarsest
+    else:
+        hier = None
+        coarsest = graph
+    t_coarsen = time.perf_counter() - t0
+
+    # Initial k-way partition of the coarsest graph: recursive bisection.
+    # The coarsest graph is O(k) vertices, so multilevel recursion inside
+    # the bisection is unnecessary; a slightly relaxed tolerance leaves the
+    # k-way refiner room to work.
+    (init_rng, refine_rng) = spawn(rng, 2)
+    init_opts = options.with_(
+        seed=init_rng,
+        rb_multilevel=coarsest.nvtxs > 4 * options.coarsen_to,
+        final_balance=True,
+    )
+    t0 = time.perf_counter()
+    where = partition_recursive(coarsest, nparts, init_opts, target_fracs=fracs)
+    t_init = time.perf_counter() - t0
+
+    trace: list[dict] = []
+    t0 = time.perf_counter()
+    if hier is not None:
+        for lvl in reversed(hier.levels):
+            where = where[lvl.cmap]
+            st = kway_refine(
+                lvl.graph,
+                where,
+                nparts,
+                ubvec=ub,
+                target_fracs=fracs,
+                npasses=options.kway_refine_passes,
+                policy=options.kway_policy,
+                seed=refine_rng,
+            )
+            if stats is not None:
+                trace.append({
+                    "nvtxs": lvl.graph.nvtxs,
+                    "cut": st.final_cut,
+                    "moves": st.moves,
+                    "imbalance": float(
+                        imbalance(lvl.graph.vwgt, where, nparts, fracs).max()
+                    ),
+                })
+    else:
+        kway_refine(graph, where, nparts, ubvec=ub, target_fracs=fracs,
+                    npasses=options.kway_refine_passes,
+                    policy=options.kway_policy, seed=refine_rng)
+    t_refine = time.perf_counter() - t0
+
+    if options.final_balance:
+        balance_kway(graph, where, nparts, ubvec=ub, target_fracs=fracs)
+
+    if stats is not None:
+        stats.update({
+            "method": "kway",
+            "levels": hier.sizes() if hier is not None else [graph.nvtxs],
+            "coarsen_seconds": t_coarsen,
+            "initpart_seconds": t_init,
+            "refine_seconds": t_refine,
+            "trace": trace,
+        })
+    return where

@@ -1,0 +1,181 @@
+"""Multilevel recursive bisection (the paper's primary algorithm).
+
+``partition_recursive`` splits the requested ``k`` into ``ceil(k/2)`` /
+``floor(k/2)`` parts (so arbitrary ``k`` works), computes a multilevel
+bisection with the matching target fraction, and recurses into the two
+induced subgraphs.
+
+Per-split tolerance: if the final partition must satisfy ``ubvec`` then each
+of the ``ceil(log2 k)`` nested splits gets tolerance
+``1 + (ub - 1) / ceil(log2 k)``; the compounded tolerance is then
+``(1 + d)^log2(k) ≈ ub``.  Any residual violation is repaired by a global
+k-way balancing pass at the end (``options.final_balance``).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+import numpy as np
+
+from .._rng import as_rng, spawn
+from ..coarsen.coarsener import coarsen
+from ..errors import PartitionError
+from ..graph.csr import Graph
+from ..graph.ops import induced_subgraph
+from ..initpart.bisect import initial_bisection
+from ..refine.fm2way import fm2way_refine
+from ..refine.kwayref import balance_kway
+from ..weights.balance import as_target_fracs, as_ubvec
+from .config import PartitionOptions
+
+__all__ = ["partition_recursive", "multilevel_bisection"]
+
+
+def multilevel_bisection(
+    graph: Graph,
+    target: float,
+    ubvec,
+    options: PartitionOptions,
+    seed=None,
+) -> np.ndarray:
+    """One multilevel bisection: coarsen, bisect the coarsest graph, then
+    project + FM-refine back up.  Returns a 0/1 vector; does not mutate
+    ``graph``."""
+    rng = as_rng(seed)
+    if graph.nvtxs == 0:
+        return np.zeros(0, dtype=np.int64)
+
+    if options.rb_multilevel and graph.nvtxs > 2 * options.coarsen_to:
+        hier = coarsen(
+            graph,
+            coarsen_to=options.coarsen_to,
+            max_levels=options.max_coarsen_levels,
+            matching=options.matching,
+            min_shrink=options.min_shrink,
+            seed=rng,
+        )
+    else:
+        hier = None
+
+    coarsest = hier.coarsest if hier is not None else graph
+    (init_rng, refine_rng) = spawn(rng, 2)
+    where = initial_bisection(
+        coarsest,
+        target_fracs=(target, 1.0 - target),
+        ubvec=ubvec,
+        ntries=options.init_ntries,
+        seed=init_rng,
+    )
+    if hier is not None:
+        for lvl in reversed(hier.levels):
+            where = where[lvl.cmap]
+            fm2way_refine(
+                lvl.graph,
+                where,
+                target_fracs=(target, 1.0 - target),
+                ubvec=ubvec,
+                npasses=options.refine_passes,
+                seed=refine_rng,
+            )
+    return where
+
+
+def partition_recursive(
+    graph: Graph,
+    nparts: int,
+    options: PartitionOptions | None = None,
+    stats: dict | None = None,
+    target_fracs=None,
+) -> np.ndarray:
+    """Multilevel recursive-bisection k-way partitioning.
+
+    Returns the part vector (``0..nparts-1``); ``graph`` is not mutated.
+    When ``stats`` is a dict, records bisection count and per-bisection cut
+    traces into it.  ``target_fracs`` (length ``nparts``, summing to 1)
+    requests *non-uniform* part sizes -- e.g. heterogeneous processors;
+    every constraint uses the same per-part fraction, as in the paper's
+    formulation.
+    """
+    if options is None:
+        options = PartitionOptions()
+    if nparts < 1:
+        raise PartitionError("nparts must be >= 1")
+    if nparts > max(graph.nvtxs, 1):
+        raise PartitionError(
+            f"cannot cut {graph.nvtxs} vertices into {nparts} non-empty parts"
+        )
+    rng = as_rng(options.seed)
+    ub = as_ubvec(options.ubvec, graph.ncon)
+    fracs = as_target_fracs(target_fracs, nparts)
+    nsplits = max(1, math.ceil(math.log2(max(nparts, 2))))
+    ub_split = 1.0 + (ub - 1.0) / nsplits
+
+    t0 = time.perf_counter()
+    trace: list[dict] = [] if stats is not None else None
+    where = np.zeros(graph.nvtxs, dtype=np.int64)
+    _rb(graph, nparts, np.arange(graph.nvtxs, dtype=np.int64), where, ub_split,
+        options, rng, trace, fracs)
+
+    if options.final_balance:
+        balance_kway(graph, where, nparts, ubvec=ub, target_fracs=fracs)
+    if stats is not None:
+        stats.update({
+            "method": "recursive",
+            "bisections": len(trace),
+            "trace": trace,
+            "total_seconds": time.perf_counter() - t0,
+        })
+    return where
+
+
+def _rb(graph, nparts, ids, out, ub_split, options, rng, trace=None,
+        fracs=None) -> None:
+    """Recursive worker: partition ``graph`` (the subgraph on original ids
+    ``ids``) into ``nparts`` parts, writing part offsets into ``out``.
+    ``fracs`` carries this block's per-part target fractions."""
+    if nparts == 1:
+        return
+    kl = (nparts + 1) // 2
+    kr = nparts - kl
+    if fracs is None:
+        fracs = np.full(nparts, 1.0 / nparts)
+    target = float(fracs[:kl].sum() / fracs.sum())
+    (child,) = spawn(rng, 1)
+    where = multilevel_bisection(graph, target, ub_split, options, seed=child)
+
+    left = np.flatnonzero(where == 0)
+    right = np.flatnonzero(where == 1)
+    # Guarantee both sides can host their part counts even when the
+    # bisection degenerated (tiny graphs): steal vertices if needed.
+    left, right = _ensure_capacity(left, right, kl, kr)
+
+    if trace is not None:
+        from ..refine.gain import edge_cut as _cut
+
+        trace.append({
+            "nvtxs": graph.nvtxs,
+            "parts": nparts,
+            "cut": _cut(graph, where),
+        })
+
+    out[ids[right]] += kl  # right block's parts start at offset kl
+    if kl > 1:
+        _rb(induced_subgraph(graph, left), kl, ids[left], out, ub_split,
+            options, rng, trace, fracs[:kl])
+    if kr > 1:
+        _rb(induced_subgraph(graph, right), kr, ids[right], out, ub_split,
+            options, rng, trace, fracs[kl:])
+
+
+def _ensure_capacity(left, right, kl, kr):
+    """Move arbitrary vertices across a degenerate split so each side has at
+    least as many vertices as parts it must host."""
+    left = list(left)
+    right = list(right)
+    while len(left) < kl and len(right) > kr:
+        left.append(right.pop())
+    while len(right) < kr and len(left) > kl:
+        right.append(left.pop())
+    return np.asarray(left, dtype=np.int64), np.asarray(right, dtype=np.int64)

@@ -1,0 +1,23 @@
+"""Refinement phase: multi-constraint 2-way FM and greedy k-way refiners."""
+
+from .fm2way import FMStats, TwoWayState, balance_2way, fm2way_refine
+from .gain import boundary_from_ed, compute_2way_degrees, edge_cut, neighbor_part_weights
+from .kwayref import KWayState, KWayStats, balance_kway, balance_kway_state, kway_refine
+from .pq import LazyMaxPQ
+
+__all__ = [
+    "edge_cut",
+    "compute_2way_degrees",
+    "boundary_from_ed",
+    "neighbor_part_weights",
+    "LazyMaxPQ",
+    "TwoWayState",
+    "FMStats",
+    "fm2way_refine",
+    "balance_2way",
+    "KWayState",
+    "KWayStats",
+    "kway_refine",
+    "balance_kway",
+    "balance_kway_state",
+]

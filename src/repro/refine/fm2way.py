@@ -1,0 +1,383 @@
+"""Multi-constraint 2-way FM refinement (the paper's bisection refiner).
+
+The classic Fiduccia--Mattheyses refinement keeps one priority queue per
+side and repeatedly moves the best-gain vertex, allowing a bounded streak of
+cut-increasing moves and rolling back to the best prefix.  The
+multi-constraint extension (SC'98, Section 5.2) keeps ``m`` queues per side
+-- vertex ``v`` lives in the queue of its *dominant* weight component -- so
+that when some constraint drifts out of tolerance, moves can be drawn
+specifically from vertices that are heavy in that constraint on the
+overweight side.
+
+Two modes cooperate:
+
+* :func:`balance_2way` -- driven purely by the total balance excess
+  ``B = sum_j,i max(0, pw[j,i] - cap[j,i])``; every move must strictly
+  decrease ``B`` (which guarantees termination), picking the best-gain
+  vertex among candidates from the dominant queue of the worst violation.
+* :func:`fm2way_refine` -- hill-climbing FM passes over boundary vertices;
+  from a feasible state only destination-feasible moves are taken (the
+  serial algorithm never explores the infeasible space once balanced --
+  exactly the behaviour the paper describes), with rollback to the best
+  observed prefix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._rng import as_rng
+from ..errors import PartitionError
+from ..graph.csr import Graph
+from ..weights.balance import as_ubvec
+from .gain import compute_2way_degrees
+from .pq import LazyMaxPQ
+
+__all__ = ["TwoWayState", "balance_2way", "fm2way_refine", "FMStats"]
+
+_EPS = 1e-12
+
+
+@dataclass
+class FMStats:
+    """Outcome of a refinement run."""
+
+    initial_cut: int
+    final_cut: int
+    passes: int
+    moves: int
+    feasible: bool
+
+
+class TwoWayState:
+    """Mutable state of a 2-way multi-constraint partition.
+
+    Tracks relative part weights, internal/external degrees and the cut;
+    every mutation goes through :meth:`move` so the invariants
+    ``cut == ed.sum()/2`` and ``pw == sum of relw per side`` hold at all
+    times (asserted by the test-suite's property checks).
+    """
+
+    def __init__(self, graph: Graph, where, target_fracs=(0.5, 0.5), ubvec=1.05):
+        where = np.asarray(where, dtype=np.int64)
+        if where.shape != (graph.nvtxs,):
+            raise PartitionError("where must cover all vertices")
+        if where.size and not np.all((where == 0) | (where == 1)):
+            raise PartitionError("2-way state requires parts {0, 1}")
+        self.graph = graph
+        self.where = where
+        m = graph.ncon
+        t = graph.vwgt.sum(axis=0).astype(np.float64)
+        # A constraint with zero total weight in this (sub)graph is vacuous;
+        # normalising by 1 leaves its relative weights identically zero.
+        t[t == 0] = 1.0
+        self.relw = graph.vwgt / t
+        self.dom = np.argmax(self.relw, axis=1) if m > 1 else np.zeros(graph.nvtxs, dtype=np.int64)
+
+        fr = np.asarray(target_fracs, dtype=np.float64)
+        if fr.shape != (2,) or np.any(fr <= 0):
+            raise PartitionError("target_fracs must be two positive numbers")
+        fr = fr / fr.sum()
+        ub = as_ubvec(ubvec, m)
+        self.fracs = fr
+        self.caps = fr[:, None] * ub[None, :]
+
+        self.pw = np.zeros((2, m), dtype=np.float64)
+        self.pw[0] = self.relw[where == 0].sum(axis=0)
+        self.pw[1] = self.relw[where == 1].sum(axis=0)
+        self.id_, self.ed = compute_2way_degrees(graph, where)
+        self.cut = int(self.ed.sum()) // 2
+
+    # -------------------------------------------------------------- #
+
+    def gain(self, v: int) -> int:
+        return int(self.ed[v] - self.id_[v])
+
+    def excess(self) -> np.ndarray:
+        """(2, m) positive part of ``pw - caps``."""
+        return np.maximum(self.pw - self.caps, 0.0)
+
+    def balance_obj(self) -> float:
+        """Total balance excess ``B`` (0 when feasible)."""
+        return float(self.excess().sum())
+
+    def feasible(self) -> bool:
+        return self.balance_obj() <= 1e-9
+
+    def dest_fits(self, v: int) -> bool:
+        """Would moving ``v`` keep its destination within its caps?"""
+        d = 1 - self.where[v]
+        return bool(np.all(self.pw[d] + self.relw[v] <= self.caps[d] + 1e-9))
+
+    def balance_after(self, v: int) -> float:
+        """Balance objective if ``v`` were moved."""
+        s = self.where[v]
+        d = 1 - s
+        pw = self.pw.copy()
+        pw[s] -= self.relw[v]
+        pw[d] += self.relw[v]
+        return float(np.maximum(pw - self.caps, 0.0).sum())
+
+    def move(self, v: int, queues=None, locked=None) -> None:
+        """Move ``v`` to the other side, updating degrees, cut, part
+        weights, and (optionally) the gain queues of its free neighbours."""
+        s = int(self.where[v])
+        d = 1 - s
+        self.cut -= self.gain(v)
+        self.pw[s] -= self.relw[v]
+        self.pw[d] += self.relw[v]
+        self.where[v] = d
+        self.id_[v], self.ed[v] = self.ed[v], self.id_[v]
+
+        g = self.graph
+        beg, end = g.xadj[v], g.xadj[v + 1]
+        nbrs = g.adjncy[beg:end]
+        ws = g.adjwgt[beg:end]
+        wh = self.where
+        for u, w in zip(nbrs.tolist(), ws.tolist()):
+            if wh[u] == d:  # u is now on v's side
+                self.id_[u] += w
+                self.ed[u] -= w
+            else:
+                self.id_[u] -= w
+                self.ed[u] += w
+            if queues is not None and (locked is None or not locked[u]):
+                q = queues[wh[u]][self.dom[u]]
+                if u in q:
+                    q.update(u, self.ed[u] - self.id_[u])
+                elif self.ed[u] > 0:
+                    q.insert(u, self.ed[u] - self.id_[u])
+
+    # -------------------------------------------------------------- #
+
+    def build_queues(self, *, boundary_only: bool = True, locked=None):
+        """Fresh ``queues[side][con]`` of free (un-locked) vertices."""
+        m = self.relw.shape[1]
+        queues = [[LazyMaxPQ() for _ in range(m)] for _ in range(2)]
+        if boundary_only:
+            verts = np.flatnonzero(self.ed > 0)
+        else:
+            verts = np.arange(self.graph.nvtxs)
+        for v in verts.tolist():
+            if locked is not None and locked[v]:
+                continue
+            queues[self.where[v]][self.dom[v]].insert(v, self.gain(v))
+        return queues
+
+
+def balance_2way(state: TwoWayState, max_moves: int | None = None) -> int:
+    """Restore feasibility by moving vertices out of overweight sides.
+
+    Each move must strictly reduce the balance objective ``B``; ties and
+    increases are rejected, so the loop terminates.  Among acceptable
+    candidates of the dominant queue of the worst violation, the best-gain
+    vertex is chosen (minimum cut damage).  Returns the number of moves.
+    """
+    if state.feasible():
+        return 0
+    n = state.graph.nvtxs
+    if max_moves is None:
+        max_moves = 4 * n + 16
+    queues = state.build_queues(boundary_only=False)
+    moves = 0
+    m = state.relw.shape[1]
+    while not state.feasible() and moves < max_moves:
+        exc = state.excess()
+        side, con = np.unravel_index(int(np.argmax(exc)), exc.shape)
+        b_now = state.balance_obj()
+        chosen = -1
+        # Try the dominant queue of the violated constraint first, then the
+        # side's other queues.
+        for c in [con] + [c for c in range(m) if c != con]:
+            q = queues[side][c]
+            rejected = []
+            while True:
+                top = q.pop()
+                if top is None:
+                    break
+                v, _ = top
+                if state.balance_after(v) < b_now - _EPS:
+                    chosen = v
+                    break
+                rejected.append(v)
+                if len(rejected) > 64:
+                    break
+            for r in rejected:
+                q.insert(r, state.gain(r))
+            if chosen >= 0:
+                break
+        if chosen < 0:
+            break
+        state.move(chosen, queues=queues)
+        # The mover switched sides: place it in its new side's queue so it
+        # can participate in later corrections (B strictly decreases, so it
+        # cannot oscillate forever).
+        queues[state.where[chosen]][state.dom[chosen]].insert(chosen, state.gain(chosen))
+        moves += 1
+    return moves
+
+
+def fm2way_refine(
+    graph: Graph,
+    where,
+    *,
+    target_fracs=(0.5, 0.5),
+    ubvec=1.05,
+    npasses: int = 8,
+    max_bad_moves: int | None = None,
+    seed=None,
+) -> FMStats:
+    """Refine a 2-way partition in place with multi-constraint FM.
+
+    Parameters
+    ----------
+    graph, where:
+        The graph and its (mutated in place) 0/1 partition vector.
+    target_fracs:
+        Target weight fraction of part 0 and part 1 (every constraint uses
+        the same split -- the paper's formulation).
+    ubvec:
+        Per-constraint load-imbalance tolerance (scalar or length-``m``).
+    npasses:
+        Maximum FM passes.
+    max_bad_moves:
+        Abort a pass after this many consecutive non-improving moves
+        (default ``max(64, n // 20)``).
+
+    Returns
+    -------
+    FMStats
+        Cut before/after, passes and total committed moves.
+    """
+    as_rng(seed)  # reserved: selection is deterministic, seed kept for API symmetry
+    where = np.asarray(where, dtype=np.int64)
+    state = TwoWayState(graph, where, target_fracs, ubvec)
+    initial_cut = state.cut
+    n = graph.nvtxs
+    if max_bad_moves is None:
+        max_bad_moves = max(64, n // 20)
+
+    total_moves = 0
+    passes = 0
+    for _ in range(npasses):
+        if not state.feasible():
+            total_moves += balance_2way(state)
+        improved, nmoves = _fm_pass(state, max_bad_moves)
+        passes += 1
+        total_moves += nmoves
+        if not improved:
+            break
+    if not state.feasible():
+        total_moves += balance_2way(state)
+    return FMStats(
+        initial_cut=initial_cut,
+        final_cut=state.cut,
+        passes=passes,
+        moves=total_moves,
+        feasible=state.feasible(),
+    )
+
+
+def _state_key(state: TwoWayState):
+    """Ordering key: feasible-and-low-cut beats everything; among
+    infeasible states prefer lower excess, then lower cut."""
+    feas = state.feasible()
+    return (0, state.cut, 0.0) if feas else (1, state.balance_obj(), state.cut)
+
+
+def _fm_pass(state: TwoWayState, max_bad_moves: int) -> tuple[bool, int]:
+    """One FM pass with rollback.  Returns (improved, committed moves)."""
+    n = state.graph.nvtxs
+    locked = np.zeros(n, dtype=bool)
+    queues = state.build_queues(boundary_only=True, locked=locked)
+    m = state.relw.shape[1]
+
+    best_key = _state_key(state)
+    start_key = best_key
+    history: list[int] = []
+    best_len = 0
+    bad = 0
+
+    while bad < max_bad_moves:
+        v = _select_move(state, queues, m)
+        if v < 0:
+            break
+        state.move(v, queues=queues, locked=locked)
+        locked[v] = True
+        history.append(v)
+        key = _state_key(state)
+        if key < best_key:
+            best_key = key
+            best_len = len(history)
+            bad = 0
+        else:
+            bad += 1
+
+    # Roll back everything after the best prefix.
+    for v in reversed(history[best_len:]):
+        state.move(v)
+    return best_key < start_key, best_len
+
+
+def _select_move(state: TwoWayState, queues, m: int) -> int:
+    """Pick the next vertex to move.
+
+    When the state is infeasible, draw from the dominant queue of the worst
+    violation (accepting only excess-reducing moves); otherwise take the
+    best gain over all ``2m`` queue tops whose move keeps the destination
+    feasible.  Rejected pops are re-inserted.  Returns -1 when nothing is
+    movable.
+    """
+    if not state.feasible():
+        exc = state.excess()
+        side, con = np.unravel_index(int(np.argmax(exc)), exc.shape)
+        b_now = state.balance_obj()
+        order = [con] + [c for c in range(m) if c != con]
+        for c in order:
+            q = queues[side][c]
+            rejected = []
+            found = -1
+            while True:
+                top = q.pop()
+                if top is None:
+                    break
+                v, _ = top
+                if state.balance_after(v) < b_now - _EPS:
+                    found = v
+                    break
+                rejected.append(v)
+                if len(rejected) > 32:
+                    break
+            for r in rejected:
+                q.insert(r, state.gain(r))
+            if found >= 0:
+                return found
+        return -1
+
+    # Feasible: best gain over all queues, destination must stay feasible.
+    rejected_all: list[int] = []
+    chosen = -1
+    for _ in range(64):
+        best_q = None
+        best_gain = None
+        for side in range(2):
+            for c in range(m):
+                top = queues[side][c].peek()
+                if top is None:
+                    continue
+                _, g = top
+                if best_gain is None or g > best_gain:
+                    best_gain = g
+                    best_q = queues[side][c]
+        if best_q is None:
+            break
+        v, _ = best_q.pop()
+        if state.dest_fits(v):
+            chosen = v
+            break
+        rejected_all.append(v)
+    for r in rejected_all:
+        queues[state.where[r]][state.dom[r]].insert(r, state.gain(r))
+    return chosen

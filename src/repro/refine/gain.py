@@ -1,0 +1,60 @@
+"""Gain bookkeeping shared by the refinement algorithms.
+
+For a 2-way partition, every vertex has an *internal degree* ``id[v]`` (edge
+weight to its own part) and *external degree* ``ed[v]`` (edge weight to the
+other part); its FM gain is ``ed[v] - id[v]`` and the cut equals
+``ed.sum() / 2``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import PartitionError
+from ..graph.csr import Graph
+
+__all__ = ["edge_cut", "compute_2way_degrees", "boundary_from_ed", "neighbor_part_weights"]
+
+_INT = np.int64
+
+
+def edge_cut(graph: Graph, where) -> int:
+    """Total weight of edges whose endpoints lie in different parts
+    (vectorised over all directed edges)."""
+    where = np.asarray(where)
+    if where.shape != (graph.nvtxs,):
+        raise PartitionError("partition vector must cover all vertices")
+    src = np.repeat(np.arange(graph.nvtxs, dtype=_INT), np.diff(graph.xadj))
+    crossing = where[src] != where[graph.adjncy]
+    return int(graph.adjwgt[crossing].sum()) // 2
+
+
+def compute_2way_degrees(graph: Graph, where) -> tuple[np.ndarray, np.ndarray]:
+    """Internal/external degree arrays for a 2-way partition (vectorised)."""
+    where = np.asarray(where)
+    n = graph.nvtxs
+    src = np.repeat(np.arange(n, dtype=_INT), np.diff(graph.xadj))
+    same = where[src] == where[graph.adjncy]
+    id_ = np.zeros(n, dtype=_INT)
+    ed = np.zeros(n, dtype=_INT)
+    np.add.at(id_, src[same], graph.adjwgt[same])
+    np.add.at(ed, src[~same], graph.adjwgt[~same])
+    return id_, ed
+
+
+def boundary_from_ed(ed: np.ndarray) -> np.ndarray:
+    """Vertex ids with positive external degree."""
+    return np.flatnonzero(ed > 0)
+
+
+def neighbor_part_weights(graph: Graph, where, v: int) -> dict[int, int]:
+    """Edge weight from ``v`` to each adjacent part (including its own),
+    as a small dict ``{part: weight}``.  O(deg v)."""
+    out: dict[int, int] = {}
+    beg, end = graph.xadj[v], graph.xadj[v + 1]
+    nbrs = graph.adjncy[beg:end]
+    ws = graph.adjwgt[beg:end]
+    parts = where[nbrs]
+    for p, w in zip(parts.tolist(), ws.tolist()):
+        out[p] = out.get(p, 0) + w
+    return out

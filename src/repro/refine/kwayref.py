@@ -1,0 +1,374 @@
+"""Greedy multi-constraint k-way refinement (the "horizontal" refiner used
+by the multilevel k-way algorithm).
+
+Unlike 2-way FM, the k-way refiner makes only greedy passes over boundary
+vertices (the standard design of multilevel k-way partitioners): a vertex
+moves to the adjacent part with the largest positive gain among the
+destinations that keep **every** constraint within tolerance; zero-gain
+moves are taken when they strictly reduce the total balance excess.
+
+:func:`balance_kway` is the explicit balancer the paper's approach requires
+when a projected partition violates some constraint: it drains the worst
+(part, constraint) violation through minimum-cut-damage moves, accepting
+cut-increasing moves when necessary (this is exactly the "few edge-cut
+increasing moves" escape hatch the parallel follow-on paper describes for
+single-constraint refiners -- made multi-constraint-safe by requiring every
+move to strictly reduce the total excess, which guarantees termination).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._rng import as_rng
+from ..errors import PartitionError
+from ..graph.csr import Graph
+from ..weights.balance import as_target_fracs, as_ubvec
+from .gain import edge_cut
+
+__all__ = ["KWayState", "kway_refine", "balance_kway", "KWayStats"]
+
+_EPS = 1e-12
+
+
+@dataclass
+class KWayStats:
+    """Outcome of a k-way refinement run."""
+
+    initial_cut: int
+    final_cut: int
+    passes: int
+    moves: int
+    balance_moves: int
+    feasible: bool
+
+
+class KWayState:
+    """Mutable state of a k-way multi-constraint partition."""
+
+    def __init__(self, graph: Graph, where, nparts: int, ubvec=1.05, target_fracs=None):
+        where = np.asarray(where, dtype=np.int64)
+        if where.shape != (graph.nvtxs,):
+            raise PartitionError("where must cover all vertices")
+        if where.size and (where.min() < 0 or where.max() >= nparts):
+            raise PartitionError("part ids out of range")
+        self.graph = graph
+        self.where = where
+        self.nparts = nparts
+        m = graph.ncon
+        t = graph.vwgt.sum(axis=0).astype(np.float64)
+        t[t == 0] = 1.0
+        self.relw = graph.vwgt / t
+
+        fr = as_target_fracs(target_fracs, nparts)
+        ub = as_ubvec(ubvec, m)
+        self.caps = fr[:, None] * ub[None, :]
+
+        self.pw = np.zeros((nparts, m), dtype=np.float64)
+        for c in range(m):
+            self.pw[:, c] = np.bincount(where, weights=self.relw[:, c], minlength=nparts)
+        self.counts = np.bincount(where, minlength=nparts)
+
+    # -------------------------------------------------------------- #
+
+    def excess(self) -> np.ndarray:
+        return np.maximum(self.pw - self.caps, 0.0)
+
+    def balance_obj(self) -> float:
+        return float(self.excess().sum())
+
+    def feasible(self) -> bool:
+        return self.balance_obj() <= 1e-9
+
+    def dest_fits(self, v: int, d: int) -> bool:
+        return bool(np.all(self.pw[d] + self.relw[v] <= self.caps[d] + 1e-9))
+
+    def balance_delta(self, v: int, d: int) -> float:
+        """Change in balance objective if ``v`` moved to part ``d``
+        (negative = improvement)."""
+        s = self.where[v]
+        if d == s:
+            return 0.0
+        w = self.relw[v]
+        before = (
+            np.maximum(self.pw[s] - self.caps[s], 0.0).sum()
+            + np.maximum(self.pw[d] - self.caps[d], 0.0).sum()
+        )
+        after = (
+            np.maximum(self.pw[s] - w - self.caps[s], 0.0).sum()
+            + np.maximum(self.pw[d] + w - self.caps[d], 0.0).sum()
+        )
+        return float(after - before)
+
+    def move(self, v: int, d: int) -> None:
+        s = int(self.where[v])
+        self.pw[s] -= self.relw[v]
+        self.pw[d] += self.relw[v]
+        self.counts[s] -= 1
+        self.counts[d] += 1
+        self.where[v] = d
+
+    def boundary(self) -> np.ndarray:
+        """Vertex ids with at least one neighbour in another part."""
+        g = self.graph
+        src = np.repeat(np.arange(g.nvtxs, dtype=np.int64), np.diff(g.xadj))
+        crossing = self.where[src] != self.where[g.adjncy]
+        return np.unique(src[crossing])
+
+    def neighbor_weights(self, v: int) -> dict[int, int]:
+        """Edge weight from ``v`` to each adjacent part (including own)."""
+        g = self.graph
+        beg, end = g.xadj[v], g.xadj[v + 1]
+        out: dict[int, int] = {}
+        for p, w in zip(self.where[g.adjncy[beg:end]].tolist(),
+                        g.adjwgt[beg:end].tolist()):
+            out[p] = out.get(p, 0) + w
+        return out
+
+
+def kway_refine(
+    graph: Graph,
+    where,
+    nparts: int,
+    *,
+    ubvec=1.05,
+    target_fracs=None,
+    npasses: int = 10,
+    policy: str = "greedy",
+    seed=None,
+) -> KWayStats:
+    """Greedy k-way refinement; mutates ``where`` in place.
+
+    Runs :func:`balance_kway` first whenever the partition is infeasible,
+    then boundary passes until a pass makes no move (or ``npasses`` is
+    exhausted).  ``policy`` selects the sweep order:
+
+    * ``"greedy"`` -- randomised boundary sweep (the coarse-grain-friendly
+      order, cheap);
+    * ``"priority"`` -- a gain-ordered priority queue: the highest-gain
+      boundary vertex moves first and neighbour priorities are updated
+      incrementally (closer to the serial FM spirit, a little slower).
+    """
+    if policy not in ("greedy", "priority"):
+        raise PartitionError(f"unknown k-way refinement policy {policy!r}")
+    rng = as_rng(seed)
+    where = np.asarray(where, dtype=np.int64)
+    initial_cut = edge_cut(graph, where)
+    state = KWayState(graph, where, nparts, ubvec, target_fracs)
+
+    balance_moves = 0
+    if not state.feasible():
+        balance_moves += balance_kway_state(state)
+
+    sweep = _greedy_pass if policy == "greedy" else _priority_pass
+    total_moves = 0
+    passes = 0
+    for _ in range(npasses):
+        passes += 1
+        moved = sweep(state, rng)
+        total_moves += moved
+        if not state.feasible():
+            balance_moves += balance_kway_state(state)
+        if moved == 0:
+            break
+    return KWayStats(
+        initial_cut=initial_cut,
+        final_cut=edge_cut(graph, state.where),
+        passes=passes,
+        moves=total_moves,
+        balance_moves=balance_moves,
+        feasible=state.feasible(),
+    )
+
+
+def _greedy_pass(state: KWayState, rng) -> int:
+    """One randomized sweep over boundary vertices.  Returns moves made."""
+    bnd = state.boundary()
+    if bnd.size == 0:
+        return 0
+    rng.shuffle(bnd)
+    moves = 0
+    for v in bnd.tolist():
+        s = int(state.where[v])
+        nbw = state.neighbor_weights(v)
+        w_in = nbw.get(s, 0)
+        if state.counts[s] <= 1:
+            continue  # never empty a part
+        best_d = -1
+        best_key = None
+        for d, wd in nbw.items():
+            if d == s:
+                continue
+            gain = wd - w_in
+            if gain < 0 or not state.dest_fits(v, d):
+                continue
+            bal = state.balance_delta(v, d)
+            if gain == 0 and bal >= -_EPS:
+                continue  # zero-gain moves must strictly help balance
+            key = (gain, -bal)
+            if best_key is None or key > best_key:
+                best_key = key
+                best_d = d
+        if best_d >= 0:
+            state.move(v, best_d)
+            moves += 1
+    return moves
+
+
+def _best_move_for(state: KWayState, v: int):
+    """Best admissible move of ``v`` under the refinement rules, or
+    ``(-1, 0, 0.0)``.  Returns ``(dest, gain, balance_delta)``."""
+    s = int(state.where[v])
+    if state.counts[s] <= 1:
+        return -1, 0, 0.0
+    nbw = state.neighbor_weights(v)
+    w_in = nbw.get(s, 0)
+    best = (-1, 0, 0.0)
+    best_key = None
+    for d, wd in nbw.items():
+        if d == s:
+            continue
+        gain = wd - w_in
+        if gain < 0 or not state.dest_fits(v, d):
+            continue
+        bal = state.balance_delta(v, d)
+        if gain == 0 and bal >= -_EPS:
+            continue
+        key = (gain, -bal)
+        if best_key is None or key > best_key:
+            best_key = key
+            best = (d, gain, bal)
+    return best
+
+
+def _priority_pass(state: KWayState, rng) -> int:
+    """One gain-ordered sweep: pop the boundary vertex with the highest
+    *potential* gain, re-evaluate its best admissible move (gains go stale
+    as neighbours move), and commit it; each vertex moves at most once per
+    pass."""
+    from .pq import LazyMaxPQ
+
+    bnd = state.boundary()
+    if bnd.size == 0:
+        return 0
+    g = state.graph
+    q = LazyMaxPQ()
+    jitter = rng.random(g.nvtxs) * 1e-6  # randomised tie-breaks
+    for v in bnd.tolist():
+        nbw = state.neighbor_weights(v)
+        w_in = nbw.get(int(state.where[v]), 0)
+        ext = max((wd for d, wd in nbw.items() if d != state.where[v]),
+                  default=0)
+        q.insert(v, ext - w_in + jitter[v])
+
+    moved_flag = np.zeros(g.nvtxs, dtype=bool)
+    moves = 0
+    while True:
+        top = q.pop()
+        if top is None:
+            break
+        v, _ = top
+        if moved_flag[v]:
+            continue
+        d, gain, bal = _best_move_for(state, v)
+        if d < 0:
+            continue
+        state.move(v, d)
+        moved_flag[v] = True
+        moves += 1
+        for u in g.neighbors(v).tolist():
+            if moved_flag[u]:
+                continue
+            nbw = state.neighbor_weights(u)
+            w_in = nbw.get(int(state.where[u]), 0)
+            ext = max((wd for p, wd in nbw.items() if p != state.where[u]),
+                      default=None)
+            if ext is None:
+                q.remove(u)
+            else:
+                q.insert(u, ext - w_in + jitter[u])
+    return moves
+
+
+def balance_kway_state(state: KWayState, max_moves: int | None = None) -> int:
+    """Restore feasibility of a :class:`KWayState` by draining overweight
+    parts.  Every committed move strictly reduces the total excess, so the
+    loop terminates.  Returns the number of moves made."""
+    if state.feasible():
+        return 0
+    n = state.graph.nvtxs
+    if max_moves is None:
+        max_moves = 4 * n + 16
+    moves = 0
+    stuck_parts: set[int] = set()
+    while not state.feasible() and moves < max_moves:
+        exc = state.excess()
+        # Worst violated part that is not known-stuck.
+        order = np.argsort(-exc.max(axis=1))
+        src_part = -1
+        for p in order.tolist():
+            if exc[p].max() > 1e-9 and p not in stuck_parts:
+                src_part = p
+                break
+        if src_part < 0:
+            break
+        v, d = _best_balance_move(state, src_part)
+        if v < 0:
+            stuck_parts.add(src_part)
+            continue
+        state.move(v, d)
+        stuck_parts.clear()
+        moves += 1
+    return moves
+
+
+def _best_balance_move(state: KWayState, src_part: int) -> tuple[int, int]:
+    """Best (vertex, destination) draining ``src_part``: must strictly
+    reduce the excess; among candidates prefer maximum gain (least cut
+    damage), then largest excess reduction."""
+    g = state.graph
+    members = np.flatnonzero(state.where == src_part)
+    if members.size <= 1:
+        return -1, -1
+    best = (-1, -1)
+    best_key = None
+    for v in members.tolist():
+        nbw = state.neighbor_weights(v)
+        w_in = nbw.get(src_part, 0)
+        # Adjacent parts first; fall back to any part with room.
+        cand = [d for d in nbw if d != src_part]
+        if not cand:
+            cand = [d for d in range(state.nparts) if d != src_part]
+        for d in cand:
+            bal = state.balance_delta(v, d)
+            # The destination may end over its caps as long as the *total*
+            # excess strictly decreases -- with several constraints the
+            # only escape route often trades one small violation for a
+            # bigger one elsewhere, and strict decrease still guarantees
+            # termination.
+            if bal >= -_EPS:
+                continue
+            gain = nbw.get(d, 0) - w_in
+            key = (-gain, bal)  # max gain, then most negative bal
+            if best_key is None or key < best_key:
+                best_key = key
+                best = (v, d)
+    return best
+
+
+def balance_kway(
+    graph: Graph,
+    where,
+    nparts: int,
+    *,
+    ubvec=1.05,
+    target_fracs=None,
+) -> int:
+    """Convenience wrapper: build a state around ``where`` (mutated in
+    place) and run :func:`balance_kway_state`."""
+    state = KWayState(graph, np.asarray(where, dtype=np.int64), nparts, ubvec, target_fracs)
+    moved = balance_kway_state(state)
+    np.copyto(np.asarray(where), state.where)
+    return moved

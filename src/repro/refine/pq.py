@@ -1,0 +1,94 @@
+"""Lazy-deletion max-priority queue used by the FM refinement.
+
+FM updates vertex gains constantly; a classic bucket queue needs bounded
+integer gains, while our gains are arbitrary integers (weighted edges).  A
+binary heap with lazy deletion gives ``O(log n)`` updates: stale entries are
+left in the heap and skipped at pop time by checking a per-vertex stamp.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+__all__ = ["LazyMaxPQ"]
+
+
+class LazyMaxPQ:
+    """Max-priority queue over integer keys with updatable priorities.
+
+    ``insert``/``update`` push a fresh entry and bump the key's stamp;
+    ``pop``/``peek`` discard entries whose stamp is stale.  ``remove`` just
+    bumps the stamp, so removal is O(1).
+    """
+
+    __slots__ = ("_heap", "_stamp", "_prio", "_size")
+
+    def __init__(self):
+        self._heap: list[tuple[float, int, int, int]] = []
+        self._stamp: dict[int, int] = {}
+        self._prio: dict[int, float] = {}
+        self._size = 0
+
+    def __len__(self) -> int:
+        """Number of live keys."""
+        return self._size
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._prio
+
+    def insert(self, key: int, prio: float) -> None:
+        """Insert ``key`` (or update it if present) with priority ``prio``."""
+        stamp = self._stamp.get(key, 0) + 1
+        self._stamp[key] = stamp
+        if key not in self._prio:
+            self._size += 1
+        self._prio[key] = prio
+        heapq.heappush(self._heap, (-prio, key, stamp, 0))
+
+    # update is the same operation; alias kept for call-site readability.
+    update = insert
+
+    def remove(self, key: int) -> None:
+        """Remove ``key`` if present (O(1), lazy)."""
+        if key in self._prio:
+            self._stamp[key] = self._stamp.get(key, 0) + 1
+            del self._prio[key]
+            self._size -= 1
+
+    def priority(self, key: int):
+        """Current priority of ``key`` or ``None``."""
+        return self._prio.get(key)
+
+    def _skim(self) -> None:
+        heap = self._heap
+        while heap:
+            negp, key, stamp, _ = heap[0]
+            if self._stamp.get(key) == stamp and key in self._prio:
+                return
+            heapq.heappop(heap)
+
+    def peek(self):
+        """``(key, prio)`` of the max element, or ``None`` when empty."""
+        self._skim()
+        if not self._heap:
+            return None
+        negp, key, _, _ = self._heap[0]
+        return key, -negp
+
+    def pop(self):
+        """Pop and return ``(key, prio)`` of the max element, or ``None``."""
+        top = self.peek()
+        if top is None:
+            return None
+        key, prio = top
+        heapq.heappop(self._heap)
+        del self._prio[key]
+        self._stamp[key] += 1
+        self._size -= 1
+        return key, prio
+
+    def clear(self) -> None:
+        self._heap.clear()
+        self._stamp.clear()
+        self._prio.clear()
+        self._size = 0

@@ -1,0 +1,5 @@
+"""Visual tooling: SVG partition plots."""
+
+from .svg import PALETTE, partition_svg, save_partition_svg
+
+__all__ = ["partition_svg", "save_partition_svg", "PALETTE"]

@@ -1,0 +1,40 @@
+"""Multi-constraint weight substrate: normalisation, balance arithmetic,
+and the paper's synthetic workload generators."""
+
+from .balance import (
+    as_target_fracs,
+    as_ubvec,
+    imbalance,
+    is_balanced,
+    max_imbalance,
+    part_weights,
+)
+from .generators import (
+    DEFAULT_ACTIVE_FRACTIONS,
+    coactivity_edge_weights,
+    random_vwgt,
+    type1_region_weights,
+    type2_multiphase,
+)
+from .normalize import max_relative_weight, relative_weights, totals
+from .traces import drifting_phases_trace, growing_region_trace, moving_front_trace
+
+__all__ = [
+    "part_weights",
+    "imbalance",
+    "max_imbalance",
+    "is_balanced",
+    "as_ubvec",
+    "as_target_fracs",
+    "relative_weights",
+    "totals",
+    "max_relative_weight",
+    "random_vwgt",
+    "type1_region_weights",
+    "type2_multiphase",
+    "coactivity_edge_weights",
+    "DEFAULT_ACTIVE_FRACTIONS",
+    "moving_front_trace",
+    "growing_region_trace",
+    "drifting_phases_trace",
+]

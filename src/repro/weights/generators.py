@@ -1,0 +1,177 @@
+"""Synthetic multi-weight workload generators.
+
+These reproduce the two experiment families of the paper's evaluation:
+
+**Type 1 ("contiguous-region weights").**  A 16-way pre-decomposition of the
+graph is computed, and every vertex inside a region receives the *same*
+random ``m``-vector with components drawn uniformly from ``0..19``.  (The
+paper notes that assigning random weights per-*vertex* degenerates to the
+single-constraint problem by the law of large numbers, so region-correlated
+weights are required to make the problem genuinely multi-constraint.)
+
+**Type 2 ("multi-phase computations").**  A 32-way pre-decomposition is
+computed and, for each phase ``i``, a random subset of regions totalling a
+given active fraction is selected.  Vertex ``v`` has ``w_i(v) = 1`` iff it
+is active in phase ``i``.  Edge weights are set to the number of phases in
+which *both* endpoints are active (the co-activity communication model).
+
+The default active fractions follow the paper: for five phases
+``(100, 75, 50, 50, 25)%``, truncated prefixes for fewer phases.
+
+Both generators accept an explicit ``regions`` array or compute regions by
+multi-source BFS growth (:func:`repro.graph.ops.bfs_regions`), which yields
+the contiguous regions the construction requires without depending on the
+partitioner being built.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._rng import as_rng
+from ..errors import WeightError
+from ..graph.csr import Graph
+from ..graph.ops import bfs_regions
+
+__all__ = [
+    "random_vwgt",
+    "type1_region_weights",
+    "type2_multiphase",
+    "coactivity_edge_weights",
+    "DEFAULT_ACTIVE_FRACTIONS",
+]
+
+_INT = np.int64
+
+#: Active fraction per phase used in the paper's Type-2 problems (5-phase
+#: case; shorter experiments use the prefix).
+DEFAULT_ACTIVE_FRACTIONS = (1.00, 0.75, 0.50, 0.50, 0.25)
+
+
+def random_vwgt(n: int, ncon: int, low: int = 0, high: int = 19, seed=None) -> np.ndarray:
+    """Independent uniform integer weights in ``[low, high]`` per vertex and
+    constraint.  (The degenerate scheme the paper warns about -- kept as a
+    control input for tests and ablations.)
+
+    Columns that come out all-zero are bumped so every constraint has mass.
+    """
+    if ncon < 1:
+        raise WeightError("ncon must be >= 1")
+    if low < 0 or high < low:
+        raise WeightError("need 0 <= low <= high")
+    rng = as_rng(seed)
+    w = rng.integers(low, high + 1, size=(n, ncon), dtype=_INT)
+    zero = w.sum(axis=0) == 0
+    if np.any(zero):
+        w[0, zero] = max(high, 1)
+    return w
+
+
+def type1_region_weights(
+    graph: Graph,
+    ncon: int,
+    nregions: int = 16,
+    low: int = 0,
+    high: int = 19,
+    seed=None,
+    regions=None,
+) -> np.ndarray:
+    """Type-1 workload: the same random ``m``-vector for every vertex of
+    each contiguous region.
+
+    Returns an ``(n, ncon)`` integer weight matrix.  Every constraint is
+    guaranteed non-zero overall (a zero column would make the constraint
+    vacuous), by redrawing offending region vectors.
+    """
+    if ncon < 1:
+        raise WeightError("ncon must be >= 1")
+    rng = as_rng(seed)
+    if regions is None:
+        regions = bfs_regions(graph, nregions, seed=rng)
+    else:
+        regions = np.asarray(regions, dtype=_INT)
+        if regions.shape != (graph.nvtxs,):
+            raise WeightError("regions must be a per-vertex array")
+        nregions = int(regions.max()) + 1
+
+    rvec = rng.integers(low, high + 1, size=(nregions, ncon), dtype=_INT)
+    # Ensure no constraint is all-zero across regions.
+    for c in range(ncon):
+        if rvec[:, c].sum() == 0:
+            rvec[rng.integers(nregions), c] = max(high, 1)
+    return rvec[regions]
+
+
+def type2_multiphase(
+    graph: Graph,
+    nphases: int,
+    active_fractions=None,
+    nregions: int = 32,
+    seed=None,
+    regions=None,
+    set_edge_weights: bool = True,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Type-2 workload: overlapping multi-phase activity.
+
+    Returns ``(vwgt, active)`` where ``vwgt`` is the ``(n, nphases)`` 0/1
+    weight matrix (``vwgt[v, i] = 1`` iff vertex ``v`` is active in phase
+    ``i``) and ``active`` is the same matrix as booleans.  When
+    ``set_edge_weights`` is true the caller should combine the result with
+    :func:`coactivity_edge_weights`.
+
+    Phase 0 always activates the entire graph (the paper's first phase is
+    100% active), further phases activate a random subset of regions whose
+    count matches the requested fraction.
+    """
+    if nphases < 1:
+        raise WeightError("nphases must be >= 1")
+    if active_fractions is None:
+        if nphases > len(DEFAULT_ACTIVE_FRACTIONS):
+            raise WeightError(
+                f"no default active fractions for {nphases} phases; pass them explicitly"
+            )
+        active_fractions = DEFAULT_ACTIVE_FRACTIONS[:nphases]
+    fr = np.asarray(active_fractions, dtype=np.float64)
+    if fr.shape != (nphases,):
+        raise WeightError("active_fractions must have one entry per phase")
+    if np.any(fr <= 0) or np.any(fr > 1):
+        raise WeightError("active fractions must lie in (0, 1]")
+
+    rng = as_rng(seed)
+    if regions is None:
+        regions = bfs_regions(graph, nregions, seed=rng)
+    else:
+        regions = np.asarray(regions, dtype=_INT)
+        if regions.shape != (graph.nvtxs,):
+            raise WeightError("regions must be a per-vertex array")
+        nregions = int(regions.max()) + 1
+
+    active = np.zeros((graph.nvtxs, nphases), dtype=bool)
+    for i, f in enumerate(fr):
+        nact = max(1, int(round(f * nregions)))
+        if nact >= nregions:
+            active[:, i] = True
+        else:
+            chosen = rng.choice(nregions, size=nact, replace=False)
+            mask = np.zeros(nregions, dtype=bool)
+            mask[chosen] = True
+            active[:, i] = mask[regions]
+    vwgt = active.astype(_INT)
+    return vwgt, active
+
+
+def coactivity_edge_weights(graph: Graph, active: np.ndarray) -> np.ndarray:
+    """Edge weights for a multi-phase workload: weight of edge ``(u, v)`` is
+    the number of phases in which both ``u`` and ``v`` are active (the
+    paper's model of per-phase information exchange).  Returns an array
+    aligned with ``graph.adjncy``; pair with :meth:`Graph.with_adjwgt`.
+
+    Edges never co-active in any phase get weight 0 -- they cost nothing to
+    cut, exactly as in the paper's model.
+    """
+    active = np.asarray(active, dtype=bool)
+    if active.shape[0] != graph.nvtxs:
+        raise WeightError("active matrix must align with vertices")
+    src = np.repeat(np.arange(graph.nvtxs, dtype=_INT), np.diff(graph.xadj))
+    both = active[src] & active[graph.adjncy]
+    return both.sum(axis=1).astype(_INT)

@@ -1,0 +1,48 @@
+"""Weight normalisation.
+
+The multi-constraint formulation (SC'98, Section 2) normalises each of the
+``m`` vertex-weight components so it sums to one over the whole graph; a
+partition then has to give every part roughly ``1/k`` of *each* component.
+All balance arithmetic in this library runs on these relative weights so
+that constraints with very different absolute scales are comparable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import WeightError
+
+__all__ = ["relative_weights", "totals", "max_relative_weight"]
+
+
+def totals(vwgt: np.ndarray) -> np.ndarray:
+    """``(m,)`` per-constraint total weight of an ``(n, m)`` weight matrix."""
+    vwgt = np.asarray(vwgt)
+    if vwgt.ndim != 2:
+        raise WeightError(f"vwgt must be (n, m); got shape {vwgt.shape}")
+    return vwgt.sum(axis=0, dtype=np.int64)
+
+
+def relative_weights(vwgt: np.ndarray) -> np.ndarray:
+    """Normalise an ``(n, m)`` integer weight matrix column-wise.
+
+    Every column of the result sums to 1 (columns that are entirely zero
+    are rejected: a constraint with no weight anywhere is meaningless and
+    would make every partition "balanced" vacuously).
+    """
+    t = totals(vwgt)
+    if np.any(t <= 0):
+        bad = np.flatnonzero(t <= 0).tolist()
+        raise WeightError(f"constraints {bad} have zero total weight")
+    return np.asarray(vwgt, dtype=np.float64) / t
+
+
+def max_relative_weight(vwgt: np.ndarray) -> float:
+    """Largest single relative vertex weight over all constraints.
+
+    This is the granularity parameter that appears in the paper's balanced-
+    bisection bounds: no algorithm can balance better than the heaviest
+    indivisible vertex allows.
+    """
+    return float(relative_weights(vwgt).max(initial=0.0))

@@ -1,0 +1,155 @@
+"""Time-evolving workload traces for adaptive-repartitioning studies.
+
+Adaptive simulations change their weight vectors between repartitioning
+calls; these generators produce *sequences* of ``(n, m)`` weight matrices
+with the spatial/temporal structure of the motivating applications:
+
+* :func:`moving_front_trace` -- a heavy band (crash front, shock) sweeping
+  across the mesh; position indexed by BFS depth from a source, so no
+  coordinates are needed;
+* :func:`growing_region_trace` -- a heavy region (flame, refined zone)
+  growing from a seed vertex;
+* :func:`drifting_phases_trace` -- Type-2 multi-phase activity whose active
+  region sets are re-drawn with partial overlap step to step.
+
+Every step keeps a constant base constraint (column 0), so the single-
+constraint baseline stays meaningful throughout the trace.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._rng import as_rng, spawn
+from ..errors import WeightError
+from ..graph.csr import Graph
+from ..graph.ops import bfs_levels, bfs_regions
+
+__all__ = ["moving_front_trace", "growing_region_trace", "drifting_phases_trace"]
+
+_INT = np.int64
+
+
+def _front_band(depth: np.ndarray, centre: float, width: float) -> np.ndarray:
+    dmax = float(depth.max())
+    if dmax == 0:
+        return np.ones_like(depth, dtype=bool)
+    return np.abs(depth - centre * dmax) <= width * dmax
+
+
+def moving_front_trace(
+    graph: Graph,
+    nsteps: int,
+    *,
+    front_cost: int = 5,
+    width: float = 0.1,
+    span: tuple[float, float] = (0.1, 0.9),
+    source: int = 0,
+    seed=None,
+) -> list[np.ndarray]:
+    """Two-constraint trace: constraint 0 is uniform base work, constraint 1
+    is ``front_cost`` inside a band of relative width ``width`` whose centre
+    sweeps linearly from ``span[0]`` to ``span[1]`` of the BFS depth range.
+    """
+    if nsteps < 1:
+        raise WeightError("nsteps must be >= 1")
+    if not (0 < width < 0.5):
+        raise WeightError("width must be in (0, 0.5)")
+    depth = bfs_levels(graph, source).astype(np.float64)
+    depth[depth < 0] = depth.max(initial=0.0)  # unreachable: park at far end
+    centres = np.linspace(span[0], span[1], nsteps)
+    out = []
+    for c in centres:
+        band = _front_band(depth, float(c), width)
+        contact = np.where(band, front_cost, 0).astype(_INT)
+        if contact.sum() == 0:
+            contact[int(np.argmin(np.abs(depth - c * depth.max())))] = front_cost
+        out.append(np.stack([np.ones(graph.nvtxs, dtype=_INT), contact], axis=1))
+    return out
+
+
+def growing_region_trace(
+    graph: Graph,
+    nsteps: int,
+    *,
+    peak_fraction: float = 0.5,
+    region_cost: int = 4,
+    seed=None,
+) -> list[np.ndarray]:
+    """Two-constraint trace: a heavy region grows (by BFS distance from a
+    random seed vertex) from near-zero to ``peak_fraction`` of the mesh."""
+    if nsteps < 1:
+        raise WeightError("nsteps must be >= 1")
+    if not (0 < peak_fraction <= 1):
+        raise WeightError("peak_fraction must be in (0, 1]")
+    rng = as_rng(seed)
+    n = graph.nvtxs
+    depth = bfs_levels(graph, int(rng.integers(n))).astype(np.float64)
+    depth[depth < 0] = depth.max(initial=0.0) + 1
+    order = np.argsort(depth, kind="stable")
+    out = []
+    for t in range(1, nsteps + 1):
+        count = max(1, int(round(peak_fraction * n * t / nsteps)))
+        mask = np.zeros(n, dtype=bool)
+        mask[order[:count]] = True
+        heavy = np.where(mask, region_cost, 0).astype(_INT)
+        out.append(np.stack([np.ones(n, dtype=_INT), heavy], axis=1))
+    return out
+
+
+def drifting_phases_trace(
+    graph: Graph,
+    nsteps: int,
+    nphases: int = 3,
+    *,
+    nregions: int = 32,
+    active_fraction: float = 0.5,
+    drift: float = 0.25,
+    seed=None,
+) -> list[np.ndarray]:
+    """Multi-phase trace with temporal coherence: each phase activates a
+    set of contiguous regions; every step, a ``drift`` fraction of each
+    phase's active regions is swapped for fresh ones (phase 0 stays fully
+    active, as in the Type-2 construction)."""
+    if nsteps < 1 or nphases < 1:
+        raise WeightError("nsteps and nphases must be >= 1")
+    if not (0 <= drift <= 1):
+        raise WeightError("drift must be in [0, 1]")
+    rng = as_rng(seed)
+    regions = bfs_regions(graph, nregions, seed=rng)
+    nact = max(1, int(round(active_fraction * nregions)))
+
+    active_sets = []
+    for p in range(nphases):
+        if p == 0:
+            active_sets.append(set(range(nregions)))
+        else:
+            (child,) = spawn(rng, 1)
+            active_sets.append(set(child.choice(nregions, nact, replace=False).tolist()))
+
+    out = []
+    for _ in range(nsteps):
+        vw = np.zeros((graph.nvtxs, nphases), dtype=_INT)
+        for p, act in enumerate(active_sets):
+            mask = np.isin(regions, list(act))
+            vw[:, p] = mask.astype(_INT)
+            if vw[:, p].sum() == 0:
+                vw[0, p] = 1
+        out.append(vw)
+        # Drift every non-base phase.
+        for p in range(1, nphases):
+            act = active_sets[p]
+            nswap = int(round(drift * len(act)))
+            if nswap == 0:
+                continue
+            (child,) = spawn(rng, 1)
+            leaving = child.choice(sorted(act), size=min(nswap, len(act)),
+                                   replace=False)
+            outside = sorted(set(range(nregions)) - act)
+            if not outside:
+                continue
+            arriving = child.choice(outside, size=min(nswap, len(outside)),
+                                    replace=False)
+            act.difference_update(leaving.tolist())
+            act.update(arriving.tolist())
+    return out

@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import delaunay_mesh, grid_2d, grid_3d, mesh_like
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def small_grid():
+    """8x6 grid: 48 vertices, deterministic."""
+    return grid_2d(8, 6)
+
+
+@pytest.fixture(scope="session")
+def grid3d_small():
+    return grid_3d(5, 4, 3)
+
+
+@pytest.fixture(scope="session")
+def mesh500():
+    """Irregular 500-vertex mesh-like graph (session-cached)."""
+    return mesh_like(500, seed=7)
+
+
+@pytest.fixture(scope="session")
+def mesh2000():
+    """Irregular 2000-vertex mesh-like graph (session-cached)."""
+    return mesh_like(2000, seed=11)
+
+
+@pytest.fixture(scope="session")
+def tri800():
+    """Delaunay triangle mesh with 800 vertices (session-cached)."""
+    return delaunay_mesh(800, seed=3)

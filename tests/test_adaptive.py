@@ -1,0 +1,110 @@
+"""Unit tests for adaptive repartitioning."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adaptive import (
+    RepartitionResult,
+    adaptive_repartition,
+    migration_stats,
+    migration_volume,
+    refine_partition,
+)
+from repro.errors import PartitionError
+from repro.partition import part_graph
+from repro.weights import max_imbalance, type1_region_weights
+
+
+class TestMigration:
+    def test_volume_zero_when_identical(self, mesh500):
+        part = np.arange(500) % 4
+        assert migration_volume(mesh500.vwgt, part, part) == 0
+
+    def test_volume_counts_moved_weight(self):
+        vwgt = np.array([[3], [5], [7]])
+        old = np.array([0, 0, 1])
+        new = np.array([0, 1, 1])
+        assert migration_volume(vwgt, old, new) == 5
+
+    def test_stats_fields(self, mesh500):
+        old = np.arange(500) % 4
+        new = old.copy()
+        new[:50] = (new[:50] + 1) % 4
+        st = migration_stats(mesh500.vwgt, old, new)
+        assert st["moved_vertices"] == 50
+        assert st["moved_fraction"] == pytest.approx(0.1)
+        assert st["volume"] == 50  # unit weights
+
+    def test_misaligned_rejected(self, mesh500):
+        with pytest.raises(PartitionError):
+            migration_volume(mesh500.vwgt, np.zeros(3), np.zeros(500))
+
+
+class TestRefinePartition:
+    def test_restores_balance_after_weight_change(self, mesh2000):
+        # Partition under uniform weights, then concentrate weight.
+        base = part_graph(mesh2000, 8, seed=0)
+        vw = np.ones((2000, 1), dtype=np.int64)
+        vw[:400] = 5  # weight concentrates in one corner
+        g = mesh2000.with_vwgt(vw)
+        assert max_imbalance(vw, base.part, 8) > 1.05
+        res = refine_partition(g, base.part, 8, ubvec=1.05, seed=1)
+        assert res.feasible
+        assert res.strategy == "refine"
+
+    def test_does_not_mutate_old_part(self, mesh500):
+        old = np.arange(500) % 4
+        keep = old.copy()
+        refine_partition(mesh500, old, 4, seed=2)
+        assert np.array_equal(old, keep)
+
+    def test_low_migration_when_already_good(self, mesh2000):
+        base = part_graph(mesh2000, 8, seed=3)
+        res = refine_partition(mesh2000, base.part, 8, seed=4)
+        assert res.migration["moved_fraction"] <= 0.10
+        assert res.edgecut <= base.edgecut * 1.05
+
+    def test_input_validation(self, mesh500):
+        with pytest.raises(PartitionError):
+            refine_partition(mesh500, np.zeros(3), 4)
+        with pytest.raises(PartitionError):
+            refine_partition(mesh500, np.full(500, 9), 4)
+
+    def test_multiconstraint(self, mesh2000):
+        g = mesh2000.with_vwgt(type1_region_weights(mesh2000, 3, seed=5))
+        base = part_graph(mesh2000, 8, seed=6)  # unit-weight partition
+        res = refine_partition(g, base.part, 8, ubvec=1.10, seed=7)
+        assert res.max_imbalance <= 1.12
+
+
+class TestAdaptiveRepartition:
+    def test_feasible_beats_infeasible(self, mesh2000):
+        vw = np.ones((2000, 1), dtype=np.int64)
+        vw[:500] = 4
+        g = mesh2000.with_vwgt(vw)
+        old = part_graph(mesh2000, 8, seed=8).part
+        res = adaptive_repartition(g, old, 8, seed=9)
+        assert isinstance(res, RepartitionResult)
+        assert res.feasible
+
+    def test_large_itr_prefers_local_refinement(self, mesh2000):
+        g = mesh2000.with_vwgt(type1_region_weights(mesh2000, 2, seed=10))
+        old = part_graph(g, 8, seed=11).part
+        # Perturb slightly: weights unchanged -> local refinement moves little.
+        res = adaptive_repartition(g, old, 8, itr=10.0, seed=12)
+        assert res.strategy == "refine"
+        assert res.migration["moved_fraction"] <= 0.2
+
+    def test_summary_string(self, mesh500):
+        old = np.arange(500) % 4
+        res = adaptive_repartition(mesh500, old, 4, seed=13)
+        assert "repartition[" in res.summary()
+
+    def test_deterministic(self, mesh500):
+        old = np.arange(500) % 4
+        a = adaptive_repartition(mesh500, old, 4, seed=14)
+        b = adaptive_repartition(mesh500, old, 4, seed=14)
+        assert np.array_equal(a.part, b.part)
+        assert a.strategy == b.strategy

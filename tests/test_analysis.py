@@ -1,0 +1,85 @@
+"""Tests for the multilevel diagnostics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    coarsening_profile,
+    matching_efficiency,
+    partition_anatomy,
+    profile_text,
+)
+from repro.coarsen import coarsen, heavy_edge_matching
+from repro.errors import PartitionError
+from repro.parallel import DistGraph, SimCluster, parallel_matching
+
+
+class TestCoarseningProfile:
+    def test_levels_and_monotone_shrink(self, mesh2000):
+        hier = coarsen(mesh2000, coarsen_to=100, seed=0)
+        prof = coarsening_profile(hier)
+        assert len(prof) == hier.nlevels + 1
+        assert prof[0]["nvtxs"] == 2000
+        assert prof[0]["shrink"] == 1.0
+        for p in prof[1:]:
+            assert p["shrink"] < 1.0
+        # Exposed edge weight decreases monotonically.
+        ws = [p["exposed_edge_weight"] for p in prof]
+        assert ws == sorted(ws, reverse=True)
+
+    def test_max_vwgt_grows(self, mesh2000):
+        hier = coarsen(mesh2000, coarsen_to=100, seed=1)
+        prof = coarsening_profile(hier)
+        assert prof[-1]["max_vwgt"] > prof[0]["max_vwgt"]
+
+    def test_profile_text(self, mesh500):
+        hier = coarsen(mesh500, coarsen_to=100, seed=2)
+        txt = profile_text(coarsening_profile(hier))
+        assert "coarsening profile" in txt
+        assert "500" in txt
+
+
+class TestMatchingEfficiency:
+    def test_serial_vs_parallel_efficiency(self, mesh2000):
+        """The mechanism of slow coarsening: parallel matching pairs fewer
+        vertices than serial matching."""
+        serial = matching_efficiency(heavy_edge_matching(mesh2000, seed=3))
+        c = SimCluster(8)
+        par = matching_efficiency(
+            parallel_matching(DistGraph(mesh2000, 8), c, seed=3)
+        )
+        assert 0.5 < par <= serial + 0.05
+        assert serial > 0.8
+
+    def test_bounds(self):
+        assert matching_efficiency(np.array([1, 0, 2])) == pytest.approx(2 / 3)
+        assert matching_efficiency(np.arange(4)) == 0.0
+        assert matching_efficiency(np.array([], dtype=np.int64)) == 0.0
+
+
+class TestPartitionAnatomy:
+    def test_fields_consistent(self, mesh500):
+        rng = np.random.default_rng(4)
+        part = rng.integers(0, 4, 500)
+        rows = partition_anatomy(mesh500, part, 4)
+        assert len(rows) == 4
+        assert sum(r["nvtxs"] for r in rows) == 500
+        # External edge weight is symmetric: the total must be even and
+        # equal to twice the cut.
+        from repro.metrics import edge_cut
+
+        assert sum(r["external_edge_weight"] for r in rows) == 2 * edge_cut(
+            mesh500, part
+        )
+
+    def test_single_part(self, mesh500):
+        rows = partition_anatomy(mesh500, np.zeros(500, dtype=np.int64), 1)
+        assert rows[0]["external_edge_weight"] == 0
+        assert rows[0]["boundary"] == 0
+        assert rows[0]["subdomain_degree"] == 0
+
+    def test_shape_checked(self, mesh500):
+        with pytest.raises(PartitionError):
+            partition_anatomy(mesh500, np.zeros(3), 2)

@@ -1,0 +1,131 @@
+"""Unit tests for the baseline partitioners."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    as_single_constraint,
+    bfs_partition,
+    block_partition,
+    fiedler_vector,
+    part_graph_single,
+    random_partition,
+    spectral_bisection,
+    spectral_recursive,
+)
+from repro.errors import PartitionError, WeightError
+from repro.graph import grid_2d, mesh_like, path_graph
+from repro.metrics import edge_cut
+from repro.weights import max_imbalance, random_vwgt
+
+
+class TestSingleConstraint:
+    def test_sum_mode(self, mesh500):
+        g = mesh500.with_vwgt(random_vwgt(500, 3, seed=0))
+        sc = as_single_constraint(g, "sum")
+        assert sc.ncon == 1
+        assert np.array_equal(sc.vwgt[:, 0], g.vwgt.sum(axis=1))
+
+    def test_first_mode(self, mesh500):
+        g = mesh500.with_vwgt(random_vwgt(500, 3, seed=1))
+        sc = as_single_constraint(g, "first")
+        assert np.array_equal(sc.vwgt[:, 0], g.vwgt[:, 0])
+
+    def test_unit_mode(self, mesh500):
+        sc = as_single_constraint(mesh500, "unit")
+        assert np.all(sc.vwgt == 1)
+
+    def test_bad_mode(self, mesh500):
+        with pytest.raises(WeightError):
+            as_single_constraint(mesh500, "median")
+
+    def test_part_graph_single_runs(self, mesh2000):
+        g = mesh2000.with_vwgt(random_vwgt(2000, 2, seed=2))
+        res = part_graph_single(g, 4, seed=3)
+        assert res.ncon == 1
+        assert res.feasible
+        assert res.part.shape == (2000,)
+
+
+class TestTrivialBaselines:
+    def test_random_counts_balanced(self, mesh500):
+        part = random_partition(mesh500, 7, seed=0)
+        sizes = np.bincount(part, minlength=7)
+        assert sizes.max() - sizes.min() <= 1
+
+    def test_random_deterministic(self, mesh500):
+        assert np.array_equal(random_partition(mesh500, 4, seed=1),
+                              random_partition(mesh500, 4, seed=1))
+
+    def test_block_contiguous(self, mesh500):
+        part = block_partition(mesh500, 4)
+        assert np.all(np.diff(part) >= 0)
+        sizes = np.bincount(part, minlength=4)
+        assert sizes.max() - sizes.min() <= 1
+
+    def test_bfs_contiguous_parts(self, mesh500):
+        part = bfs_partition(mesh500, 6, seed=2)
+        assert set(np.unique(part)) == set(range(6))
+
+    def test_nparts_checks(self, mesh500):
+        for fn in (lambda: random_partition(mesh500, 0),
+                   lambda: block_partition(mesh500, 0),
+                   lambda: bfs_partition(mesh500, 501)):
+            with pytest.raises(PartitionError):
+                fn()
+
+    def test_multilevel_beats_trivial_baselines(self, mesh2000):
+        from repro.partition import part_graph
+
+        res = part_graph(mesh2000, 8, seed=3)
+        rnd_cut = edge_cut(mesh2000, random_partition(mesh2000, 8, seed=4))
+        bfs_cut = edge_cut(mesh2000, bfs_partition(mesh2000, 8, seed=5))
+        assert res.edgecut < bfs_cut
+        assert res.edgecut < 0.5 * rnd_cut
+
+
+class TestSpectral:
+    def test_fiedler_sign_structure_on_path(self):
+        g = path_graph(20)
+        fv = fiedler_vector(g)
+        # The Fiedler vector of a path is monotone (up to sign).
+        d = np.diff(fv)
+        assert np.all(d >= -1e-9) or np.all(d <= 1e-9)
+
+    def test_bisection_grid(self):
+        g = grid_2d(12, 12)
+        where = spectral_bisection(g)
+        sizes = np.bincount(where, minlength=2)
+        assert abs(sizes[0] - sizes[1]) <= 12
+        assert edge_cut(g, where) <= 3 * 12
+
+    def test_recursive_four_parts(self):
+        g = grid_2d(16, 16)
+        part = spectral_recursive(g, 4)
+        assert set(np.unique(part)) == set(range(4))
+        assert max_imbalance(g.vwgt, part, 4) <= 1.25
+        assert edge_cut(g, part) <= 4 * 32
+
+    def test_large_graph_uses_sparse_path(self):
+        g = mesh_like(600, seed=0)
+        fv = fiedler_vector(g)
+        assert fv.shape == (600,)
+
+    def test_errors(self):
+        g = path_graph(1)
+        with pytest.raises(PartitionError):
+            fiedler_vector(g)
+        with pytest.raises(PartitionError):
+            spectral_recursive(path_graph(3), 0)
+        with pytest.raises(PartitionError):
+            spectral_recursive(path_graph(3), 4)
+
+    def test_multilevel_competitive_with_spectral(self):
+        from repro.partition import part_graph
+
+        g = mesh_like(1000, seed=1)
+        ml = part_graph(g, 4, method="recursive", seed=2)
+        sp_part = spectral_recursive(g, 4)
+        assert ml.edgecut <= 1.4 * max(edge_cut(g, sp_part), 1)

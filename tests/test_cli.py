@@ -1,0 +1,106 @@
+"""Tests for the repro-part CLI."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graph import mesh_like, read_partition, write_metis_graph
+from repro.weights import random_vwgt
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    g = mesh_like(300, seed=0).with_vwgt(random_vwgt(300, 2, low=1, high=9, seed=1))
+    p = tmp_path / "g.graph"
+    write_metis_graph(g, p)
+    return str(p)
+
+
+class TestCLI:
+    def test_partition_file(self, graph_file, tmp_path, capsys):
+        out = tmp_path / "g.part"
+        rc = main([graph_file, "4", "--seed", "0", "--out", str(out)])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "feasible" in text
+        part = read_partition(out, 300)
+        assert set(np.unique(part)) == set(range(4))
+
+    def test_demo_mode(self, capsys):
+        rc = main(["--demo", "200", "4", "--seed", "1"])
+        assert rc == 0
+        assert "synthetic mesh" in capsys.readouterr().out
+
+    def test_quiet(self, graph_file, capsys):
+        rc = main([graph_file, "2", "--quiet", "--seed", "0"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.count("\n") == 1
+
+    def test_recursive_method(self, graph_file, capsys):
+        rc = main([graph_file, "3", "--method", "recursive", "--seed", "2"])
+        assert rc == 0
+        assert "recursive" in capsys.readouterr().out
+
+    def test_missing_graph_arg(self, capsys):
+        rc = main(["4"])  # nparts only, no file, no demo
+        assert rc == 2
+
+    def test_bad_file(self, tmp_path, capsys):
+        p = tmp_path / "bad.graph"
+        p.write_text("not a graph\n")
+        rc = main([str(p), "2"])
+        assert rc == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_too_many_parts(self, graph_file, capsys):
+        rc = main([graph_file, "9999"])
+        assert rc == 1
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["g.graph", "4"])
+        assert args.method == "kway"
+        assert args.tol == 1.05
+
+
+class TestEvaluateMode:
+    def test_evaluate_partition_file(self, graph_file, tmp_path, capsys):
+        out = tmp_path / "g.part"
+        assert main([graph_file, "4", "--seed", "0", "--out", str(out), "--quiet"]) == 0
+        capsys.readouterr()
+        rc = main([graph_file, "4", "--evaluate", str(out)])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "cut=" in text and "imbalance=" in text
+
+    def test_evaluate_too_many_parts(self, graph_file, tmp_path, capsys):
+        out = tmp_path / "g.part"
+        main([graph_file, "4", "--seed", "0", "--out", str(out), "--quiet"])
+        capsys.readouterr()
+        rc = main([graph_file, "2", "--evaluate", str(out)])
+        assert rc == 1
+
+    def test_svg_output_demo(self, tmp_path, capsys):
+        svg = tmp_path / "demo.svg"
+        rc = main(["--demo", "150", "3", "--seed", "1", "--svg", str(svg)])
+        assert rc == 0
+        assert svg.read_text().startswith("<svg")
+
+
+class TestEnsembleAndNpz:
+    def test_nseeds_ensemble(self, graph_file, capsys):
+        rc = main([graph_file, "4", "--nseeds", "3", "--seed", "1", "--quiet"])
+        assert rc == 0
+        assert "best of 3" in capsys.readouterr().out
+
+    def test_npz_input(self, tmp_path, capsys):
+        from repro.graph import mesh_like, save_npz
+
+        g = mesh_like(200, seed=0)
+        p = tmp_path / "g.npz"
+        save_npz(g, str(p))
+        rc = main([str(p), "4", "--seed", "2", "--quiet"])
+        assert rc == 0
+        assert "feasible" in capsys.readouterr().out

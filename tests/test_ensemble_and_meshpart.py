@@ -1,0 +1,127 @@
+"""Tests for the ensemble runner, NPZ IO, and mesh-level partitioning."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError, PartitionError, WeightError
+from repro.graph import load_npz, mesh_like, save_npz
+from repro.mesh import (
+    delaunay_triangulation,
+    nodes_from_elements,
+    partition_mesh,
+    triangle_grid,
+)
+from repro.partition import best_of
+from repro.weights import random_vwgt
+
+
+class TestNpzIO:
+    def test_roundtrip_with_weights_and_coords(self):
+        g = mesh_like(200, seed=0).with_vwgt(random_vwgt(200, 3, seed=1))
+        buf = io.BytesIO()
+        save_npz(g, buf)
+        buf.seek(0)
+        g2 = load_npz(buf)
+        assert g2 == g
+
+    def test_roundtrip_file(self, tmp_path, mesh500):
+        p = tmp_path / "g.npz"
+        save_npz(mesh500, p)
+        assert load_npz(p) == mesh500
+
+    def test_missing_array_rejected(self, tmp_path):
+        p = tmp_path / "bad.npz"
+        np.savez_compressed(p, xadj=np.zeros(1, dtype=np.int64))
+        with pytest.raises(GraphFormatError):
+            load_npz(p)
+
+    def test_corrupt_structure_rejected(self, tmp_path):
+        p = tmp_path / "bad2.npz"
+        # Asymmetric adjacency must be caught by validation on load.
+        np.savez_compressed(
+            p,
+            xadj=np.array([0, 1, 1]),
+            adjncy=np.array([1]),
+            adjwgt=np.array([1]),
+            vwgt=np.ones((2, 1), dtype=np.int64),
+        )
+        from repro.errors import GraphError
+
+        with pytest.raises(GraphError):
+            load_npz(p)
+
+
+class TestBestOf:
+    def test_best_is_minimum_cut_feasible(self, mesh2000):
+        ens = best_of(mesh2000, 8, nseeds=3, seed=0)
+        assert ens.best.edgecut == min(ens.cuts)
+        assert ens.best.feasible
+        assert ens.feasible_runs >= 1
+        assert len(ens.cuts) == 3
+
+    def test_spread_is_small_on_meshes(self, mesh2000):
+        """The paper's three-seed variance claim: runs agree within a few
+        percent (we allow 25% at this tiny scale)."""
+        ens = best_of(mesh2000, 8, nseeds=3, seed=1)
+        assert ens.cut_spread <= 0.25
+
+    def test_deterministic(self, mesh500):
+        a = best_of(mesh500, 4, nseeds=2, seed=5)
+        b = best_of(mesh500, 4, nseeds=2, seed=5)
+        assert a.cuts == b.cuts
+        assert np.array_equal(a.best.part, b.best.part)
+
+    def test_nseeds_validation(self, mesh500):
+        with pytest.raises(PartitionError):
+            best_of(mesh500, 4, nseeds=0)
+
+    def test_options_object_supported(self, mesh500):
+        from repro.partition import PartitionOptions
+
+        ens = best_of(mesh500, 4, nseeds=2, seed=6,
+                      options=PartitionOptions(matching="rm"))
+        assert ens.best.options.matching == "rm"
+
+    def test_summary(self, mesh500):
+        ens = best_of(mesh500, 2, nseeds=2, seed=7)
+        assert "best of 2" in ens.summary()
+
+
+class TestPartitionMesh:
+    def test_grid_partition(self):
+        mesh = triangle_grid(20, 20)
+        mp = partition_mesh(mesh, 4, seed=0)
+        assert mp.element_part.shape == (mesh.nelements,)
+        assert mp.node_part.shape == (mesh.nnodes,)
+        assert mp.result.feasible
+        assert mp.nparts == 4
+
+    def test_node_part_follows_elements(self):
+        mesh = triangle_grid(10, 10)
+        mp = partition_mesh(mesh, 2, seed=1)
+        # A node completely surrounded by part-p elements must be in p.
+        for node in range(mesh.nnodes):
+            owners = mp.element_part[np.any(mesh.elements == node, axis=1)]
+            if owners.size and np.all(owners == owners[0]):
+                assert mp.node_part[node] == owners[0]
+
+    def test_element_weights(self):
+        mesh = delaunay_triangulation(500, seed=2)
+        w = random_vwgt(mesh.nelements, 2, low=1, high=5, seed=3)
+        mp = partition_mesh(mesh, 4, element_weights=w, ubvec=1.10, seed=4)
+        assert mp.result.ncon == 2
+        assert mp.result.max_imbalance <= 1.12
+
+    def test_bad_weights_rejected(self):
+        mesh = triangle_grid(5, 5)
+        with pytest.raises(WeightError):
+            partition_mesh(mesh, 2, element_weights=np.ones((3, 1)))
+
+    def test_nodes_from_elements_validation(self):
+        mesh = triangle_grid(4, 4)
+        with pytest.raises(WeightError):
+            nodes_from_elements(mesh, np.zeros(5), 2)

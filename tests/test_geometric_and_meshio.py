@@ -1,0 +1,172 @@
+"""Tests for the geometric baselines and METIS mesh IO."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.baselines import morton_order, rcb, rib, sfc_partition
+from repro.errors import GraphError, GraphFormatError, PartitionError
+from repro.graph import delaunay_mesh, from_edges, grid_2d
+from repro.mesh import (
+    read_metis_mesh,
+    read_xyz,
+    tet_grid,
+    triangle_grid,
+    write_metis_mesh,
+    write_xyz,
+)
+from repro.metrics import edge_cut
+from repro.weights import max_imbalance
+
+
+@pytest.fixture(scope="module")
+def tri2000():
+    return delaunay_mesh(2000, seed=0)
+
+
+class TestRcbRib:
+    @pytest.mark.parametrize("fn", [rcb, rib])
+    def test_balanced_and_covering(self, tri2000, fn):
+        part = fn(tri2000, 8)
+        assert set(np.unique(part)) == set(range(8))
+        assert max_imbalance(tri2000.vwgt, part, 8) <= 1.10
+
+    @pytest.mark.parametrize("fn", [rcb, rib])
+    def test_geometric_cut_reasonable(self, tri2000, fn):
+        """Geometric splits of planar meshes give O(sqrt(n/k)*k) cuts --
+        far below random."""
+        part = fn(tri2000, 8)
+        from repro.baselines import random_partition
+
+        rnd = edge_cut(tri2000, random_partition(tri2000, 8, seed=1))
+        assert edge_cut(tri2000, part) < 0.35 * rnd
+
+    def test_rcb_grid_exact(self):
+        g = grid_2d(8, 8)
+        part = rcb(g, 2)
+        # Longest-axis median split of a square grid: a straight cut.
+        assert edge_cut(g, part) == 8
+
+    def test_weighted_median(self):
+        g = grid_2d(1, 10)
+        g = g.with_vwgt(np.array([9, 1, 1, 1, 1, 1, 1, 1, 1, 1]).reshape(-1, 1))
+        part = rcb(g, 2)
+        # The heavy vertex alone is (almost) half the weight.
+        sizes = np.bincount(part)
+        assert sizes[part[0]] <= 3
+
+    def test_requires_coords(self):
+        g = from_edges(3, [(0, 1), (1, 2)])
+        with pytest.raises(GraphError):
+            rcb(g, 2)
+
+    def test_nparts_validation(self, tri2000):
+        with pytest.raises(PartitionError):
+            rcb(tri2000, 0)
+        with pytest.raises(PartitionError):
+            sfc_partition(tri2000, 3000)
+
+    def test_nonpow2(self, tri2000):
+        part = rib(tri2000, 5)
+        assert set(np.unique(part)) == set(range(5))
+
+
+class TestSfc:
+    def test_morton_locality(self):
+        """Morton-adjacent points are spatially close on a grid."""
+        g = grid_2d(16, 16)
+        order = morton_order(g.coords)
+        pts = g.coords[order]
+        jumps = np.linalg.norm(np.diff(pts, axis=0), axis=1)
+        assert np.median(jumps) <= 2.0
+
+    def test_partition_balanced(self, tri2000):
+        part = sfc_partition(tri2000, 8)
+        assert set(np.unique(part)) == set(range(8))
+        assert max_imbalance(tri2000.vwgt, part, 8) <= 1.10
+
+    def test_3d_supported(self):
+        from repro.graph import grid_3d
+
+        g = grid_3d(6, 6, 6)
+        part = sfc_partition(g, 4)
+        assert set(np.unique(part)) == set(range(4))
+
+    def test_bad_dim(self):
+        with pytest.raises(GraphError):
+            morton_order(np.zeros((5, 4)))
+
+    def test_multilevel_beats_geometric_on_cut(self, tri2000):
+        from repro.partition import part_graph
+
+        ml = part_graph(tri2000, 8, seed=2)
+        for fn in (rcb, rib, sfc_partition):
+            geo_cut = edge_cut(tri2000, fn(tri2000, 8))
+            assert ml.edgecut <= 1.25 * geo_cut
+
+
+class TestMeshIO:
+    def test_roundtrip_triangles(self, tmp_path):
+        mesh = triangle_grid(6, 5)
+        p = tmp_path / "m.mesh"
+        write_metis_mesh(mesh, p)
+        back = read_metis_mesh(p)
+        assert np.array_equal(back.elements, mesh.elements)
+
+    def test_roundtrip_tets_with_coords(self, tmp_path):
+        mesh = tet_grid(3, 3, 3)
+        pm = tmp_path / "m.mesh"
+        px = tmp_path / "m.xyz"
+        write_metis_mesh(mesh, pm)
+        write_xyz(mesh.points, px)
+        back = read_metis_mesh(pm, points=px)
+        assert np.array_equal(back.elements, mesh.elements)
+        assert np.allclose(back.points, mesh.points)
+
+    def test_one_based_ids(self):
+        text = "2\n1 2 3\n2 3 4\n"
+        mesh = read_metis_mesh(io.StringIO(text))
+        assert mesh.elements.min() == 0
+        assert mesh.nelements == 2
+
+    def test_header_mismatch(self):
+        with pytest.raises(GraphFormatError):
+            read_metis_mesh(io.StringIO("3\n1 2 3\n"))
+
+    def test_mixed_sizes_rejected(self):
+        with pytest.raises(GraphFormatError):
+            read_metis_mesh(io.StringIO("2\n1 2 3\n1 2 3 4\n"))
+
+    def test_non_simplicial_rejected(self):
+        with pytest.raises(GraphFormatError):
+            read_metis_mesh(io.StringIO("1\n1 2 3 4 5 6 7 8\n"))
+
+    def test_zero_based_rejected(self):
+        with pytest.raises(GraphFormatError):
+            read_metis_mesh(io.StringIO("1\n0 1 2\n"))
+
+    def test_empty_rejected(self):
+        with pytest.raises(GraphFormatError):
+            read_metis_mesh(io.StringIO("% only comments\n"))
+
+    def test_xyz_validation(self):
+        with pytest.raises(GraphFormatError):
+            read_xyz(io.StringIO("1.0\n"))
+        with pytest.raises(GraphFormatError):
+            read_xyz(io.StringIO("1 2\n1 2 3\n"))
+        with pytest.raises(GraphFormatError):
+            read_xyz(io.StringIO("# nothing\n"))
+
+    def test_full_pipeline_from_files(self, tmp_path):
+        """mesh file -> mesh -> partition_mesh: the user's cold-start path."""
+        from repro.mesh import partition_mesh
+
+        mesh = triangle_grid(12, 12)
+        p = tmp_path / "grid.mesh"
+        write_metis_mesh(mesh, p)
+        loaded = read_metis_mesh(p, points=mesh.points)
+        mp = partition_mesh(loaded, 4, seed=3)
+        assert mp.result.feasible

@@ -1,0 +1,122 @@
+"""Unit tests for graph builders / exporters."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import (
+    from_adjlist,
+    from_edges,
+    from_networkx,
+    from_scipy_sparse,
+    to_networkx,
+    to_scipy_sparse,
+)
+
+
+class TestFromEdges:
+    def test_basic(self):
+        g = from_edges(4, [(0, 1), (2, 3), (1, 2)])
+        assert g.nvtxs == 4 and g.nedges == 3
+
+    def test_empty_edges(self):
+        g = from_edges(3, [])
+        assert g.nvtxs == 3 and g.nedges == 0
+
+    def test_orientation_irrelevant(self):
+        a = from_edges(3, [(0, 1), (1, 2)])
+        b = from_edges(3, [(1, 0), (2, 1)])
+        assert a == b
+
+    def test_duplicates_merged_weights_summed(self):
+        g = from_edges(2, [(0, 1), (1, 0), (0, 1)], weights=[1, 2, 3])
+        assert g.nedges == 1
+        assert g.total_adjwgt() == 6
+
+    def test_duplicates_rejected_when_dedupe_false(self):
+        with pytest.raises(GraphError):
+            from_edges(2, [(0, 1), (1, 0)], dedupe=False)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError):
+            from_edges(2, [(1, 1)])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(GraphError):
+            from_edges(2, [(0, 2)])
+
+    def test_weights_misaligned_rejected(self):
+        with pytest.raises(GraphError):
+            from_edges(3, [(0, 1)], weights=[1, 2])
+
+    def test_validates(self):
+        g = from_edges(100, [(i, (i + 7) % 100) for i in range(100)])
+        g.validate()
+
+
+class TestAdjlist:
+    def test_roundtrip(self):
+        adj = [[1, 2], [0], [0]]
+        g = from_adjlist(adj)
+        assert g.nedges == 2
+        assert sorted(g.neighbors(0).tolist()) == [1, 2]
+
+    def test_asymmetric_rejected(self):
+        with pytest.raises(GraphError):
+            from_adjlist([[1], []])
+
+
+class TestScipy:
+    def test_roundtrip(self, mesh500):
+        mat = to_scipy_sparse(mesh500)
+        assert mat.shape == (500, 500)
+        g = from_scipy_sparse(mat)
+        assert g == mesh500.with_vwgt(g.vwgt)  # topology identical
+
+    def test_diagonal_ignored(self):
+        import scipy.sparse as sp
+
+        mat = sp.csr_matrix(np.array([[5.0, 1.0], [1.0, 5.0]]))
+        g = from_scipy_sparse(mat)
+        assert g.nedges == 1
+
+    def test_rectangular_rejected(self):
+        import scipy.sparse as sp
+
+        with pytest.raises(GraphError):
+            from_scipy_sparse(sp.csr_matrix(np.ones((2, 3))))
+
+
+class TestNetworkx:
+    def test_roundtrip(self, small_grid):
+        nxg = to_networkx(small_grid)
+        assert nxg.number_of_nodes() == small_grid.nvtxs
+        assert nxg.number_of_edges() == small_grid.nedges
+        back = from_networkx(nxg)
+        assert back == small_grid
+
+    def test_weights_preserved(self):
+        import networkx as nx
+
+        nxg = nx.Graph()
+        nxg.add_edge("a", "b", weight=7)
+        nxg.add_edge("b", "c")
+        g = from_networkx(nxg)
+        # sorted(nodes) = [a, b, c] -> ids 0, 1, 2
+        assert g.total_adjwgt() == 8
+
+    def test_networkx_self_loops_dropped(self):
+        import networkx as nx
+
+        nxg = nx.Graph()
+        nxg.add_edge(0, 0)
+        nxg.add_edge(0, 1)
+        g = from_networkx(nxg)
+        assert g.nedges == 1
+
+    def test_vwgt_exported(self):
+        g = from_edges(2, [(0, 1)], vwgt=[[1, 2], [3, 4]])
+        nxg = to_networkx(g)
+        assert nxg.nodes[1]["vwgt"] == (3, 4)

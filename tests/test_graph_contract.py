@@ -1,0 +1,92 @@
+"""Unit tests for graph contraction — the invariants here are the heart of
+the multilevel paradigm: total vertex weight per constraint and total
+exposed + internal edge weight are conserved."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import contract, from_edges, grid_2d
+from repro.graph.ops import bfs_regions
+from repro.weights import random_vwgt
+
+
+class TestContractBasics:
+    def test_pair_contraction(self):
+        # Path 0-1-2-3, contract {0,1} and {2,3}.
+        g = from_edges(4, [(0, 1), (1, 2), (2, 3)], weights=[5, 7, 9])
+        c = contract(g, [0, 0, 1, 1])
+        assert c.nvtxs == 2
+        assert c.nedges == 1
+        assert c.total_adjwgt() == 7  # internal edges 5 and 9 vanish
+        assert c.vwgt[:, 0].tolist() == [2, 2]
+
+    def test_parallel_edges_merged(self):
+        # Square 0-1-2-3-0; contract {0,3} and {1,2} -> double edge merged.
+        g = from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        c = contract(g, [0, 1, 1, 0])
+        assert c.nvtxs == 2
+        assert c.nedges == 1
+        assert c.total_adjwgt() == 2
+
+    def test_identity_contraction(self, small_grid):
+        c = contract(small_grid, np.arange(small_grid.nvtxs))
+        assert c == small_grid
+
+    def test_full_collapse(self, small_grid):
+        c = contract(small_grid, np.zeros(small_grid.nvtxs, dtype=np.int64))
+        assert c.nvtxs == 1 and c.nedges == 0
+        assert c.vwgt[0, 0] == small_grid.nvtxs
+
+    def test_multiconstraint_weights_summed(self, mesh500):
+        g = mesh500.with_vwgt(random_vwgt(500, 4, seed=0))
+        cmap = bfs_regions(g, 20, seed=1)
+        c = contract(g, cmap, 20)
+        assert c.ncon == 4
+        assert np.array_equal(c.total_vwgt(), g.total_vwgt())
+
+    def test_result_validates(self, mesh500):
+        cmap = bfs_regions(mesh500, 33, seed=2)
+        contract(mesh500, cmap, 33).validate()
+
+    def test_coords_centroids(self):
+        g = grid_2d(2, 2)
+        c = contract(g, [0, 0, 1, 1])
+        assert c.coords is not None
+        assert c.coords.shape == (2, 2)
+
+
+class TestContractInvariants:
+    def test_edge_weight_conservation(self, mesh2000):
+        """cut(coarse) + internal = total: exposed edge weight only shrinks."""
+        total = mesh2000.total_adjwgt()
+        cmap = bfs_regions(mesh2000, 100, seed=3)
+        c = contract(mesh2000, cmap, 100)
+        # Edge weight across groups is preserved exactly.
+        src = np.repeat(np.arange(mesh2000.nvtxs), np.diff(mesh2000.xadj))
+        crossing = cmap[src] != cmap[mesh2000.adjncy]
+        assert c.total_adjwgt() == int(mesh2000.adjwgt[crossing].sum()) // 2
+        assert c.total_adjwgt() <= total
+
+    def test_degree_bounded_by_group_neighbours(self, mesh500):
+        cmap = bfs_regions(mesh500, 25, seed=4)
+        c = contract(mesh500, cmap, 25)
+        assert c.degrees().max() <= 24
+
+
+class TestContractErrors:
+    def test_wrong_length(self, small_grid):
+        with pytest.raises(GraphError):
+            contract(small_grid, [0, 1])
+
+    def test_out_of_range(self, small_grid):
+        cmap = np.zeros(small_grid.nvtxs, dtype=np.int64)
+        with pytest.raises(GraphError):
+            contract(small_grid, cmap, 0)
+
+    def test_unused_coarse_id(self, small_grid):
+        cmap = np.zeros(small_grid.nvtxs, dtype=np.int64)
+        with pytest.raises(GraphError):
+            contract(small_grid, cmap, 2)

@@ -1,0 +1,147 @@
+"""Unit tests for the CSR Graph structure."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError, WeightError
+from repro.graph import Graph, from_edges
+
+
+def triangle() -> Graph:
+    return from_edges(3, [(0, 1), (1, 2), (0, 2)])
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = Graph([0], [])
+        assert g.nvtxs == 0
+        assert g.nedges == 0
+        assert g.ncon == 1
+
+    def test_isolated_vertices(self):
+        g = Graph([0, 0, 0, 0], [])
+        assert g.nvtxs == 3
+        assert g.nedges == 0
+        assert g.degrees().tolist() == [0, 0, 0]
+
+    def test_triangle_counts(self):
+        g = triangle()
+        assert g.nvtxs == 3
+        assert g.nedges == 3
+        assert sorted(g.neighbors(1).tolist()) == [0, 2]
+
+    def test_default_weights_are_unit(self):
+        g = triangle()
+        assert np.all(g.vwgt == 1)
+        assert g.vwgt.shape == (3, 1)
+        assert np.all(g.adjwgt == 1)
+
+    def test_vwgt_1d_promoted_to_column(self):
+        g = from_edges(3, [(0, 1), (1, 2)], vwgt=[5, 6, 7])
+        assert g.vwgt.shape == (3, 1)
+        assert g.total_vwgt().tolist() == [18]
+
+    def test_multiconstraint_vwgt(self):
+        vw = [[1, 2], [3, 4], [5, 6]]
+        g = from_edges(3, [(0, 1)], vwgt=vw)
+        assert g.ncon == 2
+        assert g.total_vwgt().tolist() == [9, 12]
+
+    def test_negative_vwgt_rejected(self):
+        with pytest.raises(WeightError):
+            Graph([0, 1, 2], [1, 0], vwgt=[[1], [-1]])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError):
+            Graph([0, 1], [0])
+
+    def test_asymmetric_rejected(self):
+        # Edge 0->1 present but 1->0 missing.
+        with pytest.raises(GraphError):
+            Graph([0, 1, 1], [1])
+
+    def test_asymmetric_weights_rejected(self):
+        with pytest.raises(GraphError):
+            Graph([0, 1, 2], [1, 0], adjwgt=[2, 3])
+
+    def test_out_of_range_neighbor_rejected(self):
+        with pytest.raises(GraphError):
+            Graph([0, 1, 2], [5, 0])
+
+    def test_bad_xadj_rejected(self):
+        with pytest.raises(GraphError):
+            Graph([0, 2, 1, 2], [1, 0, 2, 1])  # non-monotone (and wrong)
+
+    def test_xadj_must_cover_adjncy(self):
+        with pytest.raises(GraphError):
+            Graph([0, 1], [1, 0])
+
+
+class TestAccessors:
+    def test_degree_and_degrees(self, small_grid):
+        degs = small_grid.degrees()
+        assert degs.sum() == 2 * small_grid.nedges
+        for v in [0, 5, 20]:
+            assert small_grid.degree(v) == degs[v]
+        # Corners of a grid have degree 2.
+        assert small_grid.degree(0) == 2
+
+    def test_edges_iterator_matches_edge_arrays(self, small_grid):
+        it = sorted(small_grid.edges())
+        us, vs, ws = small_grid.edge_arrays()
+        arr = sorted(zip(us.tolist(), vs.tolist(), ws.tolist()))
+        assert it == arr
+        assert len(it) == small_grid.nedges
+
+    def test_total_adjwgt_counts_each_edge_once(self):
+        g = from_edges(3, [(0, 1), (1, 2)], weights=[3, 4])
+        assert g.total_adjwgt() == 7
+
+    def test_edge_weights_view_aligned(self):
+        g = from_edges(3, [(0, 1), (1, 2)], weights=[3, 4])
+        nbrs = g.neighbors(1).tolist()
+        ws = g.edge_weights(1).tolist()
+        assert dict(zip(nbrs, ws)) == {0: 3, 2: 4}
+
+
+class TestDerivation:
+    def test_copy_is_deep(self, small_grid):
+        c = small_grid.copy()
+        assert c == small_grid
+        c.vwgt[0, 0] = 99
+        assert not np.array_equal(c.vwgt, small_grid.vwgt)
+
+    def test_with_vwgt_shares_topology(self, small_grid):
+        vw = np.arange(small_grid.nvtxs * 2).reshape(-1, 2) + 1
+        g = small_grid.with_vwgt(vw)
+        assert g.ncon == 2
+        assert g.adjncy is small_grid.adjncy
+        assert g.nedges == small_grid.nedges
+
+    def test_with_vwgt_rejects_bad_shape(self, small_grid):
+        with pytest.raises(WeightError):
+            small_grid.with_vwgt(np.ones((3, 2)))
+
+    def test_with_adjwgt_roundtrip(self, small_grid):
+        w = np.full_like(small_grid.adjwgt, 5)
+        g = small_grid.with_adjwgt(w)
+        assert g.total_adjwgt() == 5 * small_grid.nedges
+
+    def test_with_adjwgt_rejects_asymmetric(self, small_grid):
+        w = small_grid.adjwgt.copy()
+        w[0] += 1
+        with pytest.raises(GraphError):
+            small_grid.with_adjwgt(w)
+
+    def test_equality(self):
+        assert triangle() == triangle()
+        assert triangle() != from_edges(3, [(0, 1), (1, 2)])
+
+    def test_coords_validation(self, small_grid):
+        g = small_grid.copy()
+        with pytest.raises(GraphError):
+            g.coords = np.zeros((3, 2))
+        g.coords = np.zeros((g.nvtxs, 2))
+        assert g.coords.shape == (g.nvtxs, 2)

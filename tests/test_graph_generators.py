@@ -1,0 +1,141 @@
+"""Unit tests for synthetic graph generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import (
+    complete_graph,
+    cycle_graph,
+    delaunay_mesh,
+    grid_2d,
+    grid_3d,
+    is_connected,
+    mesh_like,
+    path_graph,
+    random_geometric,
+    random_regular_like,
+    star_graph,
+    torus_2d,
+)
+
+
+class TestStructured:
+    def test_path(self):
+        g = path_graph(6)
+        assert g.nvtxs == 6 and g.nedges == 5
+        assert is_connected(g)
+
+    def test_single_vertex_path(self):
+        g = path_graph(1)
+        assert g.nvtxs == 1 and g.nedges == 0
+
+    def test_cycle(self):
+        g = cycle_graph(7)
+        assert g.nedges == 7
+        assert np.all(g.degrees() == 2)
+
+    def test_cycle_too_small(self):
+        with pytest.raises(GraphError):
+            cycle_graph(2)
+
+    def test_star(self):
+        g = star_graph(5)
+        assert g.degree(0) == 4
+        assert g.nedges == 4
+
+    def test_complete(self):
+        g = complete_graph(5)
+        assert g.nedges == 10
+        assert np.all(g.degrees() == 4)
+
+    def test_grid_2d_counts(self):
+        g = grid_2d(4, 7)
+        assert g.nvtxs == 28
+        assert g.nedges == 4 * 6 + 3 * 7  # horizontal + vertical
+        assert is_connected(g)
+        assert g.coords.shape == (28, 2)
+
+    def test_grid_1xn_is_path(self):
+        assert grid_2d(1, 5).nedges == 4
+
+    def test_grid_3d_counts(self):
+        g = grid_3d(3, 4, 5)
+        assert g.nvtxs == 60
+        assert g.nedges == (2 * 4 * 5) + (3 * 3 * 5) + (3 * 4 * 4)
+        assert is_connected(g)
+
+    def test_torus_regular(self):
+        g = torus_2d(4, 5)
+        assert np.all(g.degrees() == 4)
+        assert g.nedges == 2 * 20
+
+    def test_torus_too_small(self):
+        with pytest.raises(GraphError):
+            torus_2d(2, 5)
+
+    def test_bad_dims(self):
+        with pytest.raises(GraphError):
+            grid_2d(0, 5)
+        with pytest.raises(GraphError):
+            grid_3d(1, 0, 2)
+
+
+class TestIrregular:
+    def test_random_geometric_connected_and_bounded(self):
+        g = random_geometric(400, k=6, seed=0)
+        assert g.nvtxs == 400
+        assert is_connected(g)
+        # kNN symmetrised: degree between k and a small multiple of k.
+        assert g.degrees().min() >= 6
+        assert g.degrees().max() <= 30
+
+    def test_random_geometric_deterministic(self):
+        a = random_geometric(100, seed=5)
+        b = random_geometric(100, seed=5)
+        assert a == b
+
+    def test_random_geometric_3d(self):
+        g = random_geometric(200, k=7, dim=3, seed=1)
+        assert g.coords.shape == (200, 3)
+
+    def test_delaunay_planar_density(self):
+        g = delaunay_mesh(500, seed=2)
+        # Planar triangulation: E <= 3n - 6.
+        assert g.nedges <= 3 * 500 - 6
+        assert g.nedges >= 2 * 500 - 10
+        assert is_connected(g)
+
+    def test_mesh_like_density_matches_paper_family(self):
+        g = mesh_like(1500, seed=3)
+        ratio = g.nedges / g.nvtxs
+        # mrng* graphs have ~3.9-4.0 edges per vertex.
+        assert 3.3 <= ratio <= 5.0
+        assert is_connected(g)
+
+    def test_random_regular_like(self):
+        g = random_regular_like(200, 4, seed=9)
+        assert g.nvtxs == 200
+        assert g.degrees().mean() == pytest.approx(8, rel=0.4)
+
+    def test_too_small_inputs(self):
+        with pytest.raises(GraphError):
+            random_geometric(1)
+        with pytest.raises(GraphError):
+            delaunay_mesh(3)
+        with pytest.raises(GraphError):
+            random_regular_like(3, 5)
+
+    def test_all_generators_validate(self):
+        for g in [
+            grid_2d(5, 5),
+            grid_3d(3, 3, 3),
+            torus_2d(4, 4),
+            random_geometric(150, seed=0),
+            delaunay_mesh(150, seed=0),
+            mesh_like(150, seed=0),
+            random_regular_like(150, 5, seed=0),
+        ]:
+            g.validate()

@@ -1,0 +1,151 @@
+"""Unit tests for METIS-format / edge-list IO."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError, PartitionError
+from repro.graph import (
+    from_edges,
+    read_edgelist,
+    read_metis_graph,
+    read_partition,
+    write_edgelist,
+    write_metis_graph,
+    write_partition,
+)
+from repro.weights import random_vwgt
+
+
+def roundtrip(graph):
+    buf = io.StringIO()
+    write_metis_graph(graph, buf)
+    buf.seek(0)
+    return read_metis_graph(buf)
+
+
+class TestMetisRoundtrip:
+    def test_plain(self, small_grid):
+        assert roundtrip(small_grid) == small_grid
+
+    def test_with_vertex_weights(self, mesh500):
+        g = mesh500.with_vwgt(random_vwgt(500, 3, seed=0))
+        assert roundtrip(g) == g
+
+    def test_with_edge_weights(self, small_grid):
+        w = (np.arange(small_grid.adjncy.shape[0]) % 3).astype(np.int64)
+        # make symmetric by writing via from_edges
+        us, vs, _ = small_grid.edge_arrays()
+        g = from_edges(small_grid.nvtxs, np.stack([us, vs], axis=1),
+                       (np.arange(us.shape[0]) % 5) + 1)
+        assert roundtrip(g) == g
+
+    def test_with_both_weights(self, mesh500):
+        us, vs, _ = mesh500.edge_arrays()
+        g = from_edges(500, np.stack([us, vs], axis=1),
+                       (np.arange(us.shape[0]) % 4) + 1,
+                       vwgt=random_vwgt(500, 2, seed=1))
+        assert roundtrip(g) == g
+
+    def test_file_paths(self, tmp_path, small_grid):
+        p = tmp_path / "g.graph"
+        write_metis_graph(small_grid, p)
+        assert read_metis_graph(p) == small_grid
+
+
+class TestMetisParsing:
+    def test_comments_and_blank_lines(self):
+        text = "% a comment\n3 2\n\n2\n1 3\n2\n"
+        g = read_metis_graph(io.StringIO(text))
+        assert g.nvtxs == 3 and g.nedges == 2
+
+    def test_explicit_fmt_and_ncon(self):
+        text = "2 1 011 2\n1 2 2 5\n3 4 1 5\n"
+        g = read_metis_graph(io.StringIO(text))
+        assert g.ncon == 2
+        assert g.vwgt.tolist() == [[1, 2], [3, 4]]
+        assert g.total_adjwgt() == 5
+
+    def test_fmt_10_vertex_weights_only(self):
+        text = "2 1 10\n7 2\n9 1\n"
+        g = read_metis_graph(io.StringIO(text))
+        assert g.vwgt[:, 0].tolist() == [7, 9]
+        assert np.all(g.adjwgt == 1)
+
+    def test_empty_file_rejected(self):
+        with pytest.raises(GraphFormatError):
+            read_metis_graph(io.StringIO(""))
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(GraphFormatError):
+            read_metis_graph(io.StringIO("3\n"))
+
+    def test_wrong_line_count_rejected(self):
+        with pytest.raises(GraphFormatError):
+            read_metis_graph(io.StringIO("3 1\n2\n1\n"))
+
+    def test_edge_count_mismatch_rejected(self):
+        with pytest.raises(GraphFormatError):
+            read_metis_graph(io.StringIO("3 5\n2\n1 3\n2\n"))
+
+    def test_out_of_range_neighbor_rejected(self):
+        with pytest.raises(GraphFormatError):
+            read_metis_graph(io.StringIO("2 1\n5\n1\n"))
+
+    def test_vsize_fmt_unsupported(self):
+        with pytest.raises(GraphFormatError):
+            read_metis_graph(io.StringIO("2 1 100\n1 2\n1 1\n"))
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(GraphFormatError):
+            read_metis_graph(io.StringIO("2 1\nx\n1\n"))
+
+    def test_dangling_edge_weight_rejected(self):
+        with pytest.raises(GraphFormatError):
+            read_metis_graph(io.StringIO("2 1 1\n2\n1 5\n"))
+
+
+class TestPartitionIO:
+    def test_roundtrip(self, tmp_path):
+        part = np.array([0, 2, 1, 1, 0])
+        p = tmp_path / "part"
+        write_partition(part, p)
+        assert np.array_equal(read_partition(p, 5), part)
+
+    def test_length_check(self, tmp_path):
+        p = tmp_path / "part"
+        write_partition([0, 1], p)
+        with pytest.raises(PartitionError):
+            read_partition(p, 5)
+
+    def test_negative_rejected(self):
+        with pytest.raises(PartitionError):
+            read_partition(io.StringIO("0\n-1\n"))
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(PartitionError):
+            read_partition(io.StringIO("0\nabc\n"))
+
+
+class TestEdgeList:
+    def test_roundtrip(self, small_grid, tmp_path):
+        p = tmp_path / "g.edges"
+        write_edgelist(small_grid, p)
+        assert read_edgelist(p, small_grid.nvtxs) == small_grid
+
+    def test_weights_and_comments(self):
+        text = "# comment\n0 1 5\n% other\n1 2\n"
+        g = read_edgelist(io.StringIO(text))
+        assert g.nvtxs == 3
+        assert g.total_adjwgt() == 6
+
+    def test_bad_line_rejected(self):
+        with pytest.raises(GraphFormatError):
+            read_edgelist(io.StringIO("0 1 2 3\n"))
+
+    def test_empty_rejected(self):
+        with pytest.raises(GraphFormatError):
+            read_edgelist(io.StringIO("# nothing\n"))

@@ -1,0 +1,175 @@
+"""Unit tests for graph traversal / subgraph / region operations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import (
+    bfs_levels,
+    bfs_order,
+    bfs_regions,
+    connected_components,
+    degree_histogram,
+    from_edges,
+    grid_2d,
+    induced_subgraph,
+    is_connected,
+    largest_component,
+    path_graph,
+)
+from repro.graph.ops import _ranges
+
+
+class TestRanges:
+    def test_simple(self):
+        assert _ranges(np.array([2, 3])).tolist() == [0, 1, 0, 1, 2]
+
+    def test_zero_segments(self):
+        assert _ranges(np.array([2, 0, 3])).tolist() == [0, 1, 0, 1, 2]
+        assert _ranges(np.array([0, 2])).tolist() == [0, 1]
+        assert _ranges(np.array([2, 0])).tolist() == [0, 1]
+        assert _ranges(np.array([0, 0, 1, 0])).tolist() == [0]
+
+    def test_empty(self):
+        assert _ranges(np.array([], dtype=np.int64)).size == 0
+        assert _ranges(np.array([0, 0])).size == 0
+
+
+class TestBfs:
+    def test_path_levels(self):
+        g = path_graph(5)
+        assert bfs_levels(g, 0).tolist() == [0, 1, 2, 3, 4]
+        assert bfs_levels(g, 2).tolist() == [2, 1, 0, 1, 2]
+
+    def test_multi_source(self):
+        g = path_graph(5)
+        assert bfs_levels(g, [0, 4]).tolist() == [0, 1, 2, 1, 0]
+
+    def test_unreachable_is_minus_one(self):
+        g = from_edges(4, [(0, 1)])
+        lv = bfs_levels(g, 0)
+        assert lv.tolist() == [0, 1, -1, -1]
+
+    def test_order_is_level_monotone(self, mesh500):
+        order = bfs_order(mesh500, 0)
+        lv = bfs_levels(mesh500, 0)
+        assert np.all(np.diff(lv[order]) >= 0)
+        assert order[0] == 0
+
+    def test_source_out_of_range(self):
+        with pytest.raises(GraphError):
+            bfs_levels(path_graph(3), 10)
+
+    def test_grid_levels_are_manhattan(self):
+        g = grid_2d(4, 4)
+        lv = bfs_levels(g, 0)
+        for i in range(4):
+            for j in range(4):
+                assert lv[i * 4 + j] == i + j
+
+
+class TestComponents:
+    def test_connected_grid(self, small_grid):
+        assert is_connected(small_grid)
+        assert np.all(connected_components(small_grid) == 0)
+
+    def test_two_components(self):
+        g = from_edges(5, [(0, 1), (2, 3), (3, 4)])
+        comp = connected_components(g)
+        assert comp.tolist() == [0, 0, 1, 1, 1]
+
+    def test_largest_component(self):
+        g = from_edges(5, [(0, 1), (2, 3), (3, 4)])
+        sub, keep = largest_component(g)
+        assert keep.tolist() == [2, 3, 4]
+        assert sub.nvtxs == 3 and sub.nedges == 2
+
+    def test_empty_graph_connected(self):
+        from repro.graph import Graph
+
+        assert is_connected(Graph([0], []))
+
+
+class TestInducedSubgraph:
+    def test_identity(self, small_grid):
+        sub = induced_subgraph(small_grid, np.arange(small_grid.nvtxs))
+        assert sub == small_grid
+
+    def test_preserves_weights(self):
+        g = from_edges(4, [(0, 1), (1, 2), (2, 3)], weights=[5, 6, 7],
+                       vwgt=[[1], [2], [3], [4]])
+        sub = induced_subgraph(g, [1, 2, 3])
+        assert sub.nvtxs == 3
+        assert sub.nedges == 2
+        assert sub.total_adjwgt() == 13
+        assert sub.vwgt[:, 0].tolist() == [2, 3, 4]
+
+    def test_relabels_in_request_order(self):
+        g = from_edges(3, [(0, 1), (1, 2)])
+        sub = induced_subgraph(g, [2, 1])
+        # vertex 2 -> 0, vertex 1 -> 1; edge (1, 2) survives.
+        assert sub.nedges == 1
+        assert sorted(sub.neighbors(0).tolist()) == [1]
+
+    def test_duplicate_ids_rejected(self, small_grid):
+        with pytest.raises(GraphError):
+            induced_subgraph(small_grid, [0, 0])
+
+    def test_out_of_range_rejected(self, small_grid):
+        with pytest.raises(GraphError):
+            induced_subgraph(small_grid, [small_grid.nvtxs])
+
+    def test_empty_selection(self, small_grid):
+        sub = induced_subgraph(small_grid, [])
+        assert sub.nvtxs == 0 and sub.nedges == 0
+
+    def test_validates(self, mesh500):
+        keep = np.arange(0, 500, 2)
+        induced_subgraph(mesh500, keep).validate()
+
+    def test_coords_carried(self, small_grid):
+        sub = induced_subgraph(small_grid, [3, 4])
+        assert sub.coords is not None
+        assert np.array_equal(sub.coords, small_grid.coords[[3, 4]])
+
+
+class TestBfsRegions:
+    def test_covers_all_vertices(self, mesh500):
+        r = bfs_regions(mesh500, 16, seed=0)
+        assert r.shape == (500,)
+        assert set(np.unique(r)) == set(range(16))
+
+    def test_regions_reasonably_sized(self, mesh2000):
+        r = bfs_regions(mesh2000, 8, seed=1)
+        sizes = np.bincount(r, minlength=8)
+        assert sizes.min() > 0
+
+    def test_regions_contiguous(self, mesh500):
+        r = bfs_regions(mesh500, 8, seed=2)
+        # Every region's induced subgraph must be connected (BFS growth).
+        for rid in range(8):
+            sub = induced_subgraph(mesh500, np.flatnonzero(r == rid))
+            assert is_connected(sub), f"region {rid} disconnected"
+
+    def test_more_regions_than_vertices(self):
+        g = path_graph(3)
+        r = bfs_regions(g, 10, seed=0)
+        assert r.max() < 10
+
+    def test_deterministic(self, mesh500):
+        a = bfs_regions(mesh500, 8, seed=42)
+        b = bfs_regions(mesh500, 8, seed=42)
+        assert np.array_equal(a, b)
+
+    def test_bad_nregions(self, mesh500):
+        with pytest.raises(GraphError):
+            bfs_regions(mesh500, 0)
+
+
+def test_degree_histogram(small_grid):
+    hist = degree_histogram(small_grid)
+    # 8x6 grid: 4 corners (deg 2), edges (deg 3), interior (deg 4)
+    assert hist[2] == 4
+    assert hist.sum() == small_grid.nvtxs

@@ -1,0 +1,228 @@
+"""Unit tests for the balanced-bisection theory algorithms and the initial
+bisection of the coarsest graph."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError, WeightError
+from repro.graph import mesh_like
+from repro.initpart import (
+    best_projection_bisection,
+    bisection_excess,
+    greedy_bisection,
+    grow_bisection,
+    initial_bisection,
+    prefix_bisection,
+)
+from repro.refine import edge_cut
+from repro.weights import max_imbalance, random_vwgt, relative_weights
+
+
+def _relw(n, m, seed):
+    return relative_weights(random_vwgt(n, m, low=1, high=20, seed=seed))
+
+
+class TestGreedyBisection:
+    def test_single_constraint_bound(self):
+        """Provable guarantee for m=1: excess <= wmax."""
+        for seed in range(10):
+            relw = _relw(64, 1, seed)
+            where = greedy_bisection(relw, seed=seed)
+            assert bisection_excess(relw, where) <= relw.max() + 1e-12
+
+    def test_multi_constraint_quality(self):
+        for m in (2, 3, 4, 5):
+            relw = _relw(128, m, seed=m)
+            where = greedy_bisection(relw, seed=m)
+            # Empirical bound documented in the module: m * wmax.
+            assert bisection_excess(relw, where) <= m * relw.max() + 1e-12
+
+    def test_output_shape_and_values(self):
+        relw = _relw(30, 2, 0)
+        where = greedy_bisection(relw)
+        assert where.shape == (30,)
+        assert set(np.unique(where)) <= {0, 1}
+
+    def test_asymmetric_target(self):
+        relw = _relw(200, 2, 1)
+        where = greedy_bisection(relw, target=0.25, seed=2)
+        load0 = relw[where == 0].sum(axis=0)
+        assert np.all(load0 <= 0.25 + 3 * relw.max())
+        assert np.all(load0 >= 0.25 - 3 * relw.max())
+
+    def test_bad_target(self):
+        with pytest.raises(WeightError):
+            greedy_bisection(_relw(10, 1, 0), target=0.0)
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(WeightError):
+            greedy_bisection(np.array([[-1.0]]))
+
+
+class TestPrefixBisection:
+    def test_correlated_constraints(self):
+        rng = np.random.default_rng(0)
+        # Positively correlated weights: the prefix cut's strong case.
+        a = rng.integers(1, 20, size=100)
+        relw = relative_weights(np.stack([a, a + rng.integers(0, 3, size=100)], axis=1))
+        where = prefix_bisection(relw)
+        assert bisection_excess(relw, where) <= 0.10
+
+    def test_custom_projection(self):
+        relw = _relw(50, 3, 1)
+        where = prefix_bisection(relw, projection=relw[:, 2])
+        assert set(np.unique(where)) <= {0, 1}
+
+    def test_bad_projection_shape(self):
+        with pytest.raises(WeightError):
+            prefix_bisection(_relw(10, 2, 0), projection=np.ones(3))
+
+    def test_single_constraint(self):
+        relw = _relw(80, 1, 2)
+        where = prefix_bisection(relw)
+        assert bisection_excess(relw, where) <= relw.max() + 1e-12
+
+
+class TestBestProjection:
+    def test_beats_or_matches_single_prefix(self):
+        for m in (2, 3, 4):
+            relw = _relw(120, m, seed=10 + m)
+            w1 = prefix_bisection(relw)
+            w2 = best_projection_bisection(relw, seed=0)
+            assert bisection_excess(relw, w2) <= bisection_excess(relw, w1) + 1e-12
+
+    def test_five_constraints_feasible_quality(self):
+        relw = _relw(256, 5, 3)
+        where = best_projection_bisection(relw, seed=1)
+        assert bisection_excess(relw, where) <= 0.10
+
+    def test_anticorrelated_constraints(self):
+        """The hard case: w2 decreases as w1 increases.  No prefix cut can
+        balance both, the alternating deal must."""
+        from repro.initpart import alternating_bisection
+
+        rng = np.random.default_rng(4)
+        a = rng.integers(1, 20, size=100)
+        relw = relative_weights(np.stack([a, 21 - a], axis=1))
+        walt = alternating_bisection(relw)
+        assert bisection_excess(relw, walt) <= 0.05
+        wbest = best_projection_bisection(relw, seed=0)
+        assert bisection_excess(relw, wbest) <= 0.05
+
+    def test_alternating_asymmetric_target(self):
+        relw = _relw(300, 2, 9)
+        from repro.initpart import alternating_bisection
+
+        where = alternating_bisection(relw, target=0.25)
+        load0 = relw[where == 0].sum(axis=0)
+        assert np.all(np.abs(load0 - 0.25) <= 0.08)
+
+
+class TestGrowBisection:
+    def test_side0_connected_and_sized(self, mesh500):
+        where = grow_bisection(mesh500, seed=0)
+        frac = np.count_nonzero(where == 0) / 500
+        assert 0.3 <= frac <= 0.75
+
+    def test_weighted_growth(self, mesh500):
+        g = mesh500.with_vwgt(random_vwgt(500, 2, low=1, high=10, seed=1))
+        where = grow_bisection(g, target=0.5, seed=2)
+        relw = relative_weights(g.vwgt)
+        load0 = relw[where == 0].sum(axis=0)
+        # Growth stops when the *max* constraint hits target; overshoot is
+        # bounded by one BFS front.
+        assert load0.max() >= 0.5 - 1e-9
+        assert load0.max() <= 0.75
+
+    def test_empty_graph(self):
+        from repro.graph import Graph
+
+        assert grow_bisection(Graph([0], [])).size == 0
+
+
+class TestInitialBisection:
+    def test_small_mesh_quality(self):
+        g = mesh_like(150, seed=0)
+        where = initial_bisection(g, ubvec=1.05, seed=1)
+        assert max_imbalance(g.vwgt, where, 2) <= 1.05 + 1e-9
+        # Geometric 150-vertex mesh: a decent bisection cuts far fewer than
+        # the ~600 total edges.
+        assert edge_cut(g, where) < 0.25 * g.total_adjwgt()
+
+    def test_multiconstraint(self):
+        g = mesh_like(200, seed=2).with_vwgt(random_vwgt(200, 3, low=1, high=9, seed=3))
+        where = initial_bisection(g, ubvec=1.10, seed=4)
+        assert max_imbalance(g.vwgt, where, 2) <= 1.10 + 1e-6
+
+    def test_respects_target_fracs(self):
+        g = mesh_like(300, seed=5)
+        where = initial_bisection(g, target_fracs=(2 / 3, 1 / 3), ubvec=1.05, seed=6)
+        frac0 = g.vwgt[where == 0].sum() / g.vwgt.sum()
+        assert 0.60 <= frac0 <= 0.72
+
+    def test_methods_selectable_and_validated(self):
+        g = mesh_like(100, seed=7)
+        for m in ("greedy", "prefix", "region", "random"):
+            where = initial_bisection(g, seed=8, methods=(m,), ntries=1)
+            assert where.shape == (100,)
+        with pytest.raises(PartitionError):
+            initial_bisection(g, methods=("nope",))
+
+    def test_deterministic(self):
+        g = mesh_like(120, seed=9)
+        a = initial_bisection(g, seed=11)
+        b = initial_bisection(g, seed=11)
+        assert np.array_equal(a, b)
+
+    def test_two_vertices(self):
+        from repro.graph import from_edges
+
+        g = from_edges(2, [(0, 1)])
+        where = initial_bisection(g, seed=0)
+        assert sorted(where.tolist()) == [0, 1]
+
+
+class TestGGGP:
+    def test_balanced_growth(self, mesh2000):
+        from repro.initpart import gggp_bisection
+
+        where = gggp_bisection(mesh2000, seed=0)
+        frac = np.count_nonzero(where == 0) / 2000
+        assert 0.4 <= frac <= 0.65
+
+    def test_better_cut_than_bfs_growth(self, mesh2000):
+        """The gain ordering must pay off on irregular meshes (averaged
+        over seeds to dodge seed luck)."""
+        from repro.initpart import gggp_bisection
+
+        g_cuts = [edge_cut(mesh2000, gggp_bisection(mesh2000, seed=s))
+                  for s in range(4)]
+        b_cuts = [edge_cut(mesh2000, grow_bisection(mesh2000, seed=s))
+                  for s in range(4)]
+        assert np.mean(g_cuts) <= np.mean(b_cuts)
+
+    def test_multiconstraint_target(self, mesh500):
+        from repro.initpart import gggp_bisection
+        from repro.weights import random_vwgt, relative_weights
+
+        g = mesh500.with_vwgt(random_vwgt(500, 3, low=1, high=9, seed=1))
+        where = gggp_bisection(g, target=0.5, seed=2)
+        relw = relative_weights(g.vwgt)
+        load0 = relw[where == 0].sum(axis=0)
+        assert load0.max() >= 0.5 - 1e-9
+        assert load0.max() <= 0.62
+
+    def test_disconnected_restart(self):
+        from repro.graph import from_edges
+        from repro.initpart import gggp_bisection
+
+        # Two disjoint triangles: growth must jump components.
+        g = from_edges(6, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)])
+        where = gggp_bisection(g, seed=3)
+        assert np.count_nonzero(where == 0) >= 3
+
+    def test_in_initial_bisection_method_list(self, mesh500):
+        where = initial_bisection(mesh500, methods=("gggp",), ntries=1, seed=4)
+        assert where.shape == (500,)

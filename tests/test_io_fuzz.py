@@ -1,0 +1,97 @@
+"""Robustness tests for the file readers: malformed and adversarial inputs
+must raise library errors, never crash with stray exceptions, and valid
+inputs must survive arbitrary formatting noise."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.graph import (
+    from_edges,
+    read_edgelist,
+    read_metis_graph,
+    read_partition,
+    write_metis_graph,
+)
+
+COMMON = dict(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+
+@given(st.text(max_size=300))
+@settings(max_examples=80, **COMMON)
+def test_metis_reader_never_crashes_unhandled(text):
+    """Arbitrary text either parses or raises a ReproError subclass."""
+    try:
+        g = read_metis_graph(io.StringIO(text))
+        g.validate()
+    except ReproError:
+        pass
+
+
+@given(st.text(max_size=200))
+@settings(max_examples=60, **COMMON)
+def test_edgelist_reader_never_crashes_unhandled(text):
+    try:
+        read_edgelist(io.StringIO(text))
+    except ReproError:
+        pass
+
+
+@given(st.text(max_size=200))
+@settings(max_examples=60, **COMMON)
+def test_partition_reader_never_crashes_unhandled(text):
+    try:
+        read_partition(io.StringIO(text))
+    except ReproError:
+        pass
+
+
+@st.composite
+def small_graph_and_noise(draw):
+    n = draw(st.integers(min_value=2, max_value=12))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    edges = sorted({(min(a, b), max(a, b))
+                    for a, b in rng.integers(0, n, size=(20, 2)) if a != b})
+    vwgt = rng.integers(1, 9, size=(n, draw(st.integers(1, 3))))
+    g = from_edges(n, np.asarray(edges) if edges else [], vwgt=vwgt)
+    comment_lines = draw(st.integers(0, 3))
+    return g, comment_lines
+
+
+@given(small_graph_and_noise())
+@settings(max_examples=60, **COMMON)
+def test_metis_roundtrip_with_comment_noise(args):
+    """Round-trips survive injected comment lines and blank lines."""
+    g, ncomments = args
+    buf = io.StringIO()
+    write_metis_graph(g, buf)
+    lines = buf.getvalue().splitlines()
+    noisy = []
+    for i, ln in enumerate(lines):
+        noisy.append(ln)
+        if i < ncomments:
+            noisy.append("% injected comment")
+            noisy.append("")
+    back = read_metis_graph(io.StringIO("\n".join(noisy) + "\n"))
+    assert back == g
+
+
+class TestAdversarialMetis:
+    @pytest.mark.parametrize("text", [
+        "1 0 0999\n\n",              # bad fmt digits
+        "2 1\n2 2\n1\n",             # duplicate directed entry -> count off
+        "1 1\n1\n",                  # self-loop via 1-based id
+        "2 1 011 0\n1 2 1\n1 1 1\n", # ncon=0
+        "-1 0\n",                    # negative counts
+    ])
+    def test_rejected_cleanly(self, text):
+        with pytest.raises(ReproError):
+            g = read_metis_graph(io.StringIO(text))
+            g.validate()

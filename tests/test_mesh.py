@@ -1,0 +1,146 @@
+"""Unit tests for the simplicial-mesh substrate and mesh-to-graph pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import is_connected
+from repro.mesh import (
+    SimplicialMesh,
+    delaunay_triangulation,
+    dual_graph,
+    nodal_graph,
+    tet_grid,
+    triangle_grid,
+)
+
+
+class TestSimplicialMesh:
+    def test_two_triangles(self):
+        mesh = SimplicialMesh(np.array([[0, 1, 2], [1, 2, 3]]))
+        assert mesh.nelements == 2
+        assert mesh.nnodes == 4
+        assert mesh.dim == 2
+
+    def test_facets_shape_and_ownership(self):
+        mesh = SimplicialMesh(np.array([[0, 1, 2], [1, 2, 3]]))
+        f = mesh.facets()
+        assert f.shape == (6, 2)
+        # Element 0 owns the first 3 facet rows.
+        first = {tuple(r) for r in f[:3].tolist()}
+        assert first == {(0, 1), (0, 2), (1, 2)}
+
+    def test_degenerate_element_rejected(self):
+        with pytest.raises(GraphError):
+            SimplicialMesh(np.array([[0, 1, 1]]))
+
+    def test_bad_shapes_rejected(self):
+        with pytest.raises(GraphError):
+            SimplicialMesh(np.array([[0, 1]]))
+        with pytest.raises(GraphError):
+            SimplicialMesh(np.array([[0, 1, 2]]), points=np.zeros((2, 2)))
+
+    def test_centroids(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+        mesh = SimplicialMesh(np.array([[0, 1, 2]]), pts)
+        assert np.allclose(mesh.element_centroids(), [[1 / 3, 1 / 3]])
+
+    def test_centroids_need_points(self):
+        with pytest.raises(GraphError):
+            SimplicialMesh(np.array([[0, 1, 2]])).element_centroids()
+
+
+class TestDualGraph:
+    def test_two_triangles_share_edge(self):
+        mesh = SimplicialMesh(np.array([[0, 1, 2], [1, 2, 3]]))
+        g = dual_graph(mesh)
+        assert g.nvtxs == 2
+        assert g.nedges == 1
+
+    def test_disjoint_triangles(self):
+        mesh = SimplicialMesh(np.array([[0, 1, 2], [3, 4, 5]]))
+        g = dual_graph(mesh)
+        assert g.nedges == 0
+
+    def test_triangle_grid_counts(self):
+        mesh = triangle_grid(5, 4)
+        g = dual_graph(mesh)
+        assert g.nvtxs == mesh.nelements == 2 * 4 * 3
+        # Interior facet count: each pair of triangles in a cell shares its
+        # diagonal (12 cells) + inter-cell shared edges.
+        assert is_connected(g)
+        assert g.degrees().max() <= 3  # triangle has 3 facets
+
+    def test_tet_grid_dual(self):
+        mesh = tet_grid(3, 3, 3)
+        g = dual_graph(mesh)
+        assert g.nvtxs == 6 * 8
+        assert is_connected(g)
+        assert g.degrees().max() <= 4  # tet has 4 facets
+
+    def test_delaunay_dual_planar(self):
+        mesh = delaunay_triangulation(200, seed=0)
+        g = dual_graph(mesh)
+        assert g.nvtxs == mesh.nelements
+        assert g.degrees().max() <= 3
+        assert is_connected(g)
+
+    def test_coords_are_centroids(self):
+        mesh = triangle_grid(3, 3)
+        g = dual_graph(mesh)
+        assert g.coords is not None
+        assert np.allclose(g.coords, mesh.element_centroids())
+
+
+class TestNodalGraph:
+    def test_two_triangles(self):
+        mesh = SimplicialMesh(np.array([[0, 1, 2], [1, 2, 3]]))
+        g = nodal_graph(mesh)
+        assert g.nvtxs == 4
+        assert g.nedges == 5  # K4 minus edge (0,3)
+
+    def test_grid_nodal_matches_points(self):
+        mesh = triangle_grid(4, 4)
+        g = nodal_graph(mesh)
+        assert g.nvtxs == 16
+        assert g.coords is not None
+        assert is_connected(g)
+
+
+class TestGenerators:
+    def test_triangle_grid_validation(self):
+        with pytest.raises(GraphError):
+            triangle_grid(1, 5)
+
+    def test_tet_grid_validation(self):
+        with pytest.raises(GraphError):
+            tet_grid(2, 1, 2)
+
+    def test_tet_grid_conforming(self):
+        """Every interior facet is shared by exactly two tets."""
+        mesh = tet_grid(3, 2, 2)
+        f = mesh.facets()
+        order = np.lexsort(f.T[::-1])
+        sf = f[order]
+        same = np.all(sf[1:] == sf[:-1], axis=1)
+        # Count run lengths: no facet may appear 3+ times.
+        runs = np.split(same, np.flatnonzero(~same) + 1)
+        assert all(r.sum() <= 1 for r in runs)
+
+    def test_delaunay_validation(self):
+        with pytest.raises(GraphError):
+            delaunay_triangulation(2)
+
+
+class TestEndToEnd:
+    def test_partition_a_mesh_dual(self):
+        from repro.partition import part_graph
+
+        mesh = delaunay_triangulation(1500, seed=1)
+        g = dual_graph(mesh)
+        res = part_graph(g, 4, seed=2)
+        assert res.feasible
+        # A planar dual: cut should be a tiny fraction of the edges.
+        assert res.edgecut < 0.2 * g.nedges

@@ -1,0 +1,110 @@
+"""Unit tests for quality metrics and reports."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError
+from repro.graph import from_edges, grid_2d
+from repro.metrics import (
+    PartitionReport,
+    boundary_vertices,
+    comm_volume,
+    edge_cut,
+    format_table,
+    interface_sizes,
+    subdomain_matrix,
+)
+
+
+class TestCommVolume:
+    def test_zero_when_uncut(self):
+        g = from_edges(4, [(0, 1), (2, 3)])
+        assert comm_volume(g, [0, 0, 1, 1]) == 0
+
+    def test_counts_distinct_foreign_parts(self):
+        # Star centre adjacent to 3 leaves in 3 different parts:
+        # centre contributes 3, each leaf contributes 1.
+        g = from_edges(4, [(0, 1), (0, 2), (0, 3)])
+        assert comm_volume(g, [0, 1, 2, 3]) == 6
+
+    def test_multiple_edges_same_part_counted_once(self):
+        g = from_edges(3, [(0, 1), (0, 2)])
+        # 1 and 2 both in part 1: vertex 0 contributes 1, not 2.
+        assert comm_volume(g, [0, 1, 1]) == 3
+
+    def test_volume_le_cut_for_unit_weights(self, mesh500):
+        rng = np.random.default_rng(0)
+        part = rng.integers(0, 4, 500)
+        assert comm_volume(mesh500, part) <= 2 * edge_cut(mesh500, part)
+
+
+class TestSubdomainMatrix:
+    def test_stripes(self):
+        g = grid_2d(4, 4)
+        part = np.repeat([0, 0, 1, 1], 4)  # rows 0-1 part 0, rows 2-3 part 1
+        mat = subdomain_matrix(g, part, 2)
+        assert mat[0, 1] == mat[1, 0] == 4  # the four vertical cut edges
+        assert mat[0, 0] == mat[1, 1] == 10  # 6 horizontal + 4 vertical each
+
+    def test_total_identity(self, mesh500):
+        """trace + upper-triangle = total edge weight."""
+        rng = np.random.default_rng(1)
+        part = rng.integers(0, 5, 500)
+        mat = subdomain_matrix(mesh500, part, 5)
+        assert np.array_equal(mat, mat.T)
+        upper = int(np.triu(mat, k=1).sum())
+        assert int(np.trace(mat)) + upper == mesh500.total_adjwgt()
+        assert upper == edge_cut(mesh500, part)
+
+    def test_interface_sizes(self):
+        g = grid_2d(4, 4)
+        part = np.repeat([0, 1, 2, 3], 4)
+        deg = interface_sizes(g, part, 4)
+        assert deg.tolist() == [1, 2, 2, 1]
+
+
+class TestBoundary:
+    def test_boundary_stripes(self):
+        g = grid_2d(4, 4)
+        part = np.repeat([0, 0, 1, 1], 4)
+        assert sorted(boundary_vertices(g, part).tolist()) == list(range(4, 12))
+
+    def test_shape_mismatch(self, mesh500):
+        with pytest.raises(PartitionError):
+            boundary_vertices(mesh500, np.zeros(3))
+
+
+class TestReport:
+    def test_full_report(self, mesh500):
+        rng = np.random.default_rng(2)
+        part = rng.integers(0, 4, 500)
+        rep = PartitionReport.from_partition(mesh500, part, 4)
+        assert rep.edgecut == edge_cut(mesh500, part)
+        assert rep.nparts == 4 and rep.ncon == 1
+        assert rep.part_weights.shape == (4, 1)
+        assert rep.max_imbalance >= 1.0
+        assert "cut=" in str(rep)
+
+    def test_report_on_perfect_partition(self):
+        g = from_edges(4, [(0, 1), (2, 3)])
+        rep = PartitionReport.from_partition(g, np.array([0, 0, 1, 1]), 2)
+        assert rep.edgecut == 0
+        assert rep.comm_volume == 0
+        assert rep.nboundary == 0
+        assert rep.max_subdomain_degree == 0
+
+
+class TestFormatTable:
+    def test_alignment_and_floats(self):
+        txt = format_table(["name", "cut"], [["g1", 1.23456], ["graph2", 7]],
+                           title="T")
+        lines = txt.splitlines()
+        assert lines[0] == "T"
+        assert "1.235" in txt
+        assert "graph2" in txt
+
+    def test_empty_rows(self):
+        txt = format_table(["a"], [])
+        assert "a" in txt

@@ -1,0 +1,131 @@
+"""Unit tests for the multi-phase computation model and workloads."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import WeightError
+from repro.multiphase import (
+    MultiPhaseComputation,
+    Phase,
+    combustion,
+    crash_simulation,
+    from_type2,
+    particle_in_mesh,
+)
+from repro.partition import part_graph
+from repro.baselines import part_graph_single
+
+
+class TestPhase:
+    def test_active_mask(self):
+        ph = Phase("p", np.array([0.0, 1.0, 2.0]))
+        assert ph.active.tolist() == [False, True, True]
+        assert ph.total_work == 3.0
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(WeightError):
+            Phase("p", np.array([-1.0]))
+
+    def test_shape_checked(self):
+        with pytest.raises(WeightError):
+            Phase("p", np.ones((2, 2)))
+
+
+class TestModel:
+    def _two_phase(self, graph):
+        n = graph.nvtxs
+        c2 = np.zeros(n)
+        c2[: n // 4] = 2.0
+        return MultiPhaseComputation(
+            graph, [Phase("a", np.ones(n)), Phase("b", c2)]
+        )
+
+    def test_requires_phases(self, mesh500):
+        with pytest.raises(WeightError):
+            MultiPhaseComputation(mesh500, [])
+
+    def test_phase_cost_coverage_checked(self, mesh500):
+        with pytest.raises(WeightError):
+            MultiPhaseComputation(mesh500, [Phase("a", np.ones(3))])
+
+    def test_vwgt_shape_and_scale(self, mesh500):
+        mp = self._two_phase(mesh500)
+        w = mp.vwgt(scale=10)
+        assert w.shape == (500, 2)
+        assert w[:, 0].sum() == 500 * 10
+        assert w[0, 1] == 20
+
+    def test_weighted_graph(self, mesh500):
+        mp = self._two_phase(mesh500)
+        g = mp.weighted_graph()
+        assert g.ncon == 2
+        # Co-activity edge weights: at most nphases.
+        assert g.adjwgt.max() <= 2
+
+    def test_makespan_identities(self, mesh500):
+        mp = self._two_phase(mesh500)
+        part = np.arange(500) % 4
+        work = mp.phase_part_work(part, 4)
+        assert work.shape == (2, 4)
+        assert np.isclose(work.sum(), 500 + 250)
+        assert mp.makespan(part, 4) >= mp.ideal_time(4)
+        assert 0 < mp.efficiency(part, 4) <= 1.0
+
+    def test_perfect_partition_efficiency_one(self):
+        from repro.graph import grid_2d
+
+        g = grid_2d(4, 4)
+        mp = MultiPhaseComputation(g, [Phase("a", np.ones(16))])
+        part = np.arange(16) % 4
+        assert mp.efficiency(part, 4) == pytest.approx(1.0)
+
+    def test_phase_imbalance(self, mesh500):
+        mp = self._two_phase(mesh500)
+        # All of phase b's work in part 0.
+        part = np.zeros(500, dtype=np.int64)
+        part[125:] = np.arange(375) % 3 + 1
+        imb = mp.phase_imbalance(part, 4)
+        assert imb[1] == pytest.approx(4.0)  # 4x the average
+
+
+class TestWorkloads:
+    @pytest.mark.parametrize("factory,nph", [
+        (crash_simulation, 2),
+        (particle_in_mesh, 2),
+        (combustion, 3),
+    ])
+    def test_factories(self, mesh2000, factory, nph):
+        mp = factory(mesh2000, seed=0)
+        assert mp.nphases == nph
+        assert mp.graph is mesh2000
+        g = mp.weighted_graph()
+        assert g.ncon == nph
+
+    def test_from_type2(self, mesh500):
+        mp = from_type2(mesh500, 3, seed=1)
+        assert mp.nphases == 3
+        assert np.all(mp.phases[0].active)
+
+    def test_deterministic(self, mesh500):
+        a = crash_simulation(mesh500, seed=5)
+        b = crash_simulation(mesh500, seed=5)
+        assert np.array_equal(a.phases[1].cost, b.phases[1].cost)
+
+
+class TestMotivatingResult:
+    def test_mc_beats_sc_on_makespan(self, mesh2000):
+        """The paper's core motivation, end to end: multi-constraint
+        partitioning gives a strictly better modelled makespan than
+        sum-balanced single-constraint partitioning on a concentrated
+        two-phase workload."""
+        mp = crash_simulation(mesh2000, contact_fraction=0.12, seed=3)
+        g = mp.weighted_graph()
+        k = 8
+        sc = part_graph_single(g, k, mode="sum", seed=4)
+        mc = part_graph(g, k, seed=4)
+        ms_sc = mp.makespan(sc.part, k)
+        ms_mc = mp.makespan(mc.part, k)
+        assert ms_mc < ms_sc
+        assert mp.efficiency(mc.part, k) > 0.80

@@ -1,0 +1,282 @@
+"""Tests for the simulated parallel formulation (extension)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.coarsen import is_matching, matching_to_cmap
+from repro.errors import ReproError
+from repro.graph import mesh_like
+from repro.metrics import edge_cut
+from repro.parallel import (
+    CostModel,
+    DistGraph,
+    ParallelResult,
+    SimCluster,
+    parallel_kway_refine,
+    parallel_matching,
+    parallel_part_graph,
+)
+from repro.partition import PartitionOptions
+from repro.weights import max_imbalance, type1_region_weights
+
+
+class TestSimCluster:
+    def test_alltoall_delivery(self):
+        c = SimCluster(3)
+        payloads = [
+            {1: np.array([1, 2])},
+            {2: np.array([3])},
+            {0: np.array([4, 5, 6])},
+        ]
+        got = c.alltoall(payloads)
+        assert got[1][0].tolist() == [1, 2]
+        assert got[2][1].tolist() == [3]
+        assert got[0][2].tolist() == [4, 5, 6]
+        assert c.stats.total_messages == 3
+        assert c.stats.total_bytes == 6 * 8
+
+    def test_allreduce_ops(self):
+        c = SimCluster(4)
+        vals = [np.full(2, float(r)) for r in range(4)]
+        assert c.allreduce(vals, "sum").tolist() == [6.0, 6.0]
+        assert c.allreduce(vals, "max").tolist() == [3.0, 3.0]
+        assert c.allreduce(vals, "min").tolist() == [0.0, 0.0]
+        with pytest.raises(ReproError):
+            c.allreduce(vals, "median")
+
+    def test_compute_charging(self):
+        cm = CostModel(alpha=0.0, beta=0.0, compute_rate=100.0)
+        c = SimCluster(2, cm)
+        c.add_compute(0, 50)
+        c.add_compute(1, 200)
+        c.barrier()
+        # Critical path = max(50, 200) / 100.
+        assert c.stats.compute_time == pytest.approx(2.0)
+
+    def test_comm_charging(self):
+        cm = CostModel(alpha=1.0, beta=0.5, compute_rate=1e12)
+        c = SimCluster(2, cm)
+        c.alltoall([{1: np.zeros(4, dtype=np.int64)}, {}])  # 32 bytes
+        assert c.stats.comm_time == pytest.approx(1.0 + 0.5 * 32)
+
+    def test_arg_validation(self):
+        with pytest.raises(ReproError):
+            SimCluster(0)
+        c = SimCluster(2)
+        with pytest.raises(ReproError):
+            c.alltoall([{}])
+        with pytest.raises(ReproError):
+            c.alltoall([{5: np.zeros(1)}, {}])
+
+    def test_bcast_and_gather(self):
+        c = SimCluster(4)
+        out = c.bcast(np.arange(3))
+        assert out.tolist() == [0, 1, 2]
+        got = c.gather([np.array([r]) for r in range(4)])
+        assert [g.tolist() for g in got] == [[0], [1], [2], [3]]
+
+
+class TestDistGraph:
+    def test_block_distribution(self, mesh500):
+        d = DistGraph(mesh500, 4)
+        assert d.vtxdist.tolist() == [0, 125, 250, 375, 500]
+        assert d.owner(0) == 0 and d.owner(499) == 3
+        assert d.owner(np.array([125, 374])).tolist() == [1, 2]
+
+    def test_uneven_blocks(self, mesh500):
+        d = DistGraph(mesh500, 3)
+        sizes = np.diff(d.vtxdist)
+        assert sizes.sum() == 500
+        assert sizes.max() - sizes.min() <= 1
+
+    def test_ghosts_are_foreign_neighbours(self, mesh500):
+        d = DistGraph(mesh500, 4)
+        ghosts = d.ghost_vertices(1)
+        lo, hi = d.local_range(1)
+        assert np.all((ghosts < lo) | (ghosts >= hi))
+        assert ghosts.size > 0
+
+    def test_edge_counts(self, mesh500):
+        d = DistGraph(mesh500, 4)
+        assert sum(d.local_edge_count(r) for r in range(4)) == 2 * mesh500.nedges
+        assert 0 < d.cut_edges_between_ranks() <= 2 * mesh500.nedges
+
+
+class TestParallelMatching:
+    @pytest.mark.parametrize("nranks", [1, 2, 8])
+    def test_valid_matching(self, mesh2000, nranks):
+        d = DistGraph(mesh2000, nranks)
+        c = SimCluster(nranks)
+        match = parallel_matching(d, c, seed=0)
+        assert is_matching(mesh2000, match)
+
+    def test_matches_most_vertices(self, mesh2000):
+        d = DistGraph(mesh2000, 4)
+        c = SimCluster(4)
+        match = parallel_matching(d, c, seed=1)
+        unmatched = np.count_nonzero(match == np.arange(2000))
+        assert unmatched < 0.35 * 2000
+
+    def test_communication_happened(self, mesh2000):
+        c = SimCluster(4)
+        parallel_matching(DistGraph(mesh2000, 4), c, seed=2)
+        assert c.stats.total_bytes > 0
+        assert c.stats.supersteps >= 2
+
+    def test_single_rank_no_remote_proposals(self, mesh500):
+        c = SimCluster(1)
+        match = parallel_matching(DistGraph(mesh500, 1), c, seed=3)
+        assert is_matching(mesh500, match)
+        assert c.stats.total_bytes == 0
+
+    def test_cmap_composes(self, mesh500):
+        c = SimCluster(2)
+        match = parallel_matching(DistGraph(mesh500, 2), c, seed=4)
+        cmap, ncoarse = matching_to_cmap(match)
+        assert ncoarse < 500
+
+
+class TestParallelRefine:
+    def test_improves_and_respects_balance(self, mesh2000):
+        rng = np.random.default_rng(0)
+        where = rng.integers(0, 8, 2000)
+        # Give it a roughly balanced start via counts.
+        where = (np.arange(2000) % 8).astype(np.int64)
+        rng.shuffle(where)
+        cut0 = edge_cut(mesh2000, where)
+        d = DistGraph(mesh2000, 4)
+        c = SimCluster(4)
+        stats = parallel_kway_refine(d, c, where, 8, ubvec=1.05, seed=1)
+        assert edge_cut(mesh2000, where) < cut0
+        assert stats["feasible"]
+        assert max_imbalance(mesh2000.vwgt, where, 8) <= 1.05 + 1e-9
+
+    def test_disallowed_fraction_reported(self, mesh2000):
+        where = (np.arange(2000) % 8).astype(np.int64)
+        np.random.default_rng(3).shuffle(where)
+        d = DistGraph(mesh2000, 8)
+        c = SimCluster(8)
+        stats = parallel_kway_refine(d, c, where, 8, ubvec=1.02, seed=4)
+        assert stats["committed"] >= 0
+        assert stats["disallowed"] >= 0
+        assert stats["passes"] >= 1
+
+
+class TestParallelDriver:
+    def test_quality_matches_serial_shape(self, mesh2000):
+        g = mesh2000.with_vwgt(type1_region_weights(mesh2000, 2, seed=0))
+        from repro.partition import part_graph
+
+        serial = part_graph(g, 8, seed=1)
+        par = parallel_part_graph(g, 8, 4, options=PartitionOptions(seed=1))
+        assert par.feasible
+        assert par.edgecut <= 1.6 * serial.edgecut
+        assert par.part.shape == (2000,)
+
+    def test_stats_populated(self, mesh2000):
+        par = parallel_part_graph(mesh2000, 4, 4, options=PartitionOptions(seed=2))
+        assert par.stats.total_bytes > 0
+        assert par.simulated_time > 0
+        assert par.levels >= 1
+        assert "p=4" in par.summary()
+
+    def test_single_rank_runs(self, mesh500):
+        par = parallel_part_graph(mesh500, 4, 1, options=PartitionOptions(seed=3))
+        assert par.feasible
+
+    def test_deterministic(self, mesh500):
+        a = parallel_part_graph(mesh500, 4, 2, options=PartitionOptions(seed=7))
+        b = parallel_part_graph(mesh500, 4, 2, options=PartitionOptions(seed=7))
+        assert np.array_equal(a.part, b.part)
+        assert a.simulated_time == b.simulated_time
+
+    def test_invalid_nparts(self, mesh500):
+        from repro.errors import PartitionError
+
+        with pytest.raises(PartitionError):
+            parallel_part_graph(mesh500, 0, 2)
+
+    def test_more_constraints_cost_more_simulated_time(self, mesh2000):
+        """The m-scaling claim: multi-constraint work grows with m."""
+        g1 = mesh2000
+        g3 = mesh2000.with_vwgt(type1_region_weights(mesh2000, 3, seed=5))
+        t1 = parallel_part_graph(g1, 8, 4, options=PartitionOptions(seed=6)).simulated_time
+        t3 = parallel_part_graph(g3, 8, 4, options=PartitionOptions(seed=6)).simulated_time
+        assert t3 > 0.8 * t1  # must not be cheaper; typically higher
+
+
+class TestPhaseTimes:
+    def test_phase_times_partition_total(self, mesh2000):
+        par = parallel_part_graph(mesh2000, 8, 4, options=PartitionOptions(seed=20))
+        pt = par.phase_times
+        assert set(pt) == {"coarsen", "initpart", "refine"}
+        assert all(v >= 0 for v in pt.values())
+        assert sum(pt.values()) == pytest.approx(par.simulated_time, rel=1e-9)
+
+    def test_coarsening_dominates_on_single_rank(self, mesh2000):
+        """With one rank there is no arbitration traffic; coarsening compute
+        still has to touch every edge per level, so it must be a visible
+        fraction of the run."""
+        par = parallel_part_graph(mesh2000, 4, 1, options=PartitionOptions(seed=21))
+        assert par.phase_times["coarsen"] > 0
+
+
+class TestParallelContract:
+    @pytest.mark.parametrize("nranks", [1, 3, 8])
+    def test_equivalent_to_serial(self, mesh2000, nranks):
+        from repro.coarsen import heavy_edge_matching, matching_to_cmap
+        from repro.graph import contract
+        from repro.parallel import parallel_contract
+
+        match = heavy_edge_matching(mesh2000, seed=0)
+        cmap, nc = matching_to_cmap(match)
+        serial = contract(mesh2000, cmap, nc)
+        c = SimCluster(nranks)
+        par = parallel_contract(DistGraph(mesh2000, nranks), c, cmap, nc)
+        assert par == serial
+
+    def test_multiconstraint_weights_assembled(self, mesh500):
+        from repro.coarsen import heavy_edge_matching, matching_to_cmap
+        from repro.graph import contract
+        from repro.parallel import parallel_contract
+
+        g = mesh500.with_vwgt(type1_region_weights(mesh500, 3, seed=1))
+        match = heavy_edge_matching(g, seed=2)
+        cmap, nc = matching_to_cmap(match)
+        c = SimCluster(4)
+        par = parallel_contract(DistGraph(g, 4), c, cmap, nc)
+        assert np.array_equal(par.total_vwgt(), g.total_vwgt())
+        assert par == contract(g, cmap, nc)
+
+    def test_bytes_scale_with_cross_rank_edges(self, mesh2000):
+        from repro.coarsen import heavy_edge_matching, matching_to_cmap
+        from repro.parallel import parallel_contract
+
+        match = heavy_edge_matching(mesh2000, seed=3)
+        cmap, nc = matching_to_cmap(match)
+        c2 = SimCluster(2)
+        parallel_contract(DistGraph(mesh2000, 2), c2, cmap, nc)
+        c8 = SimCluster(8)
+        parallel_contract(DistGraph(mesh2000, 8), c8, cmap, nc)
+        # More ranks, more boundary: strictly more protocol traffic.
+        assert c8.stats.total_bytes > c2.stats.total_bytes
+
+
+class TestReservationProperty:
+    def test_residual_excess_is_small(self, mesh2000):
+        """The reservation scheme's core promise: after one pass the total
+        excess left to later passes is a small fraction of the slack, not a
+        runaway overshoot."""
+        from repro.refine.kwayref import KWayState
+
+        rng = np.random.default_rng(30)
+        where = (np.arange(2000) % 8).astype(np.int64)
+        rng.shuffle(where)
+        d = DistGraph(mesh2000, 8)
+        c = SimCluster(8)
+        parallel_kway_refine(d, c, where, 8, ubvec=1.05, npasses=1, seed=31)
+        state = KWayState(mesh2000, where, 8, 1.05)
+        total_slack = float(np.maximum(state.caps - 1.0 / 8, 0).sum())
+        assert state.balance_obj() <= 0.5 * max(total_slack, 1e-9)

@@ -1,0 +1,198 @@
+"""Integration tests for the multilevel drivers and the public API."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError
+from repro.graph import delaunay_mesh, from_edges, grid_2d, mesh_like
+from repro.metrics import edge_cut
+from repro.partition import (
+    PartitionOptions,
+    part_graph,
+    partition_kway,
+    partition_recursive,
+)
+from repro.weights import max_imbalance, type1_region_weights, type2_multiphase
+from repro.weights.generators import coactivity_edge_weights
+
+
+class TestOptions:
+    def test_defaults(self):
+        opts = PartitionOptions()
+        assert opts.matching == "hem"
+        assert opts.ubvec == 1.05
+
+    def test_with_(self):
+        opts = PartitionOptions().with_(seed=3, matching="rm")
+        assert opts.seed == 3 and opts.matching == "rm"
+
+    def test_validation(self):
+        with pytest.raises(PartitionError):
+            PartitionOptions(matching="xxx")
+        with pytest.raises(PartitionError):
+            PartitionOptions(coarsen_to=1)
+        with pytest.raises(PartitionError):
+            PartitionOptions(init_ntries=0)
+
+
+class TestRecursive:
+    def test_grid_quality(self):
+        g = grid_2d(24, 24)
+        part = partition_recursive(g, 4, PartitionOptions(seed=0))
+        assert edge_cut(g, part) <= 2.2 * 48  # within ~2.2x of the ideal 2 cuts
+        assert max_imbalance(g.vwgt, part, 4) <= 1.05 + 1e-9
+
+    def test_nonpow2_parts(self, mesh2000):
+        part = partition_recursive(mesh2000, 5, PartitionOptions(seed=1))
+        sizes = np.bincount(part, minlength=5)
+        assert np.all(sizes > 0)
+        assert max_imbalance(mesh2000.vwgt, part, 5) <= 1.06
+
+    def test_one_part(self, mesh500):
+        part = partition_recursive(mesh500, 1, PartitionOptions(seed=0))
+        assert np.all(part == 0)
+
+    def test_nparts_exceeds_vertices(self):
+        g = from_edges(3, [(0, 1), (1, 2)])
+        with pytest.raises(PartitionError):
+            partition_recursive(g, 4)
+
+    def test_multiconstraint_balance(self, mesh2000):
+        g = mesh2000.with_vwgt(type1_region_weights(mesh2000, 3, seed=2))
+        part = partition_recursive(g, 8, PartitionOptions(seed=3))
+        assert max_imbalance(g.vwgt, part, 8) <= 1.10  # 5% target, small slack
+
+    def test_deterministic(self, mesh500):
+        a = partition_recursive(mesh500, 4, PartitionOptions(seed=42))
+        b = partition_recursive(mesh500, 4, PartitionOptions(seed=42))
+        assert np.array_equal(a, b)
+
+
+class TestKWay:
+    def test_grid_quality(self):
+        g = grid_2d(24, 24)
+        part = partition_kway(g, 4, PartitionOptions(seed=0))
+        assert edge_cut(g, part) <= 2.5 * 48
+        assert max_imbalance(g.vwgt, part, 4) <= 1.05 + 1e-9
+
+    def test_all_parts_nonempty(self, mesh2000):
+        part = partition_kway(mesh2000, 16, PartitionOptions(seed=1))
+        assert np.all(np.bincount(part, minlength=16) > 0)
+
+    def test_multiconstraint_feasible(self, mesh2000):
+        g = mesh2000.with_vwgt(type1_region_weights(mesh2000, 4, seed=4))
+        part = partition_kway(g, 8, PartitionOptions(seed=5))
+        assert max_imbalance(g.vwgt, part, 8) <= 1.10
+
+    def test_small_graph_skips_coarsening(self):
+        g = mesh_like(120, seed=6)
+        part = partition_kway(g, 4, PartitionOptions(seed=7))
+        assert max_imbalance(g.vwgt, part, 4) <= 1.06
+
+    def test_one_part(self, mesh500):
+        assert np.all(partition_kway(mesh500, 1, PartitionOptions(seed=0)) == 0)
+
+    def test_deterministic(self, mesh500):
+        a = partition_kway(mesh500, 8, PartitionOptions(seed=9))
+        b = partition_kway(mesh500, 8, PartitionOptions(seed=9))
+        assert np.array_equal(a, b)
+
+
+class TestPartGraphAPI:
+    def test_result_fields(self, mesh500):
+        res = part_graph(mesh500, 4, seed=0)
+        assert res.nparts == 4
+        assert res.ncon == 1
+        assert res.part.shape == (500,)
+        assert res.edgecut == edge_cut(mesh500, res.part)
+        assert res.imbalance.shape == (1,)
+        assert res.max_imbalance == res.imbalance.max()
+        assert res.part_sizes().sum() == 500
+        assert "k=4" in res.summary()
+
+    def test_method_selection(self, mesh500):
+        r1 = part_graph(mesh500, 4, method="recursive", seed=1)
+        r2 = part_graph(mesh500, 4, method="kway", seed=1)
+        assert r1.method == "recursive" and r2.method == "kway"
+        with pytest.raises(PartitionError):
+            part_graph(mesh500, 4, method="magic")
+
+    def test_kwargs_build_options(self, mesh500):
+        res = part_graph(mesh500, 4, seed=2, ubvec=1.2, matching="rm")
+        assert res.options.matching == "rm"
+        assert res.feasible
+
+    def test_options_object_plus_kwargs(self, mesh500):
+        opts = PartitionOptions(matching="bem")
+        res = part_graph(mesh500, 2, options=opts, seed=3)
+        assert res.options.matching == "bem"
+        assert res.options.seed == 3
+
+    def test_empty_graph_rejected(self):
+        from repro.graph import Graph
+
+        with pytest.raises(PartitionError):
+            part_graph(Graph([0], []), 2)
+
+    def test_ubvec_vector(self, mesh2000):
+        g = mesh2000.with_vwgt(type1_region_weights(mesh2000, 2, seed=6))
+        res = part_graph(g, 4, ubvec=[1.05, 1.40], seed=7)
+        assert res.imbalance[0] <= 1.12
+        assert res.imbalance[1] <= 1.45
+
+    def test_doctest_example(self):
+        from repro.graph import grid_2d as gg
+
+        res = part_graph(gg(16, 16), 4, seed=0)
+        assert res.feasible
+
+
+class TestEndToEndQuality:
+    """The headline behaviours the paper reports, at test scale."""
+
+    def test_mc_cut_within_factor_of_sc(self, mesh2000):
+        """Multi-constraint cut should be within ~2x of single-constraint
+        (the paper reports 1.2-1.5x at scale)."""
+        from repro.baselines import part_graph_single
+
+        g = mesh2000.with_vwgt(type1_region_weights(mesh2000, 2, seed=8))
+        mc = part_graph(g, 8, method="recursive", seed=9)
+        sc = part_graph_single(g, 8, mode="unit", method="recursive", seed=9)
+        assert mc.feasible
+        assert mc.edgecut <= 2.5 * max(sc.edgecut, 1)
+
+    def test_sc_partition_fails_mc_balance(self, mesh2000):
+        """The motivating observation: a single-constraint partition is NOT
+        balanced for the individual phases."""
+        from repro.baselines import part_graph_single
+
+        vw, act = type2_multiphase(mesh2000, 3, seed=10)
+        g = mesh2000.with_vwgt(vw).with_adjwgt(
+            np.maximum(coactivity_edge_weights(mesh2000, act), 0)
+        )
+        sc = part_graph_single(g, 8, mode="sum", seed=11)
+        mc = part_graph(g, 8, seed=11)
+        sc_imb = max_imbalance(g.vwgt, sc.part, 8)
+        mc_imb = max_imbalance(g.vwgt, mc.part, 8)
+        assert mc_imb <= 1.10
+        assert sc_imb > mc_imb  # SC ignores per-phase balance
+
+    def test_type2_mc_feasible(self, mesh2000):
+        vw, act = type2_multiphase(mesh2000, 4, seed=12)
+        g = mesh2000.with_vwgt(vw)
+        res = part_graph(g, 8, seed=13)
+        assert res.max_imbalance <= 1.12
+
+    def test_disconnected_graph(self):
+        a = mesh_like(300, seed=14)
+        # Two disjoint copies.
+        n = a.nvtxs
+        xadj = np.concatenate([a.xadj, a.xadj[1:] + a.xadj[-1]])
+        adjncy = np.concatenate([a.adjncy, a.adjncy + n])
+        from repro.graph import Graph
+
+        g = Graph(xadj, adjncy)
+        res = part_graph(g, 4, seed=15)
+        assert res.feasible

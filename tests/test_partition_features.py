@@ -1,0 +1,106 @@
+"""Tests for the newer driver features: non-uniform target fractions,
+multilevel instrumentation, and the priority k-way refinement policy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import BalanceError, PartitionError
+from repro.graph import mesh_like
+from repro.partition import PartitionOptions, part_graph
+from repro.refine import kway_refine
+from repro.weights import part_weights, type1_region_weights
+
+
+class TestTargetFracs:
+    @pytest.mark.parametrize("method", ["kway", "recursive"])
+    def test_fractions_respected(self, mesh2000, method):
+        fr = [0.4, 0.3, 0.2, 0.1]
+        res = part_graph(mesh2000, 4, method=method,
+                         target_fracs=fr, seed=0)
+        pw = part_weights(mesh2000.vwgt, res.part, 4)[:, 0] / 2000
+        # No part may exceed its (5%-slack) target; undershoot is allowed.
+        assert np.all(pw <= np.asarray(fr) * 1.05 + 1e-9)
+        assert res.feasible
+
+    def test_multiconstraint_fractions(self, mesh2000):
+        g = mesh2000.with_vwgt(type1_region_weights(mesh2000, 2, seed=1))
+        fr = [0.5, 0.25, 0.25]
+        res = part_graph(g, 3, target_fracs=fr, ubvec=1.10, seed=2)
+        pw = part_weights(g.vwgt, res.part, 3).astype(float)
+        pw /= pw.sum(axis=0)
+        assert np.all(pw <= np.asarray(fr)[:, None] * 1.10 + 1e-9)
+
+    def test_imbalance_measured_against_targets(self, mesh500):
+        res = part_graph(mesh500, 2, target_fracs=[0.75, 0.25], seed=3)
+        # A (75, 25) split measured against uniform targets would show
+        # imbalance 1.5; against the requested targets it must be ~1.
+        assert res.max_imbalance <= 1.06
+
+    def test_bad_fractions_rejected(self, mesh500):
+        with pytest.raises(BalanceError):
+            part_graph(mesh500, 2, target_fracs=[1.0, 0.0], seed=0)
+        with pytest.raises(BalanceError):
+            part_graph(mesh500, 2, target_fracs=[0.5, 0.3, 0.2], seed=0)
+
+
+class TestCollectStats:
+    def test_kway_trace(self, mesh2000):
+        res = part_graph(mesh2000, 8, seed=4, collect_stats=True)
+        st = res.stats
+        assert st["method"] == "kway"
+        assert st["levels"][0] == 2000
+        assert st["levels"] == sorted(st["levels"], reverse=True)
+        assert len(st["trace"]) == len(st["levels"]) - 1
+        # Cut decreases (or holds) as refinement proceeds to finer levels
+        # only in general tendency; assert the trace is populated sanely.
+        for entry in st["trace"]:
+            assert entry["cut"] >= 0
+            assert entry["imbalance"] >= 1.0 - 1e-9
+        assert st["coarsen_seconds"] >= 0
+
+    def test_recursive_trace(self, mesh500):
+        res = part_graph(mesh500, 6, method="recursive", seed=5,
+                         collect_stats=True)
+        st = res.stats
+        assert st["method"] == "recursive"
+        assert st["bisections"] == 5  # k-1 bisections for k parts
+        assert st["trace"][0]["nvtxs"] == 500
+
+    def test_default_off(self, mesh500):
+        assert part_graph(mesh500, 2, seed=6).stats is None
+
+
+class TestKwayPolicy:
+    def test_priority_policy_runs(self, mesh2000):
+        res = part_graph(mesh2000, 8, seed=7, kway_policy="priority")
+        assert res.feasible
+
+    def test_priority_at_least_as_good_from_same_start(self, mesh2000):
+        rng = np.random.default_rng(8)
+        base = (np.arange(2000) % 8).astype(np.int64)
+        rng.shuffle(base)
+        a, b = base.copy(), base.copy()
+        sg = kway_refine(mesh2000, a, 8, policy="greedy", seed=9)
+        sp = kway_refine(mesh2000, b, 8, policy="priority", seed=9)
+        assert sp.final_cut <= 1.15 * sg.final_cut
+
+    def test_each_vertex_moves_at_most_once_per_pass(self, mesh500):
+        # One pass from a 2-coloured start cannot oscillate: cut must not
+        # increase.
+        from repro.metrics import edge_cut
+
+        rng = np.random.default_rng(10)
+        where = rng.integers(0, 4, 500)
+        cut0 = edge_cut(mesh500, where)
+        st = kway_refine(mesh500, where, 4, policy="priority",
+                         npasses=1, seed=11)
+        assert st.final_cut <= cut0
+
+    def test_invalid_policy_rejected(self, mesh500):
+        with pytest.raises(PartitionError):
+            kway_refine(mesh500, np.zeros(500, dtype=np.int64), 1,
+                        policy="bogus")
+        with pytest.raises(PartitionError):
+            PartitionOptions(kway_policy="bogus")

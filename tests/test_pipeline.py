@@ -1,0 +1,126 @@
+"""Cross-module integration tests: the full pipelines a user would run.
+
+Each test chains several subsystems and asserts the end-to-end contract,
+not individual internals (those are covered by the unit tests).
+"""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.adaptive import adaptive_repartition
+from repro.baselines import part_graph_single
+from repro.graph import (
+    load_npz,
+    read_metis_graph,
+    read_partition,
+    save_npz,
+    write_metis_graph,
+    write_partition,
+)
+from repro.mesh import delaunay_triangulation, dual_graph, partition_mesh
+from repro.metrics import PartitionReport, edge_cut
+from repro.multiphase import from_type2
+from repro.parallel import parallel_part_graph
+from repro.partition import PartitionOptions, best_of, part_graph
+from repro.viz import partition_svg
+from repro.weights import max_imbalance, type2_multiphase
+from repro.weights.generators import coactivity_edge_weights
+
+
+class TestMeshToPartitionPipeline:
+    def test_mesh_workload_partition_render(self):
+        """mesh -> dual graph -> Type-2 workload -> MC partition -> SVG."""
+        mesh = delaunay_triangulation(1200, seed=0)
+        g = dual_graph(mesh)
+        vw, act = type2_multiphase(g, 3, seed=1)
+        g = g.with_vwgt(vw).with_adjwgt(coactivity_edge_weights(g, act))
+
+        res = part_graph(g, 6, seed=2)
+        assert res.feasible
+        svg = partition_svg(g, res.part)
+        assert svg.count("<g fill=") == 6
+
+    def test_mesh_level_multiphase(self):
+        """Element weights from a multi-phase model drive partition_mesh."""
+        mesh = delaunay_triangulation(900, seed=3)
+        g = dual_graph(mesh)
+        sim = from_type2(g, 2, seed=4)
+        mp = partition_mesh(mesh, 4, element_weights=sim.vwgt(), seed=5)
+        assert mp.result.feasible
+        assert sim.efficiency(mp.element_part, 4) > 0.85
+
+
+class TestFileRoundtripPipeline:
+    def test_text_and_binary_roundtrip_same_partition(self, tmp_path, mesh500):
+        """Partitioning the graph after a text or binary IO roundtrip gives
+        identical results (formats are lossless)."""
+        text = tmp_path / "g.graph"
+        binary = tmp_path / "g.npz"
+        write_metis_graph(mesh500, text)
+        save_npz(mesh500, binary)
+
+        g_text = read_metis_graph(text)
+        g_bin = load_npz(binary)
+        a = part_graph(g_text, 4, seed=0)
+        b = part_graph(g_bin, 4, seed=0)
+        assert np.array_equal(a.part, b.part)
+
+    def test_partition_file_reevaluation(self, tmp_path, mesh2000):
+        res = part_graph(mesh2000, 8, seed=1)
+        p = tmp_path / "m.part"
+        write_partition(res.part, p)
+        back = read_partition(p, 2000)
+        rep = PartitionReport.from_partition(mesh2000, back, 8)
+        assert rep.edgecut == res.edgecut
+        assert rep.max_imbalance == pytest.approx(res.max_imbalance)
+
+
+class TestDynamicPipeline:
+    def test_partition_then_adapt_then_render(self, mesh2000):
+        vw0, _ = type2_multiphase(mesh2000, 2, seed=6)
+        g0 = mesh2000.with_vwgt(vw0)
+        base = part_graph(g0, 8, seed=7)
+
+        vw1, _ = type2_multiphase(mesh2000, 2, seed=8)  # drifted activity
+        g1 = mesh2000.with_vwgt(vw1)
+        res = adaptive_repartition(g1, base.part, 8, seed=9)
+        assert res.feasible
+        assert res.migration["moved_fraction"] < 1.0
+
+
+class TestSerialParallelAgreement:
+    def test_parallel_matches_serial_quality_on_multiconstraint(self, mesh2000):
+        vw, _ = type2_multiphase(mesh2000, 3, seed=10)
+        g = mesh2000.with_vwgt(vw)
+        serial = part_graph(g, 8, seed=11)
+        par = parallel_part_graph(g, 8, 4, options=PartitionOptions(seed=11))
+        assert par.feasible and serial.feasible
+        assert par.edgecut <= 1.6 * serial.edgecut
+
+
+class TestEnsembleVsSingleSeed:
+    def test_best_of_never_worse_than_component_runs(self, mesh2000):
+        ens = best_of(mesh2000, 8, nseeds=3, seed=12)
+        assert ens.best.edgecut <= min(ens.cuts)
+        assert ens.best.edgecut <= max(ens.cuts)
+
+
+class TestMotivationEndToEnd:
+    def test_full_story(self, mesh2000):
+        """The complete paper narrative on one graph: the SC baseline
+        balances total work but not phases; the MC partitioner balances
+        every phase within 5% at a bounded cut premium."""
+        vw, act = type2_multiphase(mesh2000, 4, seed=13)
+        g = mesh2000.with_vwgt(vw).with_adjwgt(
+            coactivity_edge_weights(mesh2000, act)
+        )
+        sc = part_graph_single(g, 8, mode="sum", seed=14)
+        mc = part_graph(g, 8, seed=14)
+        assert max_imbalance(g.vwgt, mc.part, 8) <= 1.06
+        assert max_imbalance(g.vwgt, sc.part, 8) > 1.06
+        assert mc.edgecut <= 3.0 * max(sc.edgecut, 1)
+        assert edge_cut(g, mc.part) == mc.edgecut

@@ -1,0 +1,274 @@
+"""Property-based tests (hypothesis) on the core data structures and the
+invariants the multilevel paradigm rests on."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.coarsen import heavy_edge_matching, is_matching, matching_to_cmap
+from repro.graph import Graph, contract, from_edges
+from repro.initpart import (
+    alternating_bisection,
+    bisection_excess,
+    greedy_bisection,
+    prefix_bisection,
+)
+from repro.refine import LazyMaxPQ, TwoWayState, compute_2way_degrees, edge_cut, fm2way_refine
+from repro.weights import imbalance, part_weights
+
+COMMON = dict(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+
+# --------------------------------------------------------------------- #
+# Strategies
+# --------------------------------------------------------------------- #
+
+@st.composite
+def random_graphs(draw, max_n=40, max_extra_edges=80, weighted=False):
+    """Connected-ish random graph: a random spanning-ish chain plus extras."""
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    edges = {(i - 1, i) for i in range(1, n)}  # chain keeps it connected
+    nextra = draw(st.integers(min_value=0, max_value=max_extra_edges))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    for _ in range(nextra):
+        u, v = rng.integers(n), rng.integers(n)
+        if u != v:
+            edges.add((min(u, v), max(u, v)))
+    edges = sorted(edges)
+    weights = rng.integers(1, 10, size=len(edges)) if weighted else None
+    return from_edges(n, np.asarray(edges), weights)
+
+
+@st.composite
+def weight_matrices(draw, max_n=60, max_m=5):
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    m = draw(st.integers(min_value=1, max_value=max_m))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    w = rng.integers(0, 20, size=(n, m))
+    w[rng.integers(n)] += 1  # no all-zero columns... ensure per-column
+    for c in range(m):
+        if w[:, c].sum() == 0:
+            w[rng.integers(n), c] = 1
+    return w.astype(np.int64)
+
+
+# --------------------------------------------------------------------- #
+# Graph structure
+# --------------------------------------------------------------------- #
+
+@given(random_graphs(weighted=True))
+@settings(max_examples=60, **COMMON)
+def test_graph_invariants(g: Graph):
+    g.validate()
+    assert g.degrees().sum() == 2 * g.nedges
+    us, vs, ws = g.edge_arrays()
+    assert us.shape[0] == g.nedges
+    assert int(ws.sum()) == g.total_adjwgt()
+
+
+@given(random_graphs(), st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=40, **COMMON)
+def test_matching_properties(g: Graph, seed):
+    match = heavy_edge_matching(g, seed=seed)
+    assert is_matching(g, match)
+    cmap, ncoarse = matching_to_cmap(match)
+    # Each coarse vertex has 1 or 2 fine vertices.
+    sizes = np.bincount(cmap, minlength=ncoarse)
+    assert set(np.unique(sizes)) <= {1, 2}
+
+
+@given(random_graphs(weighted=True), st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=40, **COMMON)
+def test_contraction_conservation(g: Graph, seed):
+    match = heavy_edge_matching(g, seed=seed)
+    cmap, ncoarse = matching_to_cmap(match)
+    coarse = contract(g, cmap, ncoarse)
+    coarse.validate()
+    # Vertex weight totals are invariant; exposed edge weight only shrinks.
+    assert np.array_equal(coarse.total_vwgt(), g.total_vwgt())
+    assert coarse.total_adjwgt() <= g.total_adjwgt()
+    # Cut of any coarse partition equals cut of its projection.
+    rng = np.random.default_rng(seed)
+    cpart = rng.integers(0, 2, ncoarse)
+    assert edge_cut(coarse, cpart) == edge_cut(g, cpart[cmap])
+
+
+# --------------------------------------------------------------------- #
+# Balance arithmetic
+# --------------------------------------------------------------------- #
+
+@given(weight_matrices(), st.integers(min_value=1, max_value=6),
+       st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=60, **COMMON)
+def test_part_weights_identity(vwgt, nparts, seed):
+    rng = np.random.default_rng(seed)
+    part = rng.integers(0, nparts, vwgt.shape[0])
+    pw = part_weights(vwgt, part, nparts)
+    assert np.array_equal(pw.sum(axis=0), vwgt.sum(axis=0))
+    imb = imbalance(vwgt, part, nparts)
+    assert np.all(imb >= 1.0 - 1e-9) or np.any(pw.sum(axis=0) == 0)
+    assert np.all(imb <= nparts + 1e-9)
+
+
+# --------------------------------------------------------------------- #
+# Bisection theory
+# --------------------------------------------------------------------- #
+
+@given(weight_matrices(max_m=1))
+@settings(max_examples=60, **COMMON)
+def test_greedy_bisection_single_constraint_bound(vwgt):
+    """The provable m=1 guarantee: excess <= wmax."""
+    t = vwgt.sum(axis=0).astype(float)
+    relw = vwgt / t
+    where = greedy_bisection(relw, seed=0)
+    assert bisection_excess(relw, where) <= relw.max() + 1e-9
+
+
+@given(weight_matrices())
+@settings(max_examples=60, **COMMON)
+def test_greedy_bisection_multi_constraint_bound(vwgt):
+    """Documented empirical bound for small m: excess <= m * wmax."""
+    t = vwgt.sum(axis=0).astype(float)
+    t[t == 0] = 1
+    relw = vwgt / t
+    m = relw.shape[1]
+    where = greedy_bisection(relw, seed=0)
+    assert bisection_excess(relw, where) <= m * relw.max() + 1e-9
+
+
+@given(weight_matrices())
+@settings(max_examples=40, **COMMON)
+def test_prefix_and_alternating_cover_everything(vwgt):
+    t = vwgt.sum(axis=0).astype(float)
+    t[t == 0] = 1
+    relw = vwgt / t
+    for where in (prefix_bisection(relw), alternating_bisection(relw)):
+        assert where.shape == (vwgt.shape[0],)
+        assert set(np.unique(where)) <= {0, 1}
+
+
+# --------------------------------------------------------------------- #
+# FM refinement
+# --------------------------------------------------------------------- #
+
+@given(random_graphs(weighted=True), st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=30, **COMMON)
+def test_fm_never_increases_cut_and_keeps_state_consistent(g: Graph, seed):
+    rng = np.random.default_rng(seed)
+    where = rng.integers(0, 2, g.nvtxs)
+    if where.min() == where.max():
+        where[0] ^= 1
+    started_feasible = TwoWayState(g, where.copy(), ubvec=1.5).feasible()
+    cut0 = edge_cut(g, where)
+    stats = fm2way_refine(g, where, ubvec=1.5, seed=seed)
+    cut1 = edge_cut(g, where)
+    assert stats.final_cut == cut1
+    if started_feasible:
+        # From a feasible start FM only walks feasible states and rolls
+        # back to the best prefix: the cut cannot get worse.
+        assert cut1 <= cut0
+    else:
+        # From an infeasible start, paying cut to restore balance is
+        # legitimate -- but feasibility must then be achieved (a generous
+        # 50% tolerance is always reachable with indivisible unit moves
+        # unless a single vertex dominates a constraint).
+        state = TwoWayState(g, where, ubvec=1.5)
+        relmax = state.relw.max(initial=0.0)
+        if relmax <= 0.25:
+            assert stats.feasible
+    # The tracked degrees match a from-scratch recomputation.
+    state = TwoWayState(g, where)
+    id_, ed = compute_2way_degrees(g, where)
+    assert np.array_equal(state.id_, id_) and np.array_equal(state.ed, ed)
+
+
+@given(random_graphs(), st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=30, **COMMON)
+def test_fm_feasibility_with_loose_tolerance(g: Graph, seed):
+    """With a generous tolerance and unit weights, FM must end feasible."""
+    rng = np.random.default_rng(seed)
+    where = rng.integers(0, 2, g.nvtxs)
+    if where.min() == where.max():
+        where[0] ^= 1
+    stats = fm2way_refine(g, where, ubvec=1.9, seed=seed)
+    assert stats.feasible
+
+
+# --------------------------------------------------------------------- #
+# Priority queue (model-based)
+# --------------------------------------------------------------------- #
+
+@given(st.lists(st.tuples(st.integers(0, 2), st.integers(0, 15),
+                          st.integers(0, 100)), max_size=200))
+@settings(max_examples=60, **COMMON)
+def test_pq_model(ops):
+    q = LazyMaxPQ()
+    ref: dict[int, int] = {}
+    for op, key, prio in ops:
+        if op == 0:
+            q.insert(key, prio)
+            ref[key] = prio
+        elif op == 1:
+            q.remove(key)
+            ref.pop(key, None)
+        else:
+            got = q.pop()
+            if not ref:
+                assert got is None
+            else:
+                assert got is not None
+                assert got[1] == max(ref.values())
+                ref.pop(got[0])
+        assert len(q) == len(ref)
+
+
+# --------------------------------------------------------------------- #
+# Bisection theory vs brute force
+# --------------------------------------------------------------------- #
+
+@st.composite
+def tiny_weight_matrices(draw):
+    n = draw(st.integers(min_value=2, max_value=10))
+    m = draw(st.integers(min_value=1, max_value=3))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    w = rng.integers(1, 20, size=(n, m))
+    return w.astype(np.int64)
+
+
+def _optimal_excess(relw):
+    """Exhaustive minimum bisection excess over all 2^n side assignments."""
+    n = relw.shape[0]
+    best = np.inf
+    for mask in range(2 ** n):
+        where = np.array([(mask >> i) & 1 for i in range(n)], dtype=np.int64)
+        best = min(best, bisection_excess(relw, where))
+    return best
+
+
+@given(tiny_weight_matrices())
+@settings(max_examples=25, **COMMON)
+def test_greedy_bisection_near_optimal(vwgt):
+    """The greedy bisection lands within an additive m*wmax of the true
+    optimum (found by brute force on tiny instances)."""
+    relw = vwgt / vwgt.sum(axis=0)
+    m = relw.shape[1]
+    opt = _optimal_excess(relw)
+    got = bisection_excess(relw, greedy_bisection(relw, seed=0))
+    assert got <= opt + m * relw.max() + 1e-9
+
+
+@given(tiny_weight_matrices())
+@settings(max_examples=25, **COMMON)
+def test_best_projection_near_optimal(vwgt):
+    from repro.initpart import best_projection_bisection
+
+    relw = vwgt / vwgt.sum(axis=0)
+    m = relw.shape[1]
+    opt = _optimal_excess(relw)
+    got = bisection_excess(relw, best_projection_bisection(relw, seed=0))
+    assert got <= opt + m * relw.max() + 1e-9

@@ -1,0 +1,169 @@
+"""Unit tests for multi-constraint 2-way FM refinement."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError
+from repro.graph import from_edges, grid_2d, mesh_like
+from repro.refine import TwoWayState, balance_2way, edge_cut, fm2way_refine
+from repro.weights import max_imbalance, random_vwgt, type1_region_weights
+
+
+def _state_invariants(state: TwoWayState):
+    """Recompute everything from scratch and compare with tracked values."""
+    g, where = state.graph, state.where
+    assert state.cut == edge_cut(g, where)
+    pw0 = state.relw[where == 0].sum(axis=0)
+    pw1 = state.relw[where == 1].sum(axis=0)
+    assert np.allclose(state.pw[0], pw0, atol=1e-9)
+    assert np.allclose(state.pw[1], pw1, atol=1e-9)
+    from repro.refine import compute_2way_degrees
+
+    id_, ed = compute_2way_degrees(g, where)
+    assert np.array_equal(state.id_, id_)
+    assert np.array_equal(state.ed, ed)
+
+
+class TestTwoWayState:
+    def test_initial_invariants(self, mesh500):
+        rng = np.random.default_rng(0)
+        where = rng.integers(0, 2, 500)
+        state = TwoWayState(mesh500, where)
+        _state_invariants(state)
+
+    def test_move_maintains_invariants(self, mesh500):
+        rng = np.random.default_rng(1)
+        where = rng.integers(0, 2, 500)
+        state = TwoWayState(mesh500, where)
+        for v in rng.integers(0, 500, size=50).tolist():
+            state.move(v)
+        _state_invariants(state)
+
+    def test_move_is_involutive(self, mesh500):
+        rng = np.random.default_rng(2)
+        where = rng.integers(0, 2, 500)
+        state = TwoWayState(mesh500, where.copy())
+        cut0 = state.cut
+        state.move(7)
+        state.move(7)
+        assert state.cut == cut0
+        assert state.where[7] == where[7]
+
+    def test_rejects_bad_parts(self, mesh500):
+        with pytest.raises(PartitionError):
+            TwoWayState(mesh500, np.full(500, 2))
+
+    def test_rejects_bad_fracs(self, mesh500):
+        with pytest.raises(PartitionError):
+            TwoWayState(mesh500, np.zeros(500, dtype=int), target_fracs=(1.0, -0.5))
+
+    def test_vacuous_constraint_handled(self, mesh500):
+        vw = np.ones((500, 2), dtype=np.int64)
+        vw[:, 1] = 0  # zero-total constraint in this subgraph
+        g = mesh500.with_vwgt(vw)
+        state = TwoWayState(g, np.zeros(500, dtype=np.int64))
+        assert np.all(state.relw[:, 1] == 0)
+
+
+class TestBalance2Way:
+    def test_balances_skewed_start(self, mesh2000):
+        where = np.zeros(2000, dtype=np.int64)
+        where[:100] = 1  # 95/5 split
+        state = TwoWayState(mesh2000, where, ubvec=1.05)
+        assert not state.feasible()
+        moves = balance_2way(state)
+        assert moves > 0
+        assert state.feasible()
+        _state_invariants(state)
+
+    def test_noop_when_feasible(self, mesh500):
+        where = (np.arange(500) % 2).astype(np.int64)
+        state = TwoWayState(mesh500, where)
+        assert balance_2way(state) == 0
+
+    def test_multiconstraint_balance(self, mesh2000):
+        g = mesh2000.with_vwgt(type1_region_weights(mesh2000, 3, seed=0))
+        where = np.zeros(2000, dtype=np.int64)
+        where[:400] = 1
+        state = TwoWayState(g, where, ubvec=1.10)
+        balance_2way(state)
+        assert state.feasible()
+
+    def test_strictly_decreasing_objective_terminates(self, mesh500):
+        # Even with an unreachable tolerance target, the loop must stop.
+        vw = np.zeros((500, 1), dtype=np.int64)
+        vw[0, 0] = 100  # one giant vertex: perfect balance impossible
+        g = mesh500.with_vwgt(vw + 1)
+        where = np.zeros(500, dtype=np.int64)
+        state = TwoWayState(g, where, ubvec=1.01)
+        balance_2way(state)  # must terminate
+        _state_invariants(state)
+
+
+class TestFM:
+    def test_improves_random_split_on_grid(self):
+        g = grid_2d(16, 16)
+        rng = np.random.default_rng(0)
+        where = rng.integers(0, 2, 256)
+        stats = fm2way_refine(g, where, seed=1)
+        assert stats.final_cut < stats.initial_cut
+        assert stats.final_cut == edge_cut(g, where)
+        # A 16x16 grid bisection can reach cut 16; FM from random should
+        # land well under 60.
+        assert stats.final_cut <= 60
+        assert stats.feasible
+
+    def test_respects_tolerance(self, mesh2000):
+        rng = np.random.default_rng(1)
+        where = rng.integers(0, 2, 2000)
+        fm2way_refine(mesh2000, where, ubvec=1.03, seed=2)
+        assert max_imbalance(mesh2000.vwgt, where, 2) <= 1.03 + 1e-9
+
+    def test_multiconstraint_feasible(self, mesh2000):
+        g = mesh2000.with_vwgt(type1_region_weights(mesh2000, 3, seed=3))
+        rng = np.random.default_rng(4)
+        where = rng.integers(0, 2, 2000)
+        stats = fm2way_refine(g, where, ubvec=1.05, seed=5)
+        assert stats.feasible
+        assert stats.final_cut < stats.initial_cut
+
+    def test_never_worsens_perfect_cut(self):
+        # Two cliques joined by one edge, already optimally split.
+        edges = [(i, j) for i in range(4) for j in range(i + 1, 4)]
+        edges += [(i, j) for i in range(4, 8) for j in range(i + 1, 8)]
+        edges += [(0, 4)]
+        g = from_edges(8, edges)
+        where = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+        stats = fm2way_refine(g, where, seed=0)
+        assert stats.final_cut == 1
+
+    def test_asymmetric_target(self, mesh2000):
+        rng = np.random.default_rng(6)
+        where = rng.integers(0, 2, 2000)
+        fm2way_refine(mesh2000, where, target_fracs=(0.75, 0.25), ubvec=1.05, seed=7)
+        pw = mesh2000.vwgt[where == 0].sum() / mesh2000.vwgt.sum()
+        assert 0.70 <= pw <= 0.75 * 1.05 + 0.01
+
+    def test_unbalanced_start_ends_feasible(self, mesh2000):
+        where = np.zeros(2000, dtype=np.int64)
+        where[:10] = 1
+        stats = fm2way_refine(mesh2000, where, seed=8)
+        assert stats.feasible
+
+    def test_deterministic(self, mesh500):
+        rng = np.random.default_rng(9)
+        base = rng.integers(0, 2, 500)
+        a, b = base.copy(), base.copy()
+        sa = fm2way_refine(mesh500, a, seed=10)
+        sb = fm2way_refine(mesh500, b, seed=10)
+        assert sa.final_cut == sb.final_cut
+        assert np.array_equal(a, b)
+
+    def test_stats_counts(self, mesh500):
+        rng = np.random.default_rng(11)
+        where = rng.integers(0, 2, 500)
+        stats = fm2way_refine(mesh500, where, npasses=3, seed=12)
+        assert 1 <= stats.passes <= 3
+        assert stats.moves >= 0

@@ -1,0 +1,66 @@
+"""Unit tests for gain bookkeeping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError
+from repro.graph import from_edges, grid_2d
+from repro.refine import (
+    boundary_from_ed,
+    compute_2way_degrees,
+    edge_cut,
+    neighbor_part_weights,
+)
+
+
+class TestEdgeCut:
+    def test_no_cut(self):
+        g = from_edges(4, [(0, 1), (2, 3)])
+        assert edge_cut(g, [0, 0, 1, 1]) == 0
+
+    def test_full_cut(self):
+        g = from_edges(2, [(0, 1)], weights=[7])
+        assert edge_cut(g, [0, 1]) == 7
+
+    def test_grid_stripes(self):
+        g = grid_2d(4, 4)
+        part = np.repeat([0, 0, 1, 1], 4)
+        assert edge_cut(g, part) == 4
+
+    def test_kway(self):
+        g = grid_2d(4, 4)
+        part = np.repeat([0, 1, 2, 3], 4)
+        assert edge_cut(g, part) == 12
+
+    def test_bad_shape(self):
+        with pytest.raises(PartitionError):
+            edge_cut(grid_2d(2, 2), [0, 1])
+
+
+class TestDegrees:
+    def test_sum_identity(self, mesh500):
+        rng = np.random.default_rng(0)
+        where = rng.integers(0, 2, 500)
+        id_, ed = compute_2way_degrees(mesh500, where)
+        # id + ed = weighted degree.
+        src = np.repeat(np.arange(500), np.diff(mesh500.xadj))
+        wdeg = np.zeros(500, dtype=np.int64)
+        np.add.at(wdeg, src, mesh500.adjwgt)
+        assert np.array_equal(id_ + ed, wdeg)
+        assert int(ed.sum()) // 2 == edge_cut(mesh500, where)
+
+    def test_boundary(self):
+        g = grid_2d(4, 4)
+        part = np.repeat([0, 0, 1, 1], 4)
+        id_, ed = compute_2way_degrees(g, part)
+        bnd = boundary_from_ed(ed)
+        assert sorted(bnd.tolist()) == list(range(4, 12))
+
+
+class TestNeighborPartWeights:
+    def test_counts_by_part(self):
+        g = from_edges(4, [(0, 1), (0, 2), (0, 3)], weights=[1, 2, 3])
+        nbw = neighbor_part_weights(g, np.array([0, 0, 1, 1]), 0)
+        assert nbw == {0: 1, 1: 5}

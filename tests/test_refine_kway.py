@@ -1,0 +1,122 @@
+"""Unit tests for greedy multi-constraint k-way refinement and the
+explicit balancer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError
+from repro.graph import grid_2d
+from repro.refine import KWayState, balance_kway, edge_cut, kway_refine
+from repro.weights import max_imbalance, type1_region_weights
+
+
+def _state_invariants(state: KWayState):
+    pw = np.zeros_like(state.pw)
+    for c in range(state.relw.shape[1]):
+        pw[:, c] = np.bincount(state.where, weights=state.relw[:, c],
+                               minlength=state.nparts)
+    assert np.allclose(state.pw, pw, atol=1e-9)
+    assert np.array_equal(state.counts,
+                          np.bincount(state.where, minlength=state.nparts))
+
+
+class TestKWayState:
+    def test_initial_state(self, mesh500):
+        rng = np.random.default_rng(0)
+        where = rng.integers(0, 4, 500)
+        state = KWayState(mesh500, where, 4)
+        _state_invariants(state)
+
+    def test_moves_consistent(self, mesh500):
+        rng = np.random.default_rng(1)
+        where = rng.integers(0, 4, 500)
+        state = KWayState(mesh500, where, 4)
+        for v in rng.integers(0, 500, 60).tolist():
+            state.move(v, int(rng.integers(4)))
+        _state_invariants(state)
+
+    def test_boundary_detection(self):
+        g = grid_2d(4, 4)
+        part = np.repeat([0, 0, 1, 1], 4)
+        state = KWayState(g, part, 2)
+        assert sorted(state.boundary().tolist()) == list(range(4, 12))
+
+    def test_rejects_out_of_range(self, mesh500):
+        with pytest.raises(PartitionError):
+            KWayState(mesh500, np.full(500, 9), 4)
+
+
+class TestKWayRefine:
+    def test_improves_random(self, mesh2000):
+        rng = np.random.default_rng(2)
+        where = rng.integers(0, 8, 2000)
+        stats = kway_refine(mesh2000, where, 8, seed=3)
+        assert stats.final_cut < stats.initial_cut
+        assert stats.final_cut == edge_cut(mesh2000, where)
+        assert stats.feasible
+
+    def test_multiconstraint_feasible(self, mesh2000):
+        g = mesh2000.with_vwgt(type1_region_weights(mesh2000, 4, seed=4))
+        rng = np.random.default_rng(5)
+        where = rng.integers(0, 8, 2000)
+        stats = kway_refine(g, where, 8, ubvec=1.10, seed=6)
+        assert stats.feasible
+        assert max_imbalance(g.vwgt, where, 8) <= 1.10 + 1e-9
+
+    def test_no_move_on_perfect_partition(self):
+        g = grid_2d(4, 4)
+        part = np.repeat([0, 0, 1, 1], 4)
+        stats = kway_refine(g, part, 2, seed=0)
+        assert stats.final_cut <= 4
+
+    def test_never_empties_a_part(self, mesh500):
+        rng = np.random.default_rng(7)
+        where = rng.integers(0, 16, 500)
+        kway_refine(mesh500, where, 16, seed=8)
+        assert np.all(np.bincount(where, minlength=16) > 0)
+
+    def test_deterministic(self, mesh500):
+        rng = np.random.default_rng(9)
+        base = rng.integers(0, 4, 500)
+        a, b = base.copy(), base.copy()
+        sa = kway_refine(mesh500, a, 4, seed=10)
+        sb = kway_refine(mesh500, b, 4, seed=10)
+        assert sa.final_cut == sb.final_cut
+        assert np.array_equal(a, b)
+
+
+class TestBalanceKWay:
+    def test_restores_feasibility(self, mesh2000):
+        where = np.zeros(2000, dtype=np.int64)
+        where[:50] = 1
+        where[50:100] = 2
+        where[100:150] = 3
+        moved = balance_kway(mesh2000, where, 4, ubvec=1.05)
+        assert moved > 0
+        assert max_imbalance(mesh2000.vwgt, where, 4) <= 1.05 + 1e-9
+
+    def test_multiconstraint(self, mesh2000):
+        g = mesh2000.with_vwgt(type1_region_weights(mesh2000, 2, seed=11))
+        rng = np.random.default_rng(12)
+        # Very skewed by construction: sort vertices by weight into parts.
+        order = np.argsort(g.vwgt[:, 0])
+        where = np.zeros(2000, dtype=np.int64)
+        where[order[:1700]] = 0
+        where[order[1700:]] = 1
+        where[order[1800:]] = 2
+        where[order[1900:]] = 3
+        balance_kway(g, where, 4, ubvec=1.25)
+        assert max_imbalance(g.vwgt, where, 4) <= 1.25 + 1e-6
+
+    def test_noop_when_feasible(self, mesh500):
+        where = (np.arange(500) % 4).astype(np.int64)
+        assert balance_kway(mesh500, where, 4, ubvec=1.05) == 0
+
+    def test_terminates_on_impossible_instance(self, mesh500):
+        vw = np.ones((500, 1), dtype=np.int64)
+        vw[0] = 1000  # giant vertex makes 1% tolerance impossible
+        g = mesh500.with_vwgt(vw)
+        where = (np.arange(500) % 4).astype(np.int64)
+        balance_kway(g, where, 4, ubvec=1.01)  # must terminate

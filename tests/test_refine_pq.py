@@ -1,0 +1,113 @@
+"""Unit tests for the lazy-deletion priority queue."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.refine import LazyMaxPQ
+
+
+class TestLazyMaxPQ:
+    def test_insert_pop_order(self):
+        q = LazyMaxPQ()
+        for k, p in [(1, 5.0), (2, 9.0), (3, 1.0)]:
+            q.insert(k, p)
+        assert q.pop() == (2, 9.0)
+        assert q.pop() == (1, 5.0)
+        assert q.pop() == (3, 1.0)
+        assert q.pop() is None
+
+    def test_len_tracks_live_keys(self):
+        q = LazyMaxPQ()
+        q.insert(1, 1.0)
+        q.insert(2, 2.0)
+        assert len(q) == 2
+        q.remove(1)
+        assert len(q) == 1
+        q.pop()
+        assert len(q) == 0
+
+    def test_update_changes_priority(self):
+        q = LazyMaxPQ()
+        q.insert(1, 1.0)
+        q.insert(2, 2.0)
+        q.update(1, 10.0)
+        assert q.pop() == (1, 10.0)
+
+    def test_update_down(self):
+        q = LazyMaxPQ()
+        q.insert(1, 10.0)
+        q.insert(2, 5.0)
+        q.update(1, 1.0)
+        assert q.pop() == (2, 5.0)
+
+    def test_insert_existing_key_does_not_grow_len(self):
+        q = LazyMaxPQ()
+        q.insert(1, 1.0)
+        q.insert(1, 2.0)
+        assert len(q) == 1
+
+    def test_remove_absent_key_noop(self):
+        q = LazyMaxPQ()
+        q.remove(42)
+        assert len(q) == 0
+
+    def test_remove_then_reinsert(self):
+        q = LazyMaxPQ()
+        q.insert(1, 5.0)
+        q.remove(1)
+        q.insert(1, 7.0)
+        assert q.pop() == (1, 7.0)
+
+    def test_contains_and_priority(self):
+        q = LazyMaxPQ()
+        q.insert(3, 4.5)
+        assert 3 in q and 4 not in q
+        assert q.priority(3) == 4.5
+        assert q.priority(4) is None
+
+    def test_peek_does_not_remove(self):
+        q = LazyMaxPQ()
+        q.insert(1, 1.0)
+        assert q.peek() == (1, 1.0)
+        assert len(q) == 1
+        assert q.pop() == (1, 1.0)
+
+    def test_ties_are_stable_keys(self):
+        q = LazyMaxPQ()
+        q.insert(5, 1.0)
+        q.insert(3, 1.0)
+        popped = {q.pop()[0], q.pop()[0]}
+        assert popped == {3, 5}
+
+    def test_clear(self):
+        q = LazyMaxPQ()
+        for i in range(10):
+            q.insert(i, float(i))
+        q.clear()
+        assert len(q) == 0 and q.pop() is None
+
+    def test_stress_against_reference(self):
+        rng = np.random.default_rng(0)
+        q = LazyMaxPQ()
+        ref: dict[int, float] = {}
+        for _ in range(3000):
+            op = rng.integers(4)
+            k = int(rng.integers(50))
+            if op == 0:
+                p = float(rng.integers(100))
+                q.insert(k, p)
+                ref[k] = p
+            elif op == 1:
+                q.remove(k)
+                ref.pop(k, None)
+            elif op == 2 and ref:
+                got = q.pop()
+                exp_key = max(ref, key=lambda kk: (ref[kk], ))
+                assert got is not None
+                assert got[1] == max(ref.values())
+                ref.pop(got[0])
+            else:
+                assert len(q) == len(ref)
+        assert len(q) == len(ref)

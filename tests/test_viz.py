@@ -1,0 +1,67 @@
+"""Tests for the SVG partition renderer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError, PartitionError
+from repro.graph import from_edges, grid_2d
+from repro.viz import PALETTE, partition_svg, save_partition_svg
+
+
+class TestPartitionSvg:
+    def test_basic_document(self):
+        g = grid_2d(4, 4)
+        part = np.repeat([0, 1], 8)
+        svg = partition_svg(g, part)
+        assert svg.startswith("<svg")
+        assert svg.rstrip().endswith("</svg>")
+        assert svg.count("<circle") == 16
+        assert PALETTE[0] in svg and PALETTE[1] in svg
+
+    def test_cut_edges_highlighted(self):
+        g = grid_2d(4, 4)
+        part = np.repeat([0, 1], 8)
+        svg = partition_svg(g, part)
+        assert 'stroke="#222222"' in svg  # cut edges
+        assert 'stroke="#dddddd"' in svg  # internal edges
+
+    def test_no_edges_mode(self):
+        g = grid_2d(3, 3)
+        svg = partition_svg(g, np.zeros(9, dtype=int), show_edges=False)
+        assert "path" not in svg
+
+    def test_requires_coords(self):
+        g = from_edges(3, [(0, 1), (1, 2)])
+        with pytest.raises(GraphError):
+            partition_svg(g, np.zeros(3, dtype=int))
+
+    def test_part_shape_checked(self):
+        g = grid_2d(3, 3)
+        with pytest.raises(PartitionError):
+            partition_svg(g, np.zeros(4, dtype=int))
+
+    def test_many_parts_cycle_palette(self):
+        g = grid_2d(6, 6)
+        part = np.arange(36) % 20
+        svg = partition_svg(g, part)
+        assert svg.count("<g fill=") == 20
+
+    def test_save(self, tmp_path):
+        g = grid_2d(3, 3)
+        p = tmp_path / "out.svg"
+        save_partition_svg(g, np.zeros(9, dtype=int), p)
+        assert p.read_text().startswith("<svg")
+
+    def test_degenerate_coords(self):
+        g = grid_2d(1, 3)  # all x coordinates equal
+        svg = partition_svg(g, np.zeros(3, dtype=int))
+        assert "<svg" in svg
+
+    def test_real_partition_renders(self, tri800):
+        from repro.partition import part_graph
+
+        res = part_graph(tri800, 4, seed=0)
+        svg = partition_svg(tri800, res.part)
+        assert svg.count("<g fill=") == 4

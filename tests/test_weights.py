@@ -1,0 +1,308 @@
+"""Unit tests for weight normalisation, balance arithmetic, and the Type-1 /
+Type-2 workload generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import BalanceError, PartitionError, WeightError
+from repro.weights import (
+    DEFAULT_ACTIVE_FRACTIONS,
+    as_target_fracs,
+    as_ubvec,
+    coactivity_edge_weights,
+    imbalance,
+    is_balanced,
+    max_imbalance,
+    max_relative_weight,
+    part_weights,
+    random_vwgt,
+    relative_weights,
+    totals,
+    type1_region_weights,
+    type2_multiphase,
+)
+
+
+class TestNormalize:
+    def test_relative_weights_columns_sum_to_one(self):
+        w = np.array([[1, 10], [3, 30], [6, 60]])
+        r = relative_weights(w)
+        assert np.allclose(r.sum(axis=0), 1.0)
+        assert np.allclose(r[:, 0], r[:, 1])
+
+    def test_zero_column_rejected(self):
+        with pytest.raises(WeightError):
+            relative_weights(np.array([[1, 0], [2, 0]]))
+
+    def test_totals(self):
+        assert totals(np.array([[1, 2], [3, 4]])).tolist() == [4, 6]
+
+    def test_totals_requires_2d(self):
+        with pytest.raises(WeightError):
+            totals(np.array([1, 2, 3]))
+
+    def test_max_relative_weight(self):
+        w = np.array([[1], [1], [2]])
+        assert max_relative_weight(w) == pytest.approx(0.5)
+
+
+class TestPartWeights:
+    def test_basic(self):
+        vw = np.array([[1, 10], [2, 20], [3, 30]])
+        pw = part_weights(vw, np.array([0, 1, 0]), 2)
+        assert pw.tolist() == [[4, 40], [2, 20]]
+
+    def test_empty_part_is_zero(self):
+        pw = part_weights(np.array([[1]]), np.array([0]), 3)
+        assert pw.tolist() == [[1], [0], [0]]
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(PartitionError):
+            part_weights(np.ones((3, 1)), np.array([0, 1]), 2)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(PartitionError):
+            part_weights(np.ones((2, 1)), np.array([0, 2]), 2)
+
+
+class TestImbalance:
+    def test_perfect(self):
+        vw = np.ones((4, 2), dtype=np.int64)
+        part = np.array([0, 0, 1, 1])
+        assert np.allclose(imbalance(vw, part, 2), 1.0)
+        assert max_imbalance(vw, part, 2) == pytest.approx(1.0)
+
+    def test_skewed(self):
+        vw = np.array([[3], [1], [1], [1]])
+        part = np.array([0, 1, 1, 1])
+        # part 0 has 3 of 6 total, target 3; part 1 has 3 -> balanced.
+        assert max_imbalance(vw, part, 2) == pytest.approx(1.0)
+        part = np.array([0, 0, 1, 1])
+        # part 0 has 4/6 -> 4/3 imbalance.
+        assert max_imbalance(vw, part, 2) == pytest.approx(4 / 3)
+
+    def test_per_constraint_independent(self):
+        vw = np.array([[1, 3], [1, 1], [1, 1], [1, 1]])
+        part = np.array([0, 0, 1, 1])
+        im = imbalance(vw, part, 2)
+        assert im[0] == pytest.approx(1.0)
+        assert im[1] == pytest.approx(4 / 3)
+
+    def test_target_fractions(self):
+        vw = np.ones((4, 1), dtype=np.int64)
+        part = np.array([0, 0, 0, 1])
+        im = imbalance(vw, part, 2, target_fracs=[0.75, 0.25])
+        assert im[0] == pytest.approx(1.0)
+
+    def test_is_balanced(self):
+        vw = np.ones((4, 1), dtype=np.int64)
+        assert is_balanced(vw, np.array([0, 0, 1, 1]), 2, 1.05)
+        assert not is_balanced(vw, np.array([0, 0, 0, 1]), 2, 1.05)
+
+
+class TestCoercions:
+    def test_ubvec_scalar(self):
+        assert as_ubvec(1.05, 3).tolist() == [1.05, 1.05, 1.05]
+
+    def test_ubvec_vector(self):
+        assert as_ubvec([1.1, 1.2], 2).tolist() == [1.1, 1.2]
+
+    def test_ubvec_bad_length(self):
+        with pytest.raises(BalanceError):
+            as_ubvec([1.1], 2)
+
+    def test_ubvec_must_exceed_one(self):
+        with pytest.raises(BalanceError):
+            as_ubvec(1.0, 2)
+
+    def test_target_fracs_default_uniform(self):
+        assert np.allclose(as_target_fracs(None, 4), 0.25)
+
+    def test_target_fracs_renormalised(self):
+        fr = as_target_fracs([1, 3], 2)
+        assert np.allclose(fr, [0.25, 0.75])
+
+    def test_target_fracs_positive(self):
+        with pytest.raises(BalanceError):
+            as_target_fracs([0.0, 1.0], 2)
+
+
+class TestRandomVwgt:
+    def test_shape_and_range(self):
+        w = random_vwgt(100, 3, seed=0)
+        assert w.shape == (100, 3)
+        assert w.min() >= 0 and w.max() <= 19
+
+    def test_no_zero_column(self):
+        w = random_vwgt(5, 2, low=0, high=0, seed=0)
+        assert np.all(w.sum(axis=0) > 0)
+
+    def test_bad_args(self):
+        with pytest.raises(WeightError):
+            random_vwgt(5, 0)
+        with pytest.raises(WeightError):
+            random_vwgt(5, 1, low=5, high=2)
+
+
+class TestType1:
+    def test_region_constant_vectors(self, mesh500):
+        from repro.graph.ops import bfs_regions
+
+        regions = bfs_regions(mesh500, 16, seed=1)
+        w = type1_region_weights(mesh500, 3, regions=regions, seed=2)
+        assert w.shape == (500, 3)
+        for rid in range(16):
+            rows = w[regions == rid]
+            assert np.all(rows == rows[0])
+
+    def test_columns_nonzero(self, mesh500):
+        w = type1_region_weights(mesh500, 5, seed=3)
+        assert np.all(w.sum(axis=0) > 0)
+
+    def test_deterministic(self, mesh500):
+        a = type1_region_weights(mesh500, 2, seed=9)
+        b = type1_region_weights(mesh500, 2, seed=9)
+        assert np.array_equal(a, b)
+
+    def test_regions_shape_checked(self, mesh500):
+        with pytest.raises(WeightError):
+            type1_region_weights(mesh500, 2, regions=np.zeros(3, dtype=int))
+
+
+class TestType2:
+    def test_phase0_fully_active(self, mesh500):
+        vw, act = type2_multiphase(mesh500, 3, seed=0)
+        assert np.all(act[:, 0])
+        assert vw.shape == (500, 3)
+        assert set(np.unique(vw)) <= {0, 1}
+
+    def test_active_fractions_respected(self, mesh2000):
+        vw, act = type2_multiphase(mesh2000, 5, nregions=32, seed=1)
+        fracs = act.mean(axis=0)
+        expected = np.array(DEFAULT_ACTIVE_FRACTIONS)
+        # Regions are uneven so allow generous slack, but ordering of the
+        # big differences must hold.
+        assert fracs[0] == 1.0
+        assert fracs[4] < fracs[1]
+
+    def test_explicit_fractions(self, mesh500):
+        vw, act = type2_multiphase(mesh500, 2, active_fractions=[1.0, 0.5],
+                                   nregions=10, seed=2)
+        assert act[:, 1].mean() < 1.0
+
+    def test_too_many_phases_needs_explicit_fractions(self, mesh500):
+        with pytest.raises(WeightError):
+            type2_multiphase(mesh500, 6, seed=0)
+
+    def test_bad_fractions(self, mesh500):
+        with pytest.raises(WeightError):
+            type2_multiphase(mesh500, 2, active_fractions=[1.0, 0.0])
+
+
+class TestCoactivity:
+    def test_weights_count_shared_phases(self):
+        from repro.graph import from_edges
+
+        g = from_edges(3, [(0, 1), (1, 2)])
+        act = np.array([[1, 1], [1, 0], [0, 1]], dtype=bool)
+        ew = coactivity_edge_weights(g, act)
+        gw = g.with_adjwgt(ew)
+        # edge (0,1): both active in phase 0 only -> 1
+        # edge (1,2): no shared phase -> 0
+        assert gw.total_adjwgt() == 1
+
+    def test_full_activity_weight_equals_nphases(self, mesh500):
+        act = np.ones((500, 4), dtype=bool)
+        ew = coactivity_edge_weights(mesh500, act)
+        assert np.all(ew == 4)
+
+    def test_misaligned_rejected(self, mesh500):
+        with pytest.raises(WeightError):
+            coactivity_edge_weights(mesh500, np.ones((3, 2), dtype=bool))
+
+    def test_symmetric(self, mesh500):
+        _, act = type2_multiphase(mesh500, 3, seed=5)
+        ew = coactivity_edge_weights(mesh500, act)
+        mesh500.with_adjwgt(ew).validate()
+
+
+class TestTraces:
+    def test_moving_front_shapes_and_sweep(self, mesh2000):
+        from repro.weights import moving_front_trace
+
+        trace = moving_front_trace(mesh2000, 5, seed=0)
+        assert len(trace) == 5
+        for vw in trace:
+            assert vw.shape == (2000, 2)
+            assert np.all(vw[:, 0] == 1)
+            assert vw[:, 1].sum() > 0
+        # The front moves: consecutive active sets differ.
+        a0 = trace[0][:, 1] > 0
+        a4 = trace[-1][:, 1] > 0
+        assert (a0 != a4).mean() > 0.1
+
+    def test_growing_region_monotone(self, mesh2000):
+        from repro.weights import growing_region_trace
+
+        trace = growing_region_trace(mesh2000, 4, peak_fraction=0.5, seed=1)
+        sizes = [int((vw[:, 1] > 0).sum()) for vw in trace]
+        assert sizes == sorted(sizes)
+        assert sizes[-1] == pytest.approx(1000, rel=0.05)
+        # Nesting: earlier regions are subsets of later ones.
+        for a, b in zip(trace, trace[1:]):
+            assert np.all((a[:, 1] > 0) <= (b[:, 1] > 0))
+
+    def test_drifting_phases_coherent(self, mesh2000):
+        from repro.weights import drifting_phases_trace
+
+        trace = drifting_phases_trace(mesh2000, 4, nphases=3, drift=0.25, seed=2)
+        assert len(trace) == 4
+        for vw in trace:
+            assert vw.shape == (2000, 3)
+            assert np.all(vw[:, 0] == 1)  # base phase always fully active
+        # Coherence: consecutive steps of phase 1 overlap substantially.
+        a, b = trace[0][:, 1] > 0, trace[1][:, 1] > 0
+        inter = np.logical_and(a, b).sum()
+        union = np.logical_or(a, b).sum()
+        assert inter / union > 0.4
+
+    def test_trace_validation(self, mesh500):
+        from repro.errors import WeightError
+        from repro.weights import (
+            drifting_phases_trace,
+            growing_region_trace,
+            moving_front_trace,
+        )
+
+        with pytest.raises(WeightError):
+            moving_front_trace(mesh500, 0)
+        with pytest.raises(WeightError):
+            moving_front_trace(mesh500, 3, width=0.9)
+        with pytest.raises(WeightError):
+            growing_region_trace(mesh500, 2, peak_fraction=0.0)
+        with pytest.raises(WeightError):
+            drifting_phases_trace(mesh500, 2, drift=2.0)
+
+    def test_traces_deterministic(self, mesh500):
+        from repro.weights import drifting_phases_trace
+
+        a = drifting_phases_trace(mesh500, 3, seed=7)
+        b = drifting_phases_trace(mesh500, 3, seed=7)
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+    def test_trace_feeds_adaptive(self, mesh2000):
+        """Traces plug straight into the adaptive repartitioner."""
+        from repro.adaptive import refine_partition
+        from repro.partition import part_graph
+        from repro.weights import moving_front_trace
+
+        trace = moving_front_trace(mesh2000, 3, seed=3)
+        part = part_graph(mesh2000.with_vwgt(trace[0]), 4, seed=4).part
+        for vw in trace[1:]:
+            res = refine_partition(mesh2000.with_vwgt(vw), part, 4,
+                                   ubvec=1.10, seed=5)
+            part = res.part
+            assert res.max_imbalance <= 1.12
