@@ -5,8 +5,10 @@
 install:
 	pip install -e .
 
+# Matches the tier-1 verification command: src-layout without requiring an
+# editable install.
 test:
-	pytest tests/
+	PYTHONPATH=src python -m pytest -x -q
 
 bench:
 	pytest benchmarks/ --benchmark-only

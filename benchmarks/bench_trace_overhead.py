@@ -1,0 +1,86 @@
+"""T1 -- Tracing overhead: the no-op tracer must be free.
+
+The drivers are instrumented unconditionally (`with tracer.span(...)`), so
+the cost of tracing-off is exactly the cost of the null-tracer calls.  This
+bench bounds that cost two ways on a 10k-vertex mesh:
+
+1. *measured estimate*: micro-time one null span open/close, count the
+   spans an actually-traced run emits, and bound the no-op overhead as
+   ``nspans x cost_per_span`` -- asserted < 5% of the untraced
+   ``part_graph`` wall time (the acceptance budget; in practice it is
+   orders of magnitude below it);
+2. *end-to-end sanity*: a fully-traced run (in-memory sink) must stay
+   within 1.3x of the untraced run, i.e. even tracing **on** is cheap at
+   this granularity.
+"""
+
+from __future__ import annotations
+
+import time
+
+from _util import emit_table, timed
+
+from repro.graph import mesh_like
+from repro.partition import part_graph
+from repro.trace import NULL_TRACER, InMemorySink, Tracer
+from repro.weights import type1_region_weights
+
+N = 10_000
+K = 8
+M = 3
+SEED = 11
+NULL_REPS = 200_000
+
+
+def _graph():
+    g = mesh_like(N, seed=SEED)
+    return g.with_vwgt(type1_region_weights(g, M, seed=SEED))
+
+
+def _null_span_cost() -> float:
+    t0 = time.perf_counter()
+    for _ in range(NULL_REPS):
+        with NULL_TRACER.span("x", nvtxs=0):
+            pass
+    return (time.perf_counter() - t0) / NULL_REPS
+
+
+def _run():
+    g = _graph()
+    part_graph(g, K, seed=SEED)  # warm caches so the timed pair is fair
+
+    _, t_off = timed(part_graph, g, K, seed=SEED)
+
+    sink = InMemorySink()
+    tracer = Tracer([sink])
+    _, t_on = timed(part_graph, g, K, seed=SEED, tracer=tracer)
+    tracer.finish()
+    nspans = sum(e["event"] == "span" for e in sink.events)
+
+    per_span = _null_span_cost()
+    est_noop = nspans * per_span
+    return t_off, t_on, nspans, per_span, est_noop
+
+
+def test_trace_overhead(once):
+    t_off, t_on, nspans, per_span, est_noop = once(_run)
+    noop_frac = est_noop / t_off
+    emit_table(
+        "trace_overhead",
+        ["tracing", "time (s)", "spans", "ns per null span",
+         "est. no-op overhead", "vs untraced"],
+        [
+            ["off (default)", f"{t_off:.2f}", nspans, f"{per_span * 1e9:.0f}",
+             f"{est_noop * 1e3:.3f}ms", f"{noop_frac:.4%}"],
+            ["on (in-memory)", f"{t_on:.2f}", "-", "-", "-",
+             f"{t_on / t_off - 1:+.1%}"],
+        ],
+        f"T1: tracing overhead on part_graph (n={N}, m={M}, k={K})",
+    )
+    # The acceptance budget: no-op tracing costs < 5% of an untraced run.
+    assert noop_frac < 0.05, (
+        f"null tracer overhead {noop_frac:.2%} exceeds the 5% budget "
+        f"({nspans} spans x {per_span * 1e9:.0f}ns vs {t_off:.2f}s)"
+    )
+    # Even full tracing should be far from doubling the run.
+    assert t_on <= 1.3 * t_off + 0.05

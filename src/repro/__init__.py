@@ -24,6 +24,7 @@ Package map
 ``repro.refine``     multi-constraint FM and greedy k-way refiners.
 ``repro.partition``  multilevel drivers and the :func:`part_graph` API.
 ``repro.metrics``    quality metrics and reports.
+``repro.trace``      structured tracing & metrics (spans, sinks, reports).
 ``repro.baselines``  single-constraint / spectral / trivial comparators.
 ``repro.multiphase`` multi-phase computation model (the motivating use).
 ``repro.parallel``   simulated coarse-grain parallel formulation
@@ -52,6 +53,7 @@ from .graph import (
 )
 from .metrics import PartitionReport, comm_volume, edge_cut
 from .partition import PartitionOptions, PartitionResult, part_graph
+from .trace import NULL_TRACER, TraceReport, Tracer
 from .weights import (
     coactivity_edge_weights,
     imbalance,
@@ -92,6 +94,10 @@ __all__ = [
     "part_graph",
     "PartitionResult",
     "PartitionOptions",
+    # tracing
+    "Tracer",
+    "TraceReport",
+    "NULL_TRACER",
     # metrics
     "edge_cut",
     "comm_volume",

@@ -1,16 +1,23 @@
 """Multilevel diagnostics: coarsening profiles, matching efficiency,
-partition anatomy."""
+partition anatomy -- fed either from a :class:`~repro.coarsen.Hierarchy`
+or from a traced run's :class:`repro.trace.TraceReport`."""
 
 from .diagnostics import (
     coarsening_profile,
+    coarsening_profile_from_trace,
     matching_efficiency,
     partition_anatomy,
     profile_text,
+    refinement_profile,
+    refinement_profile_text,
 )
 
 __all__ = [
     "coarsening_profile",
+    "coarsening_profile_from_trace",
     "matching_efficiency",
     "partition_anatomy",
     "profile_text",
+    "refinement_profile",
+    "refinement_profile_text",
 ]

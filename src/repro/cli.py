@@ -8,6 +8,10 @@ convention)::
 
 ``repro-part --demo N`` generates a synthetic mesh instead of reading a
 file, which makes the CLI self-contained for smoke tests.
+
+Observability: ``--trace run.jsonl`` streams the run's span/metrics events
+to a JSON-lines file and ``--trace-summary`` prints the span tree (phase
+and per-level timings, cut, imbalance); see ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -52,6 +56,13 @@ def build_parser() -> argparse.ArgumentParser:
                         "coordinates, e.g. --demo graphs)")
     p.add_argument("--nseeds", type=int, default=1,
                    help="run an N-seed ensemble and keep the best partition")
+    p.add_argument("--trace", metavar="FILE",
+                   help="write a structured JSONL trace of the run to FILE "
+                        "(spans with timings + metrics; see "
+                        "docs/observability.md)")
+    p.add_argument("--trace-summary", action="store_true",
+                   help="print the span tree (phases, per-level sizes, "
+                        "cut/imbalance, timings) after the run")
     p.add_argument("--quiet", action="store_true", help="print only the summary line")
     return p
 
@@ -90,6 +101,12 @@ def main(argv=None) -> int:
                 save_partition_svg(graph, part, args.svg)
             return 0
 
+        tracer = None
+        if args.trace or args.trace_summary:
+            from .trace import JsonlSink, Tracer
+
+            tracer = Tracer([JsonlSink(args.trace)] if args.trace else [])
+
         t0 = time.perf_counter()
         if args.nseeds > 1:
             from .partition.ensemble import best_of
@@ -98,6 +115,7 @@ def main(argv=None) -> int:
                 graph, args.nparts, args.nseeds,
                 seed=args.seed, method=args.method,
                 ubvec=args.tol, matching=args.matching,
+                tracer=tracer,
             )
             res = ens.best
             elapsed = time.perf_counter() - t0
@@ -110,9 +128,16 @@ def main(argv=None) -> int:
                 ubvec=args.tol,
                 seed=args.seed,
                 matching=args.matching,
+                tracer=tracer,
             )
             elapsed = time.perf_counter() - t0
             print(res.summary() + f"  [{elapsed:.2f}s]")
+        if tracer is not None:
+            tracer.finish()
+            if args.trace_summary:
+                print(res.stats.render())
+            if args.trace and not args.quiet:
+                print(f"trace written to {args.trace}")
         if not args.quiet:
             print(f"graph: {source} ({graph.nvtxs} vertices, {graph.nedges} edges, "
                   f"{graph.ncon} constraints)")
@@ -128,7 +153,7 @@ def main(argv=None) -> int:
             if not args.quiet:
                 print(f"rendering written to {args.svg}")
         return 0
-    except ReproError as exc:
+    except (ReproError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
 

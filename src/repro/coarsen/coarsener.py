@@ -22,6 +22,7 @@ from .._rng import as_rng, spawn
 from ..errors import GraphError
 from ..graph.contract import contract
 from ..graph.csr import Graph
+from ..trace import as_tracer
 from .matching import MATCHERS, matching_to_cmap, two_hop_matching
 
 __all__ = ["Level", "Hierarchy", "coarsen"]
@@ -78,6 +79,7 @@ def coarsen(
     min_shrink: float = 0.95,
     two_hop: bool = True,
     seed=None,
+    tracer=None,
 ) -> Hierarchy:
     """Build a coarsening hierarchy for ``graph``.
 
@@ -100,12 +102,17 @@ def coarsen(
         coarsening).  Default on.
     seed:
         RNG seed / generator.
+    tracer:
+        Optional :class:`repro.trace.Tracer`; each match+contract step is
+        recorded as a ``coarsen_level`` span (fine/coarse sizes, exposed
+        edge weight, shrink factor).
     """
     if matching not in MATCHERS:
         raise GraphError(f"unknown matching scheme {matching!r}; pick from {sorted(MATCHERS)}")
     if coarsen_to < 1:
         raise GraphError("coarsen_to must be >= 1")
     matcher = MATCHERS[matching]
+    tracer = as_tracer(tracer)
     rng = as_rng(seed)
 
     # Relative weights are with respect to the *finest* totals, which are
@@ -116,19 +123,33 @@ def coarsen(
     hier = Hierarchy()
     cur = graph
     while cur.nvtxs > coarsen_to and hier.nlevels < max_levels:
-        (child_rng,) = spawn(rng, 1)
-        if matching == "rm":
-            match = matcher(cur, child_rng)
-        else:
-            match = matcher(cur, child_rng, relw=cur.vwgt / tvwgt)
-        cmap, ncoarse = matching_to_cmap(match)
-        if ncoarse > min_shrink * cur.nvtxs and two_hop:
-            (hop_rng,) = spawn(rng, 1)
-            match = two_hop_matching(cur, match, seed=hop_rng)
+        with tracer.span("coarsen_level", nvtxs=cur.nvtxs) as sp:
+            (child_rng,) = spawn(rng, 1)
+            if matching == "rm":
+                match = matcher(cur, child_rng)
+            else:
+                match = matcher(cur, child_rng, relw=cur.vwgt / tvwgt)
             cmap, ncoarse = matching_to_cmap(match)
-        if ncoarse > min_shrink * cur.nvtxs:
-            break
-        hier.levels.append(Level(graph=cur, cmap=cmap))
-        cur = contract(cur, cmap, ncoarse)
+            if ncoarse > min_shrink * cur.nvtxs and two_hop:
+                (hop_rng,) = spawn(rng, 1)
+                match = two_hop_matching(cur, match, seed=hop_rng)
+                cmap, ncoarse = matching_to_cmap(match)
+            if ncoarse > min_shrink * cur.nvtxs:
+                sp.set(stalled=True)
+                break
+            hier.levels.append(Level(graph=cur, cmap=cmap))
+            nxt = contract(cur, cmap, ncoarse)
+            if tracer.enabled:
+                sp.set(
+                    nedges=cur.nedges,
+                    exposed_edge_weight=int(cur.total_adjwgt()),
+                    max_vwgt=int(cur.vwgt.max(initial=0)),
+                    coarse_nvtxs=nxt.nvtxs,
+                    coarse_nedges=nxt.nedges,
+                    coarse_exposed_edge_weight=int(nxt.total_adjwgt()),
+                    coarse_max_vwgt=int(nxt.vwgt.max(initial=0)),
+                    shrink=ncoarse / cur.nvtxs,
+                )
+            cur = nxt
     hier.coarsest = cur
     return hier

@@ -167,6 +167,8 @@ def read_partition(path_or_file, nvtxs: int | None = None) -> np.ndarray:
             )
         except ValueError as exc:
             raise PartitionError("partition file contains a non-integer line") from exc
+        except OverflowError as exc:
+            raise PartitionError("partition id out of range") from exc
     finally:
         if owned:
             fh.close()

@@ -28,6 +28,7 @@ from .._rng import as_rng, spawn
 from ..errors import PartitionError
 from ..graph.csr import Graph
 from ..refine.fm2way import TwoWayState, fm2way_refine
+from ..trace import as_tracer
 from .theory import best_projection_bisection, greedy_bisection
 
 __all__ = ["initial_bisection", "grow_bisection", "gggp_bisection", "INITIAL_METHODS"]
@@ -141,18 +142,21 @@ def initial_bisection(
     refine_passes: int = 6,
     seed=None,
     methods=INITIAL_METHODS,
+    tracer=None,
 ) -> np.ndarray:
     """Compute an initial bisection of (a small) ``graph``.
 
     Generates ``ntries`` rounds of candidates from each method in
     ``methods``, FM-refines every candidate, and returns the best by
-    (feasible, cut, balance-excess).
+    (feasible, cut, balance-excess).  ``tracer`` records one ``initbisect``
+    span per call (candidate count, winning method/cut).
     """
     if graph.nvtxs == 0:
         return np.zeros(0, dtype=np.int64)
     unknown = set(methods) - set(INITIAL_METHODS)
     if unknown:
         raise PartitionError(f"unknown initial bisection methods: {sorted(unknown)}")
+    tracer = as_tracer(tracer)
     rng = as_rng(seed)
     fr = np.asarray(target_fracs, dtype=np.float64)
     fr = fr / fr.sum()
@@ -164,34 +168,43 @@ def initial_bisection(
 
     best_where = None
     best_key = None
-    for _ in range(max(1, ntries)):
-        for method in methods:
-            (child,) = spawn(rng, 1)
-            if method == "greedy":
-                where = greedy_bisection(relw, target, seed=child)
-            elif method == "prefix":
-                where = best_projection_bisection(relw, target=target, seed=child)
-            elif method == "region":
-                where = grow_bisection(graph, target, seed=child)
-            elif method == "gggp":
-                where = gggp_bisection(graph, target, seed=child)
-            else:  # random
-                where = (child.random(graph.nvtxs) > target).astype(np.int64)
-            if graph.nvtxs >= 2 and (where.min() == where.max()):
-                # Degenerate single-side candidate: flip one vertex so FM
-                # has a boundary to work with.
-                where[int(child.integers(graph.nvtxs))] ^= 1
+    best_method = None
+    ncandidates = 0
+    with tracer.span("initbisect", nvtxs=graph.nvtxs) as sp:
+        for _ in range(max(1, ntries)):
+            for method in methods:
+                (child,) = spawn(rng, 1)
+                if method == "greedy":
+                    where = greedy_bisection(relw, target, seed=child)
+                elif method == "prefix":
+                    where = best_projection_bisection(relw, target=target, seed=child)
+                elif method == "region":
+                    where = grow_bisection(graph, target, seed=child)
+                elif method == "gggp":
+                    where = gggp_bisection(graph, target, seed=child)
+                else:  # random
+                    where = (child.random(graph.nvtxs) > target).astype(np.int64)
+                if graph.nvtxs >= 2 and (where.min() == where.max()):
+                    # Degenerate single-side candidate: flip one vertex so FM
+                    # has a boundary to work with.
+                    where[int(child.integers(graph.nvtxs))] ^= 1
 
-            fm2way_refine(
-                graph, where,
-                target_fracs=(target, 1.0 - target),
-                ubvec=ubvec,
-                npasses=refine_passes,
-                seed=child,
-            )
-            state = TwoWayState(graph, where, (target, 1.0 - target), ubvec)
-            key = (not state.feasible(), state.cut, state.balance_obj())
-            if best_key is None or key < best_key:
-                best_key = key
-                best_where = where.copy()
+                fm2way_refine(
+                    graph, where,
+                    target_fracs=(target, 1.0 - target),
+                    ubvec=ubvec,
+                    npasses=refine_passes,
+                    seed=child,
+                )
+                ncandidates += 1
+                state = TwoWayState(graph, where, (target, 1.0 - target), ubvec)
+                key = (not state.feasible(), state.cut, state.balance_obj())
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best_where = where.copy()
+                    best_method = method
+        if tracer.enabled:
+            sp.set(candidates=ncandidates, best_method=best_method,
+                   cut=int(best_key[1]), feasible=not best_key[0])
+            tracer.incr("initpart.candidates", ncandidates)
     return best_where

@@ -29,6 +29,7 @@ from ..graph.csr import Graph
 from ..partition.config import PartitionOptions
 from ..partition.recursive import partition_recursive
 from ..refine.gain import edge_cut
+from ..trace import as_tracer
 from ..weights.balance import as_ubvec, imbalance
 from .coarsen import parallel_matching
 from .contract import parallel_contract
@@ -80,17 +81,21 @@ def parallel_part_graph(
     *,
     options: PartitionOptions | None = None,
     cost: CostModel | None = None,
+    tracer=None,
 ) -> ParallelResult:
     """Partition ``graph`` with the simulated parallel formulation.
 
     ``nranks`` simulated ranks cooperate; quality should track the serial
     k-way partitioner while simulated time exhibits the parallel scaling
-    shape (see benchmark P1).
+    shape (see benchmark P1).  ``tracer`` records the run under a
+    ``parallel_partition`` root span whose phase spans carry both wall
+    time and the cost-model's simulated seconds (``sim_seconds``).
     """
     if options is None:
         options = PartitionOptions()
     if nparts < 1 or nparts > max(graph.nvtxs, 1):
         raise PartitionError("invalid nparts for this graph")
+    tracer = as_tracer(tracer)
     rng = as_rng(options.seed)
     ub = as_ubvec(options.ubvec, graph.ncon)
     cluster = SimCluster(nranks, cost)
@@ -102,51 +107,80 @@ def parallel_part_graph(
 
     phase_marks = {"start": _elapsed()}
 
-    # ---- Parallel coarsening.
-    levels: list[tuple[Graph, np.ndarray]] = []
-    cur = graph
-    while cur.nvtxs > coarsen_to and len(levels) < options.max_coarsen_levels:
-        dist = DistGraph(cur, nranks)
-        (mrng,) = spawn(rng, 1)
-        match = parallel_matching(dist, cluster, seed=mrng)
-        cmap, ncoarse = matching_to_cmap(match)
-        if ncoarse > options.min_shrink * cur.nvtxs:
-            break
-        levels.append((cur, cmap))
-        cur = parallel_contract(dist, cluster, cmap, ncoarse)
+    with tracer.span("parallel_partition", nvtxs=graph.nvtxs,
+                     nedges=graph.nedges, ncon=graph.ncon, nparts=nparts,
+                     nranks=nranks) as root:
+        # ---- Parallel coarsening.
+        levels: list[tuple[Graph, np.ndarray]] = []
+        cur = graph
+        with tracer.span("coarsen") as csp:
+            while cur.nvtxs > coarsen_to and len(levels) < options.max_coarsen_levels:
+                with tracer.span("coarsen_level", nvtxs=cur.nvtxs) as sp:
+                    dist = DistGraph(cur, nranks)
+                    (mrng,) = spawn(rng, 1)
+                    match = parallel_matching(dist, cluster, seed=mrng)
+                    cmap, ncoarse = matching_to_cmap(match)
+                    if ncoarse > options.min_shrink * cur.nvtxs:
+                        sp.set(stalled=True)
+                        break
+                    levels.append((cur, cmap))
+                    nxt = parallel_contract(dist, cluster, cmap, ncoarse)
+                    if tracer.enabled:
+                        sp.set(nedges=cur.nedges, coarse_nvtxs=nxt.nvtxs,
+                               shrink=ncoarse / cur.nvtxs)
+                    cur = nxt
+            phase_marks["coarsen"] = _elapsed()
+            if tracer.enabled:
+                csp.set(levels=[g.nvtxs for g, _ in levels] + [cur.nvtxs],
+                        sim_seconds=phase_marks["coarsen"] - phase_marks["start"])
 
-    phase_marks["coarsen"] = _elapsed()
+        # ---- Initial partitioning at rank 0 (gather + serial RB + bcast).
+        with tracer.span("initpart", nvtxs=cur.nvtxs) as isp:
+            cluster.gather([np.empty(cur.nvtxs // max(nranks, 1), dtype=np.int64)] * nranks)
+            (irng,) = spawn(rng, 1)
+            init_opts = options.with_(seed=irng, final_balance=True)
+            where = partition_recursive(cur, nparts, init_opts, tracer=tracer)
+            cluster.add_compute(0, 20 * (cur.nvtxs + 2 * cur.nedges))
+            cluster.bcast(where)
+            phase_marks["initpart"] = _elapsed()
+            if tracer.enabled:
+                isp.set(cut=int(edge_cut(cur, where)),
+                        sim_seconds=phase_marks["initpart"] - phase_marks["coarsen"])
 
-    # ---- Initial partitioning at rank 0 (gather + serial RB + bcast).
-    cluster.gather([np.empty(cur.nvtxs // max(nranks, 1), dtype=np.int64)] * nranks)
-    (irng,) = spawn(rng, 1)
-    init_opts = options.with_(seed=irng, final_balance=True)
-    where = partition_recursive(cur, nparts, init_opts)
-    cluster.add_compute(0, 20 * (cur.nvtxs + 2 * cur.nedges))
-    cluster.bcast(where)
+        # ---- Parallel uncoarsening with reservation refinement.
+        refine_stats: list[dict] = []
+        with tracer.span("refine") as rsp:
+            for fine, cmap in reversed(levels):
+                where = where[cmap]
+                with tracer.span("level", nvtxs=fine.nvtxs) as sp:
+                    dist = DistGraph(fine, nranks)
+                    (rrng,) = spawn(rng, 1)
+                    st = parallel_kway_refine(
+                        dist, cluster, where, nparts,
+                        ubvec=ub, npasses=options.kway_refine_passes, seed=rrng,
+                    )
+                    refine_stats.append(st)
+                    if tracer.enabled:
+                        sp.set(cut=int(edge_cut(fine, where)),
+                               **{k: v for k, v in st.items()
+                                  if isinstance(v, (bool, int, float))})
+                        tracer.incr("parallel.committed", int(st["committed"]))
+            phase_marks["refine"] = _elapsed()
+            if tracer.enabled:
+                rsp.set(sim_seconds=phase_marks["refine"] - phase_marks["initpart"])
 
-    phase_marks["initpart"] = _elapsed()
+        phase_times = {
+            "coarsen": phase_marks["coarsen"] - phase_marks["start"],
+            "initpart": phase_marks["initpart"] - phase_marks["coarsen"],
+            "refine": phase_marks["refine"] - phase_marks["initpart"],
+        }
 
-    # ---- Parallel uncoarsening with reservation refinement.
-    refine_stats: list[dict] = []
-    for fine, cmap in reversed(levels):
-        where = where[cmap]
-        dist = DistGraph(fine, nranks)
-        (rrng,) = spawn(rng, 1)
-        st = parallel_kway_refine(
-            dist, cluster, where, nparts,
-            ubvec=ub, npasses=options.kway_refine_passes, seed=rrng,
-        )
-        refine_stats.append(st)
-
-    phase_marks["refine"] = _elapsed()
-    phase_times = {
-        "coarsen": phase_marks["coarsen"] - phase_marks["start"],
-        "initpart": phase_marks["initpart"] - phase_marks["coarsen"],
-        "refine": phase_marks["refine"] - phase_marks["initpart"],
-    }
-
-    imb = imbalance(graph.vwgt, where, nparts)
+        imb = imbalance(graph.vwgt, where, nparts)
+        if tracer.enabled:
+            root.set(cut=int(edge_cut(graph, where)),
+                     max_imbalance=float(imb.max(initial=0.0)),
+                     feasible=bool(np.all(imb <= ub + 1e-9)),
+                     sim_seconds=phase_marks["refine"] - phase_marks["start"])
     return ParallelResult(
         phase_times=phase_times,
         part=where,

@@ -9,6 +9,7 @@ import numpy as np
 from ..errors import PartitionError
 from ..graph.csr import Graph
 from ..refine.gain import edge_cut
+from ..trace import TraceReport, Tracer, as_tracer
 from ..weights.balance import as_target_fracs, as_ubvec, imbalance
 from .config import PartitionOptions
 from .kway import partition_kway
@@ -40,8 +41,11 @@ class PartitionResult:
     options:
         The :class:`PartitionOptions` used.
     stats:
-        Multilevel trace (levels, phase timings, per-level cut/imbalance)
-        when ``options.collect_stats`` was set; ``None`` otherwise.
+        A :class:`repro.trace.TraceReport` (span tree, phase timings,
+        per-level cut/imbalance, counters/gauges) when tracing was on --
+        ``options.collect_stats`` or an explicit ``tracer=`` -- and ``None``
+        otherwise.  The report is dict-compatible: ``stats["levels"]``,
+        ``stats["trace"]``, ``stats["coarsen_seconds"]`` ... keep working.
     """
 
     part: np.ndarray
@@ -51,8 +55,8 @@ class PartitionResult:
     imbalance: np.ndarray
     feasible: bool
     method: str
-    options: PartitionOptions = field(repr=False, default=None)
-    stats: dict | None = field(repr=False, default=None)
+    options: PartitionOptions | None = field(repr=False, default=None)
+    stats: TraceReport | None = field(repr=False, default=None)
 
     @property
     def max_imbalance(self) -> float:
@@ -80,6 +84,7 @@ def part_graph(
     method: str = "kway",
     options: PartitionOptions | None = None,
     target_fracs=None,
+    tracer=None,
     **kwargs,
 ) -> PartitionResult:
     """Partition ``graph`` into ``nparts`` parts balancing all ``ncon``
@@ -103,6 +108,12 @@ def part_graph(
         Optional length-``nparts`` target weight fractions (non-uniform
         part sizes, e.g. heterogeneous processors); every constraint uses
         the same per-part fraction.
+    tracer:
+        Optional :class:`repro.trace.Tracer` to record this run into (the
+        run becomes one ``partition`` root span; attach sinks to stream
+        events).  When omitted, ``options.collect_stats=True`` creates a
+        private in-memory tracer; otherwise the no-op tracer runs and the
+        hot path pays nothing.
 
     Returns
     -------
@@ -125,24 +136,42 @@ def part_graph(
     if graph.nvtxs == 0:
         raise PartitionError("cannot partition an empty graph")
 
-    stats: dict | None = {} if options.collect_stats else None
-    if method == "kway":
-        part = partition_kway(graph, nparts, options, stats=stats,
-                              target_fracs=target_fracs)
-    else:
-        part = partition_recursive(graph, nparts, options, stats=stats,
-                                   target_fracs=target_fracs)
+    owns_tracer = tracer is None and options.collect_stats
+    if owns_tracer:
+        tracer = Tracer()
+    tracer = as_tracer(tracer)
 
-    ub = as_ubvec(options.ubvec, graph.ncon)
-    imb = imbalance(graph.vwgt, part, nparts, target_fracs)
+    with tracer.span("partition", method=method, nparts=nparts,
+                     nvtxs=graph.nvtxs, nedges=graph.nedges,
+                     ncon=graph.ncon) as root:
+        if method == "kway":
+            part = partition_kway(graph, nparts, options, tracer=tracer,
+                                  target_fracs=target_fracs)
+        else:
+            part = partition_recursive(graph, nparts, options, tracer=tracer,
+                                       target_fracs=target_fracs)
+
+        ub = as_ubvec(options.ubvec, graph.ncon)
+        imb = imbalance(graph.vwgt, part, nparts, target_fracs)
+        cut = edge_cut(graph, part)
+        feasible = bool(np.all(imb <= ub + 1e-9))
+        if tracer.enabled:
+            max_imb = float(imb.max(initial=0.0))
+            root.set(cut=int(cut), max_imbalance=max_imb, feasible=feasible)
+            tracer.gauge("final.cut", int(cut))
+            tracer.gauge("final.max_imbalance", max_imb)
+
+    stats = TraceReport.from_tracer(tracer, root=root) if tracer.enabled else None
+    if owns_tracer:
+        tracer.finish()
     return PartitionResult(
         stats=stats,
         part=part,
         nparts=nparts,
         ncon=graph.ncon,
-        edgecut=edge_cut(graph, part),
+        edgecut=cut,
         imbalance=imb,
-        feasible=bool(np.all(imb <= ub + 1e-9)),
+        feasible=feasible,
         method=method,
         options=options,
     )

@@ -50,7 +50,11 @@ class PartitionOptions:
         some constraint ended outside tolerance.
     collect_stats:
         Record a multilevel trace (per-level sizes, cut and imbalance after
-        each refinement step, phase timings) in ``PartitionResult.stats``.
+        each refinement step, phase timings) in ``PartitionResult.stats``
+        as a :class:`repro.trace.TraceReport`.  Equivalent to passing a
+        private in-memory :class:`repro.trace.Tracer` via
+        ``part_graph(..., tracer=...)``; off by default so the hot path
+        runs on the no-op tracer.
     kway_policy:
         Sweep order of the k-way refiner: ``"greedy"`` (randomised
         boundary sweep) or ``"priority"`` (gain-ordered queue).

@@ -54,12 +54,15 @@ def best_of(
     seed=None,
     method: str = "kway",
     options: PartitionOptions | None = None,
+    tracer=None,
     **kwargs,
 ) -> EnsembleResult:
     """Run ``nseeds`` independent partitions and keep the best.
 
     Results are ranked feasible-first, then by cut, then by worst
-    imbalance.  All remaining keyword arguments are forwarded to
+    imbalance.  ``tracer`` (a :class:`repro.trace.Tracer`) records every
+    run -- one ``partition`` root span each; counters accumulate across the
+    ensemble.  All remaining keyword arguments are forwarded to
     :func:`repro.partition.part_graph`.
     """
     if nseeds < 1:
@@ -70,10 +73,11 @@ def best_of(
     runs: list[PartitionResult] = []
     for child in children:
         if options is not None:
-            res = part_graph(graph, nparts, method=method,
+            res = part_graph(graph, nparts, method=method, tracer=tracer,
                              options=options.with_(seed=child), **kwargs)
         else:
-            res = part_graph(graph, nparts, method=method, seed=child, **kwargs)
+            res = part_graph(graph, nparts, method=method, tracer=tracer,
+                             seed=child, **kwargs)
         runs.append(res)
 
     best = min(runs, key=lambda r: (not r.feasible, r.edgecut, r.max_imbalance))

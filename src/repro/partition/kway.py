@@ -11,15 +11,15 @@ horizontal formulation.
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
 from .._rng import as_rng, spawn
 from ..coarsen.coarsener import coarsen
 from ..errors import PartitionError
 from ..graph.csr import Graph
+from ..refine.gain import edge_cut
 from ..refine.kwayref import balance_kway, kway_refine
+from ..trace import as_tracer
 from ..weights.balance import as_target_fracs, as_ubvec, imbalance
 from .config import PartitionOptions
 from .recursive import partition_recursive
@@ -31,13 +31,15 @@ def partition_kway(
     graph: Graph,
     nparts: int,
     options: PartitionOptions | None = None,
-    stats: dict | None = None,
+    tracer=None,
     target_fracs=None,
 ) -> np.ndarray:
     """Multilevel k-way partitioning.  Returns the part vector; ``graph`` is
-    not mutated.  When ``stats`` is a dict, a multilevel trace is recorded
-    into it (see ``PartitionOptions.collect_stats``).  ``target_fracs``
-    requests non-uniform part sizes (see :func:`partition_recursive`)."""
+    not mutated.  ``tracer`` (a :class:`repro.trace.Tracer`) records the
+    ``coarsen`` / ``initpart`` / ``refine`` phase spans with per-level
+    children; pass ``None`` for the zero-overhead no-op tracer.
+    ``target_fracs`` requests non-uniform part sizes (see
+    :func:`partition_recursive`)."""
     if options is None:
         options = PartitionOptions()
     if nparts < 1:
@@ -49,6 +51,7 @@ def partition_kway(
     if nparts == 1:
         return np.zeros(graph.nvtxs, dtype=np.int64)
 
+    tracer = as_tracer(tracer)
     rng = as_rng(options.seed)
     ub = as_ubvec(options.ubvec, graph.ncon)
     fracs = as_target_fracs(target_fracs, nparts)
@@ -60,21 +63,25 @@ def partition_kway(
         options.coarsen_to,
     )
 
-    t0 = time.perf_counter()
-    if graph.nvtxs > 1.5 * coarsen_to:
-        hier = coarsen(
-            graph,
-            coarsen_to=coarsen_to,
-            max_levels=options.max_coarsen_levels,
-            matching=options.matching,
-            min_shrink=options.min_shrink,
-            seed=rng,
-        )
-        coarsest = hier.coarsest
-    else:
-        hier = None
-        coarsest = graph
-    t_coarsen = time.perf_counter() - t0
+    with tracer.span("coarsen", nvtxs=graph.nvtxs, nedges=graph.nedges) as csp:
+        if graph.nvtxs > 1.5 * coarsen_to:
+            hier = coarsen(
+                graph,
+                coarsen_to=coarsen_to,
+                max_levels=options.max_coarsen_levels,
+                matching=options.matching,
+                min_shrink=options.min_shrink,
+                seed=rng,
+                tracer=tracer,
+            )
+            coarsest = hier.coarsest
+        else:
+            hier = None
+            coarsest = graph
+        if tracer.enabled:
+            sizes = hier.sizes() if hier is not None else [graph.nvtxs]
+            csp.set(levels=sizes, coarsest_nvtxs=coarsest.nvtxs)
+            tracer.incr("coarsen.levels", len(sizes) - 1)
 
     # Initial k-way partition of the coarsest graph: recursive bisection.
     # The coarsest graph is O(k) vertices, so multilevel recursion inside
@@ -86,50 +93,52 @@ def partition_kway(
         rb_multilevel=coarsest.nvtxs > 4 * options.coarsen_to,
         final_balance=True,
     )
-    t0 = time.perf_counter()
-    where = partition_recursive(coarsest, nparts, init_opts, target_fracs=fracs)
-    t_init = time.perf_counter() - t0
+    with tracer.span("initpart", nvtxs=coarsest.nvtxs) as isp:
+        where = partition_recursive(coarsest, nparts, init_opts,
+                                    target_fracs=fracs, tracer=tracer)
+        if tracer.enabled:
+            isp.set(cut=int(edge_cut(coarsest, where)))
 
-    trace: list[dict] = []
-    t0 = time.perf_counter()
-    if hier is not None:
-        for lvl in reversed(hier.levels):
-            where = where[lvl.cmap]
-            st = kway_refine(
-                lvl.graph,
-                where,
-                nparts,
-                ubvec=ub,
-                target_fracs=fracs,
-                npasses=options.kway_refine_passes,
-                policy=options.kway_policy,
-                seed=refine_rng,
-            )
-            if stats is not None:
-                trace.append({
-                    "nvtxs": lvl.graph.nvtxs,
-                    "cut": st.final_cut,
-                    "moves": st.moves,
-                    "imbalance": float(
-                        imbalance(lvl.graph.vwgt, where, nparts, fracs).max()
-                    ),
-                })
-    else:
-        kway_refine(graph, where, nparts, ubvec=ub, target_fracs=fracs,
-                    npasses=options.kway_refine_passes,
-                    policy=options.kway_policy, seed=refine_rng)
-    t_refine = time.perf_counter() - t0
+    with tracer.span("refine") as rsp:
+        if hier is not None:
+            for lvl in reversed(hier.levels):
+                where = where[lvl.cmap]
+                with tracer.span("level", nvtxs=lvl.graph.nvtxs,
+                                 nedges=lvl.graph.nedges) as lsp:
+                    st = kway_refine(
+                        lvl.graph,
+                        where,
+                        nparts,
+                        ubvec=ub,
+                        target_fracs=fracs,
+                        npasses=options.kway_refine_passes,
+                        policy=options.kway_policy,
+                        seed=refine_rng,
+                    )
+                    if tracer.enabled:
+                        lsp.set(
+                            cut=int(st.final_cut),
+                            moves=int(st.moves),
+                            passes=int(st.passes),
+                            balance_moves=int(st.balance_moves),
+                            imbalance=float(
+                                imbalance(lvl.graph.vwgt, where, nparts, fracs).max()
+                            ),
+                        )
+                        tracer.incr("kway.moves", int(st.moves))
+                        tracer.incr("kway.passes", int(st.passes))
+        else:
+            st = kway_refine(graph, where, nparts, ubvec=ub, target_fracs=fracs,
+                             npasses=options.kway_refine_passes,
+                             policy=options.kway_policy, seed=refine_rng)
+            if tracer.enabled:
+                rsp.set(cut=int(st.final_cut), moves=int(st.moves),
+                        passes=int(st.passes))
+                tracer.incr("kway.moves", int(st.moves))
+                tracer.incr("kway.passes", int(st.passes))
 
     if options.final_balance:
-        balance_kway(graph, where, nparts, ubvec=ub, target_fracs=fracs)
+        with tracer.span("balance"):
+            balance_kway(graph, where, nparts, ubvec=ub, target_fracs=fracs)
 
-    if stats is not None:
-        stats.update({
-            "method": "kway",
-            "levels": hier.sizes() if hier is not None else [graph.nvtxs],
-            "coarsen_seconds": t_coarsen,
-            "initpart_seconds": t_init,
-            "refine_seconds": t_refine,
-            "trace": trace,
-        })
     return where

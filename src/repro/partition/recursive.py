@@ -15,7 +15,6 @@ k-way balancing pass at the end (``options.final_balance``).
 from __future__ import annotations
 
 import math
-import time
 
 import numpy as np
 
@@ -26,7 +25,9 @@ from ..graph.csr import Graph
 from ..graph.ops import induced_subgraph
 from ..initpart.bisect import initial_bisection
 from ..refine.fm2way import fm2way_refine
+from ..refine.gain import edge_cut
 from ..refine.kwayref import balance_kway
+from ..trace import as_tracer
 from ..weights.balance import as_target_fracs, as_ubvec
 from .config import PartitionOptions
 
@@ -39,10 +40,13 @@ def multilevel_bisection(
     ubvec,
     options: PartitionOptions,
     seed=None,
+    tracer=None,
 ) -> np.ndarray:
     """One multilevel bisection: coarsen, bisect the coarsest graph, then
     project + FM-refine back up.  Returns a 0/1 vector; does not mutate
-    ``graph``."""
+    ``graph``.  ``tracer`` records the coarsening levels, the initial
+    bisection and one ``fm_level`` span per uncoarsening step."""
+    tracer = as_tracer(tracer)
     rng = as_rng(seed)
     if graph.nvtxs == 0:
         return np.zeros(0, dtype=np.int64)
@@ -55,6 +59,7 @@ def multilevel_bisection(
             matching=options.matching,
             min_shrink=options.min_shrink,
             seed=rng,
+            tracer=tracer,
         )
     else:
         hier = None
@@ -67,18 +72,25 @@ def multilevel_bisection(
         ubvec=ubvec,
         ntries=options.init_ntries,
         seed=init_rng,
+        tracer=tracer,
     )
     if hier is not None:
         for lvl in reversed(hier.levels):
             where = where[lvl.cmap]
-            fm2way_refine(
-                lvl.graph,
-                where,
-                target_fracs=(target, 1.0 - target),
-                ubvec=ubvec,
-                npasses=options.refine_passes,
-                seed=refine_rng,
-            )
+            with tracer.span("fm_level", nvtxs=lvl.graph.nvtxs) as sp:
+                st = fm2way_refine(
+                    lvl.graph,
+                    where,
+                    target_fracs=(target, 1.0 - target),
+                    ubvec=ubvec,
+                    npasses=options.refine_passes,
+                    seed=refine_rng,
+                )
+                if tracer.enabled:
+                    sp.set(cut=int(st.final_cut), moves=int(st.moves),
+                           passes=int(st.passes))
+                    tracer.incr("fm.moves", int(st.moves))
+                    tracer.incr("fm.passes", int(st.passes))
     return where
 
 
@@ -86,16 +98,17 @@ def partition_recursive(
     graph: Graph,
     nparts: int,
     options: PartitionOptions | None = None,
-    stats: dict | None = None,
+    tracer=None,
     target_fracs=None,
 ) -> np.ndarray:
     """Multilevel recursive-bisection k-way partitioning.
 
     Returns the part vector (``0..nparts-1``); ``graph`` is not mutated.
-    When ``stats`` is a dict, records bisection count and per-bisection cut
-    traces into it.  ``target_fracs`` (length ``nparts``, summing to 1)
-    requests *non-uniform* part sizes -- e.g. heterogeneous processors;
-    every constraint uses the same per-part fraction, as in the paper's
+    ``tracer`` records one ``bisect`` span per split (vertex count, part
+    count, cut) under an ``rb`` span covering the whole recursion.
+    ``target_fracs`` (length ``nparts``, summing to 1) requests
+    *non-uniform* part sizes -- e.g. heterogeneous processors; every
+    constraint uses the same per-part fraction, as in the paper's
     formulation.
     """
     if options is None:
@@ -106,31 +119,24 @@ def partition_recursive(
         raise PartitionError(
             f"cannot cut {graph.nvtxs} vertices into {nparts} non-empty parts"
         )
+    tracer = as_tracer(tracer)
     rng = as_rng(options.seed)
     ub = as_ubvec(options.ubvec, graph.ncon)
     fracs = as_target_fracs(target_fracs, nparts)
     nsplits = max(1, math.ceil(math.log2(max(nparts, 2))))
     ub_split = 1.0 + (ub - 1.0) / nsplits
 
-    t0 = time.perf_counter()
-    trace: list[dict] = [] if stats is not None else None
-    where = np.zeros(graph.nvtxs, dtype=np.int64)
-    _rb(graph, nparts, np.arange(graph.nvtxs, dtype=np.int64), where, ub_split,
-        options, rng, trace, fracs)
+    with tracer.span("rb", nvtxs=graph.nvtxs, nparts=nparts):
+        where = np.zeros(graph.nvtxs, dtype=np.int64)
+        _rb(graph, nparts, np.arange(graph.nvtxs, dtype=np.int64), where,
+            ub_split, options, rng, tracer, fracs)
 
-    if options.final_balance:
-        balance_kway(graph, where, nparts, ubvec=ub, target_fracs=fracs)
-    if stats is not None:
-        stats.update({
-            "method": "recursive",
-            "bisections": len(trace),
-            "trace": trace,
-            "total_seconds": time.perf_counter() - t0,
-        })
+        if options.final_balance:
+            balance_kway(graph, where, nparts, ubvec=ub, target_fracs=fracs)
     return where
 
 
-def _rb(graph, nparts, ids, out, ub_split, options, rng, trace=None,
+def _rb(graph, nparts, ids, out, ub_split, options, rng, tracer,
         fracs=None) -> None:
     """Recursive worker: partition ``graph`` (the subgraph on original ids
     ``ids``) into ``nparts`` parts, writing part offsets into ``out``.
@@ -142,31 +148,28 @@ def _rb(graph, nparts, ids, out, ub_split, options, rng, trace=None,
     if fracs is None:
         fracs = np.full(nparts, 1.0 / nparts)
     target = float(fracs[:kl].sum() / fracs.sum())
-    (child,) = spawn(rng, 1)
-    where = multilevel_bisection(graph, target, ub_split, options, seed=child)
+    with tracer.span("bisect", nvtxs=graph.nvtxs, parts=nparts) as sp:
+        (child,) = spawn(rng, 1)
+        where = multilevel_bisection(graph, target, ub_split, options,
+                                     seed=child, tracer=tracer)
 
-    left = np.flatnonzero(where == 0)
-    right = np.flatnonzero(where == 1)
-    # Guarantee both sides can host their part counts even when the
-    # bisection degenerated (tiny graphs): steal vertices if needed.
-    left, right = _ensure_capacity(left, right, kl, kr)
+        left = np.flatnonzero(where == 0)
+        right = np.flatnonzero(where == 1)
+        # Guarantee both sides can host their part counts even when the
+        # bisection degenerated (tiny graphs): steal vertices if needed.
+        left, right = _ensure_capacity(left, right, kl, kr)
 
-    if trace is not None:
-        from ..refine.gain import edge_cut as _cut
-
-        trace.append({
-            "nvtxs": graph.nvtxs,
-            "parts": nparts,
-            "cut": _cut(graph, where),
-        })
+        if tracer.enabled:
+            sp.set(cut=int(edge_cut(graph, where)))
+            tracer.incr("rb.bisections")
 
     out[ids[right]] += kl  # right block's parts start at offset kl
     if kl > 1:
         _rb(induced_subgraph(graph, left), kl, ids[left], out, ub_split,
-            options, rng, trace, fracs[:kl])
+            options, rng, tracer, fracs[:kl])
     if kr > 1:
         _rb(induced_subgraph(graph, right), kr, ids[right], out, ub_split,
-            options, rng, trace, fracs[kl:])
+            options, rng, tracer, fracs[kl:])
 
 
 def _ensure_capacity(left, right, kl, kr):

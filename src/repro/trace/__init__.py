@@ -1,0 +1,54 @@
+"""Structured tracing & metrics for the multilevel pipeline.
+
+The subsystem has four pieces:
+
+* **Spans** (:mod:`repro.trace.spans`) -- nested timed regions with
+  structured attributes; :data:`NULL_TRACER` is the zero-overhead off
+  switch the drivers use by default.
+* **Metrics** (:mod:`repro.trace.metrics`) -- counters/gauges in a small
+  create-on-first-use registry owned by each tracer.
+* **Sinks** (:mod:`repro.trace.sinks`) -- in-memory, JSON-lines file
+  (round-trippable via :func:`load_jsonl` / :func:`spans_from_events`).
+* **Reports** (:mod:`repro.trace.report`, :mod:`repro.trace.render`) --
+  the typed :class:`TraceReport` exposed on ``PartitionResult.stats`` and
+  the human-readable tree renderer behind ``repro-part --trace-summary``.
+
+Quickstart::
+
+    from repro import part_graph
+    from repro.trace import Tracer, JsonlSink
+
+    tracer = Tracer([JsonlSink("run.jsonl")])
+    res = part_graph(g, 8, seed=0, tracer=tracer)
+    tracer.finish()
+    print(res.stats.render())           # span tree with timings
+    res.stats["trace"]                  # dict-compatible legacy view
+
+See ``docs/observability.md`` for the span names and the JSONL schema.
+"""
+
+from .metrics import Counter, Gauge, MetricsRegistry
+from .render import format_attrs, format_seconds, render_span_tree
+from .report import TraceReport
+from .sinks import InMemorySink, JsonlSink, Sink, load_jsonl, spans_from_events
+from .spans import NULL_TRACER, NullTracer, Span, Tracer, as_tracer
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "as_tracer",
+    "Counter",
+    "Gauge",
+    "MetricsRegistry",
+    "Sink",
+    "InMemorySink",
+    "JsonlSink",
+    "load_jsonl",
+    "spans_from_events",
+    "TraceReport",
+    "render_span_tree",
+    "format_attrs",
+    "format_seconds",
+]

@@ -1,0 +1,81 @@
+"""Counters and gauges with a small named registry.
+
+Counters accumulate (moves committed, candidates tried); gauges hold the
+latest value (final cut, final imbalance).  The registry creates metrics on
+first use so instrumentation sites never need set-up code::
+
+    registry.counter("kway.moves").inc(42)
+    registry.gauge("final.cut").set(1234)
+
+The :class:`~repro.trace.spans.Tracer` owns one registry and exposes the
+shorthands ``tracer.incr(name, n)`` / ``tracer.gauge(name, value)``.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Counter", "Gauge", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically accumulating named value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n=1) -> "Counter":
+        self.value += n
+        return self
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class Gauge:
+    """A named last-value-wins measurement."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = None
+
+    def set(self, value) -> "Gauge":
+        self.value = value
+        return self
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, {self.value})"
+
+
+class MetricsRegistry:
+    """Create-on-first-use registry of counters and gauges."""
+
+    def __init__(self):
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self._gauges.get(name)
+        if g is None:
+            g = self._gauges[name] = Gauge(name)
+        return g
+
+    def counter_values(self) -> dict:
+        """``{name: value}`` snapshot of every counter."""
+        return {name: c.value for name, c in sorted(self._counters.items())}
+
+    def gauge_values(self) -> dict:
+        """``{name: value}`` snapshot of every gauge."""
+        return {name: g.value for name, g in sorted(self._gauges.items())}
+
+    def as_dict(self) -> dict:
+        return {"counters": self.counter_values(), "gauges": self.gauge_values()}

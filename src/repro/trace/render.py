@@ -1,0 +1,70 @@
+"""Human-readable rendering of a span tree.
+
+``render_span_tree`` turns the trace of a run into the box-drawing tree the
+CLI prints under ``--trace-summary``::
+
+    partition · 1.92s · method=kway nparts=8 cut=2841 max_imbalance=1.036
+    ├─ coarsen · 0.31s · levels=[2000, 1044, 560, 480]
+    │  ├─ coarsen_level · 0.17s · nvtxs=2000 coarse_nvtxs=1044 ...
+    ...
+"""
+
+from __future__ import annotations
+
+__all__ = ["render_span_tree", "format_attrs", "format_seconds"]
+
+
+def format_seconds(seconds) -> str:
+    """Compact duration: ``1.92s`` / ``31.4ms`` / ``87µs`` / ``open``."""
+    if seconds is None:
+        return "open"
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds * 1e6:.0f}µs"
+
+
+def _format_value(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    if isinstance(value, (list, tuple)):
+        return "[" + ", ".join(_format_value(v) for v in value) + "]"
+    return str(value)
+
+
+def format_attrs(attrs: dict) -> str:
+    """``key=value`` pairs, space-separated, floats shortened."""
+    return " ".join(f"{k}={_format_value(v)}" for k, v in attrs.items())
+
+
+def render_span_tree(root, *, max_depth: int | None = None) -> str:
+    """Render ``root`` and its descendants as an indented tree string.
+
+    ``max_depth`` truncates the tree (0 = just the root line); deeper
+    levels are summarised as ``... (n spans)``.
+    """
+    lines: list[str] = []
+
+    def line(span) -> str:
+        parts = [span.name, format_seconds(span.seconds)]
+        if span.attrs:
+            parts.append(format_attrs(span.attrs))
+        return " · ".join(parts)
+
+    def walk(span, prefix: str, depth: int) -> None:
+        if max_depth is not None and depth > max_depth:
+            return
+        kids = list(span.children)
+        if max_depth is not None and depth == max_depth and kids:
+            nspans = sum(1 for _ in span.walk()) - 1
+            lines.append(prefix + f"└─ ... ({nspans} spans)")
+            return
+        for i, child in enumerate(kids):
+            last = i == len(kids) - 1
+            lines.append(prefix + ("└─ " if last else "├─ ") + line(child))
+            walk(child, prefix + ("   " if last else "│  "), depth + 1)
+
+    lines.append(line(root))
+    walk(root, "", 0)
+    return "\n".join(lines)

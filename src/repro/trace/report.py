@@ -1,0 +1,170 @@
+"""Typed report over a finished trace: :class:`TraceReport`.
+
+``PartitionResult.stats`` is a :class:`TraceReport` whenever tracing was on
+(``collect_stats=True`` or an explicit ``tracer=``).  It exposes
+
+* the raw span tree (``report.root``) and metrics snapshots,
+* typed accessors for the quantities the paper's evaluation reasons about
+  (phase timings, per-level refinement trace, bisection trace), and
+* a *dict-compatible view*: ``report["levels"]``, ``report["trace"]``,
+  ``report["coarsen_seconds"]`` ... keep every pre-subsystem consumer
+  (benches, examples, tutorial snippets) working unchanged.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from .render import render_span_tree
+from .sinks import spans_from_events
+from .spans import Span
+
+__all__ = ["TraceReport"]
+
+
+class TraceReport(Mapping):
+    """A finished run's trace: span tree + counters/gauges.
+
+    Behaves as a read-only mapping over the legacy ``stats`` dict schema
+    (see :meth:`to_dict`), so ``res.stats["trace"]`` works exactly as it
+    did when ``stats`` was a plain dict.
+    """
+
+    def __init__(self, root: Span | None, counters=None, gauges=None):
+        self.root = root
+        self.counters = dict(counters or {})
+        self.gauges = dict(gauges or {})
+        self._dict: dict | None = None
+
+    # ---------------------------------------------------- constructors
+
+    @classmethod
+    def from_tracer(cls, tracer, root: Span | None = None) -> "TraceReport":
+        """Snapshot ``tracer`` (optionally a specific root span)."""
+        return cls(
+            root if root is not None else tracer.root,
+            tracer.metrics.counter_values(),
+            tracer.metrics.gauge_values(),
+        )
+
+    @classmethod
+    def from_events(cls, events) -> "TraceReport":
+        """Rebuild a report from JSONL events (see ``sinks.load_jsonl``)."""
+        roots = spans_from_events(events)
+        root = next((sp for sp in roots if sp.name == "partition"),
+                    roots[0] if roots else None)
+        counters: dict = {}
+        gauges: dict = {}
+        for ev in events:
+            if ev.get("event") == "metrics":
+                counters.update(ev.get("counters") or {})
+                gauges.update(ev.get("gauges") or {})
+        return cls(root, counters, gauges)
+
+    # ------------------------------------------------- typed accessors
+
+    @property
+    def method(self) -> str | None:
+        """``"kway"`` / ``"recursive"`` (the root span's ``method`` attr)."""
+        return self.root.attrs.get("method") if self.root is not None else None
+
+    @property
+    def total_seconds(self) -> float:
+        return float(self.root.seconds or 0.0) if self.root is not None else 0.0
+
+    def phase(self, name: str) -> Span | None:
+        """The named top-level phase span (direct child of the root, with a
+        deep-search fallback for non-standard trees)."""
+        if self.root is None:
+            return None
+        return self.root.child(name) or self.root.find(name)
+
+    def phase_seconds(self, name: str) -> float:
+        sp = self.phase(name)
+        return float(sp.seconds or 0.0) if sp is not None else 0.0
+
+    @property
+    def levels(self) -> list:
+        """Vertex count per level, finest first, including the coarsest."""
+        sp = self.phase("coarsen")
+        if sp is not None and "levels" in sp.attrs:
+            return list(sp.attrs["levels"])
+        if self.root is not None and "nvtxs" in self.root.attrs:
+            return [self.root.attrs["nvtxs"]]
+        return []
+
+    def level_trace(self) -> list[dict]:
+        """Per-level k-way refinement records (coarse → fine): attrs of the
+        ``level`` spans under the ``refine`` phase."""
+        sp = self.phase("refine")
+        if sp is None:
+            return []
+        return [dict(child.attrs) for child in sp.children
+                if child.name == "level"]
+
+    def bisection_trace(self) -> list[dict]:
+        """Per-bisection records of the recursive driver, in split order."""
+        if self.root is None:
+            return []
+        return [dict(sp.attrs) for sp in self.root.find_all("bisect")]
+
+    # ------------------------------------------- dict-compatible view
+
+    def to_dict(self) -> dict:
+        """The legacy ``stats`` dict for this run (computed once).
+
+        kway runs carry ``levels`` / ``trace`` / per-phase ``*_seconds``;
+        recursive runs carry ``bisections`` / ``trace`` / ``total_seconds``.
+        """
+        if self._dict is None:
+            d: dict = {"method": self.method}
+            if self.method == "recursive":
+                trace = self.bisection_trace()
+                rb = self.phase("rb")
+                d.update({
+                    "bisections": len(trace),
+                    "trace": trace,
+                    "total_seconds": float(rb.seconds or 0.0)
+                    if rb is not None else self.total_seconds,
+                })
+            else:
+                d.update({
+                    "levels": self.levels,
+                    "coarsen_seconds": self.phase_seconds("coarsen"),
+                    "initpart_seconds": self.phase_seconds("initpart"),
+                    "refine_seconds": self.phase_seconds("refine"),
+                    "trace": self.level_trace(),
+                })
+            d["counters"] = dict(self.counters)
+            d["gauges"] = dict(self.gauges)
+            self._dict = d
+        return self._dict
+
+    def render(self, *, max_depth: int | None = None) -> str:
+        """The human-readable span tree (plus a metrics footer)."""
+        if self.root is None:
+            return "(empty trace)"
+        out = render_span_tree(self.root, max_depth=max_depth)
+        if self.counters:
+            out += "\ncounters: " + " ".join(
+                f"{k}={v}" for k, v in self.counters.items())
+        if self.gauges:
+            out += "\ngauges: " + " ".join(
+                f"{k}={v}" for k, v in self.gauges.items())
+        return out
+
+    # ------------------------------------------------ Mapping protocol
+
+    def __getitem__(self, key):
+        return self.to_dict()[key]
+
+    def __iter__(self):
+        return iter(self.to_dict())
+
+    def __len__(self):
+        return len(self.to_dict())
+
+    def __repr__(self) -> str:
+        nspans = sum(1 for _ in self.root.walk()) if self.root is not None else 0
+        return (f"TraceReport(method={self.method!r}, spans={nspans}, "
+                f"seconds={self.total_seconds:.4f})")

@@ -1,0 +1,102 @@
+"""Trace sinks: where span/metrics events go.
+
+Every event is a plain dict (see ``Span.to_event`` and
+``docs/observability.md`` for the schema).  Spans are emitted when they
+*close*, so children precede parents in a stream; the ``id``/``parent``
+fields let :func:`spans_from_events` rebuild the exact tree regardless of
+order, which is what makes the JSONL files round-trippable.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from .spans import Span
+
+__all__ = ["Sink", "InMemorySink", "JsonlSink", "load_jsonl", "spans_from_events"]
+
+
+class Sink:
+    """Event consumer interface; subclasses override :meth:`emit`."""
+
+    def emit(self, event: dict) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        pass
+
+
+class InMemorySink(Sink):
+    """Collects events in a list (the default for programmatic use)."""
+
+    def __init__(self):
+        self.events: list[dict] = []
+
+    def emit(self, event: dict) -> None:
+        self.events.append(event)
+
+    def clear(self) -> None:
+        self.events.clear()
+
+
+def _json_default(obj):
+    """Make numpy scalars/arrays (the natural attr payloads) serialisable."""
+    if isinstance(obj, np.generic):
+        return obj.item()
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    return str(obj)
+
+
+class JsonlSink(Sink):
+    """Writes one JSON object per event to a file (JSON-lines)."""
+
+    def __init__(self, path):
+        self.path = str(path)
+        self._fh = open(self.path, "w")
+
+    def emit(self, event: dict) -> None:
+        self._fh.write(json.dumps(event, default=_json_default,
+                                  separators=(",", ":")) + "\n")
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+def load_jsonl(path) -> list[dict]:
+    """Read a JSONL trace file back into a list of event dicts."""
+    events = []
+    with open(str(path)) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+def spans_from_events(events) -> list[Span]:
+    """Rebuild the span forest from ``"span"`` events (any order).
+
+    Returns the root spans; children are ordered by span id, which is the
+    opening order within one tracer.
+    """
+    spans: dict[int, Span] = {}
+    for ev in events:
+        if ev.get("event") != "span":
+            continue
+        sp = Span(ev["name"], ev.get("attrs") or {}, span_id=ev["id"],
+                  parent_id=ev.get("parent"), t_start=ev.get("start", 0.0))
+        sp.seconds = ev.get("seconds")
+        spans[sp.span_id] = sp
+    roots = []
+    for sp in sorted(spans.values(), key=lambda s: s.span_id):
+        parent = spans.get(sp.parent_id) if sp.parent_id is not None else None
+        if parent is None:
+            roots.append(sp)
+        else:
+            parent.children.append(sp)
+    return roots

@@ -1,0 +1,291 @@
+"""Nested timing spans and the :class:`Tracer`.
+
+A :class:`Span` is one timed region of the multilevel pipeline (``coarsen``,
+``refine``, a per-level child, ...) carrying structured attributes (vertex
+counts, cut, imbalance, move counts).  Spans nest: the :class:`Tracer`
+maintains a stack, so a span opened while another is active becomes its
+child, and the whole run forms a tree rooted at the driver's top span.
+
+Spans are context managers::
+
+    with tracer.span("refine") as sp:
+        ...
+        sp.set(cut=cut, moves=moves)
+
+When a span closes it is emitted to every sink attached to the tracer
+(see :mod:`repro.trace.sinks`), children before parents; the in-memory tree
+remains available afterwards for reports and rendering.
+
+The :data:`NULL_TRACER` singleton implements the same surface as no-ops so
+the hot paths can be instrumented unconditionally: with tracing off, a span
+is a shared, attribute-less object whose enter/exit/``set`` do nothing
+(see ``benchmarks/bench_trace_overhead.py`` for the cost budget).  Code
+that would *compute* something expensive purely for tracing should guard on
+``tracer.enabled``.
+
+Tracers are not thread-safe; use one tracer per run.
+"""
+
+from __future__ import annotations
+
+import time
+
+from .metrics import MetricsRegistry
+
+__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER", "as_tracer"]
+
+
+class Span:
+    """One timed, attributed region of a run.
+
+    Attributes
+    ----------
+    name:
+        Region name (``"coarsen"``, ``"level"``, ...).
+    attrs:
+        Structured payload; extend with :meth:`set`.
+    span_id, parent_id:
+        Tree identity (stable within one tracer; used by the JSONL sinks so
+        a file round-trips to the same tree).
+    t_start:
+        Start time in seconds relative to the tracer's epoch.
+    seconds:
+        Duration; ``None`` while the span is still open.
+    children:
+        Child spans in opening order.
+    """
+
+    __slots__ = ("name", "attrs", "span_id", "parent_id", "t_start",
+                 "seconds", "children", "_tracer")
+
+    def __init__(self, name, attrs=None, span_id=0, parent_id=None,
+                 tracer=None, t_start=0.0):
+        self.name = str(name)
+        self.attrs = dict(attrs) if attrs else {}
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.t_start = t_start
+        self.seconds = None
+        self.children: list[Span] = []
+        self._tracer = tracer
+
+    # ------------------------------------------------------------- tree
+
+    def set(self, **attrs) -> "Span":
+        """Attach/overwrite attributes (chainable)."""
+        self.attrs.update(attrs)
+        return self
+
+    @property
+    def closed(self) -> bool:
+        return self.seconds is not None
+
+    def walk(self, depth: int = 0):
+        """Yield ``(depth, span)`` pre-order over this span and descendants."""
+        yield depth, self
+        for child in self.children:
+            yield from child.walk(depth + 1)
+
+    def find(self, name: str) -> "Span | None":
+        """First descendant (pre-order, excluding self) named ``name``."""
+        for _, sp in self.walk():
+            if sp is not self and sp.name == name:
+                return sp
+        return None
+
+    def find_all(self, name: str) -> "list[Span]":
+        """All descendants (pre-order, excluding self) named ``name``."""
+        return [sp for _, sp in self.walk() if sp is not self and sp.name == name]
+
+    def child(self, name: str) -> "Span | None":
+        """First *direct* child named ``name``."""
+        for sp in self.children:
+            if sp.name == name:
+                return sp
+        return None
+
+    def to_event(self) -> dict:
+        """The sink-facing record for this span (see docs/observability.md)."""
+        return {
+            "event": "span",
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "start": self.t_start,
+            "seconds": self.seconds,
+            "attrs": self.attrs,
+        }
+
+    # ------------------------------------------------- context manager
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._tracer is not None:
+            self._tracer._close(self)
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        dur = f"{self.seconds:.4f}s" if self.closed else "open"
+        return f"Span({self.name!r}, {dur}, attrs={self.attrs!r}, children={len(self.children)})"
+
+
+class Tracer:
+    """Collects a tree of spans plus counters/gauges and feeds sinks.
+
+    Parameters
+    ----------
+    sinks:
+        Iterable of sinks (:class:`repro.trace.sinks.Sink`).  Each closed
+        span is emitted to every sink as a dict event; :meth:`finish` emits
+        the final metrics event and closes the sinks.
+    """
+
+    enabled = True
+
+    def __init__(self, sinks=()):
+        self.sinks = list(sinks)
+        self.metrics = MetricsRegistry()
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+        self._next_id = 0
+        self._t0 = time.perf_counter()
+        self._finished = False
+
+    # ------------------------------------------------------------ spans
+
+    @property
+    def current(self) -> Span | None:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    @property
+    def root(self) -> Span | None:
+        """The first top-level span of this tracer (one run = one root)."""
+        return self.roots[0] if self.roots else None
+
+    def span(self, name: str, **attrs) -> Span:
+        """Open a child span of the current span (context manager)."""
+        parent = self.current
+        sp = Span(
+            name,
+            attrs,
+            span_id=self._next_id,
+            parent_id=parent.span_id if parent is not None else None,
+            tracer=self,
+            t_start=time.perf_counter() - self._t0,
+        )
+        self._next_id += 1
+        if parent is None:
+            self.roots.append(sp)
+        else:
+            parent.children.append(sp)
+        self._stack.append(sp)
+        return sp
+
+    def _close(self, span: Span) -> None:
+        now = time.perf_counter() - self._t0
+        # Tolerate skipped exits: close every span opened after `span` too.
+        while self._stack:
+            top = self._stack.pop()
+            if top.seconds is None:
+                top.seconds = now - top.t_start
+                self._emit(top.to_event())
+            if top is span:
+                break
+
+    # ---------------------------------------------------------- metrics
+
+    def incr(self, name: str, n=1) -> None:
+        """Increment counter ``name`` by ``n``."""
+        self.metrics.counter(name).inc(n)
+
+    def gauge(self, name: str, value) -> None:
+        """Set gauge ``name`` to ``value``."""
+        self.metrics.gauge(name).set(value)
+
+    # ------------------------------------------------------------ sinks
+
+    def _emit(self, event: dict) -> None:
+        for sink in self.sinks:
+            sink.emit(event)
+
+    def finish(self) -> list[Span]:
+        """Close any open spans, emit the metrics event, close the sinks.
+
+        Idempotent; returns the list of root spans.
+        """
+        if not self._finished:
+            while self._stack:
+                self._close(self._stack[-1])
+            counters = self.metrics.counter_values()
+            gauges = self.metrics.gauge_values()
+            if counters or gauges:
+                self._emit({"event": "metrics", "counters": counters,
+                            "gauges": gauges})
+            for sink in self.sinks:
+                sink.close()
+            self._finished = True
+        return self.roots
+
+
+class _NullSpan:
+    """Shared do-nothing span returned by :class:`NullTracer`."""
+
+    __slots__ = ()
+
+    name = ""
+    attrs: dict = {}
+    children: tuple = ()
+    seconds = 0.0
+    closed = True
+
+    def set(self, **attrs):
+        return self
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """No-op tracer: every call returns immediately.
+
+    The partitioning drivers accept ``tracer=None`` and normalise it to
+    :data:`NULL_TRACER` via :func:`as_tracer`, so the hot path never
+    branches on "is tracing on" except to skip *computing* trace-only
+    quantities (guard those on ``tracer.enabled``).
+    """
+
+    enabled = False
+    current = None
+    root = None
+    roots: tuple = ()
+    sinks: tuple = ()
+    metrics = None
+
+    def span(self, name: str, **attrs) -> _NullSpan:
+        return _NULL_SPAN
+
+    def incr(self, name: str, n=1) -> None:
+        pass
+
+    def gauge(self, name: str, value) -> None:
+        pass
+
+    def finish(self) -> tuple:
+        return ()
+
+
+NULL_TRACER = NullTracer()
+
+
+def as_tracer(tracer) -> "Tracer | NullTracer":
+    """Normalise ``None`` to the shared :data:`NULL_TRACER`."""
+    return NULL_TRACER if tracer is None else tracer

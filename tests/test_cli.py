@@ -88,6 +88,100 @@ class TestEvaluateMode:
         assert rc == 0
         assert svg.read_text().startswith("<svg")
 
+    def test_evaluate_reports_per_constraint_balance(self, graph_file, tmp_path, capsys):
+        out = tmp_path / "g.part"
+        main([graph_file, "4", "--seed", "3", "--out", str(out), "--quiet"])
+        capsys.readouterr()
+        rc = main([graph_file, "4", "--evaluate", str(out)])
+        assert rc == 0
+        text = capsys.readouterr().out
+        # 2-constraint graph: the report lists a balance line per constraint
+        assert "constraint" in text
+        assert "300 vertices" in text
+
+    def test_evaluate_missing_part_file(self, graph_file, tmp_path, capsys):
+        rc = main([graph_file, "4", "--evaluate", str(tmp_path / "nope.part")])
+        assert rc == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_evaluate_never_writes_trace(self, graph_file, tmp_path, capsys):
+        out = tmp_path / "g.part"
+        main([graph_file, "4", "--seed", "0", "--out", str(out), "--quiet"])
+        capsys.readouterr()
+        trace = tmp_path / "t.jsonl"
+        rc = main([graph_file, "4", "--evaluate", str(out),
+                   "--trace", str(trace)])
+        assert rc == 0
+        assert not trace.exists()
+
+
+class TestTraceFlags:
+    def test_trace_writes_valid_jsonl(self, graph_file, tmp_path, capsys):
+        from repro.trace import TraceReport, load_jsonl, spans_from_events
+
+        trace = tmp_path / "run.jsonl"
+        rc = main([graph_file, "4", "--seed", "5", "--trace", str(trace)])
+        assert rc == 0
+        assert f"trace written to {trace}" in capsys.readouterr().out
+
+        events = load_jsonl(trace)
+        assert events, "trace file must not be empty"
+        kinds = {e["event"] for e in events}
+        assert kinds == {"span", "metrics"}
+        roots = spans_from_events(events)
+        assert [r.name for r in roots] == ["partition"]
+        root = roots[0]
+        assert root.attrs["nparts"] == 4
+        assert root.attrs["nvtxs"] == 300
+        assert {c.name for c in root.children} >= {"coarsen", "initpart", "refine"}
+
+        # round-trip: the report rebuilt from the file matches the run
+        rep = TraceReport.from_events(events)
+        assert rep.method == "kway"
+        assert rep.gauges["final.cut"] == root.attrs["cut"]
+        assert len(rep["trace"]) == len(rep["levels"]) - 1
+
+    def test_trace_summary_prints_span_tree(self, graph_file, capsys):
+        rc = main([graph_file, "4", "--seed", "5", "--trace-summary"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for token in ("partition", "coarsen", "initpart", "refine",
+                      "cut=", "max_imbalance=", "counters:"):
+            assert token in out
+
+    def test_trace_and_summary_together_demo(self, tmp_path, capsys):
+        trace = tmp_path / "demo.jsonl"
+        rc = main(["--demo", "200", "4", "--seed", "2",
+                   "--trace", str(trace), "--trace-summary"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "partition" in out and "level" in out
+        assert trace.exists() and trace.stat().st_size > 0
+
+    def test_trace_quiet_suppresses_notice(self, graph_file, tmp_path, capsys):
+        trace = tmp_path / "q.jsonl"
+        rc = main([graph_file, "2", "--seed", "0", "--quiet",
+                   "--trace", str(trace)])
+        assert rc == 0
+        assert "trace written" not in capsys.readouterr().out
+        assert trace.exists()
+
+    def test_trace_with_ensemble(self, graph_file, tmp_path, capsys):
+        from repro.trace import load_jsonl, spans_from_events
+
+        trace = tmp_path / "ens.jsonl"
+        rc = main([graph_file, "3", "--nseeds", "3", "--seed", "1",
+                   "--quiet", "--trace", str(trace)])
+        assert rc == 0
+        roots = spans_from_events(load_jsonl(trace))
+        assert [r.name for r in roots] == ["partition"] * 3
+
+    def test_no_trace_flags_no_stats(self, graph_file, capsys):
+        # without the flags the run stays on the no-op path
+        rc = main([graph_file, "2", "--seed", "0", "--quiet"])
+        assert rc == 0
+        assert "counters:" not in capsys.readouterr().out
+
 
 class TestEnsembleAndNpz:
     def test_nseeds_ensemble(self, graph_file, capsys):

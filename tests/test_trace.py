@@ -1,0 +1,375 @@
+"""Tests for the repro.trace subsystem: spans, metrics, sinks, reports,
+and its integration with the partitioning drivers."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    coarsening_profile_from_trace,
+    profile_text,
+    refinement_profile,
+    refinement_profile_text,
+)
+from repro.graph import mesh_like
+from repro.partition import best_of, part_graph
+from repro.trace import (
+    NULL_TRACER,
+    InMemorySink,
+    JsonlSink,
+    MetricsRegistry,
+    NullTracer,
+    Span,
+    TraceReport,
+    Tracer,
+    as_tracer,
+    load_jsonl,
+    render_span_tree,
+    spans_from_events,
+)
+from repro.weights import type1_region_weights
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    g = mesh_like(600, seed=0)
+    return g.with_vwgt(type1_region_weights(g, 2, seed=1))
+
+
+class TestSpans:
+    def test_nesting_and_attrs(self):
+        tr = Tracer()
+        with tr.span("root", a=1) as root:
+            with tr.span("child") as c1:
+                c1.set(x=2)
+            with tr.span("child"):
+                pass
+        assert root.closed and root.seconds >= 0
+        assert [c.name for c in root.children] == ["child", "child"]
+        assert root.attrs == {"a": 1}
+        assert root.children[0].attrs == {"x": 2}
+        assert tr.root is root and tr.roots == [root]
+
+    def test_current_tracks_stack(self):
+        tr = Tracer()
+        assert tr.current is None
+        with tr.span("a") as a:
+            assert tr.current is a
+            with tr.span("b") as b:
+                assert tr.current is b
+            assert tr.current is a
+        assert tr.current is None
+
+    def test_find_walk_child(self):
+        tr = Tracer()
+        with tr.span("r"):
+            with tr.span("p"):
+                with tr.span("leaf", n=1):
+                    pass
+            with tr.span("leaf", n=2):
+                pass
+        r = tr.root
+        assert r.find("leaf").attrs == {"n": 1}  # pre-order: nested first
+        assert [sp.attrs["n"] for sp in r.find_all("leaf")] == [1, 2]
+        assert r.child("leaf").attrs == {"n": 2}  # direct child only
+        assert r.child("nope") is None
+        assert [d for d, _ in r.walk()] == [0, 1, 2, 1]
+
+    def test_finish_closes_open_spans(self):
+        tr = Tracer()
+        tr.span("a")
+        tr.span("b")
+        roots = tr.finish()
+        assert len(roots) == 1
+        assert roots[0].closed and roots[0].children[0].closed
+        assert tr.finish() is roots  # idempotent
+
+    def test_multiple_roots(self):
+        tr = Tracer()
+        with tr.span("one"):
+            pass
+        with tr.span("two"):
+            pass
+        assert [r.name for r in tr.roots] == ["one", "two"]
+
+
+class TestNullTracer:
+    def test_everything_is_noop(self):
+        assert as_tracer(None) is NULL_TRACER
+        assert isinstance(NULL_TRACER, NullTracer)
+        assert not NULL_TRACER.enabled
+        with NULL_TRACER.span("x", a=1) as sp:
+            assert sp.set(b=2) is sp
+        assert sp.attrs == {}
+        assert NULL_TRACER.span("y") is sp  # shared singleton span
+        NULL_TRACER.incr("c")
+        NULL_TRACER.gauge("g", 1.0)
+        assert NULL_TRACER.finish() == ()
+
+    def test_real_tracer_passes_through(self):
+        tr = Tracer()
+        assert as_tracer(tr) is tr
+
+
+class TestMetrics:
+    def test_registry(self):
+        reg = MetricsRegistry()
+        reg.counter("moves").inc(3)
+        reg.counter("moves").inc()
+        reg.gauge("cut").set(42)
+        assert reg.counter_values() == {"moves": 4}
+        assert reg.gauge_values() == {"cut": 42}
+        assert reg.as_dict() == {"counters": {"moves": 4}, "gauges": {"cut": 42}}
+
+    def test_tracer_shorthands(self):
+        tr = Tracer()
+        tr.incr("a", 2)
+        tr.incr("a")
+        tr.gauge("b", 7)
+        assert tr.metrics.counter_values() == {"a": 3}
+        assert tr.metrics.gauge_values() == {"b": 7}
+
+
+class TestSinks:
+    def test_in_memory_emits_children_before_parents(self):
+        sink = InMemorySink()
+        tr = Tracer([sink])
+        with tr.span("outer"):
+            with tr.span("inner"):
+                pass
+        names = [e["name"] for e in sink.events]
+        assert names == ["inner", "outer"]
+
+    def test_metrics_event_on_finish(self):
+        sink = InMemorySink()
+        tr = Tracer([sink])
+        with tr.span("s"):
+            tr.incr("n", 5)
+        tr.finish()
+        assert sink.events[-1] == {"event": "metrics", "counters": {"n": 5},
+                                   "gauges": {}}
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tr = Tracer([JsonlSink(path)])
+        with tr.span("root", n=np.int64(3), f=np.float64(0.5),
+                      arr=np.arange(2)):
+            with tr.span("kid"):
+                pass
+        tr.gauge("cut", np.int64(9))
+        tr.finish()
+
+        events = load_jsonl(path)
+        assert all(isinstance(json.dumps(e), str) for e in events)
+        roots = spans_from_events(events)
+        assert len(roots) == 1
+        (root,) = roots
+        assert root.name == "root"
+        assert root.attrs == {"n": 3, "f": 0.5, "arr": [0, 1]}
+        assert [c.name for c in root.children] == ["kid"]
+        assert root.seconds >= root.children[0].seconds >= 0
+
+    def test_spans_from_events_ignores_other_events(self):
+        assert spans_from_events([{"event": "metrics", "counters": {}}]) == []
+
+
+class TestRender:
+    def test_tree_shape_and_attrs(self):
+        tr = Tracer()
+        with tr.span("root", method="kway"):
+            with tr.span("coarsen", levels=[100, 50]):
+                pass
+            with tr.span("refine"):
+                with tr.span("level", nvtxs=100, imbalance=1.0499):
+                    pass
+        out = render_span_tree(tr.root)
+        assert out.splitlines()[0].startswith("root")
+        assert "├─ coarsen" in out and "└─ refine" in out
+        assert "levels=[100, 50]" in out
+        assert "imbalance=1.05" in out  # floats shortened
+
+    def test_max_depth_truncates(self):
+        tr = Tracer()
+        with tr.span("a"):
+            with tr.span("b"):
+                with tr.span("c"):
+                    pass
+        out = render_span_tree(tr.root, max_depth=1)
+        assert "b" in out and "c" not in out and "..." in out
+
+
+class TestTraceReport:
+    def test_kway_report(self, mesh):
+        res = part_graph(mesh, 4, seed=2, collect_stats=True)
+        rep = res.stats
+        assert isinstance(rep, TraceReport)
+        assert rep.method == "kway"
+        assert rep.root.name == "partition"
+        assert rep.root.attrs["cut"] == res.edgecut
+        assert rep.root.attrs["feasible"] == res.feasible
+        assert rep.total_seconds > 0
+        for phase in ("coarsen", "initpart", "refine"):
+            assert rep.phase(phase) is not None
+            assert rep.phase_seconds(phase) >= 0
+        assert rep.levels[0] == 600
+        assert len(rep.level_trace()) == len(rep.levels) - 1
+        assert rep.gauges["final.cut"] == res.edgecut
+        assert rep.counters["kway.moves"] >= 0
+
+    def test_dict_compatible_view(self, mesh):
+        res = part_graph(mesh, 4, seed=2, collect_stats=True)
+        st = res.stats
+        # the pre-subsystem consumers' contract
+        assert st["method"] == "kway"
+        assert st["levels"] == sorted(st["levels"], reverse=True)
+        assert len(st["trace"]) == len(st["levels"]) - 1
+        for entry in st["trace"]:
+            assert entry["cut"] >= 0 and entry["imbalance"] >= 1.0 - 1e-9
+        assert st["coarsen_seconds"] >= 0
+        assert "refine_seconds" in st and "initpart_seconds" in st
+        assert dict(st)["method"] == "kway"  # Mapping protocol
+        assert st.get("nope") is None
+
+    def test_recursive_report(self, mesh):
+        res = part_graph(mesh, 5, method="recursive", seed=3,
+                         collect_stats=True)
+        st = res.stats
+        assert st["method"] == "recursive"
+        assert st["bisections"] == 4
+        assert st["trace"][0]["nvtxs"] == 600
+        assert st["total_seconds"] > 0
+        assert res.stats.bisection_trace()[0]["parts"] == 5
+
+    def test_explicit_tracer_without_collect_stats(self, mesh):
+        sink = InMemorySink()
+        tracer = Tracer([sink])
+        res = part_graph(mesh, 3, seed=4, tracer=tracer)
+        assert res.stats is not None
+        assert res.stats["method"] == "kway"
+        tracer.finish()
+        assert any(e["name"] == "partition" for e in sink.events
+                   if e["event"] == "span")
+
+    def test_default_is_untraced(self, mesh):
+        assert part_graph(mesh, 3, seed=5).stats is None
+
+    def test_from_events_roundtrip(self, mesh, tmp_path):
+        path = tmp_path / "run.jsonl"
+        tracer = Tracer([JsonlSink(path)])
+        res = part_graph(mesh, 4, seed=6, tracer=tracer)
+        tracer.finish()
+        rep = TraceReport.from_events(load_jsonl(path))
+        assert rep.method == "kway"
+        assert rep["levels"] == res.stats["levels"]
+        assert [t["cut"] for t in rep["trace"]] == \
+               [t["cut"] for t in res.stats["trace"]]
+        assert rep.gauges["final.cut"] == res.edgecut
+
+    def test_render_mentions_phases(self, mesh):
+        res = part_graph(mesh, 4, seed=7, collect_stats=True)
+        out = res.stats.render()
+        for token in ("partition", "coarsen", "initpart", "refine",
+                      "cut=", "max_imbalance="):
+            assert token in out
+        assert "counters:" in out and "gauges:" in out
+
+    def test_empty_report(self):
+        rep = TraceReport(None)
+        assert rep.method is None and rep.levels == []
+        assert rep.render() == "(empty trace)"
+
+    def test_ensemble_traces_every_run(self, mesh):
+        tracer = Tracer()
+        ens = best_of(mesh, 4, 3, seed=8, tracer=tracer)
+        assert len(tracer.roots) == 3
+        assert ens.best.stats is not None
+        assert ens.best.stats["method"] == "kway"
+
+
+class TestDriverSpans:
+    def test_coarsen_levels_recorded(self, mesh):
+        res = part_graph(mesh, 4, seed=9, collect_stats=True)
+        spans = res.stats.phase("coarsen").find_all("coarsen_level")
+        contracted = [sp for sp in spans if "coarse_nvtxs" in sp.attrs]
+        assert len(contracted) == len(res.stats.levels) - 1
+        for sp in contracted:
+            assert 0 < sp.attrs["shrink"] <= 1.0
+            assert sp.attrs["coarse_nvtxs"] < sp.attrs["nvtxs"]
+
+    def test_initpart_candidates_counted(self, mesh):
+        res = part_graph(mesh, 4, seed=10, collect_stats=True)
+        init = res.stats.phase("initpart")
+        cand = init.find("initbisect")
+        assert cand is not None
+        assert cand.attrs["candidates"] > 0
+        assert res.stats.counters["initpart.candidates"] >= cand.attrs["candidates"]
+
+    def test_recursive_fm_levels(self, mesh):
+        res = part_graph(mesh, 2, method="recursive", seed=11,
+                         collect_stats=True)
+        fm = res.stats.root.find_all("fm_level")
+        assert fm, "multilevel bisection should FM-refine per level"
+        assert all("cut" in sp.attrs for sp in fm)
+        assert res.stats.counters["fm.passes"] >= len(fm)
+
+    def test_parallel_driver_trace(self, mesh):
+        from repro.parallel import parallel_part_graph
+
+        tracer = Tracer()
+        res = parallel_part_graph(mesh, 4, 4, tracer=tracer)
+        tracer.finish()
+        root = tracer.root
+        assert root.name == "parallel_partition"
+        assert root.attrs["nranks"] == 4
+        assert root.attrs["cut"] == res.edgecut
+        assert root.attrs["sim_seconds"] == pytest.approx(
+            sum(res.phase_times.values()))
+        for phase in ("coarsen", "initpart", "refine"):
+            sp = root.child(phase)
+            assert sp is not None and sp.attrs["sim_seconds"] >= 0
+        levels = root.child("refine").find_all("level")
+        assert len(levels) == res.levels
+        assert all("committed" in sp.attrs for sp in levels)
+
+
+class TestTraceDiagnostics:
+    def test_coarsening_profile_from_trace(self, mesh):
+        res = part_graph(mesh, 4, seed=12, collect_stats=True)
+        prof = coarsening_profile_from_trace(res.stats)
+        assert [p["nvtxs"] for p in prof] == res.stats["levels"]
+        assert prof[0]["shrink"] == 1.0
+        assert all(0 < p["shrink"] <= 1.0 for p in prof[1:])
+        assert all(p["exposed_edge_weight"] > 0 for p in prof)
+        text = profile_text(prof)
+        assert "coarsening profile" in text and "600" in text
+
+    def test_refinement_profile_from_trace(self, mesh):
+        res = part_graph(mesh, 4, seed=13, collect_stats=True)
+        prof = refinement_profile(res.stats)
+        assert len(prof) == len(res.stats["trace"])
+        assert prof[-1]["nvtxs"] == 600  # finest level last
+        assert all(p["seconds"] >= 0 for p in prof)
+        text = refinement_profile_text(prof)
+        assert "refinement trace" in text
+
+    def test_profiles_empty_without_phases(self):
+        rep = TraceReport(None)
+        assert coarsening_profile_from_trace(rep) == []
+        assert refinement_profile(rep) == []
+
+
+class TestNoopOverheadGuard:
+    def test_null_span_is_cheap(self):
+        # Regression guard for the zero-overhead claim (the real budget is
+        # asserted in benchmarks/bench_trace_overhead.py): 10k null spans
+        # must be effectively instant.
+        import time
+
+        t0 = time.perf_counter()
+        for _ in range(10_000):
+            with NULL_TRACER.span("x", nvtxs=1):
+                pass
+        assert time.perf_counter() - t0 < 0.5
