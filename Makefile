@@ -1,6 +1,6 @@
 # Convenience targets for the repro project.
 
-.PHONY: install test bench examples smoke all clean
+.PHONY: install test bench bench-smoke examples smoke all clean
 
 install:
 	pip install -e .
@@ -12,6 +12,12 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Kernel quality guard in CI mode: tiny graphs, cut/balance assertions
+# against the recorded baseline, no wall-clock gating (safe on shared
+# machines).  See benchmarks/perf_guard.py and docs/performance.md.
+bench-smoke:
+	PYTHONPATH=src python benchmarks/perf_guard.py --smoke
 
 examples:
 	for ex in examples/*.py; do echo "== $$ex"; python $$ex || exit 1; done

@@ -1,0 +1,221 @@
+#!/usr/bin/env python
+"""Performance-regression guard for the hot-path kernels.
+
+Runs the end-to-end partitioning benchmark family (the ``bench_runtime_n``
+ladder), collects per-phase timings from ``repro.trace`` spans, and writes
+a ``BENCH_kernels.json`` artifact.  When a recorded baseline exists the run
+**fails (exit 1) if edge-cut or balance regress beyond tolerance** -- wall
+clock is reported but never gated in smoke mode, so the quality guard is
+safe to run on shared CI machines.
+
+Modes
+-----
+``full`` (default)
+    sm1-sm3 graphs, k=16, m=3 -- the acceptance configuration.  Reports
+    the speedup against the recorded pre-optimization reference timings.
+``--smoke``
+    Tiny graphs (~500 vertices), quality-only assertions, no wall-clock
+    gating; fast enough for every PR (see ``make bench-smoke``).
+
+Usage
+-----
+    PYTHONPATH=src python benchmarks/perf_guard.py            # guard vs baseline
+    PYTHONPATH=src python benchmarks/perf_guard.py --smoke    # CI quality guard
+    PYTHONPATH=src python benchmarks/perf_guard.py --record   # (re)record baseline
+
+See ``docs/performance.md`` for how to read the artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from _util import MASTER_SEED, RESULTS_DIR, type1_graph  # noqa: E402
+
+from repro.graph import mesh_like  # noqa: E402
+from repro.partition import part_graph  # noqa: E402
+from repro.weights import type1_region_weights  # noqa: E402
+
+DEFAULT_BASELINE = os.path.join(RESULTS_DIR, "BENCH_kernels.json")
+
+K = 16
+M = 3
+SEED = 4  # the bench_runtime_n configuration
+
+SMOKE_SIZES = (400, 700)
+SMOKE_K = 4
+SMOKE_M = 2
+
+
+def _smoke_graph(n: int):
+    g = mesh_like(n, seed=MASTER_SEED + n)
+    return g.with_vwgt(type1_region_weights(g, SMOKE_M, nregions=8, seed=MASTER_SEED + n))
+
+
+def _run_case(name, graph, k, seed, repeats=2):
+    # Wall clock from untraced runs (best of ``repeats``, like the recorded
+    # pre-optimization reference); phase breakdown from one traced run so
+    # tracing overhead never rides on the reported seconds.
+    secs = None
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        res = part_graph(graph, k, seed=seed)
+        dt = time.perf_counter() - t0
+        secs = dt if secs is None else min(secs, dt)
+    res = part_graph(graph, k, seed=seed, collect_stats=True)
+    rep = res.stats
+    return {
+        "graph": name,
+        "nvtxs": graph.nvtxs,
+        "nedges": graph.nedges,
+        "ncon": graph.ncon,
+        "seconds": round(secs, 4),
+        "coarsen_seconds": round(rep.phase_seconds("coarsen"), 4),
+        "initpart_seconds": round(rep.phase_seconds("initpart"), 4),
+        "refine_seconds": round(rep.phase_seconds("refine"), 4),
+        "edgecut": int(res.edgecut),
+        "max_imbalance": round(res.max_imbalance, 6),
+        "imbalance": [round(float(x), 6) for x in res.imbalance],
+        "feasible": bool(res.feasible),
+    }
+
+
+def run_suite(smoke: bool) -> dict:
+    cases = []
+    if smoke:
+        for n in SMOKE_SIZES:
+            cases.append(_run_case(f"smoke{n}", _smoke_graph(n), SMOKE_K, SEED,
+                                   repeats=1))
+        config = {"k": SMOKE_K, "m": SMOKE_M, "seed": SEED}
+    else:
+        for name in ("sm1", "sm2", "sm3"):
+            cases.append(_run_case(name, type1_graph(name, M), K, SEED))
+        config = {"k": K, "m": M, "seed": SEED}
+    return {
+        "schema": "BENCH_kernels/v1",
+        "mode": "smoke" if smoke else "full",
+        "config": config,
+        "cases": cases,
+        "total_seconds": round(sum(c["seconds"] for c in cases), 4),
+    }
+
+
+def check_against(result: dict, baseline: dict, cut_tol: float, imb_tol: float) -> list[str]:
+    """Quality gates: cut and balance must not regress beyond tolerance.
+    Returns a list of human-readable failures (empty = pass)."""
+    failures = []
+    base_cases = {c["graph"]: c for c in baseline.get("cases", [])}
+    for c in result["cases"]:
+        b = base_cases.get(c["graph"])
+        if b is None:
+            continue
+        limit = b["edgecut"] * (1.0 + cut_tol)
+        if c["edgecut"] > limit:
+            failures.append(
+                f"{c['graph']}: edge-cut {c['edgecut']} exceeds baseline "
+                f"{b['edgecut']} by more than {cut_tol:.0%} (limit {limit:.0f})"
+            )
+        if c["max_imbalance"] > b["max_imbalance"] + imb_tol:
+            failures.append(
+                f"{c['graph']}: max imbalance {c['max_imbalance']:.4f} exceeds "
+                f"baseline {b['max_imbalance']:.4f} + {imb_tol}"
+            )
+        if not c["feasible"] and b["feasible"]:
+            failures.append(f"{c['graph']}: partition became infeasible")
+    return failures
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true",
+                    help="tiny graphs, quality-only gating (CI mode)")
+    ap.add_argument("--record", action="store_true",
+                    help="write this run as the new baseline")
+    ap.add_argument("--baseline", default=DEFAULT_BASELINE,
+                    help="baseline JSON path (default benchmarks/results/BENCH_kernels.json)")
+    ap.add_argument("--out", default=None,
+                    help="also write the current run's JSON here")
+    ap.add_argument("--cut-tol", type=float, default=0.05,
+                    help="relative edge-cut regression tolerance (default 0.05)")
+    ap.add_argument("--imb-tol", type=float, default=0.01,
+                    help="absolute max-imbalance regression tolerance (default 0.01)")
+    args = ap.parse_args(argv)
+
+    result = run_suite(args.smoke)
+
+    baseline = None
+    if os.path.exists(args.baseline):
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)
+
+    # Speedup vs the recorded pre-optimization reference (full mode only;
+    # the reference seconds travel with the baseline file).
+    reference = (baseline or {}).get("reference", {})
+    if not args.smoke and reference.get("preopt_total_seconds"):
+        result["reference"] = reference
+        result["speedup_vs_preopt"] = round(
+            reference["preopt_total_seconds"] / result["total_seconds"], 2
+        )
+
+    for c in result["cases"]:
+        print(f"{c['graph']:>8}  n={c['nvtxs']:>6}  {c['seconds']:6.2f}s  "
+              f"(coarsen {c['coarsen_seconds']:.2f} / init {c['initpart_seconds']:.2f} "
+              f"/ refine {c['refine_seconds']:.2f})  cut={c['edgecut']}  "
+              f"imb={c['max_imbalance']:.4f}")
+    print(f"   total  {result['total_seconds']:.2f}s", end="")
+    if result.get("speedup_vs_preopt"):
+        print(f"  ({result['speedup_vs_preopt']}x vs pre-optimization "
+              f"{reference['preopt_total_seconds']:.2f}s)")
+    else:
+        print()
+
+    status = 0
+    if baseline is not None and not args.record:
+        section = baseline if baseline.get("mode") == result["mode"] else \
+            baseline.get("smoke_section") if args.smoke else baseline
+        failures = check_against(result, section or {}, args.cut_tol, args.imb_tol)
+        if failures:
+            for f in failures:
+                print(f"REGRESSION: {f}", file=sys.stderr)
+            status = 1
+        else:
+            print("quality guard: PASS (cut and balance within tolerance of baseline)")
+    elif baseline is None:
+        print("no baseline recorded yet; run with --record to create one")
+
+    out_path = args.out
+    if args.record:
+        # Full runs own the main file; smoke runs are stored as a section
+        # inside it so one artifact carries both baselines.
+        if args.smoke and baseline is not None:
+            baseline["smoke_section"] = result
+            payload = baseline
+        elif args.smoke:
+            payload = {"schema": "BENCH_kernels/v1", "smoke_section": result}
+        else:
+            if baseline is not None:
+                if baseline.get("reference"):
+                    result.setdefault("reference", baseline["reference"])
+                if baseline.get("smoke_section"):
+                    result["smoke_section"] = baseline["smoke_section"]
+            payload = result
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        with open(args.baseline, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=False)
+            fh.write("\n")
+        print(f"baseline recorded -> {args.baseline}")
+    if out_path:
+        with open(out_path, "w") as fh:
+            json.dump(result, fh, indent=2)
+            fh.write("\n")
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,6 +10,16 @@ Stopping rules (all standard for multilevel partitioners):
 * a level shrinks by less than ``min_shrink`` (matching has stalled, e.g.
   on star-like graphs where few independent pairs exist), or
 * ``max_levels`` levels were produced.
+
+Performance
+-----------
+Each level is two bulk kernels: a matcher that reads precomputed per-edge
+scores (see ``coarsen.matching``; the balanced-edge tie-break of *every*
+non-random matcher, including the handshaking one, comes from one
+vectorised :func:`~repro.coarsen.matching._edge_balance_scores` sweep) and
+a fully vectorised :func:`~repro.graph.contract.contract`.  Contraction
+builds coarse graphs that are valid by construction, so re-validation is
+skipped on this hot path (``docs/performance.md``).
 """
 
 from __future__ import annotations

@@ -15,12 +15,23 @@ Four schemes are provided (ablated by benchmark A1):
 * :func:`balanced_edge_matching` -- minimise the balanced-edge score, with
   edge weight as tie-break;
 * :func:`fast_heavy_edge_matching` -- bulk-synchronous handshaking HEM
-  (the vectorised / parallel-protocol variant; no balanced tie-break).
+  (the vectorised / parallel-protocol variant), honouring the balanced
+  tie-break when relative weights are supplied.
 
 :func:`two_hop_matching` augments any of them when matching stalls.
 
 All return a ``match`` array with ``match[v] == u`` and ``match[u] == v``
 for matched pairs, and ``match[v] == v`` for unmatched vertices.
+
+Performance
+-----------
+The greedy matchers precompute the balanced-edge score of **every** directed
+edge in one NumPy sweep (:func:`_edge_balance_scores`) and then run the
+sequential scan over plain-Python lists -- the per-vertex
+``_best_candidate`` inner loop over numpy slices was the coarsening hot
+spot.  The original per-vertex implementations are kept verbatim as
+``_reference_*`` oracles; ``tests/test_perf_kernels.py`` pins exact
+matching parity on seeded graphs.
 """
 
 from __future__ import annotations
@@ -59,9 +70,60 @@ def _balance_score(combined: np.ndarray) -> float:
     return float(scaled.max() - scaled.min())
 
 
+def _edge_balance_scores(graph: Graph, relw: np.ndarray) -> np.ndarray:
+    """Balanced-edge score of every directed edge, in CSR edge order.
+
+    Bulk equivalent of calling :func:`_balance_score` on
+    ``relw[src] + relw[dst]`` per edge: per-row sums over ``m <= 8``
+    components are sequential in NumPy, so the scores are bitwise identical
+    to the scalar routine."""
+    e = graph.adjncy.shape[0]
+    m = relw.shape[1]
+    if e == 0 or m == 1:
+        return np.zeros(e, dtype=np.float64)
+    src = np.repeat(np.arange(graph.nvtxs, dtype=_INT), np.diff(graph.xadj))
+    combined = relw[src] + relw[graph.adjncy]
+    s = combined.sum(axis=1)
+    out = np.zeros(e, dtype=np.float64)
+    ok = s > 0
+    scaled = combined[ok] * (m / s[ok])[:, None]
+    out[ok] = scaled.max(axis=1) - scaled.min(axis=1)
+    return out
+
+
 def random_matching(graph: Graph, seed=None) -> np.ndarray:
     """Match each vertex (in random order) with a random unmatched
-    neighbour."""
+    neighbour.
+
+    Single shuffled pass over plain lists; the free-neighbour scan reuses
+    one preallocated buffer instead of building a filtered numpy array per
+    vertex.  Seeded results are identical to
+    :func:`_reference_random_matching`."""
+    rng = as_rng(seed)
+    n = graph.nvtxs
+    matchl = list(range(n))
+    xadj = graph.xadj.tolist()
+    adj = graph.adjncy.tolist()
+    free_buf = [0] * (int(np.diff(graph.xadj).max()) if n and graph.adjncy.size else 1)
+    for v in rng.permutation(n).tolist():
+        if matchl[v] != v:
+            continue
+        k = 0
+        for i in range(xadj[v], xadj[v + 1]):
+            u = adj[i]
+            if matchl[u] == u:
+                free_buf[k] = u
+                k += 1
+        if k:
+            u = free_buf[int(rng.integers(k))]
+            matchl[v] = u
+            matchl[u] = v
+    return np.asarray(matchl, dtype=_INT)
+
+
+def _reference_random_matching(graph: Graph, seed=None) -> np.ndarray:
+    """Original per-vertex numpy implementation (parity oracle for
+    :func:`random_matching`)."""
     rng = as_rng(seed)
     n = graph.nvtxs
     match = np.arange(n, dtype=_INT)
@@ -99,15 +161,65 @@ def balanced_edge_matching(graph: Graph, seed=None, *, relw: np.ndarray | None =
     return _greedy_matching(graph, seed, relw, primary="balanced")
 
 
-def _greedy_matching(graph: Graph, seed, relw, primary: str) -> np.ndarray:
-    rng = as_rng(seed)
-    n = graph.nvtxs
+def _resolve_relw(graph: Graph, relw) -> np.ndarray:
     if relw is None:
         t = graph.vwgt.sum(axis=0, dtype=np.float64)
         t[t == 0] = 1.0
-        relw = graph.vwgt / t
-    elif relw.shape != graph.vwgt.shape:
+        return graph.vwgt / t
+    if relw.shape != graph.vwgt.shape:
         raise GraphError("relw must align with graph.vwgt")
+    return relw
+
+
+def _greedy_matching(graph: Graph, seed, relw, primary: str) -> np.ndarray:
+    """Sequential greedy matcher over precomputed bulk edge scores.
+
+    Visits vertices in one seeded permutation (same RNG consumption as the
+    reference) and scans each free vertex's adjacency in CSR order with the
+    exact tie-break rules of :func:`_best_candidate`, reading edge weight
+    and balanced score from flat Python lists."""
+    rng = as_rng(seed)
+    n = graph.nvtxs
+    relw = _resolve_relw(graph, relw)
+
+    b_all = _edge_balance_scores(graph, relw).tolist()
+    xadj = graph.xadj.tolist()
+    adj = graph.adjncy.tolist()
+    adjw = graph.adjwgt.tolist()
+    matchl = list(range(n))
+    heavy_first = primary == "heavy"
+    inf = float("inf")
+
+    for v in rng.permutation(n).tolist():
+        if matchl[v] != v:
+            continue
+        best = -1
+        best_w = -1
+        best_b = inf
+        for i in range(xadj[v], xadj[v + 1]):
+            u = adj[i]
+            if matchl[u] != u:
+                continue
+            w = adjw[i]
+            b = b_all[i]
+            if heavy_first:
+                better = w > best_w or (w == best_w and b < best_b)
+            else:
+                better = b < best_b - 1e-12 or (abs(b - best_b) <= 1e-12 and w > best_w)
+            if better:
+                best, best_w, best_b = u, w, b
+        if best >= 0:
+            matchl[v] = best
+            matchl[best] = v
+    return np.asarray(matchl, dtype=_INT)
+
+
+def _reference_greedy_matching(graph: Graph, seed, relw, primary: str) -> np.ndarray:
+    """Original per-vertex implementation (parity oracle for
+    :func:`_greedy_matching`)."""
+    rng = as_rng(seed)
+    n = graph.nvtxs
+    relw = _resolve_relw(graph, relw)
 
     match = np.arange(n, dtype=_INT)
     xadj, adjncy, adjwgt = graph.xadj, graph.adjncy, graph.adjwgt
@@ -154,20 +266,21 @@ def _best_candidate(wv, cand, ws, relw, heavy_first: bool) -> int:
 def fast_heavy_edge_matching(graph: Graph, seed=None, *, relw=None, rounds: int = 10) -> np.ndarray:
     """Vectorised heavy-edge matching by mutual proposals (handshaking).
 
-    Each round, every free vertex proposes to its heaviest free neighbour
-    (ties broken by a random jitter); mutual proposals become matches.
-    Every round is a pure NumPy array pass -- no per-vertex Python loop.
+    Each round, every free vertex proposes to its heaviest free neighbour;
+    mutual proposals become matches.  Every round is a pure NumPy array
+    pass -- no per-vertex Python loop.  When ``relw`` is given (and the
+    graph is multi-constraint) weight ties are broken towards the smaller
+    balanced-edge score, mirroring :func:`heavy_edge_matching`; a random
+    jitter breaks any remaining ties.
 
     Measured honestly: at mesh scales up to ~150k vertices this is *not*
     faster than :func:`heavy_edge_matching` in CPython (the per-round
     ``lexsort`` over the live edges costs about as much as the sequential
-    scan's small-slice loop).  It is kept because (a) its bulk-synchronous
+    scan's flat-list loop).  It is kept because (a) its bulk-synchronous
     structure is exactly the parallel handshaking protocol, making it the
     reference for `repro.parallel`-style ports, and (b) it is the variant
-    that vectorises onto compiled/GPU backends.  No balanced-edge
-    tie-break (``relw`` accepted for interface compatibility, ignored);
-    matchings are slightly less maximal (mutual-only acceptance).
-    Registered as ``"fhem"``.
+    that vectorises onto compiled/GPU backends.  Matchings are slightly
+    less maximal (mutual-only acceptance).  Registered as ``"fhem"``.
     """
     rng = as_rng(seed)
     n = graph.nvtxs
@@ -177,6 +290,8 @@ def fast_heavy_edge_matching(graph: Graph, seed=None, *, relw=None, rounds: int 
     src_all = np.repeat(np.arange(n, dtype=_INT), np.diff(graph.xadj))
     dst_all = graph.adjncy
     w_all = graph.adjwgt.astype(np.float64)
+    balanced = relw is not None and relw.shape[1] > 1
+    b_all = _edge_balance_scores(graph, relw) if balanced else None
 
     for _ in range(rounds):
         free = match == np.arange(n)
@@ -187,10 +302,16 @@ def fast_heavy_edge_matching(graph: Graph, seed=None, *, relw=None, rounds: int 
             break
         src = src_all[live]
         dst = dst_all[live]
-        w = w_all[live] + rng.random(src.shape[0])  # jitter breaks ties
-        # Segment-max: sort ascending by (src, w); the last entry per src
-        # wins the overwrite below.
-        order = np.lexsort((w, src))
+        # Segment-max: sort ascending so the last entry per src wins the
+        # overwrite below.
+        if balanced:
+            jitter = rng.random(src.shape[0])
+            # Primary src, then weight (max last), then balanced score
+            # (min last), then jitter.
+            order = np.lexsort((jitter, -b_all[live], w_all[live], src))
+        else:
+            w = w_all[live] + rng.random(src.shape[0])  # jitter breaks ties
+            order = np.lexsort((w, src))
         prop = np.full(n, -1, dtype=_INT)
         prop[src[order]] = dst[order]
         # Mutual proposals pair up (symmetric by construction).
@@ -208,6 +329,8 @@ def two_hop_matching(graph: Graph, match: np.ndarray, seed=None, *, max_pair_deg
     because their only neighbour (the hub) is taken.  Pairing leaves of the
     same hub keeps coarsening moving (METIS 5 uses the same device).  Only
     vertices unmatched in ``match`` are touched; the input is not modified.
+    The scan runs over flat Python lists (same seeded results as the
+    original numpy-slice version).
 
     Parameters
     ----------
@@ -229,28 +352,33 @@ def two_hop_matching(graph: Graph, match: np.ndarray, seed=None, *, max_pair_deg
     if free.size < 2:
         return out
 
+    outl = out.tolist()
+    xadj = graph.xadj.tolist()
+    adj = graph.adjncy.tolist()
+
     # Group leftover vertices by a (random) common neighbour and pair
     # within each bucket.
     buckets: dict[int, int] = {}
     for v in rng.permutation(free).tolist():
-        if out[v] != v:
+        if outl[v] != v:
             continue
-        nbrs = graph.neighbors(v)
-        if nbrs.size == 0:
+        beg, end = xadj[v], xadj[v + 1]
+        if beg == end:
             continue
-        for u in nbrs.tolist():
+        for i in range(beg, end):
+            u = adj[i]
             waiting = buckets.get(u, -1)
-            if waiting >= 0 and out[waiting] == waiting and waiting != v:
-                out[v] = waiting
-                out[waiting] = v
+            if waiting >= 0 and outl[waiting] == waiting and waiting != v:
+                outl[v] = waiting
+                outl[waiting] = v
                 buckets[u] = -1
                 break
         else:
             # Park v at one of its hubs and keep scanning.
-            hub = int(nbrs[rng.integers(nbrs.size)])
+            hub = adj[beg + int(rng.integers(end - beg))]
             if buckets.get(hub, -1) < 0:
                 buckets[hub] = v
-    return out
+    return np.asarray(outl, dtype=_INT)
 
 
 def matching_to_cmap(match: np.ndarray) -> tuple[np.ndarray, int]:
@@ -272,19 +400,24 @@ def matching_to_cmap(match: np.ndarray) -> tuple[np.ndarray, int]:
 
 def is_matching(graph: Graph, match: np.ndarray) -> bool:
     """Check that ``match`` is a valid matching on ``graph``: involutive and
-    every matched pair is an actual edge."""
+    every matched pair is an actual edge (one bulk sweep over the edge
+    list)."""
     match = np.asarray(match, dtype=_INT)
     n = graph.nvtxs
     if match.shape != (n,):
         return False
     if match.size and (match.min() < 0 or match.max() >= n):
         return False
-    if not np.array_equal(match[match], np.arange(n)):
+    ar = np.arange(n)
+    if not np.array_equal(match[match], ar):
         return False
-    for v in np.flatnonzero(match != np.arange(n)):
-        if int(match[v]) not in set(graph.neighbors(v).tolist()):
-            return False
-    return True
+    matched = match != ar
+    if not matched.any():
+        return True
+    src = np.repeat(ar, np.diff(graph.xadj))
+    hits = match[src] == graph.adjncy
+    has_edge = np.bincount(src[hits], minlength=n) > 0
+    return bool(np.all(has_edge | ~matched))
 
 
 #: Registry used by the coarsener configuration.

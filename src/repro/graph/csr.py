@@ -244,12 +244,16 @@ class Graph:
             raise GraphError("self-loops are not allowed")
 
         # Symmetry: the multiset of (u, v, w) directed edges must equal the
-        # multiset of (v, u, w).  Compare canonical sorted encodings.
-        fwd = np.lexsort((self.adjwgt, self.adjncy, src))
-        rev = np.lexsort((self.adjwgt, src, self.adjncy))
+        # multiset of (v, u, w).  Encode each endpoint pair as one composite
+        # int64 key (safe: u * n + v < n**2 <= 2**63 for any graph that fits
+        # in memory) so the comparison needs two 2-key lexsorts instead of
+        # the previous 3-key ones.
+        key_fwd = src * _INT(n) + self.adjncy
+        key_rev = self.adjncy * _INT(n) + src
+        fwd = np.lexsort((self.adjwgt, key_fwd))
+        rev = np.lexsort((self.adjwgt, key_rev))
         if not (
-            np.array_equal(src[fwd], self.adjncy[rev])
-            and np.array_equal(self.adjncy[fwd], src[rev])
+            np.array_equal(key_fwd[fwd], key_rev[rev])
             and np.array_equal(self.adjwgt[fwd], self.adjwgt[rev])
         ):
             raise GraphError("adjacency (or edge weights) not symmetric")

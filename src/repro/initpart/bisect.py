@@ -27,7 +27,7 @@ import numpy as np
 from .._rng import as_rng, spawn
 from ..errors import PartitionError
 from ..graph.csr import Graph
-from ..refine.fm2way import TwoWayState, fm2way_refine
+from ..refine.fm2way import fm2way_refine
 from ..trace import as_tracer
 from .theory import best_projection_bisection, greedy_bisection
 
@@ -189,7 +189,7 @@ def initial_bisection(
                     # has a boundary to work with.
                     where[int(child.integers(graph.nvtxs))] ^= 1
 
-                fm2way_refine(
+                st = fm2way_refine(
                     graph, where,
                     target_fracs=(target, 1.0 - target),
                     ubvec=ubvec,
@@ -197,8 +197,10 @@ def initial_bisection(
                     seed=child,
                 )
                 ncandidates += 1
-                state = TwoWayState(graph, where, (target, 1.0 - target), ubvec)
-                key = (not state.feasible(), state.cut, state.balance_obj())
+                # Score straight from the refinement stats -- rebuilding a
+                # TwoWayState per candidate re-did an O(E) degree sweep ~20
+                # times per bisection call.
+                key = (not st.feasible, st.final_cut, st.balance)
                 if best_key is None or key < best_key:
                     best_key = key
                     best_where = where.copy()

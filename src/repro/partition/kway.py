@@ -7,6 +7,12 @@ refiner at each level.  Compared to recursive bisection this sees all ``k``
 parts at once during refinement -- which is what lets it trade weight among
 *all* parts when constraints interfere, the paper's motivation for the
 horizontal formulation.
+
+Performance: per-level refinement runs on
+:class:`~repro.refine.kwayref.KWayState`'s maintained ``id/ed`` degree
+arrays, so each pass touches only boundary vertices instead of re-scanning
+every edge (see ``docs/performance.md``; ``benchmarks/perf_guard.py``
+gates the end-to-end speed/quality envelope).
 """
 
 from __future__ import annotations

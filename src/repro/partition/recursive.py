@@ -10,6 +10,14 @@ of the ``ceil(log2 k)`` nested splits gets tolerance
 ``1 + (ub - 1) / ceil(log2 k)``; the compounded tolerance is then
 ``(1 + d)^log2(k) ≈ ub``.  Any residual violation is repaired by a global
 k-way balancing pass at the end (``options.final_balance``).
+
+Performance: this driver is the main consumer of the 2-way FM kernel --
+each bisection FM-refines ``ntries × |methods|`` initial candidates at the
+coarsest level plus one projection per level, so nearly all of its runtime
+sits in :mod:`repro.refine.fm2way`'s incremental state (see
+``docs/performance.md``; candidates are scored straight from
+:class:`~repro.refine.fm2way.FMStats` rather than by rebuilding a state
+per candidate).
 """
 
 from __future__ import annotations

@@ -20,10 +20,31 @@ Two modes cooperate:
   serial algorithm never explores the infeasible space once balanced --
   exactly the behaviour the paper describes), with rollback to the best
   observed prefix.
+
+Performance
+-----------
+FM is the hottest kernel of the whole pipeline (the initial-partitioning
+phase alone FM-refines hundreds of candidate bisections), and its inner
+loop is dominated by *per-element* operations: one gain lookup, an m-entry
+feasibility check, a few queue ops.  NumPy is the wrong tool at that grain
+-- every ufunc call costs ~1us of dispatch for ~3 elements of work -- so
+:class:`TwoWayState` keeps **pure-Python scalar mirrors** (plain lists) of
+the hot state next to the NumPy-facing views:
+
+* gain initialisation (:meth:`TwoWayState.build_queues`) is one vectorised
+  sweep over the CSR arrays followed by a bulk ``heapify`` per queue;
+* per-move updates (``id/ed``, part weights, the balance objective) touch
+  only the moved vertex and its neighbours, in plain-int arithmetic;
+* the selection loop peeks queue tops inline (no function call per queue).
+
+The arithmetic is IEEE-identical to the previous NumPy-scalar version, so
+seeded runs keep their results; ``tests/test_perf_kernels.py`` pins the
+parity against the per-vertex reference implementations.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 
 import numpy as np
@@ -49,6 +70,9 @@ class FMStats:
     passes: int
     moves: int
     feasible: bool
+    #: Final total balance excess (0.0 when feasible); lets drivers score
+    #: candidates without rebuilding a state around the refined partition.
+    balance: float = 0.0
 
 
 class TwoWayState:
@@ -58,6 +82,11 @@ class TwoWayState:
     every mutation goes through :meth:`move` so the invariants
     ``cut == ed.sum()/2`` and ``pw == sum of relw per side`` hold at all
     times (asserted by the test-suite's property checks).
+
+    ``pw``, ``id_`` and ``ed`` are exposed as NumPy arrays (views built on
+    access); the authoritative copies live in plain-Python lists so the
+    per-move bookkeeping runs at interpreter speed instead of paying ufunc
+    dispatch per touched element.
     """
 
     def __init__(self, graph: Graph, where, target_fracs=(0.5, 0.5), ubvec=1.05):
@@ -84,16 +113,46 @@ class TwoWayState:
         self.fracs = fr
         self.caps = fr[:, None] * ub[None, :]
 
-        self.pw = np.zeros((2, m), dtype=np.float64)
-        self.pw[0] = self.relw[where == 0].sum(axis=0)
-        self.pw[1] = self.relw[where == 1].sum(axis=0)
-        self.id_, self.ed = compute_2way_degrees(graph, where)
-        self.cut = int(self.ed.sum()) // 2
+        pw = np.zeros((2, m), dtype=np.float64)
+        pw[0] = self.relw[where == 0].sum(axis=0)
+        pw[1] = self.relw[where == 1].sum(axis=0)
+        id_, ed = compute_2way_degrees(graph, where)
+        self.cut = int(ed.sum()) // 2
+
+        # Hot-path mirrors: plain-Python scalars, no ufunc dispatch.
+        self._m = m
+        self._xadj = graph.xadj.tolist()
+        self._adj = graph.adjncy.tolist()
+        self._adjw = graph.adjwgt.tolist()
+        self._wh = where.tolist()
+        self._relwl = self.relw.tolist()
+        self._doml = self.dom.tolist()
+        self._capsl = self.caps.tolist()
+        self._pw = pw.tolist()
+        self._id = id_.tolist()
+        self._ed = ed.tolist()
+
+    # ---------------------------------------------------------- views #
+
+    @property
+    def pw(self) -> np.ndarray:
+        """``(2, m)`` relative part weights (snapshot of the live state)."""
+        return np.array(self._pw)
+
+    @property
+    def id_(self) -> np.ndarray:
+        """``(n,)`` internal degrees (snapshot)."""
+        return np.array(self._id, dtype=np.int64)
+
+    @property
+    def ed(self) -> np.ndarray:
+        """``(n,)`` external degrees (snapshot)."""
+        return np.array(self._ed, dtype=np.int64)
 
     # -------------------------------------------------------------- #
 
     def gain(self, v: int) -> int:
-        return int(self.ed[v] - self.id_[v])
+        return self._ed[v] - self._id[v]
 
     def excess(self) -> np.ndarray:
         """(2, m) positive part of ``pw - caps``."""
@@ -101,70 +160,169 @@ class TwoWayState:
 
     def balance_obj(self) -> float:
         """Total balance excess ``B`` (0 when feasible)."""
-        return float(self.excess().sum())
+        b = 0.0
+        for pwi, ci in zip(self._pw, self._capsl):
+            for j in range(self._m):
+                d = pwi[j] - ci[j]
+                if d > 0.0:
+                    b += d
+        return b
 
     def feasible(self) -> bool:
         return self.balance_obj() <= 1e-9
 
     def dest_fits(self, v: int) -> bool:
         """Would moving ``v`` keep its destination within its caps?"""
-        d = 1 - self.where[v]
-        return bool(np.all(self.pw[d] + self.relw[v] <= self.caps[d] + 1e-9))
+        pwd = self._pw[1 - self._wh[v]]
+        capd = self._capsl[1 - self._wh[v]]
+        rv = self._relwl[v]
+        for j in range(self._m):
+            if pwd[j] + rv[j] > capd[j] + 1e-9:
+                return False
+        return True
 
     def balance_after(self, v: int) -> float:
         """Balance objective if ``v`` were moved."""
-        s = self.where[v]
-        d = 1 - s
-        pw = self.pw.copy()
-        pw[s] -= self.relw[v]
-        pw[d] += self.relw[v]
-        return float(np.maximum(pw - self.caps, 0.0).sum())
+        s = self._wh[v]
+        rv = self._relwl[v]
+        b = 0.0
+        for i in (0, 1):
+            pwi = self._pw[i]
+            ci = self._capsl[i]
+            sign = -1.0 if i == s else 1.0
+            for j in range(self._m):
+                d = pwi[j] + sign * rv[j] - ci[j]
+                if d > 0.0:
+                    b += d
+        return b
 
     def move(self, v: int, queues=None, locked=None) -> None:
         """Move ``v`` to the other side, updating degrees, cut, part
         weights, and (optionally) the gain queues of its free neighbours."""
-        s = int(self.where[v])
+        wh = self._wh
+        idl, edl = self._id, self._ed
+        s = wh[v]
         d = 1 - s
-        self.cut -= self.gain(v)
-        self.pw[s] -= self.relw[v]
-        self.pw[d] += self.relw[v]
+        self.cut -= edl[v] - idl[v]
+        rv = self._relwl[v]
+        pws, pwd = self._pw[s], self._pw[d]
+        for j in range(self._m):
+            pws[j] -= rv[j]
+            pwd[j] += rv[j]
+        wh[v] = d
         self.where[v] = d
-        self.id_[v], self.ed[v] = self.ed[v], self.id_[v]
+        idl[v], edl[v] = edl[v], idl[v]
 
-        g = self.graph
-        beg, end = g.xadj[v], g.xadj[v + 1]
-        nbrs = g.adjncy[beg:end]
-        ws = g.adjwgt[beg:end]
-        wh = self.where
-        for u, w in zip(nbrs.tolist(), ws.tolist()):
+        adj, adjw, dom = self._adj, self._adjw, self._doml
+        heappush = heapq.heappush
+        for i in range(self._xadj[v], self._xadj[v + 1]):
+            u = adj[i]
+            w = adjw[i]
             if wh[u] == d:  # u is now on v's side
-                self.id_[u] += w
-                self.ed[u] -= w
+                idl[u] += w
+                edl[u] -= w
             else:
-                self.id_[u] -= w
-                self.ed[u] += w
+                idl[u] -= w
+                edl[u] += w
             if queues is not None and (locked is None or not locked[u]):
-                q = queues[wh[u]][self.dom[u]]
-                if u in q:
-                    q.update(u, self.ed[u] - self.id_[u])
-                elif self.ed[u] > 0:
-                    q.insert(u, self.ed[u] - self.id_[u])
+                # Inline queue insert/update (see LazyMaxPQ invariants):
+                # refresh u's gain if queued, enqueue if it just became a
+                # boundary vertex.
+                q = queues[wh[u]][dom[u]]
+                prio = q._prio
+                queued = u in prio
+                if queued or edl[u] > 0:
+                    g_u = edl[u] - idl[u]
+                    stamp = q._stamp
+                    s_u = stamp.get(u, 0) + 1
+                    stamp[u] = s_u
+                    if not queued:
+                        q._size += 1
+                    prio[u] = g_u
+                    heappush(q._heap, (-g_u, u, s_u))
 
     # -------------------------------------------------------------- #
 
     def build_queues(self, *, boundary_only: bool = True, locked=None):
-        """Fresh ``queues[side][con]`` of free (un-locked) vertices."""
-        m = self.relw.shape[1]
+        """Fresh ``queues[side][con]`` of free (un-locked) vertices.
+
+        One vectorised sweep: candidate vertices, their gains and their
+        (side, dominant-constraint) bucket come straight from the CSR-based
+        degree arrays; each bucket then becomes a queue via a single
+        ``heapify`` (same pop order as per-vertex inserts).
+        """
+        m = self._m
+        ed = np.asarray(self._ed, dtype=np.int64)
+        if boundary_only:
+            verts = np.flatnonzero(ed > 0)
+        else:
+            verts = np.arange(self.graph.nvtxs)
+        if locked is not None:
+            lk = np.asarray(locked, dtype=bool)
+            verts = verts[~lk[verts]]
+        gains = (ed - np.asarray(self._id, dtype=np.int64))[verts]
+        bucket = self.where[verts] * m + self.dom[verts]
+        order = np.argsort(bucket, kind="stable")
+        verts, gains, bucket = verts[order], gains[order], bucket[order]
+        starts = np.searchsorted(bucket, np.arange(2 * m + 1))
+        queues = []
+        for side in range(2):
+            row = []
+            for c in range(m):
+                lo, hi = starts[side * m + c], starts[side * m + c + 1]
+                row.append(LazyMaxPQ.from_items(verts[lo:hi].tolist(),
+                                                gains[lo:hi].tolist()))
+            queues.append(row)
+        return queues
+
+    def _reference_build_queues(self, *, boundary_only: bool = True, locked=None):
+        """Per-vertex oracle for :meth:`build_queues` (parity tests)."""
+        m = self._m
         queues = [[LazyMaxPQ() for _ in range(m)] for _ in range(2)]
         if boundary_only:
-            verts = np.flatnonzero(self.ed > 0)
+            verts = np.flatnonzero(np.asarray(self._ed) > 0)
         else:
             verts = np.arange(self.graph.nvtxs)
         for v in verts.tolist():
             if locked is not None and locked[v]:
                 continue
-            queues[self.where[v]][self.dom[v]].insert(v, self.gain(v))
+            queues[self._wh[v]][self._doml[v]].insert(v, self.gain(v))
         return queues
+
+
+def _drain_for_balance(state: TwoWayState, q: LazyMaxPQ, b_now: float, limit: int) -> int:
+    """Pop candidates from ``q`` in gain order until one strictly reduces
+    the balance objective below ``b_now``; give up after ``limit + 1``
+    rejections.  Returns the accepted vertex (logically removed from ``q``)
+    or -1.  Rejected pops are physical only -- the identical entry tuples
+    are pushed back, which restores the exact abstract queue state."""
+    heap = q._heap
+    stamp = q._stamp
+    heappop = heapq.heappop
+    popped: list[tuple] = []
+    found = -1
+    while True:
+        while heap:
+            entry = heap[0]
+            if stamp.get(entry[1]) == entry[2]:
+                break
+            heappop(heap)
+        if not heap:
+            break
+        entry = heappop(heap)
+        v = entry[1]
+        if state.balance_after(v) < b_now - _EPS:
+            del q._prio[v]
+            stamp[v] = entry[2] + 1
+            q._size -= 1
+            found = v
+            break
+        popped.append(entry)
+        if len(popped) > limit:
+            break
+    for entry in popped:
+        heapq.heappush(heap, entry)
+    return found
 
 
 def balance_2way(state: TwoWayState, max_moves: int | None = None) -> int:
@@ -182,30 +340,30 @@ def balance_2way(state: TwoWayState, max_moves: int | None = None) -> int:
         max_moves = 4 * n + 16
     queues = state.build_queues(boundary_only=False)
     moves = 0
-    m = state.relw.shape[1]
-    while not state.feasible() and moves < max_moves:
-        exc = state.excess()
-        side, con = np.unravel_index(int(np.argmax(exc)), exc.shape)
-        b_now = state.balance_obj()
+    m = state._m
+    while moves < max_moves:
+        # Worst single violation (row-major first-max, like np.argmax over
+        # the excess matrix) and total excess, in one scalar sweep.
+        b_now = 0.0
+        worst = 0.0
+        side = con = 0
+        for i in (0, 1):
+            pwi = state._pw[i]
+            ci = state._capsl[i]
+            for j in range(m):
+                d = pwi[j] - ci[j]
+                if d > 0.0:
+                    b_now += d
+                    if d > worst:
+                        worst = d
+                        side, con = i, j
+        if b_now <= 1e-9:
+            break
         chosen = -1
         # Try the dominant queue of the violated constraint first, then the
         # side's other queues.
         for c in [con] + [c for c in range(m) if c != con]:
-            q = queues[side][c]
-            rejected = []
-            while True:
-                top = q.pop()
-                if top is None:
-                    break
-                v, _ = top
-                if state.balance_after(v) < b_now - _EPS:
-                    chosen = v
-                    break
-                rejected.append(v)
-                if len(rejected) > 64:
-                    break
-            for r in rejected:
-                q.insert(r, state.gain(r))
+            chosen = _drain_for_balance(state, queues[side][c], b_now, 64)
             if chosen >= 0:
                 break
         if chosen < 0:
@@ -214,7 +372,7 @@ def balance_2way(state: TwoWayState, max_moves: int | None = None) -> int:
         # The mover switched sides: place it in its new side's queue so it
         # can participate in later corrections (B strictly decreases, so it
         # cannot oscillate forever).
-        queues[state.where[chosen]][state.dom[chosen]].insert(chosen, state.gain(chosen))
+        queues[state._wh[chosen]][state._doml[chosen]].insert(chosen, state.gain(chosen))
         moves += 1
     return moves
 
@@ -249,7 +407,8 @@ def fm2way_refine(
     Returns
     -------
     FMStats
-        Cut before/after, passes and total committed moves.
+        Cut before/after, passes, total committed moves, and the final
+        balance excess.
     """
     as_rng(seed)  # reserved: selection is deterministic, seed kept for API symmetry
     where = np.asarray(where, dtype=np.int64)
@@ -277,22 +436,23 @@ def fm2way_refine(
         passes=passes,
         moves=total_moves,
         feasible=state.feasible(),
+        balance=state.balance_obj(),
     )
 
 
 def _state_key(state: TwoWayState):
     """Ordering key: feasible-and-low-cut beats everything; among
     infeasible states prefer lower excess, then lower cut."""
-    feas = state.feasible()
-    return (0, state.cut, 0.0) if feas else (1, state.balance_obj(), state.cut)
+    b = state.balance_obj()
+    return (0, state.cut, 0.0) if b <= 1e-9 else (1, b, state.cut)
 
 
 def _fm_pass(state: TwoWayState, max_bad_moves: int) -> tuple[bool, int]:
     """One FM pass with rollback.  Returns (improved, committed moves)."""
     n = state.graph.nvtxs
-    locked = np.zeros(n, dtype=bool)
+    locked = [False] * n
     queues = state.build_queues(boundary_only=True, locked=locked)
-    m = state.relw.shape[1]
+    m = state._m
 
     best_key = _state_key(state)
     start_key = best_key
@@ -329,55 +489,109 @@ def _select_move(state: TwoWayState, queues, m: int) -> int:
     best gain over all ``2m`` queue tops whose move keeps the destination
     feasible.  Rejected pops are re-inserted.  Returns -1 when nothing is
     movable.
+
+    The feasible path is the hottest loop of the whole library; queue tops
+    are skimmed inline (peeking 2m queues per move through method calls is
+    what the profile said made FM slow).
     """
-    if not state.feasible():
-        exc = state.excess()
-        side, con = np.unravel_index(int(np.argmax(exc)), exc.shape)
-        b_now = state.balance_obj()
+    # Worst violation + total excess in one scalar sweep (row-major
+    # first-max, like np.argmax over the excess matrix).
+    b_now = 0.0
+    worst = 0.0
+    side = con = 0
+    for i in (0, 1):
+        pwi = state._pw[i]
+        ci = state._capsl[i]
+        for c in range(m):
+            d = pwi[c] - ci[c]
+            if d > 0.0:
+                b_now += d
+                if d > worst:
+                    worst = d
+                    side, con = i, c
+    if b_now > 1e-9:
         order = [con] + [c for c in range(m) if c != con]
         for c in order:
             q = queues[side][c]
-            rejected = []
-            found = -1
-            while True:
-                top = q.pop()
-                if top is None:
-                    break
-                v, _ = top
-                if state.balance_after(v) < b_now - _EPS:
-                    found = v
-                    break
-                rejected.append(v)
-                if len(rejected) > 32:
-                    break
-            for r in rejected:
-                q.insert(r, state.gain(r))
+            found = _drain_for_balance(state, q, b_now, 32)
             if found >= 0:
                 return found
         return -1
 
     # Feasible: best gain over all queues, destination must stay feasible.
-    rejected_all: list[int] = []
+    # A tiny meta-heap of (neg_gain, queue_order) over the 2m queue tops
+    # replaces rescanning every queue after each rejected pop; queue order
+    # breaks gain ties exactly like the previous first-queue-wins scan
+    # (side 0 before side 1, constraint 0 before constraint 1, ...).
+    heappop = heapq.heappop
+    qlist = []
+    meta = []
+    for side in (0, 1):
+        qrow = queues[side]
+        for c in range(m):
+            q = qrow[c]
+            # Inline skim + peek (see LazyMaxPQ invariants).
+            heap = q._heap
+            stamp = q._stamp
+            while heap:
+                entry = heap[0]
+                if stamp.get(entry[1]) == entry[2]:
+                    break
+                heappop(heap)
+            if heap:
+                meta.append((heap[0][0], len(qlist)))
+            qlist.append(q)
+    heapq.heapify(meta)
+
+    # Rejected pops are *physical only*: the stamp/priority dicts are left
+    # untouched, so pushing the identical entry tuples back afterwards
+    # restores the exact abstract queue state (pop order is a function of
+    # the live entry set) at half the cost of pop + reinsert.
+    heappush = heapq.heappush
+    popped: list[tuple[list, tuple]] = []
     chosen = -1
+    wh = state._wh
+    pw = state._pw
+    capsl = state._capsl
+    relwl = state._relwl
+    rng_m = range(m)
     for _ in range(64):
-        best_q = None
-        best_gain = None
-        for side in range(2):
-            for c in range(m):
-                top = queues[side][c].peek()
-                if top is None:
-                    continue
-                _, g = top
-                if best_gain is None or g > best_gain:
-                    best_gain = g
-                    best_q = queues[side][c]
-        if best_q is None:
+        if not meta:
             break
-        v, _ = best_q.pop()
-        if state.dest_fits(v):
+        qi = meta[0][1]
+        q = qlist[qi]
+        # The top is live (skimmed at meta entry refresh time).
+        heap = q._heap
+        entry = heappop(heap)
+        v = entry[1]
+        # Inline dest_fits(v).
+        d = 1 - wh[v]
+        pwd = pw[d]
+        capd = capsl[d]
+        rv = relwl[v]
+        fits = True
+        for j in rng_m:
+            if pwd[j] + rv[j] > capd[j] + 1e-9:
+                fits = False
+                break
+        if fits:
+            # Logical removal of the accepted vertex only.
+            del q._prio[v]
+            q._stamp[v] = entry[2] + 1
+            q._size -= 1
             chosen = v
             break
-        rejected_all.append(v)
-    for r in rejected_all:
-        queues[state.where[r]][state.dom[r]].insert(r, state.gain(r))
+        popped.append((heap, entry))
+        stamp = q._stamp
+        while heap:
+            entry = heap[0]
+            if stamp.get(entry[1]) == entry[2]:
+                break
+            heappop(heap)
+        if heap:
+            heapq.heapreplace(meta, (heap[0][0], qi))
+        else:
+            heappop(meta)
+    for heap, entry in popped:
+        heappush(heap, entry)
     return chosen

@@ -13,7 +13,13 @@ import numpy as np
 from ..errors import PartitionError
 from ..graph.csr import Graph
 
-__all__ = ["edge_cut", "compute_2way_degrees", "boundary_from_ed", "neighbor_part_weights"]
+__all__ = [
+    "edge_cut",
+    "compute_2way_degrees",
+    "kway_degrees",
+    "boundary_from_ed",
+    "neighbor_part_weights",
+]
 
 _INT = np.int64
 
@@ -40,6 +46,16 @@ def compute_2way_degrees(graph: Graph, where) -> tuple[np.ndarray, np.ndarray]:
     np.add.at(id_, src[same], graph.adjwgt[same])
     np.add.at(ed, src[~same], graph.adjwgt[~same])
     return id_, ed
+
+
+def kway_degrees(graph: Graph, where) -> tuple[np.ndarray, np.ndarray]:
+    """Internal/external degree arrays for an arbitrary k-way partition.
+
+    ``id[v]`` is the edge weight from ``v`` into its own part, ``ed[v]`` the
+    weight into all other parts; a vertex is a boundary vertex iff
+    ``ed[v] > 0``.  The computation only compares part ids of edge
+    endpoints, so it is the same bulk sweep as the 2-way case."""
+    return compute_2way_degrees(graph, where)
 
 
 def boundary_from_ed(ed: np.ndarray) -> np.ndarray:

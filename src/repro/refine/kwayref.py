@@ -14,6 +14,24 @@ cut-increasing moves when necessary (this is exactly the "few edge-cut
 increasing moves" escape hatch the parallel follow-on paper describes for
 single-constraint refiners -- made multi-constraint-safe by requiring every
 move to strictly reduce the total excess, which guarantees termination).
+
+Performance
+-----------
+:class:`KWayState` maintains the classic incremental refinement state
+(Sanders & Schulz-style) instead of recomputing it per query:
+
+* ``id/ed`` internal/external degree arrays, updated per move by touching
+  only the moved vertex and its neighbours;
+* the boundary, read off ``ed > 0`` in O(n) instead of an O(E) edge scan
+  per pass;
+* plain-Python mirrors of the part-weight / capacity arrays so the
+  per-candidate feasibility and balance-delta checks cost interpreter
+  arithmetic, not ufunc dispatch.
+
+``neighbor_weights`` still answers from the CSR arrays in O(deg v), but
+through pre-extracted Python lists (building a numpy slice pair per vertex
+was the old hot spot).  ``tests/test_perf_kernels.py`` pins the maintained
+arrays against from-scratch recomputation after random move sequences.
 """
 
 from __future__ import annotations
@@ -26,7 +44,7 @@ from .._rng import as_rng
 from ..errors import PartitionError
 from ..graph.csr import Graph
 from ..weights.balance import as_target_fracs, as_ubvec
-from .gain import edge_cut
+from .gain import edge_cut, kway_degrees
 
 __all__ = ["KWayState", "kway_refine", "balance_kway", "KWayStats"]
 
@@ -46,7 +64,13 @@ class KWayStats:
 
 
 class KWayState:
-    """Mutable state of a k-way multi-constraint partition."""
+    """Mutable state of a k-way multi-constraint partition.
+
+    ``pw`` and ``counts`` are exposed as NumPy snapshots (built on access);
+    the authoritative copies live in plain-Python lists updated
+    incrementally by :meth:`move` together with the ``id/ed`` degree
+    arrays.
+    """
 
     def __init__(self, graph: Graph, where, nparts: int, ubvec=1.05, target_fracs=None):
         where = np.asarray(where, dtype=np.int64)
@@ -66,10 +90,46 @@ class KWayState:
         ub = as_ubvec(ubvec, m)
         self.caps = fr[:, None] * ub[None, :]
 
-        self.pw = np.zeros((nparts, m), dtype=np.float64)
+        pw = np.zeros((nparts, m), dtype=np.float64)
         for c in range(m):
-            self.pw[:, c] = np.bincount(where, weights=self.relw[:, c], minlength=nparts)
-        self.counts = np.bincount(where, minlength=nparts)
+            pw[:, c] = np.bincount(where, weights=self.relw[:, c], minlength=nparts)
+
+        id_, ed = kway_degrees(graph, where)
+
+        # Hot-path mirrors: plain-Python scalars, no ufunc dispatch.
+        self._m = m
+        self._xadj = graph.xadj.tolist()
+        self._adj = graph.adjncy.tolist()
+        self._adjw = graph.adjwgt.tolist()
+        self._wh = where.tolist()
+        self._relwl = self.relw.tolist()
+        self._capsl = self.caps.tolist()
+        self._pw = pw.tolist()
+        self._counts = np.bincount(where, minlength=nparts).tolist()
+        self._id = id_.tolist()
+        self._ed = ed.tolist()
+
+    # ---------------------------------------------------------- views #
+
+    @property
+    def pw(self) -> np.ndarray:
+        """``(nparts, m)`` relative part weights (snapshot)."""
+        return np.array(self._pw)
+
+    @property
+    def counts(self) -> np.ndarray:
+        """``(nparts,)`` vertex count per part (snapshot)."""
+        return np.array(self._counts, dtype=np.int64)
+
+    @property
+    def id_(self) -> np.ndarray:
+        """``(n,)`` edge weight from each vertex into its own part."""
+        return np.array(self._id, dtype=np.int64)
+
+    @property
+    def ed(self) -> np.ndarray:
+        """``(n,)`` edge weight from each vertex into other parts."""
+        return np.array(self._ed, dtype=np.int64)
 
     # -------------------------------------------------------------- #
 
@@ -77,55 +137,110 @@ class KWayState:
         return np.maximum(self.pw - self.caps, 0.0)
 
     def balance_obj(self) -> float:
-        return float(self.excess().sum())
+        b = 0.0
+        for pwi, ci in zip(self._pw, self._capsl):
+            for j in range(self._m):
+                d = pwi[j] - ci[j]
+                if d > 0.0:
+                    b += d
+        return b
 
     def feasible(self) -> bool:
         return self.balance_obj() <= 1e-9
 
     def dest_fits(self, v: int, d: int) -> bool:
-        return bool(np.all(self.pw[d] + self.relw[v] <= self.caps[d] + 1e-9))
+        pwd = self._pw[d]
+        capd = self._capsl[d]
+        rv = self._relwl[v]
+        for j in range(self._m):
+            if pwd[j] + rv[j] > capd[j] + 1e-9:
+                return False
+        return True
 
     def balance_delta(self, v: int, d: int) -> float:
         """Change in balance objective if ``v`` moved to part ``d``
         (negative = improvement)."""
-        s = self.where[v]
+        s = self._wh[v]
         if d == s:
             return 0.0
-        w = self.relw[v]
-        before = (
-            np.maximum(self.pw[s] - self.caps[s], 0.0).sum()
-            + np.maximum(self.pw[d] - self.caps[d], 0.0).sum()
-        )
-        after = (
-            np.maximum(self.pw[s] - w - self.caps[s], 0.0).sum()
-            + np.maximum(self.pw[d] + w - self.caps[d], 0.0).sum()
-        )
-        return float(after - before)
+        rv = self._relwl[v]
+        pws, pwd = self._pw[s], self._pw[d]
+        cs, cd = self._capsl[s], self._capsl[d]
+        before = 0.0
+        after = 0.0
+        for j in range(self._m):
+            x = pws[j] - cs[j]
+            if x > 0.0:
+                before += x
+            x = pws[j] - rv[j] - cs[j]
+            if x > 0.0:
+                after += x
+        for j in range(self._m):
+            x = pwd[j] - cd[j]
+            if x > 0.0:
+                before += x
+            x = pwd[j] + rv[j] - cd[j]
+            if x > 0.0:
+                after += x
+        return after - before
 
     def move(self, v: int, d: int) -> None:
-        s = int(self.where[v])
-        self.pw[s] -= self.relw[v]
-        self.pw[d] += self.relw[v]
-        self.counts[s] -= 1
-        self.counts[d] += 1
+        """Move ``v`` to part ``d``, updating part weights, counts and the
+        ``id/ed`` degrees of ``v`` and its neighbours."""
+        wh = self._wh
+        s = wh[v]
+        rv = self._relwl[v]
+        pws, pwd = self._pw[s], self._pw[d]
+        for j in range(self._m):
+            pws[j] -= rv[j]
+            pwd[j] += rv[j]
+        self._counts[s] -= 1
+        self._counts[d] += 1
+        wh[v] = d
         self.where[v] = d
+        if d == s:
+            return
+        idl, edl = self._id, self._ed
+        adj, adjw = self._adj, self._adjw
+        wtod = 0
+        wdeg = 0
+        for i in range(self._xadj[v], self._xadj[v + 1]):
+            u = adj[i]
+            w = adjw[i]
+            wdeg += w
+            pu = wh[u]
+            if pu == s:
+                idl[u] -= w
+                edl[u] += w
+            elif pu == d:
+                idl[u] += w
+                edl[u] -= w
+                wtod += w
+        idl[v] = wtod
+        edl[v] = wdeg - wtod
 
     def boundary(self) -> np.ndarray:
-        """Vertex ids with at least one neighbour in another part."""
+        """Vertex ids with at least one neighbour in another part (read off
+        the maintained external degrees; ascending order)."""
+        return np.flatnonzero(np.asarray(self._ed, dtype=np.int64) > 0)
+
+    def neighbor_weights(self, v: int) -> dict[int, int]:
+        """Edge weight from ``v`` to each adjacent part (including own)."""
+        wh = self._wh
+        adj, adjw = self._adj, self._adjw
+        out: dict[int, int] = {}
+        get = out.get
+        for i in range(self._xadj[v], self._xadj[v + 1]):
+            p = wh[adj[i]]
+            out[p] = get(p, 0) + adjw[i]
+        return out
+
+    def _reference_boundary(self) -> np.ndarray:
+        """O(E) boundary recomputation (oracle for :meth:`boundary`)."""
         g = self.graph
         src = np.repeat(np.arange(g.nvtxs, dtype=np.int64), np.diff(g.xadj))
         crossing = self.where[src] != self.where[g.adjncy]
         return np.unique(src[crossing])
-
-    def neighbor_weights(self, v: int) -> dict[int, int]:
-        """Edge weight from ``v`` to each adjacent part (including own)."""
-        g = self.graph
-        beg, end = g.xadj[v], g.xadj[v + 1]
-        out: dict[int, int] = {}
-        for p, w in zip(self.where[g.adjncy[beg:end]].tolist(),
-                        g.adjwgt[beg:end].tolist()):
-            out[p] = out.get(p, 0) + w
-        return out
 
 
 def kway_refine(
@@ -190,12 +305,14 @@ def _greedy_pass(state: KWayState, rng) -> int:
         return 0
     rng.shuffle(bnd)
     moves = 0
+    wh = state._wh
+    counts = state._counts
     for v in bnd.tolist():
-        s = int(state.where[v])
+        s = wh[v]
+        if counts[s] <= 1:
+            continue  # never empty a part
         nbw = state.neighbor_weights(v)
         w_in = nbw.get(s, 0)
-        if state.counts[s] <= 1:
-            continue  # never empty a part
         best_d = -1
         best_key = None
         for d, wd in nbw.items():
@@ -220,8 +337,8 @@ def _greedy_pass(state: KWayState, rng) -> int:
 def _best_move_for(state: KWayState, v: int):
     """Best admissible move of ``v`` under the refinement rules, or
     ``(-1, 0, 0.0)``.  Returns ``(dest, gain, balance_delta)``."""
-    s = int(state.where[v])
-    if state.counts[s] <= 1:
+    s = state._wh[v]
+    if state._counts[s] <= 1:
         return -1, 0, 0.0
     nbw = state.neighbor_weights(v)
     w_in = nbw.get(s, 0)
@@ -254,17 +371,18 @@ def _priority_pass(state: KWayState, rng) -> int:
     if bnd.size == 0:
         return 0
     g = state.graph
+    wh = state._wh
     q = LazyMaxPQ()
     jitter = rng.random(g.nvtxs) * 1e-6  # randomised tie-breaks
     for v in bnd.tolist():
         nbw = state.neighbor_weights(v)
-        w_in = nbw.get(int(state.where[v]), 0)
-        ext = max((wd for d, wd in nbw.items() if d != state.where[v]),
-                  default=0)
+        w_in = nbw.get(wh[v], 0)
+        ext = max((wd for d, wd in nbw.items() if d != wh[v]), default=0)
         q.insert(v, ext - w_in + jitter[v])
 
-    moved_flag = np.zeros(g.nvtxs, dtype=bool)
+    moved_flag = [False] * g.nvtxs
     moves = 0
+    adj = state._adj
     while True:
         top = q.pop()
         if top is None:
@@ -278,13 +396,13 @@ def _priority_pass(state: KWayState, rng) -> int:
         state.move(v, d)
         moved_flag[v] = True
         moves += 1
-        for u in g.neighbors(v).tolist():
+        for i in range(state._xadj[v], state._xadj[v + 1]):
+            u = adj[i]
             if moved_flag[u]:
                 continue
             nbw = state.neighbor_weights(u)
-            w_in = nbw.get(int(state.where[u]), 0)
-            ext = max((wd for p, wd in nbw.items() if p != state.where[u]),
-                      default=None)
+            w_in = nbw.get(wh[u], 0)
+            ext = max((wd for p, wd in nbw.items() if p != wh[u]), default=None)
             if ext is None:
                 q.remove(u)
             else:
@@ -328,7 +446,6 @@ def _best_balance_move(state: KWayState, src_part: int) -> tuple[int, int]:
     """Best (vertex, destination) draining ``src_part``: must strictly
     reduce the excess; among candidates prefer maximum gain (least cut
     damage), then largest excess reduction."""
-    g = state.graph
     members = np.flatnonzero(state.where == src_part)
     if members.size <= 1:
         return -1, -1

@@ -4,6 +4,16 @@ FM updates vertex gains constantly; a classic bucket queue needs bounded
 integer gains, while our gains are arbitrary integers (weighted edges).  A
 binary heap with lazy deletion gives ``O(log n)`` updates: stale entries are
 left in the heap and skipped at pop time by checking a per-vertex stamp.
+
+Hot-path notes
+--------------
+Heap entries are ``(-prio, key, stamp)`` tuples; an entry is *live* iff
+``_stamp[key] == stamp`` (every mutation bumps the stamp).  Because tuples
+are totally ordered, the pop sequence is a pure function of the live entry
+set -- which is what lets :meth:`from_items` build a queue with one
+``heapify`` call (O(n)) instead of n pushes and still pop in exactly the
+same order as sequential inserts.  The refinement kernels exploit the same
+invariant to peek tops inline without a function call.
 """
 
 from __future__ import annotations
@@ -24,10 +34,24 @@ class LazyMaxPQ:
     __slots__ = ("_heap", "_stamp", "_prio", "_size")
 
     def __init__(self):
-        self._heap: list[tuple[float, int, int, int]] = []
+        self._heap: list[tuple[float, int, int]] = []
         self._stamp: dict[int, int] = {}
         self._prio: dict[int, float] = {}
         self._size = 0
+
+    @classmethod
+    def from_items(cls, keys, prios) -> "LazyMaxPQ":
+        """Bulk-build a fresh queue from parallel ``keys`` / ``prios``
+        sequences (each key at most once).  One O(n) ``heapify`` instead of
+        n pushes; the pop order is identical to sequential inserts."""
+        q = cls()
+        heap = [(-p, k, 1) for k, p in zip(keys, prios)]
+        heapq.heapify(heap)
+        q._heap = heap
+        q._stamp = dict.fromkeys(keys, 1)
+        q._prio = dict(zip(keys, prios))
+        q._size = len(heap)
+        return q
 
     def __len__(self) -> int:
         """Number of live keys."""
@@ -43,7 +67,7 @@ class LazyMaxPQ:
         if key not in self._prio:
             self._size += 1
         self._prio[key] = prio
-        heapq.heappush(self._heap, (-prio, key, stamp, 0))
+        heapq.heappush(self._heap, (-prio, key, stamp))
 
     # update is the same operation; alias kept for call-site readability.
     update = insert
@@ -61,9 +85,10 @@ class LazyMaxPQ:
 
     def _skim(self) -> None:
         heap = self._heap
+        stamp = self._stamp
         while heap:
-            negp, key, stamp, _ = heap[0]
-            if self._stamp.get(key) == stamp and key in self._prio:
+            entry = heap[0]
+            if stamp.get(entry[1]) == entry[2]:
                 return
             heapq.heappop(heap)
 
@@ -72,7 +97,7 @@ class LazyMaxPQ:
         self._skim()
         if not self._heap:
             return None
-        negp, key, _, _ = self._heap[0]
+        negp, key, _ = self._heap[0]
         return key, -negp
 
     def pop(self):
