@@ -1,6 +1,6 @@
 # Convenience targets for the repro project.
 
-.PHONY: install test bench bench-smoke examples smoke all clean
+.PHONY: install test bench bench-smoke docs-check chaos-smoke examples smoke all clean
 
 install:
 	pip install -e .
@@ -18,6 +18,16 @@ bench:
 # machines).  See benchmarks/perf_guard.py and docs/performance.md.
 bench-smoke:
 	PYTHONPATH=src python benchmarks/perf_guard.py --smoke
+
+# Execute every ```python snippet in the user-facing docs (README,
+# tutorial, api, robustness) -- docs must not rot.
+docs-check:
+	PYTHONPATH=src python -m pytest tests/test_docs_snippets.py -q
+
+# The robustness contract: chaos sweep + error taxonomy coverage.
+# See docs/robustness.md.
+chaos-smoke:
+	PYTHONPATH=src python -m pytest tests/test_faults.py tests/test_errors.py -q
 
 examples:
 	for ex in examples/*.py; do echo "== $$ex"; python $$ex || exit 1; done

@@ -29,15 +29,28 @@ Package map
 ``repro.multiphase`` multi-phase computation model (the motivating use).
 ``repro.parallel``   simulated coarse-grain parallel formulation
                      (future-work extension; see DESIGN.md).
+``repro.faults``     seeded fault injection + recovery policies for the
+                     parallel simulation (see docs/robustness.md).
 """
 
 from .errors import (
     BalanceError,
+    CommError,
     ConvergenceError,
+    DegradedResult,
+    FaultError,
+    FaultSpecError,
     GraphError,
     GraphFormatError,
+    MessageDropError,
     PartitionError,
+    PermanentCommError,
+    PhaseTimeoutError,
+    RankCrashedError,
+    RankUnavailableError,
     ReproError,
+    RetryExhaustedError,
+    TransientCommError,
     WeightError,
 )
 from .graph import (
@@ -74,6 +87,17 @@ __all__ = [
     "PartitionError",
     "BalanceError",
     "ConvergenceError",
+    "CommError",
+    "TransientCommError",
+    "MessageDropError",
+    "RankUnavailableError",
+    "PermanentCommError",
+    "RankCrashedError",
+    "FaultError",
+    "FaultSpecError",
+    "RetryExhaustedError",
+    "PhaseTimeoutError",
+    "DegradedResult",
     # graph
     "Graph",
     "from_edges",

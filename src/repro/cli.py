@@ -12,6 +12,11 @@ file, which makes the CLI self-contained for smoke tests.
 Observability: ``--trace run.jsonl`` streams the run's span/metrics events
 to a JSON-lines file and ``--trace-summary`` prints the span tree (phase
 and per-level timings, cut, imbalance); see ``docs/observability.md``.
+
+Robustness: ``--ranks P`` runs the simulated parallel pipeline;
+``--fault-spec 'drop=0.05,crash=0.01,seed=7'`` injects deterministic
+faults into it, and ``--strict`` turns on the structural graph audit and
+forbids graceful degradation; see ``docs/robustness.md``.
 """
 
 from __future__ import annotations
@@ -56,6 +61,17 @@ def build_parser() -> argparse.ArgumentParser:
                         "coordinates, e.g. --demo graphs)")
     p.add_argument("--nseeds", type=int, default=1,
                    help="run an N-seed ensemble and keep the best partition")
+    p.add_argument("--ranks", type=int, metavar="P",
+                   help="run the simulated parallel pipeline on P ranks "
+                        "instead of the serial partitioner")
+    p.add_argument("--fault-spec", metavar="SPEC",
+                   help="inject deterministic faults into the parallel run, "
+                        "e.g. 'drop=0.05,dup=0.02,crash=0.01,seed=7' "
+                        "(requires --ranks; see docs/robustness.md)")
+    p.add_argument("--strict", action="store_true",
+                   help="strict mode: run the O(E) graph audit up front and "
+                        "forbid the serial fallback (failures raise instead "
+                        "of degrading)")
     p.add_argument("--trace", metavar="FILE",
                    help="write a structured JSONL trace of the run to FILE "
                         "(spans with timings + metrics; see "
@@ -107,8 +123,36 @@ def main(argv=None) -> int:
 
             tracer = Tracer([JsonlSink(args.trace)] if args.trace else [])
 
+        if args.fault_spec and not args.ranks:
+            print("error: --fault-spec requires --ranks (faults are injected "
+                  "into the simulated parallel run)", file=sys.stderr)
+            return 2
+        if args.ranks and args.nseeds > 1:
+            print("error: --ranks and --nseeds cannot be combined",
+                  file=sys.stderr)
+            return 2
+
         t0 = time.perf_counter()
-        if args.nseeds > 1:
+        if args.ranks:
+            from .parallel import parallel_part_graph
+            from .partition.config import PartitionOptions
+
+            opts = PartitionOptions(ubvec=args.tol, seed=args.seed,
+                                    matching=args.matching)
+            res = parallel_part_graph(
+                graph, args.nparts, args.ranks,
+                options=opts, tracer=tracer,
+                faults=args.fault_spec, strict=args.strict,
+            )
+            elapsed = time.perf_counter() - t0
+            print(res.summary() + f"  [{elapsed:.2f}s]")
+            if res.degraded:
+                print(f"warning: parallel run degraded to serial fallback "
+                      f"({res.degraded_reason})", file=sys.stderr)
+            if not args.quiet and res.faults is not None:
+                injected = {k: v for k, v in res.faults.items() if v}
+                print(f"faults injected: {injected or 'none'}")
+        elif args.nseeds > 1:
             from .partition.ensemble import best_of
 
             ens = best_of(
@@ -129,13 +173,19 @@ def main(argv=None) -> int:
                 seed=args.seed,
                 matching=args.matching,
                 tracer=tracer,
+                strict=args.strict,
             )
             elapsed = time.perf_counter() - t0
             print(res.summary() + f"  [{elapsed:.2f}s]")
         if tracer is not None:
             tracer.finish()
             if args.trace_summary:
-                print(res.stats.render())
+                if args.ranks:
+                    from .trace import TraceReport
+
+                    print(TraceReport.from_tracer(tracer).render())
+                else:
+                    print(res.stats.render())
             if args.trace and not args.quiet:
                 print(f"trace written to {args.trace}")
         if not args.quiet:

@@ -1,7 +1,21 @@
 """Exception hierarchy for the :mod:`repro` package.
 
 All errors raised intentionally by this library derive from
-:class:`ReproError`, so callers can catch a single base class.
+:class:`ReproError`, so callers can catch a single base class.  The
+taxonomy has three branches (see ``docs/robustness.md`` for the full
+contract and which layer raises what):
+
+* **input errors** -- :class:`GraphError`, :class:`WeightError`,
+  :class:`PartitionError`, :class:`BalanceError`: the request itself is
+  malformed; raised by the validation front-door before any work runs.
+* **communication errors** -- :class:`CommError` and subclasses: the
+  simulated network misbehaved.  :class:`TransientCommError` kinds are
+  retryable (the parallel driver retries them with backoff);
+  :class:`PermanentCommError` kinds are not.
+* **fault-handling errors** -- :class:`FaultError` and subclasses: the
+  recovery machinery itself gave up (retry budget, phase timeout, bad
+  fault spec), plus :class:`DegradedResult`, raised in strict mode when
+  the driver would otherwise fall back to the serial path.
 """
 
 from __future__ import annotations
@@ -20,7 +34,8 @@ class GraphFormatError(GraphError):
 
 
 class WeightError(ReproError):
-    """Vertex or edge weights are malformed (wrong shape, negative, ...)."""
+    """Vertex or edge weights are malformed (wrong shape, negative, NaN,
+    ragged, ...)."""
 
 
 class PartitionError(ReproError):
@@ -33,3 +48,83 @@ class BalanceError(PartitionError):
 
 class ConvergenceError(ReproError):
     """An iterative algorithm failed to converge within its iteration budget."""
+
+
+# --------------------------------------------------------------------- #
+# Simulated-communication failures (repro.parallel + repro.faults)
+# --------------------------------------------------------------------- #
+
+
+class CommError(ReproError):
+    """A simulated communication operation failed.
+
+    Subclasses split into :class:`TransientCommError` (retryable: the
+    parallel driver retries the failed phase with backoff) and
+    :class:`PermanentCommError` (not retryable: the driver degrades to
+    the serial path, or raises :class:`DegradedResult` in strict mode).
+    """
+
+
+class TransientCommError(CommError):
+    """A retryable communication failure (lost messages, a rank that is
+    temporarily unresponsive).  Retrying the collective may succeed."""
+
+
+class MessageDropError(TransientCommError):
+    """One or more messages of a collective were lost in transit; the
+    collective aborted at the superstep barrier and can be retried."""
+
+
+class RankUnavailableError(TransientCommError):
+    """A rank is transiently down (simulated crash-and-reboot); it will
+    come back after a bounded number of failed collectives."""
+
+
+class PermanentCommError(CommError):
+    """A communication failure that no amount of retrying can fix."""
+
+
+class RankCrashedError(PermanentCommError):
+    """A rank crashed permanently; every later collective involving it
+    fails.  Carries the crashed rank ids in :attr:`ranks`."""
+
+    def __init__(self, message: str, ranks=()):
+        super().__init__(message)
+        self.ranks = tuple(ranks)
+
+
+# --------------------------------------------------------------------- #
+# Fault-handling layer (repro.faults)
+# --------------------------------------------------------------------- #
+
+
+class FaultError(ReproError):
+    """The fault-handling machinery itself failed (bad spec, exhausted
+    retry budget, phase timeout)."""
+
+
+class FaultSpecError(FaultError):
+    """A fault specification string/dict could not be parsed or holds
+    out-of-range rates."""
+
+
+class RetryExhaustedError(FaultError):
+    """Transient failures persisted past the retry budget of the
+    :class:`repro.faults.RecoveryPolicy`.  The original communication
+    error is chained as ``__cause__``."""
+
+
+class PhaseTimeoutError(FaultError):
+    """A pipeline phase exceeded its simulated-time budget
+    (``RecoveryPolicy.phase_timeout``)."""
+
+
+class DegradedResult(ReproError):
+    """Raised *instead of* degrading to the serial fallback when strict
+    mode (``strict=True`` / ``RecoveryPolicy(allow_degraded=False)``)
+    forbids it.  ``reason`` holds the human-readable cause; the original
+    failure is chained as ``__cause__``."""
+
+    def __init__(self, reason: str):
+        super().__init__(reason)
+        self.reason = reason

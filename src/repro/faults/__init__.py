@@ -1,0 +1,43 @@
+"""Fault injection & graceful degradation for the parallel simulation.
+
+Three pieces (full contract in ``docs/robustness.md``):
+
+* **Spec** (:mod:`repro.faults.spec`) -- :class:`FaultSpec`, the seeded
+  deterministic fault model: per-collective probabilities for message
+  drop / delay / duplication / reorder and transient / permanent rank
+  crashes, with per-phase rate multipliers.  Parse the CLI string form
+  with :meth:`FaultSpec.parse`.
+* **Injector** (:mod:`repro.faults.injector`) -- :class:`FaultyCluster`,
+  a drop-in :class:`~repro.parallel.simcomm.SimCluster` that screens
+  every collective through the spec, raising the typed
+  :class:`~repro.errors.CommError` taxonomy on lossy faults.
+* **Recovery** (:mod:`repro.faults.recovery`) -- :class:`RecoveryPolicy`
+  (retry budget, exponential backoff, per-phase simulated-time timeouts,
+  strict mode) and the :func:`run_with_retries` loop the parallel driver
+  wraps each phase in.
+
+Quickstart::
+
+    from repro.faults import FaultSpec
+    from repro.parallel import parallel_part_graph
+
+    res = parallel_part_graph(g, 8, nranks=4,
+                              faults=FaultSpec(drop=0.05, crash=0.01, seed=7))
+    res.degraded          # True if the run fell back to the serial path
+    res.faults            # injected-fault counts
+    res.retries           # transient failures retried away
+"""
+
+from .injector import FaultStats, FaultyCluster
+from .recovery import RecoveryPolicy, run_with_retries
+from .spec import FAULT_KINDS, FaultSpec, as_fault_spec
+
+__all__ = [
+    "FaultSpec",
+    "as_fault_spec",
+    "FAULT_KINDS",
+    "FaultStats",
+    "FaultyCluster",
+    "RecoveryPolicy",
+    "run_with_retries",
+]

@@ -1,0 +1,197 @@
+"""Fault injection over the simulated cluster: :class:`FaultyCluster`.
+
+A :class:`FaultyCluster` is a drop-in :class:`~repro.parallel.simcomm.SimCluster`
+whose collectives are screened by a :class:`~repro.faults.spec.FaultSpec`
+before executing.  Fault randomness comes from a dedicated
+``numpy.random.Generator`` seeded by the spec -- the algorithmic RNG stream
+is never touched, so a run under ``FaultSpec()`` (all rates zero) is
+bit-identical to one on a plain ``SimCluster``.
+
+Per collective, each fault kind is drawn once in the fixed
+:data:`~repro.faults.spec.FAULT_KINDS` order.  Effects:
+
+* ``delay``      -- charge ``delay_rounds`` extra latency rounds; succeed.
+* ``duplicate``  -- every message delivered (and billed) twice; succeed.
+* ``reorder``    -- per-source delivery order permuted; succeed (BSP
+  collectives are order-insensitive, so this must be absorbed silently --
+  the chaos suite checks that it is).
+* ``drop``       -- the collective's messages are lost; raises
+  :class:`~repro.errors.MessageDropError` (retryable).
+* ``crash``      -- a random rank goes down for ``crash_down_steps``
+  collectives; raises :class:`~repro.errors.RankUnavailableError`
+  (retryable; the rank recovers after enough failed attempts).
+* ``crash_permanent`` -- a random rank dies for good; this and every later
+  collective raise :class:`~repro.errors.RankCrashedError` (not
+  retryable; the driver must degrade).
+
+A raising fault aborts the collective *before* any messages are delivered
+or charged, so retrying it is sound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import MessageDropError, RankCrashedError, RankUnavailableError
+from ..parallel.simcomm import SimCluster
+from .spec import FAULT_KINDS, FaultSpec, as_fault_spec
+
+__all__ = ["FaultStats", "FaultyCluster"]
+
+
+@dataclass
+class FaultStats:
+    """Counts of injected faults, by kind."""
+
+    injected: int = 0
+    dropped: int = 0
+    delayed: int = 0
+    duplicated: int = 0
+    reordered: int = 0
+    transient_crashes: int = 0
+    permanent_crashes: int = 0
+    #: extra failures caused by a rank still being down from an earlier crash
+    down_rank_failures: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "injected": self.injected,
+            "dropped": self.dropped,
+            "delayed": self.delayed,
+            "duplicated": self.duplicated,
+            "reordered": self.reordered,
+            "transient_crashes": self.transient_crashes,
+            "permanent_crashes": self.permanent_crashes,
+            "down_rank_failures": self.down_rank_failures,
+        }
+
+
+class FaultyCluster(SimCluster):
+    """A :class:`SimCluster` whose collectives can drop, delay, duplicate,
+    reorder, or lose whole ranks, per a :class:`FaultSpec`.
+
+    The driver tags the current pipeline phase via :meth:`set_phase` so the
+    spec's per-phase multipliers apply.  Injection accounting is exposed on
+    :attr:`faults` (a :class:`FaultStats`).
+    """
+
+    def __init__(self, nranks: int, spec: FaultSpec | str | dict | None = None,
+                 cost=None):
+        super().__init__(nranks, cost)
+        self.spec = as_fault_spec(spec)
+        self.faults = FaultStats()
+        self._frng = np.random.default_rng(self.spec.seed)
+        self._down_for = np.zeros(nranks, dtype=np.int64)
+        self._dead = np.zeros(nranks, dtype=bool)
+        self._dup_pending = False
+        self._reorder_pending = False
+
+    # ------------------------------------------------------------ helpers
+
+    def _budget_left(self) -> bool:
+        return (self.spec.max_faults is None
+                or self.faults.injected < self.spec.max_faults)
+
+    def _count(self, field: str) -> None:
+        self.faults.injected += 1
+        setattr(self.faults, field, getattr(self.faults, field) + 1)
+
+    def _pick_victim(self) -> int:
+        return int(self._frng.integers(self.nranks))
+
+    def _pre_collective(self, name: str) -> None:
+        """Screen one collective: apply effects, raise on lossy faults."""
+        self._dup_pending = False
+        self._reorder_pending = False
+        if self._dead.any():
+            ranks = np.flatnonzero(self._dead).tolist()
+            raise RankCrashedError(
+                f"rank(s) {ranks} crashed permanently; {name} cannot complete"
+                f" (phase {self.phase or 'unknown'!r})", ranks)
+        if np.any(self._down_for > 0):
+            down = np.flatnonzero(self._down_for > 0)
+            self._down_for[down] -= 1
+            self.faults.down_rank_failures += 1
+            raise RankUnavailableError(
+                f"rank(s) {down.tolist()} still rebooting; {name} timed out"
+                f" (phase {self.phase or 'unknown'!r})")
+        if not self.spec.enabled or not self._budget_left():
+            return
+        draws = self._frng.random(len(FAULT_KINDS))
+        events = {kind: (draws[i] < self.spec.rate(kind, self.phase))
+                  for i, kind in enumerate(FAULT_KINDS)}
+        # Non-lossy effects first, then the lossy faults, most severe first.
+        if events["delay"]:
+            self._count("delayed")
+            self.stats.comm_time += self.cost.alpha * self.spec.delay_rounds
+        if events["duplicate"]:
+            self._count("duplicated")
+            self._dup_pending = True
+        if events["reorder"]:
+            self._count("reordered")
+            self._reorder_pending = True
+        if events["crash_permanent"]:
+            self._count("permanent_crashes")
+            self._dup_pending = self._reorder_pending = False
+            victim = self._pick_victim()
+            self._dead[victim] = True
+            raise RankCrashedError(
+                f"rank {victim} crashed permanently during {name}"
+                f" (phase {self.phase or 'unknown'!r})", [victim])
+        if events["crash"]:
+            self._count("transient_crashes")
+            self._dup_pending = self._reorder_pending = False
+            victim = self._pick_victim()
+            self._down_for[victim] = self.spec.crash_down_steps
+            raise RankUnavailableError(
+                f"rank {victim} crashed transiently during {name}"
+                f" (phase {self.phase or 'unknown'!r}); "
+                f"down for {self.spec.crash_down_steps} collectives")
+        if events["drop"]:
+            self._count("dropped")
+            self._dup_pending = self._reorder_pending = False
+            raise MessageDropError(
+                f"messages lost during {name}"
+                f" (phase {self.phase or 'unknown'!r}); superstep aborted")
+
+    # ------------------------------------------- instrumented accounting
+
+    def _charge_comm(self, bytes_per_rank, nmessages, rounds=1) -> None:
+        if self._dup_pending:
+            self._dup_pending = False
+            bytes_per_rank = np.asarray(bytes_per_rank) * 2
+            nmessages *= 2
+        super()._charge_comm(bytes_per_rank, nmessages, rounds)
+
+    # ------------------------------------------------------- collectives
+
+    def alltoall(self, payloads):
+        self._pre_collective("alltoall")
+        received = super().alltoall(payloads)
+        if self._reorder_pending:
+            self._reorder_pending = False
+            received = [
+                {int(k): d[int(k)]
+                 for k in self._frng.permutation(sorted(d))}
+                if d else d
+                for d in received
+            ]
+        return received
+
+    def allreduce(self, values, op: str = "sum"):
+        self._pre_collective("allreduce")
+        return super().allreduce(values, op)
+
+    def gather(self, values, root: int = 0):
+        self._pre_collective("gather")
+        return super().gather(values, root)
+
+    def bcast(self, value, root: int = 0):
+        self._pre_collective("bcast")
+        return super().bcast(value, root)
+
+    def barrier(self) -> None:
+        self._pre_collective("barrier")
+        super().barrier()

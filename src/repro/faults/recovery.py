@@ -1,0 +1,104 @@
+"""Recovery policy and the retry-with-backoff loop.
+
+The parallel driver wraps each pipeline phase in :func:`run_with_retries`:
+transient communication errors re-run the phase attempt after charging an
+exponential backoff to the simulated clock; permanent errors and exhausted
+budgets propagate as typed :class:`~repro.errors.FaultError` /
+:class:`~repro.errors.CommError` subclasses for the driver's degradation
+logic to handle.  Semantics are documented in ``docs/robustness.md``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from ..errors import (
+    FaultSpecError,
+    PhaseTimeoutError,
+    RetryExhaustedError,
+    TransientCommError,
+)
+from ..trace import as_tracer
+
+__all__ = ["RecoveryPolicy", "run_with_retries"]
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """How the parallel driver reacts to failures.
+
+    Attributes
+    ----------
+    max_retries:
+        Transient-failure retries allowed per phase attempt before
+        :class:`~repro.errors.RetryExhaustedError` is raised.
+    backoff_base, backoff_factor:
+        Simulated seconds charged before retry ``i`` (1-based):
+        ``backoff_base * backoff_factor ** (i - 1)``.
+    phase_timeout:
+        Simulated-seconds budget per pipeline phase; exceeding it raises
+        :class:`~repro.errors.PhaseTimeoutError`.  ``inf`` disables it.
+    allow_degraded:
+        When True (default) the driver falls back to the serial
+        partitioner on unrecoverable failure; when False it raises
+        :class:`~repro.errors.DegradedResult` instead (strict mode).
+    """
+
+    max_retries: int = 4
+    backoff_base: float = 2e-4
+    backoff_factor: float = 2.0
+    phase_timeout: float = math.inf
+    allow_degraded: bool = True
+
+    def __post_init__(self):
+        if self.max_retries < 0:
+            raise FaultSpecError("max_retries must be >= 0")
+        if self.backoff_base < 0 or self.backoff_factor < 1.0:
+            raise FaultSpecError(
+                "backoff_base must be >= 0 and backoff_factor >= 1")
+        if not self.phase_timeout > 0:
+            raise FaultSpecError("phase_timeout must be > 0 (use inf to disable)")
+
+    def backoff(self, attempt: int) -> float:
+        """Simulated backoff seconds before retry ``attempt`` (1-based)."""
+        return self.backoff_base * self.backoff_factor ** (attempt - 1)
+
+    def deadline(self, start: float) -> float | None:
+        """Absolute simulated-time deadline for a phase starting at ``start``."""
+        return None if math.isinf(self.phase_timeout) else start + self.phase_timeout
+
+    def with_(self, **kwargs) -> "RecoveryPolicy":
+        """Functional update (``dataclasses.replace`` wrapper)."""
+        return replace(self, **kwargs)
+
+
+def run_with_retries(make_attempt, cluster, policy: RecoveryPolicy, *,
+                     phase: str = "", deadline: float | None = None,
+                     tracer=None):
+    """Run ``make_attempt()`` under ``policy``; returns ``(result, retries)``.
+
+    :class:`~repro.errors.TransientCommError` failures are retried after
+    charging the policy's backoff to ``cluster``'s simulated clock (the
+    ranks sit at the barrier waiting out the timeout); anything else
+    propagates.  ``deadline`` is an absolute simulated-time bound --
+    checked before every attempt, so a faulty run cannot spin past its
+    phase budget unnoticed.
+    """
+    tracer = as_tracer(tracer)
+    attempt = 0
+    while True:
+        if deadline is not None and cluster.stats.simulated_time > deadline:
+            raise PhaseTimeoutError(
+                f"phase {phase or 'unknown'!r} exceeded its simulated-time "
+                f"budget ({policy.phase_timeout:g}s)")
+        try:
+            return make_attempt(), attempt
+        except TransientCommError as exc:
+            attempt += 1
+            tracer.incr("faults.retries")
+            if attempt > policy.max_retries:
+                raise RetryExhaustedError(
+                    f"phase {phase or 'unknown'!r} still failing after "
+                    f"{policy.max_retries} retries: {exc}") from exc
+            cluster.stats.comm_time += policy.backoff(attempt)

@@ -1,0 +1,226 @@
+"""The deterministic fault model: :class:`FaultSpec`.
+
+A fault spec fixes *what* can go wrong and *how often*, per collective
+operation of the simulated cluster, under its own dedicated RNG seed --
+so a fault schedule is reproducible independently of the algorithmic
+seed, and the no-fault path never consumes fault randomness at all.
+
+Specs are built three ways:
+
+* directly: ``FaultSpec(drop=0.05, seed=7)``;
+* from a mapping: ``FaultSpec.from_dict({"drop": 0.05, "seed": 7})``;
+* from the CLI/string form parsed by :meth:`FaultSpec.parse`::
+
+      drop=0.05,dup=0.02,delay=0.1,crash=0.01,pcrash=0.002,seed=7
+      drop=0.1,phase.refine=2.0,phase.coarsen=0.5     # per-phase scaling
+
+The string grammar is ``key=value`` pairs separated by commas.  Rate keys
+(``drop``, ``delay``, ``dup``/``duplicate``, ``reorder``, ``crash``,
+``pcrash``/``crash_permanent``) take probabilities in ``[0, 1]`` applied
+per collective; ``phase.<name>`` entries scale every rate while the
+driver is inside that phase (``coarsen``, ``initpart``, ``refine``);
+``seed``, ``delay_rounds``, ``crash_down_steps`` and ``max_faults`` take
+integers.  Unknown keys and out-of-range values raise
+:class:`repro.errors.FaultSpecError`.  See ``docs/robustness.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..errors import FaultSpecError
+
+__all__ = ["FaultSpec", "as_fault_spec", "FAULT_KINDS"]
+
+#: The injectable fault kinds, in the (fixed) order their probabilities are
+#: drawn per collective -- part of the determinism contract.
+FAULT_KINDS = ("drop", "delay", "duplicate", "reorder", "crash", "crash_permanent")
+
+_ALIASES = {
+    "dup": "duplicate",
+    "pcrash": "crash_permanent",
+    "loss": "drop",
+}
+
+_INT_FIELDS = ("seed", "delay_rounds", "crash_down_steps", "max_faults")
+
+
+def _freeze_phases(phases) -> tuple:
+    """Normalise a phase->multiplier mapping to a sorted hashable tuple."""
+    return tuple(sorted((str(k), float(v)) for k, v in dict(phases or {}).items()))
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Seeded, per-collective fault rates for the simulated cluster.
+
+    Attributes
+    ----------
+    drop, delay, duplicate, reorder, crash, crash_permanent:
+        Probability (``[0, 1]``) that a collective suffers the given
+        fault.  ``drop`` loses the collective's messages (retryable);
+        ``delay`` charges extra latency but succeeds; ``duplicate``
+        delivers (and bills) every message twice; ``reorder`` permutes
+        per-source delivery order (absorbed by BSP semantics);
+        ``crash`` takes a random rank down transiently for
+        ``crash_down_steps`` failed collectives; ``crash_permanent``
+        kills a random rank for good.
+    phase_rates:
+        ``(phase, multiplier)`` pairs scaling every rate inside the named
+        driver phase (``coarsen`` / ``initpart`` / ``refine``).
+    seed:
+        Seed of the dedicated fault RNG stream.
+    delay_rounds:
+        Extra latency rounds charged by one ``delay`` fault.
+    crash_down_steps:
+        Collectives a transiently-crashed rank stays down for.
+    max_faults:
+        Optional cap on total injected faults (``None`` = unlimited).
+    """
+
+    drop: float = 0.0
+    delay: float = 0.0
+    duplicate: float = 0.0
+    reorder: float = 0.0
+    crash: float = 0.0
+    crash_permanent: float = 0.0
+    phase_rates: tuple = field(default_factory=tuple)
+    seed: int = 0
+    delay_rounds: int = 4
+    crash_down_steps: int = 3
+    max_faults: int | None = None
+
+    def __post_init__(self):
+        for kind in FAULT_KINDS:
+            v = getattr(self, kind)
+            if not (isinstance(v, (int, float)) and 0.0 <= float(v) <= 1.0):
+                raise FaultSpecError(
+                    f"fault rate {kind!r} must be a probability in [0, 1]; got {v!r}"
+                )
+        object.__setattr__(self, "phase_rates", _freeze_phases(self.phase_rates))
+        for name, mult in self.phase_rates:
+            if mult < 0:
+                raise FaultSpecError(
+                    f"phase multiplier for {name!r} must be >= 0; got {mult}"
+                )
+        if self.delay_rounds < 0 or self.crash_down_steps < 1:
+            raise FaultSpecError("delay_rounds must be >= 0 and crash_down_steps >= 1")
+        if self.max_faults is not None and self.max_faults < 0:
+            raise FaultSpecError("max_faults must be >= 0 or None")
+
+    # ------------------------------------------------------------ queries
+
+    @property
+    def enabled(self) -> bool:
+        """True when any fault kind has a non-zero rate."""
+        return any(getattr(self, kind) > 0.0 for kind in FAULT_KINDS)
+
+    def phase_scale(self, phase: str) -> float:
+        """Rate multiplier in effect for ``phase`` (1.0 when unlisted)."""
+        for name, mult in self.phase_rates:
+            if name == phase:
+                return mult
+        return 1.0
+
+    def rate(self, kind: str, phase: str = "") -> float:
+        """Effective probability of ``kind`` inside ``phase`` (clipped to 1)."""
+        if kind not in FAULT_KINDS:
+            raise FaultSpecError(f"unknown fault kind {kind!r}")
+        return min(1.0, float(getattr(self, kind)) * self.phase_scale(phase))
+
+    # ------------------------------------------------------- constructors
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultSpec":
+        """Parse the CLI string form (see module docstring)."""
+        text = (text or "").strip()
+        if text in ("", "off", "none"):
+            return cls()
+        fields: dict = {}
+        phases: dict = {}
+        for item in text.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            if "=" not in item:
+                raise FaultSpecError(
+                    f"bad fault-spec entry {item!r}: expected key=value"
+                )
+            key, _, raw = item.partition("=")
+            key = key.strip().lower()
+            raw = raw.strip()
+            if key.startswith("phase."):
+                try:
+                    phases[key[len("phase."):]] = float(raw)
+                except ValueError:
+                    raise FaultSpecError(
+                        f"bad phase multiplier {raw!r} for {key!r}"
+                    ) from None
+                continue
+            key = _ALIASES.get(key, key)
+            if key in _INT_FIELDS:
+                try:
+                    fields[key] = int(raw)
+                except ValueError:
+                    raise FaultSpecError(f"{key} needs an integer; got {raw!r}") from None
+            elif key in FAULT_KINDS:
+                try:
+                    fields[key] = float(raw)
+                except ValueError:
+                    raise FaultSpecError(f"{key} needs a number; got {raw!r}") from None
+            else:
+                raise FaultSpecError(
+                    f"unknown fault-spec key {key!r} "
+                    f"(rates: {', '.join(FAULT_KINDS)}; "
+                    f"ints: {', '.join(_INT_FIELDS)}; phase.<name>)"
+                )
+        return cls(phase_rates=_freeze_phases(phases), **fields)
+
+    @classmethod
+    def from_dict(cls, d) -> "FaultSpec":
+        """Build from a mapping (``phase_rates`` may be a dict)."""
+        d = dict(d)
+        phases = d.pop("phase_rates", ())
+        fields = {}
+        for key, value in d.items():
+            key = _ALIASES.get(str(key).lower(), str(key).lower())
+            if key not in FAULT_KINDS and key not in _INT_FIELDS:
+                raise FaultSpecError(f"unknown fault-spec key {key!r}")
+            fields[key] = value
+        return cls(phase_rates=_freeze_phases(phases), **fields)
+
+    def with_(self, **kwargs) -> "FaultSpec":
+        """Functional update (``dataclasses.replace`` wrapper)."""
+        return replace(self, **kwargs)
+
+    def to_dict(self) -> dict:
+        """Round-trippable plain-dict form (``from_dict`` inverse)."""
+        d = {kind: getattr(self, kind) for kind in FAULT_KINDS}
+        d.update(seed=self.seed, delay_rounds=self.delay_rounds,
+                 crash_down_steps=self.crash_down_steps,
+                 max_faults=self.max_faults,
+                 phase_rates=dict(self.phase_rates))
+        return d
+
+    def describe(self) -> str:
+        """Compact one-line form (parseable by :meth:`parse`)."""
+        parts = [f"{k}={getattr(self, k):g}" for k in FAULT_KINDS
+                 if getattr(self, k) > 0]
+        parts += [f"phase.{name}={mult:g}" for name, mult in self.phase_rates]
+        parts.append(f"seed={self.seed}")
+        return ",".join(parts)
+
+
+def as_fault_spec(spec) -> FaultSpec:
+    """Coerce ``None`` / str / mapping / :class:`FaultSpec` to a spec."""
+    if spec is None:
+        return FaultSpec()
+    if isinstance(spec, FaultSpec):
+        return spec
+    if isinstance(spec, str):
+        return FaultSpec.parse(spec)
+    if isinstance(spec, dict):
+        return FaultSpec.from_dict(spec)
+    raise FaultSpecError(
+        f"cannot interpret {type(spec).__name__!r} as a fault spec"
+    )

@@ -74,7 +74,17 @@ class Graph:
         if vwgt is None:
             vw = np.ones((n, 1), dtype=_INT)
         else:
-            vw = np.ascontiguousarray(vwgt, dtype=_INT)
+            try:
+                raw = np.asarray(vwgt)
+            except ValueError as exc:  # ragged nested sequences
+                raise WeightError(f"vwgt is ragged or malformed: {exc}") from exc
+            if raw.dtype == object or not np.issubdtype(raw.dtype, np.number):
+                raise WeightError(
+                    f"vwgt must be numeric and rectangular; got dtype {raw.dtype}"
+                )
+            if np.issubdtype(raw.dtype, np.floating) and not np.all(np.isfinite(raw)):
+                raise WeightError("vertex weights must be finite (no NaN/inf)")
+            vw = np.ascontiguousarray(raw, dtype=_INT)
             if vw.ndim == 1:
                 vw = vw.reshape(n, 1) if vw.shape[0] == n else vw
             if vw.ndim != 2 or vw.shape[0] != n:

@@ -4,6 +4,10 @@ This subpackage is **not** part of the reproduced SC'98 contribution; it
 implements the parallel formulation the paper names as future work, on a
 deterministic BSP simulation with an alpha-beta cost model (real MPI is
 unavailable offline; see DESIGN.md for the substitution rationale).
+
+The driver is hardened against injected faults (``repro.faults``): pass
+``faults=`` / ``recovery=`` / ``strict=`` to :func:`parallel_part_graph`;
+see ``docs/robustness.md`` for the error/robustness contract.
 """
 
 from .coarsen import parallel_matching

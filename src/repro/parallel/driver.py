@@ -14,20 +14,38 @@ Pipeline (all on the :class:`~repro.parallel.simcomm.SimCluster`):
 
 The returned :class:`ParallelResult` carries both the partition quality and
 the simulated-time accounting used by the scaling benchmarks.
+
+Robustness (see ``docs/robustness.md`` for the full contract): the driver
+accepts a fault specification (``faults=``) injected through a
+:class:`~repro.faults.FaultyCluster` and a
+:class:`~repro.faults.RecoveryPolicy` (``recovery=``).  Each phase runs
+under retry-with-backoff for transient communication failures and a
+simulated-time phase budget; on unrecoverable failure (permanent rank
+crash, exhausted retries, timeout) the driver *degrades gracefully*: it
+falls back to the serial k-way partitioner, marks the result
+(``result.degraded``, ``result.degraded_reason``) and records a
+``degraded_fallback`` trace span plus a ``parallel.degraded`` counter so
+``TraceReport`` shows exactly what happened.  In strict mode
+(``strict=True`` or ``RecoveryPolicy(allow_degraded=False)``) it raises
+:class:`~repro.errors.DegradedResult` instead.  With no faults injected
+the happy path is bit-identical to the unhardened driver.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from .._rng import as_rng, spawn
 from ..coarsen.matching import matching_to_cmap
-from ..errors import PartitionError
+from ..errors import CommError, DegradedResult, FaultError, PhaseTimeoutError
+from ..faults.recovery import RecoveryPolicy, run_with_retries
+from ..faults.spec import as_fault_spec
 from ..graph.csr import Graph
 from ..partition.config import PartitionOptions
 from ..partition.recursive import partition_recursive
+from ..partition.validate import validate_request
 from ..refine.gain import edge_cut
 from ..trace import as_tracer
 from ..weights.balance import as_ubvec, imbalance
@@ -55,6 +73,16 @@ class ParallelResult:
     refine_stats: list[dict]
     #: simulated seconds per phase: {"coarsen": ..., "initpart": ..., "refine": ...}
     phase_times: dict | None = None
+    #: True when the parallel pipeline failed and the result came from the
+    #: serial fallback path (documented graceful degradation).
+    degraded: bool = False
+    #: human-readable cause of the degradation (``None`` when not degraded).
+    degraded_reason: str | None = None
+    #: injected-fault counts (``repro.faults.FaultStats.to_dict``) when a
+    #: fault spec was active, else ``None``.
+    faults: dict | None = field(repr=False, default=None)
+    #: transient communication failures absorbed by retry-with-backoff.
+    retries: int = 0
 
     @property
     def simulated_time(self) -> float:
@@ -67,11 +95,16 @@ class ParallelResult:
 
     def summary(self) -> str:
         imb = ", ".join(f"{x:.3f}" for x in self.imbalance)
-        return (
+        out = (
             f"parallel(p={self.nranks}) k={self.nparts}: cut={self.edgecut} "
             f"imbalance=[{imb}] t_sim={self.simulated_time * 1e3:.2f}ms "
             f"{'feasible' if self.feasible else 'INFEASIBLE'}"
         )
+        if self.retries:
+            out += f" retries={self.retries}"
+        if self.degraded:
+            out += " DEGRADED(serial fallback)"
+        return out
 
 
 def parallel_part_graph(
@@ -82,6 +115,9 @@ def parallel_part_graph(
     options: PartitionOptions | None = None,
     cost: CostModel | None = None,
     tracer=None,
+    faults=None,
+    recovery: RecoveryPolicy | None = None,
+    strict: bool = False,
 ) -> ParallelResult:
     """Partition ``graph`` with the simulated parallel formulation.
 
@@ -90,16 +126,72 @@ def parallel_part_graph(
     shape (see benchmark P1).  ``tracer`` records the run under a
     ``parallel_partition`` root span whose phase spans carry both wall
     time and the cost-model's simulated seconds (``sim_seconds``).
+
+    ``faults`` (a :class:`repro.faults.FaultSpec`, spec string, or dict)
+    injects deterministic network faults; ``recovery`` tunes the
+    retry/backoff/timeout/degradation behaviour; ``strict=True`` forbids
+    the serial fallback (failures raise
+    :class:`~repro.errors.DegradedResult` instead).
     """
     if options is None:
         options = PartitionOptions()
-    if nparts < 1 or nparts > max(graph.nvtxs, 1):
-        raise PartitionError("invalid nparts for this graph")
+    validate_request(graph, nparts, options=options, nranks=nranks)
     tracer = as_tracer(tracer)
     rng = as_rng(options.seed)
     ub = as_ubvec(options.ubvec, graph.ncon)
-    cluster = SimCluster(nranks, cost)
+    spec = as_fault_spec(faults)
+    policy = recovery if recovery is not None else RecoveryPolicy()
+    if strict:
+        policy = policy.with_(allow_degraded=False)
+    if spec.enabled:
+        from ..faults.injector import FaultyCluster
 
+        cluster: SimCluster = FaultyCluster(nranks, spec, cost)
+    else:
+        cluster = SimCluster(nranks, cost)
+
+    progress = {"levels": 0, "retries": 0, "phase_times": {}}
+    with tracer.span("parallel_partition", nvtxs=graph.nvtxs,
+                     nedges=graph.nedges, ncon=graph.ncon, nparts=nparts,
+                     nranks=nranks) as root:
+        try:
+            result = _pipeline(graph, nparts, nranks, options, cluster,
+                               policy, tracer, root, rng, ub, progress)
+        except (CommError, FaultError) as exc:
+            tracer.incr("parallel.degraded")
+            if not policy.allow_degraded:
+                if tracer.enabled:
+                    root.set(degraded_refused=type(exc).__name__)
+                raise DegradedResult(
+                    f"parallel run failed ({type(exc).__name__}: {exc}); "
+                    "serial fallback disabled by strict mode") from exc
+            result = _degraded_result(graph, nparts, nranks, options,
+                                      cluster, tracer, root, rng, ub,
+                                      progress, exc)
+    result.retries = progress["retries"]
+    fault_stats = getattr(cluster, "faults", None)
+    if fault_stats is not None:
+        result.faults = fault_stats.to_dict()
+        if tracer.enabled:
+            for kind, count in result.faults.items():
+                if count:
+                    tracer.incr(f"faults.{kind}", count)
+    return result
+
+
+def _retrying(progress, make_attempt, cluster, policy, *, phase, deadline,
+              tracer):
+    """``run_with_retries`` + retry bookkeeping in ``progress``."""
+    value, retries = run_with_retries(make_attempt, cluster, policy,
+                                      phase=phase, deadline=deadline,
+                                      tracer=tracer)
+    progress["retries"] += retries
+    return value
+
+
+def _pipeline(graph, nparts, nranks, options, cluster, policy, tracer, root,
+              rng, ub, progress) -> ParallelResult:
+    """The parallel pipeline proper (may raise Comm/Fault errors)."""
     coarsen_to = max(options.kway_coarsen_factor * nparts, options.coarsen_to)
 
     def _elapsed():
@@ -107,80 +199,124 @@ def parallel_part_graph(
 
     phase_marks = {"start": _elapsed()}
 
-    with tracer.span("parallel_partition", nvtxs=graph.nvtxs,
-                     nedges=graph.nedges, ncon=graph.ncon, nparts=nparts,
-                     nranks=nranks) as root:
-        # ---- Parallel coarsening.
-        levels: list[tuple[Graph, np.ndarray]] = []
-        cur = graph
-        with tracer.span("coarsen") as csp:
-            while cur.nvtxs > coarsen_to and len(levels) < options.max_coarsen_levels:
-                with tracer.span("coarsen_level", nvtxs=cur.nvtxs) as sp:
-                    dist = DistGraph(cur, nranks)
-                    (mrng,) = spawn(rng, 1)
-                    match = parallel_matching(dist, cluster, seed=mrng)
-                    cmap, ncoarse = matching_to_cmap(match)
-                    if ncoarse > options.min_shrink * cur.nvtxs:
-                        sp.set(stalled=True)
-                        break
-                    levels.append((cur, cmap))
-                    nxt = parallel_contract(dist, cluster, cmap, ncoarse)
-                    if tracer.enabled:
-                        sp.set(nedges=cur.nedges, coarse_nvtxs=nxt.nvtxs,
-                               shrink=ncoarse / cur.nvtxs)
-                    cur = nxt
-            phase_marks["coarsen"] = _elapsed()
-            if tracer.enabled:
-                csp.set(levels=[g.nvtxs for g, _ in levels] + [cur.nvtxs],
-                        sim_seconds=phase_marks["coarsen"] - phase_marks["start"])
+    # ---- Parallel coarsening.
+    cluster.set_phase("coarsen")
+    deadline = policy.deadline(_elapsed())
+    levels: list[tuple[Graph, np.ndarray]] = []
+    cur = graph
+    with tracer.span("coarsen") as csp:
+        while cur.nvtxs > coarsen_to and len(levels) < options.max_coarsen_levels:
+            if deadline is not None and _elapsed() > deadline:
+                raise PhaseTimeoutError(
+                    f"phase 'coarsen' exceeded its simulated-time budget "
+                    f"({policy.phase_timeout:g}s)")
+            with tracer.span("coarsen_level", nvtxs=cur.nvtxs) as sp:
+                dist = DistGraph(cur, nranks)
 
-        # ---- Initial partitioning at rank 0 (gather + serial RB + bcast).
-        with tracer.span("initpart", nvtxs=cur.nvtxs) as isp:
-            cluster.gather([np.empty(cur.nvtxs // max(nranks, 1), dtype=np.int64)] * nranks)
+                def match_attempt(dist=dist):
+                    (mrng,) = spawn(rng, 1)
+                    return parallel_matching(dist, cluster, seed=mrng)
+
+                match = _retrying(progress, match_attempt, cluster, policy,
+                                  phase="coarsen", deadline=deadline,
+                                  tracer=tracer)
+                cmap, ncoarse = matching_to_cmap(match)
+                if ncoarse > options.min_shrink * cur.nvtxs:
+                    sp.set(stalled=True)
+                    break
+                levels.append((cur, cmap))
+                nxt = _retrying(
+                    progress,
+                    lambda dist=dist, cmap=cmap, ncoarse=ncoarse:
+                        parallel_contract(dist, cluster, cmap, ncoarse),
+                    cluster, policy, phase="coarsen", deadline=deadline,
+                    tracer=tracer)
+                if tracer.enabled:
+                    sp.set(nedges=cur.nedges, coarse_nvtxs=nxt.nvtxs,
+                           shrink=ncoarse / cur.nvtxs)
+                cur = nxt
+                progress["levels"] = len(levels)
+        phase_marks["coarsen"] = _elapsed()
+        progress["phase_times"]["coarsen"] = (
+            phase_marks["coarsen"] - phase_marks["start"])
+        if tracer.enabled:
+            csp.set(levels=[g.nvtxs for g, _ in levels] + [cur.nvtxs],
+                    sim_seconds=phase_marks["coarsen"] - phase_marks["start"])
+
+    # ---- Initial partitioning at rank 0 (gather + serial RB + bcast).
+    cluster.set_phase("initpart")
+    deadline = policy.deadline(_elapsed())
+    with tracer.span("initpart", nvtxs=cur.nvtxs) as isp:
+
+        def init_attempt():
+            cluster.gather(
+                [np.empty(cur.nvtxs // max(nranks, 1), dtype=np.int64)] * nranks)
             (irng,) = spawn(rng, 1)
             init_opts = options.with_(seed=irng, final_balance=True)
-            where = partition_recursive(cur, nparts, init_opts, tracer=tracer)
+            w = partition_recursive(cur, nparts, init_opts, tracer=tracer)
             cluster.add_compute(0, 20 * (cur.nvtxs + 2 * cur.nedges))
-            cluster.bcast(where)
-            phase_marks["initpart"] = _elapsed()
-            if tracer.enabled:
-                isp.set(cut=int(edge_cut(cur, where)),
-                        sim_seconds=phase_marks["initpart"] - phase_marks["coarsen"])
+            cluster.bcast(w)
+            return w
 
-        # ---- Parallel uncoarsening with reservation refinement.
-        refine_stats: list[dict] = []
-        with tracer.span("refine") as rsp:
-            for fine, cmap in reversed(levels):
-                where = where[cmap]
-                with tracer.span("level", nvtxs=fine.nvtxs) as sp:
-                    dist = DistGraph(fine, nranks)
+        where = _retrying(progress, init_attempt, cluster, policy,
+                          phase="initpart", deadline=deadline, tracer=tracer)
+        phase_marks["initpart"] = _elapsed()
+        progress["phase_times"]["initpart"] = (
+            phase_marks["initpart"] - phase_marks["coarsen"])
+        if tracer.enabled:
+            isp.set(cut=int(edge_cut(cur, where)),
+                    sim_seconds=phase_marks["initpart"] - phase_marks["coarsen"])
+
+    # ---- Parallel uncoarsening with reservation refinement.
+    cluster.set_phase("refine")
+    deadline = policy.deadline(_elapsed())
+    refine_stats: list[dict] = []
+    with tracer.span("refine") as rsp:
+        for fine, cmap in reversed(levels):
+            if deadline is not None and _elapsed() > deadline:
+                raise PhaseTimeoutError(
+                    f"phase 'refine' exceeded its simulated-time budget "
+                    f"({policy.phase_timeout:g}s)")
+            where = where[cmap]
+            with tracer.span("level", nvtxs=fine.nvtxs) as sp:
+                dist = DistGraph(fine, nranks)
+
+                def refine_attempt(dist=dist, where=where):
                     (rrng,) = spawn(rng, 1)
+                    trial = where.copy()
                     st = parallel_kway_refine(
-                        dist, cluster, where, nparts,
+                        dist, cluster, trial, nparts,
                         ubvec=ub, npasses=options.kway_refine_passes, seed=rrng,
                     )
-                    refine_stats.append(st)
-                    if tracer.enabled:
-                        sp.set(cut=int(edge_cut(fine, where)),
-                               **{k: v for k, v in st.items()
-                                  if isinstance(v, (bool, int, float))})
-                        tracer.incr("parallel.committed", int(st["committed"]))
-            phase_marks["refine"] = _elapsed()
-            if tracer.enabled:
-                rsp.set(sim_seconds=phase_marks["refine"] - phase_marks["initpart"])
+                    return trial, st
 
-        phase_times = {
-            "coarsen": phase_marks["coarsen"] - phase_marks["start"],
-            "initpart": phase_marks["initpart"] - phase_marks["coarsen"],
-            "refine": phase_marks["refine"] - phase_marks["initpart"],
-        }
-
-        imb = imbalance(graph.vwgt, where, nparts)
+                where, st = _retrying(progress, refine_attempt, cluster,
+                                      policy, phase="refine",
+                                      deadline=deadline, tracer=tracer)
+                refine_stats.append(st)
+                if tracer.enabled:
+                    sp.set(cut=int(edge_cut(fine, where)),
+                           **{k: v for k, v in st.items()
+                              if isinstance(v, (bool, int, float))})
+                    tracer.incr("parallel.committed", int(st["committed"]))
+        phase_marks["refine"] = _elapsed()
+        progress["phase_times"]["refine"] = (
+            phase_marks["refine"] - phase_marks["initpart"])
         if tracer.enabled:
-            root.set(cut=int(edge_cut(graph, where)),
-                     max_imbalance=float(imb.max(initial=0.0)),
-                     feasible=bool(np.all(imb <= ub + 1e-9)),
-                     sim_seconds=phase_marks["refine"] - phase_marks["start"])
+            rsp.set(sim_seconds=phase_marks["refine"] - phase_marks["initpart"])
+
+    phase_times = {
+        "coarsen": phase_marks["coarsen"] - phase_marks["start"],
+        "initpart": phase_marks["initpart"] - phase_marks["coarsen"],
+        "refine": phase_marks["refine"] - phase_marks["initpart"],
+    }
+
+    imb = imbalance(graph.vwgt, where, nparts)
+    if tracer.enabled:
+        root.set(cut=int(edge_cut(graph, where)),
+                 max_imbalance=float(imb.max(initial=0.0)),
+                 feasible=bool(np.all(imb <= ub + 1e-9)),
+                 sim_seconds=phase_marks["refine"] - phase_marks["start"])
     return ParallelResult(
         phase_times=phase_times,
         part=where,
@@ -192,4 +328,44 @@ def parallel_part_graph(
         stats=cluster.stats,
         levels=len(levels),
         refine_stats=refine_stats,
+    )
+
+
+def _degraded_result(graph, nparts, nranks, options, cluster, tracer, root,
+                     rng, ub, progress, exc) -> ParallelResult:
+    """Serial fallback: the documented graceful-degradation path."""
+    from ..partition.api import part_graph
+
+    reason = f"{type(exc).__name__}: {exc}"
+    t_fail = cluster.stats.simulated_time
+    with tracer.span("degraded_fallback", cause=type(exc).__name__,
+                     reason=str(exc)):
+        (srng,) = spawn(rng, 1)
+        serial = part_graph(graph, nparts, method="kway",
+                            options=options.with_(seed=srng), tracer=tracer)
+    # The fallback runs on the one surviving host: charge its compute to
+    # the simulated clock with the same constant used for the serial
+    # initial-partitioning step.
+    cluster.stats.compute_time += (
+        20 * (graph.nvtxs + 2 * graph.nedges) / cluster.cost.compute_rate)
+    phase_times = dict(progress["phase_times"])
+    phase_times["fallback"] = cluster.stats.simulated_time - t_fail
+    if tracer.enabled:
+        root.set(degraded=True, degraded_reason=reason,
+                 cut=int(serial.edgecut),
+                 max_imbalance=float(serial.imbalance.max(initial=0.0)),
+                 feasible=serial.feasible)
+    return ParallelResult(
+        part=serial.part,
+        nparts=nparts,
+        nranks=nranks,
+        edgecut=serial.edgecut,
+        imbalance=serial.imbalance,
+        feasible=serial.feasible,
+        stats=cluster.stats,
+        levels=progress["levels"],
+        refine_stats=[],
+        phase_times=phase_times,
+        degraded=True,
+        degraded_reason=reason,
     )

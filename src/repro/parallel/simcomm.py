@@ -78,8 +78,15 @@ class SimCluster:
         self.cost = cost or CostModel()
         self.stats = SimStats(nranks=nranks)
         self._pending_ops = np.zeros(nranks, dtype=np.float64)
+        #: current pipeline phase tag (set by the driver; consumed by the
+        #: fault injector's per-phase rates -- a no-op on a healthy cluster).
+        self.phase = ""
 
     # ------------------------------------------------------------------ #
+
+    def set_phase(self, name: str) -> None:
+        """Tag subsequent collectives with the pipeline phase ``name``."""
+        self.phase = str(name)
 
     def add_compute(self, rank: int, ops: float) -> None:
         """Charge ``ops`` local operations to ``rank`` in the current

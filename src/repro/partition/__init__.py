@@ -5,6 +5,7 @@ from .config import PartitionOptions
 from .ensemble import EnsembleResult, best_of
 from .kway import partition_kway
 from .recursive import multilevel_bisection, partition_recursive
+from .validate import validate_request, validate_weights
 
 __all__ = [
     "part_graph",
@@ -16,4 +17,6 @@ __all__ = [
     "METHODS",
     "best_of",
     "EnsembleResult",
+    "validate_request",
+    "validate_weights",
 ]

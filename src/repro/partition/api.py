@@ -6,7 +6,6 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..errors import PartitionError
 from ..graph.csr import Graph
 from ..refine.gain import edge_cut
 from ..trace import TraceReport, Tracer, as_tracer
@@ -14,10 +13,9 @@ from ..weights.balance import as_target_fracs, as_ubvec, imbalance
 from .config import PartitionOptions
 from .kway import partition_kway
 from .recursive import partition_recursive
+from .validate import METHODS, validate_request
 
 __all__ = ["part_graph", "PartitionResult", "METHODS"]
-
-METHODS = ("kway", "recursive")
 
 
 @dataclass
@@ -85,6 +83,7 @@ def part_graph(
     options: PartitionOptions | None = None,
     target_fracs=None,
     tracer=None,
+    strict: bool = False,
     **kwargs,
 ) -> PartitionResult:
     """Partition ``graph`` into ``nparts`` parts balancing all ``ncon``
@@ -114,6 +113,13 @@ def part_graph(
         events).  When omitted, ``options.collect_stats=True`` creates a
         private in-memory tracer; otherwise the no-op tracer runs and the
         hot path pays nothing.
+    strict:
+        Also run the O(E) structural audit (:meth:`Graph.validate`) on
+        top of the always-on request validation.  The request checks
+        themselves (NaN/negative/ragged weights, bad ``ubvec``,
+        out-of-range ``nparts``; see ``docs/robustness.md``) run on every
+        call and raise precise :class:`~repro.errors.ReproError`
+        subclasses before any partitioning work starts.
 
     Returns
     -------
@@ -127,14 +133,14 @@ def part_graph(
     >>> res.feasible
     True
     """
-    if method not in METHODS:
-        raise PartitionError(f"unknown method {method!r}; pick from {METHODS}")
     if options is None:
         options = PartitionOptions(**kwargs)
     elif kwargs:
         options = options.with_(**kwargs)
-    if graph.nvtxs == 0:
-        raise PartitionError("cannot partition an empty graph")
+    validate_request(graph, nparts, options=options, method=method,
+                     target_fracs=target_fracs)
+    if strict:
+        graph.validate()
 
     owns_tracer = tracer is None and options.collect_stats
     if owns_tracer:

@@ -1,0 +1,113 @@
+"""Validation front-door for partitioning requests.
+
+Every public driver (:func:`repro.partition.part_graph`,
+:func:`repro.parallel.parallel_part_graph`) runs :func:`validate_request`
+before any work: malformed requests fail immediately with a precise
+:class:`~repro.errors.ReproError` subclass instead of a deep stack trace
+from the middle of the multilevel machinery.  The checks are O(n·m)
+vectorised scans -- negligible next to a partitioning run.
+
+What is rejected where (the documented contract; see ``docs/robustness.md``):
+
+* ``nparts`` not an integer, < 1, or > nvtxs -> :class:`PartitionError`
+* empty graph, unknown ``method``            -> :class:`PartitionError`
+* NaN / infinite / negative vertex weights   -> :class:`WeightError`
+* ragged or non-numeric weight arrays        -> :class:`WeightError`
+  (via :func:`validate_weights`, also usable on raw pre-``Graph`` input)
+* ``ubvec`` wrong length, <= 1, or non-finite -> :class:`BalanceError`
+* ``target_fracs`` wrong length / non-positive / non-finite
+                                             -> :class:`BalanceError`
+* ``nranks`` (parallel driver) not a positive integer
+                                             -> :class:`PartitionError`
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import PartitionError, WeightError
+from ..weights.balance import as_target_fracs, as_ubvec
+
+__all__ = ["METHODS", "validate_request", "validate_weights"]
+
+METHODS = ("kway", "recursive")
+
+
+def _as_count(value, name: str) -> int:
+    """Coerce a positive-integer parameter, rejecting bools and floats."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise PartitionError(
+            f"{name} must be an integer; got {type(value).__name__} {value!r}"
+        )
+    return int(value)
+
+
+def validate_weights(vwgt, nvtxs: int | None = None) -> np.ndarray:
+    """Check a vertex-weight array *before* any integer cast.
+
+    Accepts anything array-like; raises :class:`WeightError` on ragged or
+    non-numeric input, NaN / infinity, negative entries, or a row count
+    that does not match ``nvtxs``.  Returns the array (dtype unchanged).
+    """
+    try:
+        arr = np.asarray(vwgt)
+    except ValueError as exc:  # ragged nested sequences
+        raise WeightError(f"vertex weights are ragged or malformed: {exc}") from exc
+    if arr.dtype == object or not np.issubdtype(arr.dtype, np.number):
+        raise WeightError(
+            f"vertex weights must be numeric and rectangular; got dtype {arr.dtype}"
+        )
+    if np.issubdtype(arr.dtype, np.floating):
+        if not np.all(np.isfinite(arr)):
+            raise WeightError("vertex weights must be finite (no NaN/inf)")
+    if arr.ndim not in (1, 2):
+        raise WeightError(f"vwgt must be (n,) or (n, m); got shape {arr.shape}")
+    if arr.size and arr.min() < 0:
+        raise WeightError("vertex weights must be non-negative")
+    if nvtxs is not None and arr.shape[0] != nvtxs:
+        raise WeightError(
+            f"vwgt must cover {nvtxs} vertices; got shape {arr.shape}"
+        )
+    return arr
+
+
+def validate_request(
+    graph,
+    nparts,
+    *,
+    options=None,
+    ubvec=None,
+    method: str | None = None,
+    target_fracs=None,
+    nranks=None,
+) -> None:
+    """Validate a partitioning request; raise a typed error or return None.
+
+    ``ubvec`` defaults to ``options.ubvec`` when ``options`` is given.
+    ``method`` and ``nranks`` are only checked when provided (``nranks``
+    is the parallel driver's rank count).
+    """
+    if method is not None and method not in METHODS:
+        raise PartitionError(f"unknown method {method!r}; pick from {METHODS}")
+    if graph.nvtxs == 0:
+        raise PartitionError("cannot partition an empty graph")
+    k = _as_count(nparts, "nparts")
+    if k < 1:
+        raise PartitionError("nparts must be >= 1")
+    if k > graph.nvtxs:
+        raise PartitionError(
+            f"cannot cut {graph.nvtxs} vertices into {k} non-empty parts"
+        )
+    if nranks is not None:
+        p = _as_count(nranks, "nranks")
+        if p < 1:
+            raise PartitionError("nranks must be >= 1")
+
+    validate_weights(graph.vwgt, graph.nvtxs)
+
+    if ubvec is None and options is not None:
+        ubvec = options.ubvec
+    if ubvec is not None:
+        as_ubvec(ubvec, graph.ncon)
+    if target_fracs is not None:
+        as_target_fracs(target_fracs, k)

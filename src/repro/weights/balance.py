@@ -77,11 +77,16 @@ def as_ubvec(ubvec, ncon: int) -> np.ndarray:
     sequence.  Values must be > 1 (a tolerance of exactly 1.0 is
     unsatisfiable with indivisible vertices).
     """
-    ub = np.asarray(ubvec, dtype=np.float64)
+    try:
+        ub = np.asarray(ubvec, dtype=np.float64)
+    except (TypeError, ValueError) as exc:
+        raise BalanceError(f"ubvec must be numeric: {exc}") from exc
     if ub.ndim == 0:
         ub = np.full(ncon, float(ub))
     if ub.shape != (ncon,):
         raise BalanceError(f"ubvec must be scalar or length {ncon}; got {ub.shape}")
+    if not np.all(np.isfinite(ub)):
+        raise BalanceError("balance tolerances must be finite (no NaN/inf)")
     if np.any(ub <= 1.0):
         raise BalanceError("every balance tolerance must be > 1.0")
     return ub
@@ -91,9 +96,14 @@ def as_target_fracs(target_fracs, nparts: int) -> np.ndarray:
     """Coerce target part fractions to a ``(nparts,)`` array summing to 1."""
     if target_fracs is None:
         return np.full(nparts, 1.0 / nparts)
-    fr = np.asarray(target_fracs, dtype=np.float64)
+    try:
+        fr = np.asarray(target_fracs, dtype=np.float64)
+    except (TypeError, ValueError) as exc:
+        raise BalanceError(f"target_fracs must be numeric: {exc}") from exc
     if fr.shape != (nparts,):
         raise BalanceError(f"target_fracs must have length {nparts}")
+    if not np.all(np.isfinite(fr)):
+        raise BalanceError("target fractions must be finite (no NaN/inf)")
     if np.any(fr <= 0):
         raise BalanceError("target fractions must be positive")
     s = fr.sum()

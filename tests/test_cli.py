@@ -198,3 +198,58 @@ class TestEnsembleAndNpz:
         rc = main([str(p), "4", "--seed", "2", "--quiet"])
         assert rc == 0
         assert "feasible" in capsys.readouterr().out
+
+
+class TestParallelAndFaultFlags:
+    def test_ranks_runs_parallel(self, capsys):
+        rc = main(["--demo", "200", "4", "--seed", "1", "--ranks", "3"])
+        assert rc == 0
+        assert "parallel(p=3)" in capsys.readouterr().out
+
+    def test_fault_spec_injects(self, capsys):
+        rc = main(["--demo", "200", "4", "--seed", "1", "--ranks", "3",
+                   "--fault-spec", "drop=0.05,seed=7"])
+        assert rc == 0
+        assert "faults injected" in capsys.readouterr().out
+
+    def test_fault_spec_requires_ranks(self, capsys):
+        rc = main(["--demo", "200", "4", "--fault-spec", "drop=0.1"])
+        assert rc == 2
+        assert "--ranks" in capsys.readouterr().err
+
+    def test_ranks_and_nseeds_conflict(self, capsys):
+        rc = main(["--demo", "200", "4", "--ranks", "2", "--nseeds", "3"])
+        assert rc == 2
+
+    def test_bad_fault_spec_is_typed_error(self, capsys):
+        rc = main(["--demo", "200", "4", "--ranks", "2",
+                   "--fault-spec", "nonsense=1"])
+        assert rc == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_strict_serial(self, graph_file, capsys):
+        rc = main([graph_file, "4", "--seed", "0", "--strict", "--quiet"])
+        assert rc == 0
+        assert "feasible" in capsys.readouterr().out
+
+    def test_heavy_faults_degrade_with_warning(self, capsys):
+        rc = main(["--demo", "200", "4", "--seed", "1", "--ranks", "3",
+                   "--fault-spec", "drop=0.7,pcrash=0.2,seed=1"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "DEGRADED" in captured.out
+        assert "degraded to serial fallback" in captured.err
+
+    def test_strict_heavy_faults_fail(self, capsys):
+        rc = main(["--demo", "200", "4", "--seed", "1", "--ranks", "3",
+                   "--strict", "--fault-spec", "drop=0.7,pcrash=0.2,seed=1"])
+        assert rc == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_parallel_trace_summary(self, capsys):
+        rc = main(["--demo", "200", "4", "--seed", "1", "--ranks", "3",
+                   "--trace-summary"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "parallel_partition" in out
+        assert "sim_seconds=" in out

@@ -1,0 +1,216 @@
+"""Error-taxonomy coverage: every public exception in :mod:`repro.errors`
+is raised by a real trigger and caught as :class:`ReproError`.
+
+The meta-test at the bottom introspects the module so a future exception
+class cannot be added without extending this suite.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+import numpy as np
+import pytest
+
+import repro.errors as errors_mod
+from repro.errors import (
+    BalanceError,
+    CommError,
+    ConvergenceError,
+    DegradedResult,
+    FaultError,
+    FaultSpecError,
+    GraphError,
+    GraphFormatError,
+    MessageDropError,
+    PartitionError,
+    PermanentCommError,
+    PhaseTimeoutError,
+    RankCrashedError,
+    RankUnavailableError,
+    ReproError,
+    RetryExhaustedError,
+    TransientCommError,
+    WeightError,
+)
+from repro.faults import FaultSpec, FaultyCluster, RecoveryPolicy, run_with_retries
+from repro.graph import Graph, grid_2d, mesh_like
+from repro.parallel import SimCluster, parallel_part_graph
+from repro.partition import part_graph
+
+# Exception -> the test method that triggers it (kept in sync by
+# test_every_public_exception_is_covered below).
+COVERED = {}
+
+
+def covers(*exc_types):
+    def mark(fn):
+        for e in exc_types:
+            COVERED[e] = fn.__name__
+        return fn
+    return mark
+
+
+@pytest.fixture(scope="module")
+def g200():
+    return mesh_like(200, seed=0)
+
+
+class TestInputErrors:
+    @covers(GraphError)
+    def test_graph_error_on_bad_structure(self):
+        with pytest.raises(GraphError):
+            Graph([0, 2], [1, 1])  # self-loop on a 1-vertex graph
+
+    @covers(GraphFormatError)
+    def test_graph_format_error_on_bad_file(self, tmp_path):
+        from repro.graph import read_metis_graph
+
+        p = tmp_path / "bad.graph"
+        p.write_text("this is not\na metis header\n")
+        with pytest.raises(GraphFormatError):
+            read_metis_graph(p)
+
+    @covers(WeightError)
+    def test_weight_error_on_nan(self, g200):
+        vw = np.ones((200, 2))
+        vw[3, 1] = np.nan
+        with pytest.raises(WeightError, match="finite"):
+            g200.with_vwgt(vw)
+
+    def test_weight_error_on_ragged(self, g200):
+        with pytest.raises(WeightError):
+            g200.with_vwgt([[1, 2], [1], [1, 2]] + [[1, 2]] * 197)
+
+    def test_weight_error_on_negative(self, g200):
+        vw = np.ones((200, 1), dtype=np.int64)
+        vw[0] = -5
+        with pytest.raises(WeightError, match="non-negative"):
+            g200.with_vwgt(vw)
+
+    @covers(PartitionError)
+    def test_partition_error_on_bad_nparts(self, g200):
+        with pytest.raises(PartitionError):
+            part_graph(g200, 0)
+        with pytest.raises(PartitionError):
+            part_graph(g200, 10_000)
+        with pytest.raises(PartitionError):
+            part_graph(g200, 2.5)
+
+    def test_partition_error_on_bad_method(self, g200):
+        with pytest.raises(PartitionError, match="unknown method"):
+            part_graph(g200, 2, method="quantum")
+
+    @covers(BalanceError)
+    def test_balance_error_on_bad_ubvec(self, g200):
+        with pytest.raises(BalanceError):
+            part_graph(g200, 2, ubvec=0.9)       # <= 1 is unsatisfiable
+        with pytest.raises(BalanceError):
+            part_graph(g200, 2, ubvec=float("nan"))
+        with pytest.raises(BalanceError):
+            part_graph(g200, 2, ubvec=[1.05, 1.05])  # wrong length
+
+    def test_balance_error_on_bad_target_fracs(self, g200):
+        with pytest.raises(BalanceError):
+            part_graph(g200, 2, target_fracs=[0.5, -0.5])
+        with pytest.raises(BalanceError):
+            part_graph(g200, 2, target_fracs=[0.5, float("inf")])
+
+    @covers(ConvergenceError)
+    def test_convergence_error_is_catchable(self):
+        # Reserved for iterative solvers (no current algorithm gives up);
+        # pin its contract: constructible and caught as ReproError.
+        with pytest.raises(ReproError):
+            raise ConvergenceError("did not converge in 100 iterations")
+
+
+class TestCommErrors:
+    @covers(MessageDropError, TransientCommError, CommError)
+    def test_message_drop(self):
+        c = FaultyCluster(2, FaultSpec(drop=1.0, max_faults=1))
+        with pytest.raises(MessageDropError):
+            c.barrier()
+
+    @covers(RankUnavailableError)
+    def test_rank_unavailable(self):
+        c = FaultyCluster(2, FaultSpec(crash=1.0, max_faults=1))
+        with pytest.raises(RankUnavailableError):
+            c.barrier()
+
+    @covers(RankCrashedError, PermanentCommError)
+    def test_rank_crashed_carries_ranks(self):
+        c = FaultyCluster(4, FaultSpec(crash_permanent=1.0, max_faults=1))
+        with pytest.raises(RankCrashedError) as ei:
+            c.barrier()
+        assert len(ei.value.ranks) == 1
+        assert 0 <= ei.value.ranks[0] < 4
+
+    def test_comm_error_umbrella(self):
+        # The documented catch-all for "the simulated network misbehaved".
+        c = FaultyCluster(2, FaultSpec(drop=1.0, max_faults=1))
+        with pytest.raises(CommError):
+            c.barrier()
+
+
+class TestFaultErrors:
+    @covers(FaultSpecError, FaultError)
+    def test_fault_spec_error(self):
+        with pytest.raises(FaultSpecError):
+            FaultSpec.parse("warp_core_breach=0.5")
+
+    @covers(RetryExhaustedError)
+    def test_retry_exhausted(self):
+        def always_fails():
+            raise MessageDropError("gone")
+
+        with pytest.raises(RetryExhaustedError):
+            run_with_retries(always_fails, SimCluster(2),
+                             RecoveryPolicy(max_retries=1))
+
+    @covers(PhaseTimeoutError)
+    def test_phase_timeout(self):
+        cluster = SimCluster(2)
+        cluster.stats.compute_time = 1.0
+        with pytest.raises(PhaseTimeoutError):
+            run_with_retries(lambda: None, cluster,
+                             RecoveryPolicy(phase_timeout=0.5), deadline=0.5)
+
+    @covers(DegradedResult)
+    def test_degraded_result_in_strict_mode(self):
+        g = grid_2d(12, 10)
+        with pytest.raises(DegradedResult) as ei:
+            parallel_part_graph(
+                g, 4, 3,
+                faults=FaultSpec(crash_permanent=0.5, seed=0), strict=True)
+        assert ei.value.reason
+        assert isinstance(ei.value.__cause__, ReproError)
+
+
+class TestTaxonomyShape:
+    def test_hierarchy(self):
+        assert issubclass(MessageDropError, TransientCommError)
+        assert issubclass(RankUnavailableError, TransientCommError)
+        assert issubclass(TransientCommError, CommError)
+        assert issubclass(RankCrashedError, PermanentCommError)
+        assert issubclass(PermanentCommError, CommError)
+        for e in (FaultSpecError, RetryExhaustedError, PhaseTimeoutError):
+            assert issubclass(e, FaultError)
+        assert issubclass(BalanceError, PartitionError)
+        assert issubclass(GraphFormatError, GraphError)
+
+    def test_everything_is_repro_error(self):
+        for name, obj in vars(errors_mod).items():
+            if inspect.isclass(obj) and issubclass(obj, Exception):
+                assert issubclass(obj, ReproError), name
+
+    def test_every_public_exception_is_covered(self):
+        """Adding an exception class without a trigger test fails here."""
+        public = {
+            obj
+            for obj in vars(errors_mod).values()
+            if inspect.isclass(obj)
+            and issubclass(obj, ReproError)
+            and obj is not ReproError
+        }
+        missing = {e.__name__ for e in public} - {e.__name__ for e in COVERED}
+        assert not missing, f"exceptions without a trigger test: {sorted(missing)}"
