@@ -1,6 +1,6 @@
 # Convenience targets for the repro project.
 
-.PHONY: install test bench bench-smoke docs-check chaos-smoke examples smoke all clean
+.PHONY: install test bench bench-smoke docs-check chaos-smoke serve-smoke examples smoke all clean
 
 install:
 	pip install -e .
@@ -28,6 +28,12 @@ docs-check:
 # See docs/robustness.md.
 chaos-smoke:
 	PYTHONPATH=src python -m pytest tests/test_faults.py tests/test_errors.py -q
+
+# The serving contract: hit == cold compute bit-for-bit, one cold compute
+# per distinct key under N threads x M duplicate requests, warm-start
+# fallback, deadlines.  See docs/serving.md.
+serve-smoke:
+	PYTHONPATH=src python -m pytest tests/test_serve.py -q
 
 examples:
 	for ex in examples/*.py; do echo "== $$ex"; python $$ex || exit 1; done

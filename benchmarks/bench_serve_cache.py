@@ -1,0 +1,154 @@
+"""Serving-layer benchmark: cache hit, warm start and cold compute.
+
+Measures the three latency classes of :class:`repro.serve.PartitionService`
+on the benchmark ladder and records them into
+``benchmarks/results/BENCH_serve.json`` (schema ``BENCH_serve/v1``),
+asserting the two acceptance criteria of the serving contract
+(``docs/serving.md``):
+
+* a cache **hit** is bit-identical to the cold compute and at least 50x
+  faster;
+* a **warm start** under drifted vertex weights beats cold wall-time while
+  staying feasible.
+
+Run directly (``python benchmarks/bench_serve_cache.py``) or through
+pytest.  ``--smoke`` restricts the ladder to its smallest rung for CI.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+from repro.partition import part_graph
+from repro.serve import PartitionService, ServiceConfig
+
+from _util import RESULTS_DIR, emit_table, timed, type1_graph
+
+K = 16
+M = 3
+SEED = 4
+HIT_REPEATS = 50          # hit latency is microseconds; median of many
+HIT_SPEEDUP_FLOOR = 50.0  # acceptance: hit >= 50x faster than cold
+
+
+def _drift(graph, frac=0.05, bump=1):
+    """The warm-start scenario: same mesh, a few weights moved."""
+    vw = graph.vwgt.copy()
+    n = max(1, int(graph.nvtxs * frac))
+    vw[:n] += bump
+    return graph.with_vwgt(vw)
+
+
+def bench_one(name: str) -> dict:
+    g = type1_graph(name, M)
+    svc = PartitionService(ServiceConfig(warm_start=True))
+    with svc:
+        cold, cold_s = timed(svc.partition, g, K, seed=SEED)
+
+        hit_times = []
+        for _ in range(HIT_REPEATS):
+            hit, s = timed(svc.partition, g, K, seed=SEED)
+            hit_times.append(s)
+        hit_s = float(np.median(hit_times))
+        identical = (
+            np.array_equal(hit.part, cold.part)
+            and hit.edgecut == cold.edgecut
+            and np.array_equal(hit.imbalance, cold.imbalance)
+            and hit.feasible == cold.feasible
+        )
+
+        g2 = _drift(g)
+        warm, warm_s = timed(svc.partition, g2, K, seed=SEED)
+        stats = svc.stats()
+        warm_used = stats["serve.warm_start.accepted"] > 0
+    # the honest comparator: what the same drifted request costs cold
+    cold2, cold2_s = timed(part_graph, g2, K, seed=SEED)
+
+    return {
+        "graph": name,
+        "nvtxs": g.nvtxs,
+        "nedges": g.nedges,
+        "ncon": g.ncon,
+        "cold_seconds": round(cold_s, 4),
+        "hit_seconds": round(hit_s, 6),
+        "hit_speedup": round(cold_s / hit_s, 1) if hit_s > 0 else float("inf"),
+        "hit_identical": bool(identical),
+        "warm_seconds": round(warm_s, 4),
+        "warm_used": bool(warm_used),
+        "warm_feasible": bool(warm.feasible),
+        "warm_edgecut": int(warm.edgecut),
+        "drift_cold_seconds": round(cold2_s, 4),
+        "drift_cold_edgecut": int(cold2.edgecut),
+        "warm_speedup": round(cold2_s / warm_s, 1) if warm_s > 0 else float("inf"),
+    }
+
+
+def run(smoke: bool = False) -> dict:
+    names = ["sm1"] if smoke else ["sm1", "sm2", "sm3"]
+    cases = [bench_one(n) for n in names]
+
+    emit_table(
+        "serve_cache",
+        ["graph", "n", "cold (s)", "hit (s)", "hit x", "warm (s)",
+         "cold' (s)", "warm x", "warm cut", "cold' cut"],
+        [
+            [c["graph"], c["nvtxs"], f"{c['cold_seconds']:.3f}",
+             f"{c['hit_seconds']:.6f}", f"{c['hit_speedup']:.0f}",
+             f"{c['warm_seconds']:.3f}", f"{c['drift_cold_seconds']:.3f}",
+             f"{c['warm_speedup']:.1f}", c["warm_edgecut"],
+             c["drift_cold_edgecut"]]
+            for c in cases
+        ],
+        title=f"Serving: cache hit / warm start / cold (k={K}, m={M}; "
+              "cold' = cold compute of the drifted request)",
+    )
+
+    record = {
+        "schema": "BENCH_serve/v1",
+        "mode": "smoke" if smoke else "full",
+        "config": {"k": K, "m": M, "seed": SEED,
+                   "hit_repeats": HIT_REPEATS,
+                   "hit_speedup_floor": HIT_SPEEDUP_FLOOR},
+        "cases": cases,
+    }
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, "BENCH_serve.json")
+    with open(path, "w") as fh:
+        json.dump(record, fh, indent=2)
+        fh.write("\n")
+    print(f"recorded -> {path}")
+
+    failures = []
+    for c in cases:
+        if not c["hit_identical"]:
+            failures.append(f"{c['graph']}: cache hit not bit-identical")
+        if c["hit_speedup"] < HIT_SPEEDUP_FLOOR:
+            failures.append(
+                f"{c['graph']}: hit speedup {c['hit_speedup']}x "
+                f"< {HIT_SPEEDUP_FLOOR}x")
+        if not c["warm_feasible"]:
+            failures.append(f"{c['graph']}: warm-path result infeasible")
+        if c["warm_used"] and c["warm_seconds"] >= c["drift_cold_seconds"]:
+            failures.append(
+                f"{c['graph']}: warm start ({c['warm_seconds']}s) did not "
+                f"beat cold ({c['drift_cold_seconds']}s)")
+    if failures:
+        raise AssertionError("serving contract violated:\n  " +
+                             "\n  ".join(failures))
+    return record
+
+
+def test_serve_cache_bench():
+    """Pytest entry: smoke-sized run of the same contract."""
+    run(smoke=True)
+
+
+if __name__ == "__main__":
+    t0 = time.time()
+    run(smoke="--smoke" in sys.argv)
+    print(f"total {time.time() - t0:.1f}s")

@@ -31,6 +31,8 @@ Package map
                      (future-work extension; see DESIGN.md).
 ``repro.faults``     seeded fault injection + recovery policies for the
                      parallel simulation (see docs/robustness.md).
+``repro.serve``      cached, batched, warm-starting partition service
+                     (see docs/serving.md).
 """
 
 from .errors import (
@@ -43,6 +45,7 @@ from .errors import (
     GraphError,
     GraphFormatError,
     MessageDropError,
+    OptionsError,
     PartitionError,
     PermanentCommError,
     PhaseTimeoutError,
@@ -50,6 +53,9 @@ from .errors import (
     RankUnavailableError,
     ReproError,
     RetryExhaustedError,
+    ServeError,
+    ServeTimeoutError,
+    ServiceClosedError,
     TransientCommError,
     WeightError,
 )
@@ -86,6 +92,7 @@ __all__ = [
     "WeightError",
     "PartitionError",
     "BalanceError",
+    "OptionsError",
     "ConvergenceError",
     "CommError",
     "TransientCommError",
@@ -98,6 +105,9 @@ __all__ = [
     "RetryExhaustedError",
     "PhaseTimeoutError",
     "DegradedResult",
+    "ServeError",
+    "ServeTimeoutError",
+    "ServiceClosedError",
     # graph
     "Graph",
     "from_edges",

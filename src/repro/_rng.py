@@ -36,3 +36,33 @@ def spawn(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
     """
     seeds = rng.integers(0, 2**63 - 1, size=n, dtype=np.int64)
     return [np.random.default_rng(int(s)) for s in seeds]
+
+
+def canonical_seed(seed) -> int | None:
+    """Collapse a seed-like value to a plain ``int`` (or ``None``).
+
+    The serving layer (:mod:`repro.serve`) needs two properties a raw
+    seed-like does not give:
+
+    * **no shared mutable state** -- a ``Generator`` passed to two requests
+      that run concurrently is a data race (its stream is consumed from
+      both threads in arrival order); pinning draws ONE integer from it
+      here, in the submitting thread, and each compute then builds a
+      private generator from that integer.
+    * **hashability** -- the drawn integer participates in the cache key,
+      so "same seed" means "bit-identical partition".
+
+    ``None`` stays ``None`` (explicitly nondeterministic); integers pass
+    through unchanged, so ``canonical_seed`` is a no-op for the way the
+    library's own drivers and tests pass seeds.
+    """
+    if seed is None:
+        return None
+    if isinstance(seed, bool):
+        raise TypeError("bool is not a valid RNG seed")
+    if isinstance(seed, (int, np.integer)):
+        return int(seed)
+    if isinstance(seed, np.random.Generator):
+        return int(seed.integers(0, 2**63 - 1))
+    # SeedSequence and friends: derive deterministically without mutation.
+    return int(np.random.default_rng(seed).integers(0, 2**63 - 1))

@@ -34,7 +34,7 @@ from ..partition.api import PartitionResult, part_graph
 from ..partition.config import PartitionOptions
 from ..refine.gain import edge_cut
 from ..refine.kwayref import KWayState, balance_kway_state, kway_refine
-from ..weights.balance import as_ubvec, imbalance
+from ..weights.balance import FEASIBILITY_EPS, as_ubvec, imbalance
 
 __all__ = [
     "migration_volume",
@@ -125,7 +125,7 @@ def refine_partition(
         nparts=nparts,
         edgecut=edge_cut(graph, where),
         imbalance=imb,
-        feasible=bool(np.all(imb <= ub + 1e-9)),
+        feasible=bool(np.all(imb <= ub + FEASIBILITY_EPS)),
         migration=migration_stats(graph.vwgt, old_part, where),
         strategy="refine",
     )

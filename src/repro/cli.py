@@ -17,6 +17,12 @@ Robustness: ``--ranks P`` runs the simulated parallel pipeline;
 ``--fault-spec 'drop=0.05,crash=0.01,seed=7'`` injects deterministic
 faults into it, and ``--strict`` turns on the structural graph audit and
 forbids graceful degradation; see ``docs/robustness.md``.
+
+Serving: ``--cache`` routes the run through the in-process
+:class:`repro.serve.PartitionService` (same result, exercises the cached
+path); ``--serve-bench N`` replays the request N times across a thread
+pool and prints cache hit rate and cold/hit latencies; see
+``docs/serving.md``.
 """
 
 from __future__ import annotations
@@ -72,6 +78,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="strict mode: run the O(E) graph audit up front and "
                         "forbid the serial fallback (failures raise instead "
                         "of degrading)")
+    p.add_argument("--cache", action="store_true",
+                   help="serve the request through the in-process partition "
+                        "service (content-addressed result cache + warm "
+                        "start; see docs/serving.md)")
+    p.add_argument("--serve-bench", type=int, metavar="N",
+                   help="benchmark the partition service: replay the "
+                        "request N times over a thread pool and report "
+                        "hit rate and cold/hit latency (implies --cache)")
     p.add_argument("--trace", metavar="FILE",
                    help="write a structured JSONL trace of the run to FILE "
                         "(spans with timings + metrics; see "
@@ -81,6 +95,27 @@ def build_parser() -> argparse.ArgumentParser:
                         "cut/imbalance, timings) after the run")
     p.add_argument("--quiet", action="store_true", help="print only the summary line")
     return p
+
+
+def _serve_bench(svc, graph, args, cold_seconds: float) -> None:
+    """Replay the CLI request N times over the service's pool and report
+    cache behaviour (the ``--serve-bench`` flag)."""
+    n = args.serve_bench
+    t0 = time.perf_counter()
+    svc.batch([(graph, args.nparts,
+                {"method": args.method, "ubvec": args.tol,
+                 "seed": args.seed, "matching": args.matching})] * n)
+    replay = time.perf_counter() - t0
+    stats = svc.stats()
+    hits = stats["serve.cache.hits"]
+    per_hit = replay / max(n, 1)
+    speedup = cold_seconds / per_hit if per_hit > 0 else float("inf")
+    print(f"serve-bench: {n} replays in {replay * 1e3:.1f}ms "
+          f"({per_hit * 1e6:.0f}us/request, ~{speedup:.0f}x vs cold)")
+    print(f"serve-bench: hits={hits} cold_computes="
+          f"{stats['serve.cold_computes']} "
+          f"coalesced={stats['serve.dedup.coalesced']} "
+          f"hit_rate={hits / max(stats['serve.requests'], 1):.1%}")
 
 
 def main(argv=None) -> int:
@@ -131,9 +166,29 @@ def main(argv=None) -> int:
             print("error: --ranks and --nseeds cannot be combined",
                   file=sys.stderr)
             return 2
+        use_cache = args.cache or args.serve_bench
+        if use_cache and (args.ranks or args.nseeds > 1):
+            print("error: --cache/--serve-bench cannot be combined with "
+                  "--ranks or --nseeds", file=sys.stderr)
+            return 2
+        if use_cache and args.seed is None:
+            # A None seed is explicitly nondeterministic and bypasses the
+            # cache; pin one so the served run is reproducible & cacheable.
+            args.seed = 0
 
         t0 = time.perf_counter()
-        if args.ranks:
+        if use_cache:
+            from .serve import PartitionService
+
+            with PartitionService(tracer=tracer) as svc:
+                res = svc.partition(graph, args.nparts, method=args.method,
+                                    ubvec=args.tol, seed=args.seed,
+                                    matching=args.matching)
+                elapsed = time.perf_counter() - t0
+                print(res.summary() + f"  [{elapsed:.2f}s cold]")
+                if args.serve_bench:
+                    _serve_bench(svc, graph, args, cold_seconds=elapsed)
+        elif args.ranks:
             from .parallel import parallel_part_graph
             from .partition.config import PartitionOptions
 
@@ -180,7 +235,7 @@ def main(argv=None) -> int:
         if tracer is not None:
             tracer.finish()
             if args.trace_summary:
-                if args.ranks:
+                if args.ranks or res.stats is None:
                     from .trace import TraceReport
 
                     print(TraceReport.from_tracer(tracer).render())

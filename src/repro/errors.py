@@ -16,6 +16,9 @@ contract and which layer raises what):
   recovery machinery itself gave up (retry budget, phase timeout, bad
   fault spec), plus :class:`DegradedResult`, raised in strict mode when
   the driver would otherwise fall back to the serial path.
+* **serving errors** -- :class:`ServeError` and subclasses: the
+  :mod:`repro.serve` front-end failed a request (deadline exceeded,
+  service shut down) even though the request itself was well-formed.
 """
 
 from __future__ import annotations
@@ -44,6 +47,16 @@ class PartitionError(ReproError):
 
 class BalanceError(PartitionError):
     """A balance constraint cannot be represented or satisfied."""
+
+
+class OptionsError(PartitionError):
+    """A :class:`~repro.partition.PartitionOptions` keyword does not exist.
+
+    Raised by ``part_graph(..., **kwargs)`` / ``PartitionOptions.with_``
+    when an option name is unknown, with a did-you-mean suggestion for the
+    nearest valid field.  A silently-ignored typo (``ubvek=1.02``) would
+    otherwise run with the default tolerance -- and, through the serving
+    layer, cache the result under key semantics the caller never asked for."""
 
 
 class ConvergenceError(ReproError):
@@ -117,6 +130,27 @@ class RetryExhaustedError(FaultError):
 class PhaseTimeoutError(FaultError):
     """A pipeline phase exceeded its simulated-time budget
     (``RecoveryPolicy.phase_timeout``)."""
+
+
+# --------------------------------------------------------------------- #
+# Serving layer (repro.serve)
+# --------------------------------------------------------------------- #
+
+
+class ServeError(ReproError):
+    """The partition service failed to deliver a result for a well-formed
+    request (the request-validation errors above cover malformed ones)."""
+
+
+class ServeTimeoutError(ServeError):
+    """A served request missed its deadline: either the caller's wait
+    timed out, or the request's deadline had already passed when a worker
+    picked it up (the compute is skipped, not interrupted)."""
+
+
+class ServiceClosedError(ServeError):
+    """The :class:`repro.serve.PartitionService` was closed; no new
+    requests are accepted."""
 
 
 class DegradedResult(ReproError):

@@ -48,7 +48,7 @@ from ..partition.recursive import partition_recursive
 from ..partition.validate import validate_request
 from ..refine.gain import edge_cut
 from ..trace import as_tracer
-from ..weights.balance import as_ubvec, imbalance
+from ..weights.balance import FEASIBILITY_EPS, as_ubvec, imbalance
 from .coarsen import parallel_matching
 from .contract import parallel_contract
 from .distgraph import DistGraph
@@ -315,7 +315,7 @@ def _pipeline(graph, nparts, nranks, options, cluster, policy, tracer, root,
     if tracer.enabled:
         root.set(cut=int(edge_cut(graph, where)),
                  max_imbalance=float(imb.max(initial=0.0)),
-                 feasible=bool(np.all(imb <= ub + 1e-9)),
+                 feasible=bool(np.all(imb <= ub + FEASIBILITY_EPS)),
                  sim_seconds=phase_marks["refine"] - phase_marks["start"])
     return ParallelResult(
         phase_times=phase_times,
@@ -324,7 +324,7 @@ def _pipeline(graph, nparts, nranks, options, cluster, policy, tracer, root,
         nranks=nranks,
         edgecut=edge_cut(graph, where),
         imbalance=imb,
-        feasible=bool(np.all(imb <= ub + 1e-9)),
+        feasible=bool(np.all(imb <= ub + FEASIBILITY_EPS)),
         stats=cluster.stats,
         levels=len(levels),
         refine_stats=refine_stats,

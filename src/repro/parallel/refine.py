@@ -25,6 +25,7 @@ import numpy as np
 
 from .._rng import as_rng, spawn
 from ..refine.kwayref import KWayState, balance_kway_state
+from ..weights.balance import FEASIBILITY_EPS
 from .distgraph import DistGraph
 from .simcomm import SimCluster
 
@@ -86,7 +87,7 @@ def parallel_kway_refine(
                     # reservation handles).
                     if np.any(
                         pw_snapshot[d] + local_in[d] + state.relw[v]
-                        > state.caps[d] + 1e-9
+                        > state.caps[d] + FEASIBILITY_EPS
                     ):
                         continue
                     if gain > best_gain:
@@ -105,7 +106,7 @@ def parallel_kway_refine(
         space = np.maximum(state.caps - pw_snapshot, 0.0)
         keep_frac = np.ones(nparts)
         for d in range(nparts):
-            over = total_in[d] > space[d] + 1e-12
+            over = total_in[d] > space[d] + FEASIBILITY_EPS
             if np.any(over):
                 with np.errstate(divide="ignore", invalid="ignore"):
                     fr = np.where(total_in[d] > 0, space[d] / total_in[d], 1.0)

@@ -9,8 +9,8 @@ import numpy as np
 from ..graph.csr import Graph
 from ..refine.gain import edge_cut
 from ..trace import TraceReport, Tracer, as_tracer
-from ..weights.balance import as_target_fracs, as_ubvec, imbalance
-from .config import PartitionOptions
+from ..weights.balance import FEASIBILITY_EPS, as_target_fracs, as_ubvec, imbalance
+from .config import PartitionOptions, check_option_kwargs
 from .kway import partition_kway
 from .recursive import partition_recursive
 from .validate import METHODS, validate_request
@@ -133,6 +133,7 @@ def part_graph(
     >>> res.feasible
     True
     """
+    check_option_kwargs(kwargs)
     if options is None:
         options = PartitionOptions(**kwargs)
     elif kwargs:
@@ -160,7 +161,7 @@ def part_graph(
         ub = as_ubvec(options.ubvec, graph.ncon)
         imb = imbalance(graph.vwgt, part, nparts, target_fracs)
         cut = edge_cut(graph, part)
-        feasible = bool(np.all(imb <= ub + 1e-9))
+        feasible = bool(np.all(imb <= ub + FEASIBILITY_EPS))
         if tracer.enabled:
             max_imb = float(imb.max(initial=0.0))
             root.set(cut=int(cut), max_imbalance=max_imb, feasible=feasible)

@@ -2,11 +2,12 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import difflib
+from dataclasses import dataclass, fields, replace
 
-from ..errors import PartitionError
+from ..errors import OptionsError, PartitionError
 
-__all__ = ["PartitionOptions"]
+__all__ = ["PartitionOptions", "check_option_kwargs"]
 
 
 @dataclass(frozen=True)
@@ -86,5 +87,36 @@ class PartitionOptions:
             raise PartitionError("iteration counts must be positive")
 
     def with_(self, **kwargs) -> "PartitionOptions":
-        """Functional update (``dataclasses.replace`` wrapper)."""
+        """Functional update (``dataclasses.replace`` wrapper).
+
+        Unknown option names raise :class:`~repro.errors.OptionsError`
+        with a did-you-mean suggestion (see :func:`check_option_kwargs`).
+        """
+        check_option_kwargs(kwargs)
         return replace(self, **kwargs)
+
+
+#: Valid :class:`PartitionOptions` field names, in declaration order.
+OPTION_FIELDS = tuple(f.name for f in fields(PartitionOptions))
+
+
+def check_option_kwargs(kwargs) -> None:
+    """Reject unknown option names with a typed, suggestion-bearing error.
+
+    ``part_graph(g, 8, ubvek=1.02)`` must fail loudly: constructing
+    ``PartitionOptions(**kwargs)`` directly raises an untyped ``TypeError``
+    deep in dataclass machinery, and anything that *swallowed* the typo
+    would silently partition (and cache) under the default tolerance.
+    """
+    unknown = [name for name in kwargs if name not in OPTION_FIELDS]
+    if not unknown:
+        return
+    parts = []
+    for name in unknown:
+        close = difflib.get_close_matches(name, OPTION_FIELDS, n=1)
+        hint = f" (did you mean {close[0]!r}?)" if close else ""
+        parts.append(f"{name!r}{hint}")
+    raise OptionsError(
+        f"unknown partition option{'s' if len(unknown) > 1 else ''} "
+        f"{', '.join(parts)}; valid options: {', '.join(OPTION_FIELDS)}"
+    )

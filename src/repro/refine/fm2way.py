@@ -52,7 +52,7 @@ import numpy as np
 from .._rng import as_rng
 from ..errors import PartitionError
 from ..graph.csr import Graph
-from ..weights.balance import as_ubvec
+from ..weights.balance import FEASIBILITY_EPS, as_ubvec
 from .gain import compute_2way_degrees
 from .pq import LazyMaxPQ
 
@@ -169,7 +169,7 @@ class TwoWayState:
         return b
 
     def feasible(self) -> bool:
-        return self.balance_obj() <= 1e-9
+        return self.balance_obj() <= FEASIBILITY_EPS
 
     def dest_fits(self, v: int) -> bool:
         """Would moving ``v`` keep its destination within its caps?"""
@@ -177,7 +177,7 @@ class TwoWayState:
         capd = self._capsl[1 - self._wh[v]]
         rv = self._relwl[v]
         for j in range(self._m):
-            if pwd[j] + rv[j] > capd[j] + 1e-9:
+            if pwd[j] + rv[j] > capd[j] + FEASIBILITY_EPS:
                 return False
         return True
 
@@ -357,7 +357,7 @@ def balance_2way(state: TwoWayState, max_moves: int | None = None) -> int:
                     if d > worst:
                         worst = d
                         side, con = i, j
-        if b_now <= 1e-9:
+        if b_now <= FEASIBILITY_EPS:
             break
         chosen = -1
         # Try the dominant queue of the violated constraint first, then the
@@ -444,7 +444,7 @@ def _state_key(state: TwoWayState):
     """Ordering key: feasible-and-low-cut beats everything; among
     infeasible states prefer lower excess, then lower cut."""
     b = state.balance_obj()
-    return (0, state.cut, 0.0) if b <= 1e-9 else (1, b, state.cut)
+    return (0, state.cut, 0.0) if b <= FEASIBILITY_EPS else (1, b, state.cut)
 
 
 def _fm_pass(state: TwoWayState, max_bad_moves: int) -> tuple[bool, int]:
@@ -509,7 +509,7 @@ def _select_move(state: TwoWayState, queues, m: int) -> int:
                 if d > worst:
                     worst = d
                     side, con = i, c
-    if b_now > 1e-9:
+    if b_now > FEASIBILITY_EPS:
         order = [con] + [c for c in range(m) if c != con]
         for c in order:
             q = queues[side][c]
@@ -571,7 +571,7 @@ def _select_move(state: TwoWayState, queues, m: int) -> int:
         rv = relwl[v]
         fits = True
         for j in rng_m:
-            if pwd[j] + rv[j] > capd[j] + 1e-9:
+            if pwd[j] + rv[j] > capd[j] + FEASIBILITY_EPS:
                 fits = False
                 break
         if fits:

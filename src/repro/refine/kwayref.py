@@ -43,7 +43,7 @@ import numpy as np
 from .._rng import as_rng
 from ..errors import PartitionError
 from ..graph.csr import Graph
-from ..weights.balance import as_target_fracs, as_ubvec
+from ..weights.balance import FEASIBILITY_EPS, as_target_fracs, as_ubvec
 from .gain import edge_cut, kway_degrees
 
 __all__ = ["KWayState", "kway_refine", "balance_kway", "KWayStats"]
@@ -146,14 +146,14 @@ class KWayState:
         return b
 
     def feasible(self) -> bool:
-        return self.balance_obj() <= 1e-9
+        return self.balance_obj() <= FEASIBILITY_EPS
 
     def dest_fits(self, v: int, d: int) -> bool:
         pwd = self._pw[d]
         capd = self._capsl[d]
         rv = self._relwl[v]
         for j in range(self._m):
-            if pwd[j] + rv[j] > capd[j] + 1e-9:
+            if pwd[j] + rv[j] > capd[j] + FEASIBILITY_EPS:
                 return False
         return True
 
@@ -427,7 +427,7 @@ def balance_kway_state(state: KWayState, max_moves: int | None = None) -> int:
         order = np.argsort(-exc.max(axis=1))
         src_part = -1
         for p in order.tolist():
-            if exc[p].max() > 1e-9 and p not in stuck_parts:
+            if exc[p].max() > FEASIBILITY_EPS and p not in stuck_parts:
                 src_part = p
                 break
         if src_part < 0:

@@ -1,0 +1,43 @@
+"""repro.serve -- cached, batched, warm-starting partition service.
+
+The production-shaped front-end over :func:`repro.partition.part_graph`
+(see ``docs/serving.md`` for the full contract):
+
+* :class:`PartitionService` -- thread-safe request front door: submit /
+  partition / batch, per-request deadlines, trace counters.
+* :class:`ResultCache` -- content-addressed LRU + max-byte result cache;
+  a hit is bit-identical to the cold compute it stands in for.
+* :func:`request_key` -- the canonical cache-key constructor (CSR bytes,
+  weights, nparts, method, target fractions, semantic options, pinned
+  seed).
+* :func:`warm_start` -- seed the k-way refiner from a cached partition of
+  the same mesh instead of partitioning from scratch.
+
+Quickstart::
+
+    from repro import mesh_like
+    from repro.serve import PartitionService
+
+    g = mesh_like(5000, seed=0)
+    with PartitionService() as svc:
+        cold = svc.partition(g, 8, seed=42)   # full multilevel run
+        hit = svc.partition(g, 8, seed=42)    # cache hit: same bits, ~free
+        assert (cold.part == hit.part).all()
+"""
+
+from .cache import CacheEntry, ResultCache
+from .key import SEMANTIC_OPTION_FIELDS, RequestKey, request_key
+from .service import PartitionService, ServeFuture, ServiceConfig
+from .warm import warm_start
+
+__all__ = [
+    "PartitionService",
+    "ServiceConfig",
+    "ServeFuture",
+    "ResultCache",
+    "CacheEntry",
+    "RequestKey",
+    "request_key",
+    "SEMANTIC_OPTION_FIELDS",
+    "warm_start",
+]

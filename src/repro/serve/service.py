@@ -1,0 +1,328 @@
+"""The in-process partition service: cache + dedup + batched execution.
+
+:class:`PartitionService` sits in front of :func:`repro.partition.part_graph`
+and absorbs repeated and concurrent traffic:
+
+* **cache** -- a content-addressed :class:`~repro.serve.cache.ResultCache`;
+  an exact repeat of a seeded request returns a stored snapshot without
+  recomputing (bit-identical to the cold compute, see ``docs/serving.md``).
+* **dedup** -- identical requests *in flight* coalesce onto one compute;
+  N threads asking for the same key pay for exactly one partition run.
+* **batching** -- distinct requests fan out across a thread pool.  The
+  numpy kernels release the GIL, so the pool overlaps real work.
+* **warm start** -- an exact miss whose topology matches a cached entry is
+  seeded from that partition via the adaptive-repartitioning machinery and
+  falls back to cold compute when the warm result is infeasible or its cut
+  blows up (:mod:`repro.serve.warm`).
+* **deadlines** -- a per-request ``timeout`` (seconds) bounds the caller's
+  wait; an expired request that has not started is skipped entirely.  Both
+  paths raise :class:`~repro.errors.ServeTimeoutError`.
+
+Determinism: request seeds are pinned to integers at submission
+(:func:`repro._rng.canonical_seed`), so every compute owns a private RNG and
+two identical seeded requests return bit-identical partitions no matter how
+they interleave.  Requests with ``seed=None`` are honoured as explicitly
+nondeterministic: they bypass cache and dedup.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as _FutureTimeout
+from dataclasses import dataclass, field, replace
+
+from ..errors import ServeTimeoutError, ServiceClosedError
+from ..graph.csr import Graph
+from ..partition.api import PartitionResult, part_graph
+from ..partition.config import PartitionOptions, check_option_kwargs
+from ..partition.validate import validate_request
+from ..trace import Tracer, as_tracer
+from .cache import ResultCache
+from .key import RequestKey, request_key
+from .warm import warm_start
+
+__all__ = ["ServiceConfig", "PartitionService", "ServeFuture"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tuning knobs of :class:`PartitionService`.
+
+    Attributes
+    ----------
+    max_workers:
+        Thread-pool width for distinct concurrent requests.
+    cache_entries, cache_bytes:
+        Result-cache budgets (``cache_entries=0`` disables caching).
+    dedup:
+        Coalesce identical in-flight requests onto one compute.
+    warm_start:
+        Try seeding from a same-topology cached partition on exact misses.
+    warm_cut_factor:
+        Accept a warm result only if its cut is within this factor of the
+        cached seed partition's cut on the new graph (and feasible).
+    cache_warm_results:
+        Store warm-start results under the request key.  Off by default:
+        the cache then only ever holds cold computes, keeping the
+        "hit == cold compute, bit for bit" invariant unconditional.
+    default_timeout:
+        Deadline (seconds) applied when a request does not pass its own.
+        ``None`` waits forever.
+    """
+
+    max_workers: int = 4
+    cache_entries: int = 128
+    cache_bytes: int = 64 << 20
+    dedup: bool = True
+    warm_start: bool = True
+    warm_cut_factor: float = 1.5
+    cache_warm_results: bool = False
+    default_timeout: float | None = None
+
+
+@dataclass
+class ServeFuture:
+    """Handle to one submitted request."""
+
+    key: RequestKey = field(repr=False)
+    #: ``"hit"`` | ``"coalesced"`` | ``"compute"`` -- resolved at submit.
+    disposition: str = "compute"
+    _future: Future = field(repr=False, default_factory=Future)
+    _deadline: float | None = field(repr=False, default=None)
+
+    def result(self, timeout: float | None = None) -> PartitionResult:
+        """Block for the result; raises :class:`ServeTimeoutError` when the
+        explicit ``timeout`` or the request's deadline expires first."""
+        if timeout is None and self._deadline is not None:
+            timeout = max(self._deadline - time.monotonic(), 0.0)
+        try:
+            return self._future.result(timeout)
+        except _FutureTimeout:
+            raise ServeTimeoutError(
+                f"request {self.key.digest[:12]} missed its deadline "
+                f"(timeout={timeout:.3f}s)") from None
+
+    def done(self) -> bool:
+        return self._future.done()
+
+
+class PartitionService:
+    """Cached, batched, deduplicating front-end over ``part_graph``.
+
+    Thread-safe; one instance serves any number of submitting threads.
+    Use as a context manager or call :meth:`close` to release the pool::
+
+        from repro.serve import PartitionService
+
+        with PartitionService() as svc:
+            res = svc.partition(g, 8, seed=0)      # cold compute
+            res2 = svc.partition(g, 8, seed=0)     # cache hit, bit-identical
+
+    ``tracer`` receives the service counters (``serve.*``,
+    ``serve.cache.*``) and, per computed request, a ``serve.request`` span
+    (with ``serve.warm_start`` / ``serve.cold`` children).  Spans are
+    recorded into a private per-request tracer and appended to the given
+    tracer's roots, so concurrent computes cannot corrupt its span stack.
+    """
+
+    def __init__(self, config: ServiceConfig | None = None, *, tracer=None):
+        self.config = config or ServiceConfig()
+        self.cache = ResultCache(self.config.cache_entries,
+                                 self.config.cache_bytes)
+        self.tracer = as_tracer(tracer)
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(1, self.config.max_workers),
+            thread_name_prefix="repro-serve")
+        self._lock = threading.Lock()
+        self._inflight: dict[str, ServeFuture] = {}
+        self._closed = False
+        self.counters = {
+            "serve.requests": 0,
+            "serve.dedup.coalesced": 0,
+            "serve.cold_computes": 0,
+            "serve.warm_start.attempts": 0,
+            "serve.warm_start.accepted": 0,
+            "serve.warm_start.rejected": 0,
+            "serve.timeouts": 0,
+        }
+
+    # ------------------------------------------------------------ public
+
+    def submit(
+        self,
+        graph: Graph,
+        nparts: int,
+        *,
+        method: str = "kway",
+        options: PartitionOptions | None = None,
+        target_fracs=None,
+        timeout: float | None = None,
+        **kwargs,
+    ) -> ServeFuture:
+        """Enqueue one request; returns immediately with a handle.
+
+        Accepts the same request surface as :func:`part_graph` (individual
+        option fields may be passed as keywords; unknown names raise
+        :class:`~repro.errors.OptionsError`).  Validation runs eagerly in
+        the calling thread, so malformed requests raise here, not inside
+        the pool.
+        """
+        check_option_kwargs(kwargs)
+        if options is None:
+            options = PartitionOptions(**kwargs)
+        elif kwargs:
+            options = options.with_(**kwargs)
+        validate_request(graph, nparts, options=options, method=method,
+                         target_fracs=target_fracs)
+        key, options = request_key(graph, nparts, method=method,
+                                   options=options, target_fracs=target_fracs)
+        if timeout is None:
+            timeout = self.config.default_timeout
+        deadline = (time.monotonic() + timeout) if timeout is not None else None
+
+        with self._lock:
+            if self._closed:
+                raise ServiceClosedError("PartitionService is closed")
+            self._incr("serve.requests")
+            cached = self.cache.get(key)
+            if cached is not None:
+                self._mirror_cache_counters()
+                fut = ServeFuture(key=key, disposition="hit",
+                                  _deadline=deadline)
+                fut._future.set_result(cached)
+                return fut
+            if self.config.dedup and key.cacheable:
+                running = self._inflight.get(key.digest)
+                if running is not None:
+                    self._incr("serve.dedup.coalesced")
+                    return ServeFuture(key=key, disposition="coalesced",
+                                       _future=running._future,
+                                       _deadline=deadline)
+            fut = ServeFuture(key=key, disposition="compute",
+                              _deadline=deadline)
+            if key.cacheable:
+                self._inflight[key.digest] = fut
+            self._pool.submit(self._run, graph, nparts, method, options,
+                              target_fracs, key, fut, deadline)
+            return fut
+
+    def partition(self, graph: Graph, nparts: int, *,
+                  timeout: float | None = None, **kwargs) -> PartitionResult:
+        """Synchronous :meth:`submit` + wait."""
+        return self.submit(graph, nparts, timeout=timeout, **kwargs).result()
+
+    def batch(self, requests, *, timeout: float | None = None
+              ) -> list[PartitionResult]:
+        """Fan a batch of requests across the pool; results in order.
+
+        ``requests`` is an iterable of ``(graph, nparts)`` pairs or
+        ``(graph, nparts, kwargs_dict)`` triples.  Duplicate requests
+        inside one batch still cost a single compute (dedup applies).
+        """
+        futures = []
+        for req in requests:
+            g, k = req[0], req[1]
+            kw = dict(req[2]) if len(req) > 2 else {}
+            futures.append(self.submit(g, k, timeout=timeout, **kw))
+        return [f.result() for f in futures]
+
+    def stats(self) -> dict:
+        """Counter snapshot: service counters + ``serve.cache.*``."""
+        with self._lock:
+            out = dict(self.counters)
+            out.update(self.cache.counters())
+        return out
+
+    def close(self, wait: bool = True) -> None:
+        with self._lock:
+            self._closed = True
+        self._pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "PartitionService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    # ----------------------------------------------------------- workers
+
+    def _incr(self, name: str, n: int = 1) -> None:
+        """Bump a service counter (and its tracer mirror).  Caller holds
+        the lock."""
+        self.counters[name] = self.counters.get(name, 0) + n
+        if self.tracer.enabled:
+            self.tracer.incr(name, n)
+
+    def _mirror_cache_counters(self) -> None:
+        if self.tracer.enabled:
+            for name, value in self.cache.counters().items():
+                self.tracer.gauge(name, value)
+
+    def _run(self, graph, nparts, method, options, target_fracs, key,
+             fut: ServeFuture, deadline) -> None:
+        """Worker-thread body: warm or cold compute, publish, cache."""
+        try:
+            if deadline is not None and time.monotonic() > deadline:
+                with self._lock:
+                    self._incr("serve.timeouts")
+                raise ServeTimeoutError(
+                    f"request {key.digest[:12]} expired before compute "
+                    "started")
+            # Per-request private tracer: concurrent computes must not
+            # share a span stack (Tracer is single-threaded by contract).
+            rtracer = Tracer() if self.tracer.enabled else None
+            span = rtracer.span("serve.request", nparts=nparts,
+                                method=method, key=key.digest[:12],
+                                nvtxs=graph.nvtxs) if rtracer else None
+
+            result = None
+            source = "cold"
+            if self.config.warm_start and key.cacheable:
+                with self._lock:
+                    warm_src = self.cache.find_warm(key)
+                if warm_src is not None:
+                    with self._lock:
+                        self._incr("serve.warm_start.attempts")
+                    result = warm_start(
+                        graph, nparts, options, warm_src,
+                        warm_cut_factor=self.config.warm_cut_factor,
+                        tracer=rtracer)
+                    with self._lock:
+                        self._incr("serve.warm_start.accepted"
+                                   if result is not None
+                                   else "serve.warm_start.rejected")
+                    source = "warm"
+            if result is None:
+                source = "cold"
+                with self._lock:
+                    self._incr("serve.cold_computes")
+                cold_span = rtracer.span("serve.cold") if rtracer else None
+                result = part_graph(graph, nparts, method=method,
+                                    options=options,
+                                    target_fracs=target_fracs)
+                if cold_span is not None:
+                    cold_span.set(cut=result.edgecut)
+                    cold_span.__exit__(None, None, None)
+
+            with self._lock:
+                if source == "cold" or self.config.cache_warm_results:
+                    self.cache.put(key, result, source=source)
+                self._mirror_cache_counters()
+                if span is not None:
+                    span.set(source=source, cut=result.edgecut,
+                             feasible=result.feasible)
+                    span.__exit__(None, None, None)
+                    rtracer.finish()
+                    # Graft the finished private tree under the shared
+                    # tracer (append-only; safe under the lock).
+                    self.tracer.roots.append(rtracer.root)
+            fut._future.set_result(result)
+        except BaseException as exc:  # noqa: BLE001 - publish to waiters
+            fut._future.set_exception(exc)
+        finally:
+            if key.cacheable:
+                with self._lock:
+                    self._inflight.pop(key.digest, None)

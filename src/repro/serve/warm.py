@@ -1,0 +1,97 @@
+"""Warm-start: seed the k-way refiner from a cached partition.
+
+A previous partition of the *same mesh* is a valid initial solution for a
+new request whose weights, part count, or tolerance drifted -- exactly the
+repartitioning situation of :mod:`repro.adaptive`: keep the old assignment,
+restore balance under the new weights, then run multi-constraint k-way
+refinement.  That costs one refinement sweep instead of a full multilevel
+run.
+
+Contract (documented in ``docs/serving.md``):
+
+* the warm result is **accepted** only if it is feasible under the new
+  request's ``ubvec`` AND its cut is at most ``warm_cut_factor`` times the
+  cut of the cached partition evaluated on the new request's graph (the
+  baseline the refiner started from -- rebalancing under drifted weights
+  may raise the cut a little, but a blow-up means the old solution was a
+  bad seed and the service falls back to cold compute);
+* a warm result is **never** stored in the cache under the request's exact
+  key unless the service is explicitly configured to
+  (``cache_warm_results``), because the cache's headline invariant is
+  "a hit is bit-identical to a cold compute of the same request";
+* when the cached source has a different ``nparts``, part ids are folded
+  modulo the requested ``nparts`` -- crude, but only the *seeding* needs to
+  be legal; balancing and refinement do the rest.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..adaptive.repart import refine_partition
+from ..graph.csr import Graph
+from ..partition.api import PartitionResult
+from ..partition.config import PartitionOptions
+from ..refine.gain import edge_cut
+from .cache import CacheEntry
+
+__all__ = ["warm_start"]
+
+
+def warm_start(
+    graph: Graph,
+    nparts: int,
+    options: PartitionOptions,
+    source: CacheEntry,
+    *,
+    warm_cut_factor: float = 1.5,
+    tracer=None,
+) -> PartitionResult | None:
+    """Attempt a warm-started partition from ``source``; ``None`` on reject.
+
+    Records one ``serve.warm_start`` span on ``tracer`` (when given)
+    carrying the verdict: ``accepted`` plus either the achieved cut or the
+    rejection reason.
+    """
+    old_part = np.asarray(source.result.part)
+    if old_part.shape != (graph.nvtxs,):
+        return None  # topology hash collision paranoia; cold compute
+    if source.key.nparts != nparts:
+        old_part = old_part % nparts
+    baseline_cut = edge_cut(graph, old_part)
+
+    span = tracer.span("serve.warm_start", nparts=nparts,
+                       source_nparts=source.key.nparts,
+                       baseline_cut=int(baseline_cut)) if tracer else None
+    try:
+        rep = refine_partition(
+            graph,
+            old_part,
+            nparts,
+            ubvec=options.ubvec,
+            npasses=options.kway_refine_passes,
+            seed=options.seed,
+        )
+        accepted = rep.feasible and rep.edgecut <= warm_cut_factor * max(
+            baseline_cut, 1)
+        if span is not None:
+            span.set(accepted=accepted, cut=int(rep.edgecut),
+                     feasible=rep.feasible)
+            if not accepted:
+                span.set(reason="infeasible" if not rep.feasible
+                         else "cut_blowup")
+        if not accepted:
+            return None
+        return PartitionResult(
+            part=rep.part,
+            nparts=nparts,
+            ncon=graph.ncon,
+            edgecut=rep.edgecut,
+            imbalance=rep.imbalance,
+            feasible=rep.feasible,
+            method=source.key.method,
+            options=options,
+        )
+    finally:
+        if span is not None:
+            span.__exit__(None, None, None)

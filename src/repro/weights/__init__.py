@@ -4,6 +4,7 @@ and the paper's synthetic workload generators."""
 from .balance import (
     as_target_fracs,
     as_ubvec,
+    FEASIBILITY_EPS,
     imbalance,
     is_balanced,
     max_imbalance,
@@ -21,6 +22,7 @@ from .traces import drifting_phases_trace, growing_region_trace, moving_front_tr
 
 __all__ = [
     "part_weights",
+    "FEASIBILITY_EPS",
     "imbalance",
     "max_imbalance",
     "is_balanced",

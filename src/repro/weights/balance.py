@@ -18,6 +18,7 @@ import numpy as np
 from ..errors import BalanceError, PartitionError
 
 __all__ = [
+    "FEASIBILITY_EPS",
     "part_weights",
     "imbalance",
     "max_imbalance",
@@ -25,6 +26,20 @@ __all__ = [
     "as_ubvec",
     "as_target_fracs",
 ]
+
+#: Shared slack for every "is this partition within tolerance?" verdict:
+#: ``imbalance <= ubvec + FEASIBILITY_EPS``.  Imbalance ratios are computed
+#: in float64 from integer weights, so a partition sitting exactly on its
+#: cap can land a few ulps above it; the slack absorbs that rounding without
+#: admitting any genuinely over-cap partition (one indivisible weight unit
+#: moves the ratio by far more than 1e-9).  Every feasibility check in the
+#: library -- ``part_graph``, :func:`is_balanced`, the refiners' cap tests,
+#: the adaptive and parallel drivers -- uses this one constant so a cached
+#: result's ``feasible`` flag can never disagree with a recomputation.
+#: (Distinct from the 1e-12 *comparison* epsilons used to order nearly-equal
+#: float scores, e.g. matching tie-breaks -- those are not feasibility
+#: verdicts.)
+FEASIBILITY_EPS = 1e-9
 
 
 def part_weights(vwgt: np.ndarray, part: np.ndarray, nparts: int) -> np.ndarray:
@@ -67,7 +82,8 @@ def max_imbalance(vwgt, part, nparts, target_fracs=None) -> float:
 def is_balanced(vwgt, part, nparts, ubvec, target_fracs=None) -> bool:
     """True when every constraint's imbalance is within its tolerance."""
     ub = as_ubvec(ubvec, np.asarray(vwgt).shape[1])
-    return bool(np.all(imbalance(vwgt, part, nparts, target_fracs) <= ub + 1e-12))
+    return bool(np.all(
+        imbalance(vwgt, part, nparts, target_fracs) <= ub + FEASIBILITY_EPS))
 
 
 def as_ubvec(ubvec, ncon: int) -> np.ndarray:

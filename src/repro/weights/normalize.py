@@ -16,12 +16,35 @@ from ..errors import WeightError
 __all__ = ["relative_weights", "totals", "max_relative_weight"]
 
 
+# Refuse per-constraint totals above 2**62: the int64 accumulator wraps at
+# 2**63, and downstream balance arithmetic multiplies totals by tolerance
+# factors > 1, so a factor-2 headroom keeps every derived quantity exact.
+_TOTAL_LIMIT = 2**62
+
+
 def totals(vwgt: np.ndarray) -> np.ndarray:
-    """``(m,)`` per-constraint total weight of an ``(n, m)`` weight matrix."""
+    """``(m,)`` per-constraint total weight of an ``(n, m)`` weight matrix.
+
+    Raises :class:`~repro.errors.WeightError` when a column total would
+    overflow the int64 accumulator (adversarially large synthetic weights):
+    a silently wrapped -- possibly negative -- total would poison every
+    relative weight and balance ratio computed from it.
+    """
     vwgt = np.asarray(vwgt)
     if vwgt.ndim != 2:
         raise WeightError(f"vwgt must be (n, m); got shape {vwgt.shape}")
-    return vwgt.sum(axis=0, dtype=np.int64)
+    t = vwgt.sum(axis=0, dtype=np.int64)
+    if vwgt.size:
+        # A float64 shadow sum cannot wrap; at int64 scale its relative
+        # error (~2**-53 per addend) is far below the factor-2 headroom.
+        est = vwgt.sum(axis=0, dtype=np.float64)
+        if np.any(est > _TOTAL_LIMIT) or np.any(t < 0):
+            bad = np.flatnonzero((t < 0) | (est > _TOTAL_LIMIT)).tolist()
+            raise WeightError(
+                f"constraints {bad}: total vertex weight exceeds {_TOTAL_LIMIT} "
+                f"and would overflow int64; rescale the weights"
+            )
+    return t
 
 
 def relative_weights(vwgt: np.ndarray) -> np.ndarray:

@@ -17,7 +17,13 @@ import pytest
 REPO = Path(__file__).resolve().parent.parent
 
 #: The user-facing documents whose Python snippets must stay runnable.
-DOC_FILES = ["README.md", "docs/tutorial.md", "docs/api.md", "docs/robustness.md"]
+DOC_FILES = [
+    "README.md",
+    "docs/tutorial.md",
+    "docs/api.md",
+    "docs/robustness.md",
+    "docs/serving.md",
+]
 
 _FENCE = re.compile(r"^```python\s*$")
 _END = re.compile(r"^```\s*$")

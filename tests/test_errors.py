@@ -23,6 +23,7 @@ from repro.errors import (
     GraphError,
     GraphFormatError,
     MessageDropError,
+    OptionsError,
     PartitionError,
     PermanentCommError,
     PhaseTimeoutError,
@@ -30,6 +31,9 @@ from repro.errors import (
     RankUnavailableError,
     ReproError,
     RetryExhaustedError,
+    ServeError,
+    ServeTimeoutError,
+    ServiceClosedError,
     TransientCommError,
     WeightError,
 )
@@ -116,6 +120,15 @@ class TestInputErrors:
         with pytest.raises(BalanceError):
             part_graph(g200, 2, target_fracs=[0.5, float("inf")])
 
+    @covers(OptionsError)
+    def test_options_error_on_unknown_kwarg(self, g200):
+        with pytest.raises(OptionsError, match="ubvec"):
+            part_graph(g200, 2, ubvek=1.05)   # typo -> suggestion
+        with pytest.raises(OptionsError):
+            from repro.partition import PartitionOptions
+
+            PartitionOptions().with_(not_a_field=1)
+
     @covers(ConvergenceError)
     def test_convergence_error_is_catchable(self):
         # Reserved for iterative solvers (no current algorithm gives up);
@@ -186,6 +199,28 @@ class TestFaultErrors:
         assert isinstance(ei.value.__cause__, ReproError)
 
 
+class TestServeErrors:
+    @covers(ServeTimeoutError, ServeError)
+    def test_serve_timeout_on_expired_deadline(self, g200):
+        from repro.serve import PartitionService, ServiceConfig
+
+        with PartitionService(ServiceConfig(warm_start=False)) as svc:
+            fut = svc.submit(g200, 4, seed=0)
+            slow = mesh_like(3000, seed=1)
+            with pytest.raises(ServeTimeoutError):
+                svc.submit(slow, 8, seed=0).result(timeout=1e-4)
+            fut.result()  # the first request is unaffected
+
+    @covers(ServiceClosedError)
+    def test_service_closed_rejects_submits(self, g200):
+        from repro.serve import PartitionService
+
+        svc = PartitionService()
+        svc.close()
+        with pytest.raises(ServiceClosedError):
+            svc.submit(g200, 2, seed=0)
+
+
 class TestTaxonomyShape:
     def test_hierarchy(self):
         assert issubclass(MessageDropError, TransientCommError)
@@ -196,7 +231,10 @@ class TestTaxonomyShape:
         for e in (FaultSpecError, RetryExhaustedError, PhaseTimeoutError):
             assert issubclass(e, FaultError)
         assert issubclass(BalanceError, PartitionError)
+        assert issubclass(OptionsError, PartitionError)
         assert issubclass(GraphFormatError, GraphError)
+        assert issubclass(ServeTimeoutError, ServeError)
+        assert issubclass(ServiceClosedError, ServeError)
 
     def test_everything_is_repro_error(self):
         for name, obj in vars(errors_mod).items():

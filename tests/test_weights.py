@@ -47,6 +47,23 @@ class TestNormalize:
         w = np.array([[1], [1], [2]])
         assert max_relative_weight(w) == pytest.approx(0.5)
 
+    def test_totals_overflow_raises_instead_of_wrapping(self):
+        # Regression: an int64 column sum that wraps negative used to
+        # poison every relative weight downstream.  Both the wrapping case
+        # and the near-limit case must raise loudly.
+        huge = np.full((4, 1), 2**62, dtype=np.int64)  # sums past 2**63
+        with pytest.raises(WeightError, match="overflow"):
+            totals(huge)
+        # A wrap that lands back in positive territory is caught too (the
+        # float64 shadow sum, not the sign bit, is the detector).
+        sneaky = np.full((8, 2), 2**61, dtype=np.int64)
+        with pytest.raises(WeightError, match="rescale"):
+            totals(sneaky)
+
+    def test_totals_large_but_safe_is_exact(self):
+        w = np.full((4, 1), 2**59, dtype=np.int64)
+        assert totals(w).tolist() == [2**61]
+
 
 class TestPartWeights:
     def test_basic(self):
