@@ -1,6 +1,6 @@
 # Convenience targets for the repro project.
 
-.PHONY: install test bench bench-smoke docs-check chaos-smoke serve-smoke examples smoke all clean
+.PHONY: install test bench bench-smoke docs-check chaos-smoke serve-smoke obs-smoke examples smoke all clean
 
 install:
 	pip install -e .
@@ -34,6 +34,16 @@ chaos-smoke:
 # fallback, deadlines.  See docs/serving.md.
 serve-smoke:
 	PYTHONPATH=src python -m pytest tests/test_serve.py -q
+
+# The observability contract: a seeded 2-constraint run through the
+# flight recorder must yield cut + per-constraint imbalance at every
+# level of both ladders, a valid Prometheus exposition with >= 1
+# histogram family, a bit-identical partition, and no drift from the
+# committed baseline (benchmarks/results/OBS_baseline.json).  See
+# docs/observability.md; refresh the baseline with
+# `PYTHONPATH=src:benchmarks python benchmarks/obs_smoke.py --record`.
+obs-smoke:
+	PYTHONPATH=src:benchmarks python benchmarks/obs_smoke.py
 
 examples:
 	for ex in examples/*.py; do echo "== $$ex"; python $$ex || exit 1; done

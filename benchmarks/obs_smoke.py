@@ -1,0 +1,114 @@
+"""obs-smoke -- the observability gate behind ``make obs-smoke``.
+
+One seeded 2-constraint partitioning run through the full observability
+stack, asserting every contract end to end:
+
+1. record the run with :class:`repro.obs.FlightRecorder` and materialise
+   the :class:`~repro.obs.MultilevelProfile`; every coarsening *and*
+   uncoarsening row must carry a cut and a per-constraint imbalance
+   vector;
+2. the recorded run's partition must be bit-identical to the same request
+   with recording off;
+3. render the per-level dashboard and the Prometheus exposition; the
+   exposition must parse (:func:`repro.obs.parse_exposition`) and contain
+   at least one histogram family;
+4. compare the profile against the committed baseline
+   (``benchmarks/results/OBS_baseline.json``) under the default
+   :class:`~repro.obs.DriftTolerances`.
+
+``python benchmarks/obs_smoke.py --record`` (re)writes the baseline;
+commit the refreshed file alongside any intentional algorithm change.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import numpy as np
+
+from _util import RESULTS_DIR, type1_graph
+
+from repro.obs import (DriftTolerances, FlightRecorder, check_baseline,
+                       parse_exposition, render_profile, render_prometheus)
+from repro.partition import part_graph
+from repro.trace import Tracer
+
+K = 8
+M = 2
+SEED = 20260807
+GRAPH = "sm1"
+BASELINE = os.path.join(RESULTS_DIR, "OBS_baseline.json")
+
+
+def run(record: bool = False) -> int:
+    g = type1_graph(GRAPH, M)
+
+    rec = FlightRecorder()
+    tracer = Tracer([rec])
+    res = part_graph(g, K, seed=SEED, tracer=tracer)
+    tracer.finish()
+    profile = rec.profile()
+
+    print(render_profile(profile))
+    print()
+
+    failures = []
+
+    # Recording must not perturb the seeded result.
+    plain = part_graph(g, K, seed=SEED)
+    if not (np.array_equal(plain.part, res.part)
+            and plain.edgecut == res.edgecut):
+        failures.append(
+            f"recording changed the result: cut {plain.edgecut} vs "
+            f"{res.edgecut}")
+
+    # Every row of both ladders must carry cut + per-constraint imbalance.
+    for row in profile.rows():
+        if row.cut is None:
+            failures.append(f"{row.phase} level {row.level}: missing cut")
+        if not row.imbalance or len(row.imbalance) != M:
+            failures.append(
+                f"{row.phase} level {row.level}: missing per-constraint "
+                f"imbalance (got {row.imbalance!r})")
+    if not profile.coarsening:
+        failures.append("profile has no coarsening rows")
+    if not profile.uncoarsening:
+        failures.append("profile has no uncoarsening rows")
+
+    # The exposition must parse and contain >= 1 histogram family.
+    text = render_prometheus(profile)
+    families = parse_exposition(text)
+    nhist = sum(1 for d in families.values() if d["type"] == "histogram")
+    print(f"prometheus exposition: {len(families)} families "
+          f"({nhist} histograms, {len(text.splitlines())} lines)")
+    if nhist < 1:
+        failures.append("exposition contains no histogram family")
+
+    if record:
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        with open(BASELINE, "w") as fh:
+            fh.write(profile.to_json() + "\n")
+        print(f"baseline recorded -> {BASELINE}")
+    else:
+        report = check_baseline(profile, BASELINE, DriftTolerances())
+        print(report.summary())
+        if not report.ok:
+            failures.append("profile drifted from the committed baseline "
+                            "(see report above)")
+
+    if failures:
+        print("obs-smoke FAILED:\n  " + "\n  ".join(failures),
+              file=sys.stderr)
+        return 1
+    print("obs-smoke OK")
+    return 0
+
+
+def test_obs_smoke():
+    """Pytest entry: the same gate."""
+    assert run(record=False) == 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(run(record="--record" in sys.argv))

@@ -10,8 +10,12 @@ convention)::
 file, which makes the CLI self-contained for smoke tests.
 
 Observability: ``--trace run.jsonl`` streams the run's span/metrics events
-to a JSON-lines file and ``--trace-summary`` prints the span tree (phase
-and per-level timings, cut, imbalance); see ``docs/observability.md``.
+to a JSON-lines file, ``--trace-summary`` prints the span tree (phase and
+per-level timings, cut, imbalance), ``--profile`` prints the flight
+recorder's per-level dashboard (cut and per-constraint imbalance at every
+coarsening and uncoarsening level) and ``--profile-json FILE`` saves the
+recorded profile as a drift-checkable JSON artifact; see
+``docs/observability.md``.
 
 Robustness: ``--ranks P`` runs the simulated parallel pipeline;
 ``--fault-spec 'drop=0.05,crash=0.01,seed=7'`` injects deterministic
@@ -28,6 +32,7 @@ pool and prints cache hit rate and cold/hit latencies; see
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
@@ -93,6 +98,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace-summary", action="store_true",
                    help="print the span tree (phases, per-level sizes, "
                         "cut/imbalance, timings) after the run")
+    p.add_argument("--profile", action="store_true",
+                   help="record the run with the flight recorder and print "
+                        "the per-level dashboard (cut and per-constraint "
+                        "imbalance at every coarsening and uncoarsening "
+                        "level; see docs/observability.md)")
+    p.add_argument("--profile-json", metavar="FILE",
+                   help="write the recorded MultilevelProfile as JSON to "
+                        "FILE (implies recording; usable as a drift "
+                        "baseline for repro.obs.regress)")
     p.add_argument("--quiet", action="store_true", help="print only the summary line")
     return p
 
@@ -152,11 +166,32 @@ def main(argv=None) -> int:
                 save_partition_svg(graph, part, args.svg)
             return 0
 
+        if args.trace:
+            parent = os.path.dirname(os.path.abspath(args.trace))
+            if not os.path.isdir(parent):
+                print(f"error: --trace directory does not exist: {parent}",
+                      file=sys.stderr)
+                return 2
+        if args.profile_json:
+            parent = os.path.dirname(os.path.abspath(args.profile_json))
+            if not os.path.isdir(parent):
+                print(f"error: --profile-json directory does not exist: "
+                      f"{parent}", file=sys.stderr)
+                return 2
+
         tracer = None
-        if args.trace or args.trace_summary:
+        recorder = None
+        want_profile = args.profile or args.profile_json
+        if args.trace or args.trace_summary or want_profile:
             from .trace import JsonlSink, Tracer
 
-            tracer = Tracer([JsonlSink(args.trace)] if args.trace else [])
+            sinks = [JsonlSink(args.trace)] if args.trace else []
+            if want_profile:
+                from .obs import FlightRecorder
+
+                recorder = FlightRecorder()
+                sinks.append(recorder)
+            tracer = Tracer(sinks)
 
         if args.fault_spec and not args.ranks:
             print("error: --fault-spec requires --ranks (faults are injected "
@@ -170,6 +205,12 @@ def main(argv=None) -> int:
         if use_cache and (args.ranks or args.nseeds > 1):
             print("error: --cache/--serve-bench cannot be combined with "
                   "--ranks or --nseeds", file=sys.stderr)
+            return 2
+        if want_profile and use_cache:
+            # Served computes run on private per-request tracers, so their
+            # level events never reach this process's recorder.
+            print("error: --profile/--profile-json cannot be combined with "
+                  "--cache/--serve-bench", file=sys.stderr)
             return 2
         if use_cache and args.seed is None:
             # A None seed is explicitly nondeterministic and bypasses the
@@ -241,6 +282,17 @@ def main(argv=None) -> int:
                     print(TraceReport.from_tracer(tracer).render())
                 else:
                     print(res.stats.render())
+            if recorder is not None:
+                from .obs import render_profile
+
+                profile = recorder.profile()
+                if args.profile:
+                    print(render_profile(profile))
+                if args.profile_json:
+                    with open(args.profile_json, "w") as fh:
+                        fh.write(profile.to_json() + "\n")
+                    if not args.quiet:
+                        print(f"profile written to {args.profile_json}")
             if args.trace and not args.quiet:
                 print(f"trace written to {args.trace}")
         if not args.quiet:

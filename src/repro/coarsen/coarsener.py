@@ -133,6 +133,8 @@ def coarsen(
     hier = Hierarchy()
     cur = graph
     while cur.nvtxs > coarsen_to and hier.nlevels < max_levels:
+        stalled = False
+        nxt = None
         with tracer.span("coarsen_level", nvtxs=cur.nvtxs) as sp:
             (child_rng,) = spawn(rng, 1)
             if matching == "rm":
@@ -146,20 +148,41 @@ def coarsen(
                 cmap, ncoarse = matching_to_cmap(match)
             if ncoarse > min_shrink * cur.nvtxs:
                 sp.set(stalled=True)
-                break
-            hier.levels.append(Level(graph=cur, cmap=cmap))
-            nxt = contract(cur, cmap, ncoarse)
-            if tracer.enabled:
-                sp.set(
-                    nedges=cur.nedges,
-                    exposed_edge_weight=int(cur.total_adjwgt()),
-                    max_vwgt=int(cur.vwgt.max(initial=0)),
-                    coarse_nvtxs=nxt.nvtxs,
-                    coarse_nedges=nxt.nedges,
-                    coarse_exposed_edge_weight=int(nxt.total_adjwgt()),
-                    coarse_max_vwgt=int(nxt.vwgt.max(initial=0)),
-                    shrink=ncoarse / cur.nvtxs,
-                )
-            cur = nxt
+                stalled = True
+            else:
+                hier.levels.append(Level(graph=cur, cmap=cmap))
+                nxt = contract(cur, cmap, ncoarse)
+                if tracer.enabled:
+                    sp.set(
+                        nedges=cur.nedges,
+                        exposed_edge_weight=int(cur.total_adjwgt()),
+                        max_vwgt=int(cur.vwgt.max(initial=0)),
+                        coarse_nvtxs=nxt.nvtxs,
+                        coarse_nedges=nxt.nedges,
+                        coarse_exposed_edge_weight=int(nxt.total_adjwgt()),
+                        coarse_max_vwgt=int(nxt.vwgt.max(initial=0)),
+                        shrink=ncoarse / cur.nvtxs,
+                    )
+        if stalled:
+            break
+        if tracer.enabled:
+            # Structured per-level record (see docs/observability.md).  The
+            # matching rate is the fraction of fine vertices absorbed into
+            # pairs: 2 * (n - ncoarse) / n.
+            tracer.event(
+                "level",
+                phase="coarsen",
+                direction="coarsening",
+                level=hier.nlevels - 1,
+                nvtxs=cur.nvtxs,
+                nedges=cur.nedges,
+                coarse_nvtxs=nxt.nvtxs,
+                coarse_nedges=nxt.nedges,
+                matching_rate=2.0 * (cur.nvtxs - nxt.nvtxs) / max(cur.nvtxs, 1),
+                shrink=nxt.nvtxs / cur.nvtxs,
+                max_vwgt=int(cur.vwgt.max(initial=0)),
+                seconds=sp.seconds,
+            )
+        cur = nxt
     hier.coarsest = cur
     return hier

@@ -19,6 +19,9 @@ contract and which layer raises what):
 * **serving errors** -- :class:`ServeError` and subclasses: the
   :mod:`repro.serve` front-end failed a request (deadline exceeded,
   service shut down) even though the request itself was well-formed.
+* **observability errors** -- :class:`ObsError`: the :mod:`repro.obs`
+  tooling could not use an artifact (missing/malformed drift baseline,
+  invalid Prometheus exposition).
 """
 
 from __future__ import annotations
@@ -151,6 +154,13 @@ class ServeTimeoutError(ServeError):
 class ServiceClosedError(ServeError):
     """The :class:`repro.serve.PartitionService` was closed; no new
     requests are accepted."""
+
+
+class ObsError(ReproError):
+    """An observability artifact is unusable: a drift baseline is missing
+    or malformed, or a Prometheus exposition fails validation
+    (:func:`repro.obs.expose.parse_exposition`).  Partitioning itself never
+    raises this -- only the :mod:`repro.obs` tooling around it."""
 
 
 class DegradedResult(ReproError):

@@ -209,4 +209,13 @@ def initial_bisection(
             sp.set(candidates=ncandidates, best_method=best_method,
                    cut=int(best_key[1]), feasible=not best_key[0])
             tracer.incr("initpart.candidates", ncandidates)
+    if tracer.enabled:
+        # Deferred import: partition.__init__ reaches this module during
+        # its own initialisation, so a top-level import would be circular.
+        from ..partition._events import emit_level_event
+
+        emit_level_event(
+            tracer, phase="initbisect", direction="initial", level=0,
+            graph=graph, where=best_where, nparts=2, fracs=fr,
+            cut=int(best_key[1]), seconds=sp.seconds)
     return best_where

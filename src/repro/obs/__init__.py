@@ -1,0 +1,42 @@
+"""Observability tooling layered on :mod:`repro.trace`.
+
+Four pieces (see ``docs/observability.md`` for the full walkthrough):
+
+* **Flight recorder** (:mod:`repro.obs.recorder`) -- a sink that buffers a
+  traced run's event stream and materialises the typed
+  :class:`MultilevelProfile`: one row per level of the coarsening ladder,
+  the initial partition, and the uncoarsening ladder, each carrying cut
+  and per-constraint imbalance.
+* **Rendering** (:mod:`repro.obs.render`) -- the terminal per-level
+  dashboard behind ``repro-part --profile``.
+* **Exposition** (:mod:`repro.obs.expose`) -- Prometheus text format over
+  the merged counter/gauge/histogram registry
+  (:func:`render_prometheus`), plus the validating
+  :func:`parse_exposition`.  ``PartitionService.metrics_text()`` uses the
+  same renderer.
+* **Drift checking** (:mod:`repro.obs.regress`) -- compare a recorded
+  profile against a committed JSON baseline under explicit tolerances;
+  powers the ``make obs-smoke`` gate.
+"""
+
+from .expose import parse_exposition, render_prometheus
+from .recorder import (FlightRecorder, LevelRecord, MultilevelProfile,
+                       profile_from_events)
+from .regress import (DriftReport, DriftTolerances, check_baseline,
+                      compare_profiles, load_baseline)
+from .render import render_profile
+
+__all__ = [
+    "FlightRecorder",
+    "LevelRecord",
+    "MultilevelProfile",
+    "profile_from_events",
+    "render_profile",
+    "render_prometheus",
+    "parse_exposition",
+    "DriftTolerances",
+    "DriftReport",
+    "compare_profiles",
+    "check_baseline",
+    "load_baseline",
+]

@@ -1,0 +1,189 @@
+"""Prometheus text exposition over the merged metrics registry.
+
+:func:`render_prometheus` renders counters, gauges and histograms (the
+three metric types of :mod:`repro.trace.metrics`) in the Prometheus text
+exposition format (version 0.0.4): one ``# TYPE`` line per family,
+``_bucket{le="..."}`` / ``_sum`` / ``_count`` series per histogram.  Metric
+names are sanitised (dots become underscores) and prefixed with
+``repro_`` so they namespace cleanly when scraped next to other jobs.
+
+:func:`parse_exposition` is the matching validator: it parses an
+exposition back into families and checks the histogram invariants
+(cumulative, non-decreasing buckets ending at ``+Inf == _count``),
+raising :class:`~repro.errors.ObsError` on malformed input.  The test
+suite and the ``obs-smoke`` gate run every rendered exposition through it.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Mapping
+
+from ..errors import ObsError
+
+__all__ = ["render_prometheus", "parse_exposition"]
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)$")
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _sanitize(name: str, prefix: str) -> str:
+    out = prefix + _NAME_RE.sub("_", str(name))
+    if out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+def _fmt_value(v) -> str:
+    f = float(v)
+    if f != f:  # NaN
+        return "NaN"
+    if f == int(f) and abs(f) < 1e15:
+        return str(int(f))
+    return repr(f)
+
+
+def _fmt_le(bound) -> str:
+    if isinstance(bound, str):
+        return bound  # "+Inf"
+    return f"{float(bound):.6g}"
+
+
+def _resolve(source, counters, gauges, histograms):
+    """Accept a MetricsRegistry, Tracer, TraceReport/MultilevelProfile, or
+    a plain ``{"counters": ..., "gauges": ..., "histograms": ...}`` dict."""
+    if source is not None:
+        metrics = getattr(source, "metrics", None)
+        if metrics is not None and hasattr(metrics, "counter_values"):
+            source = metrics  # a Tracer
+        if hasattr(source, "counter_values"):
+            return (source.counter_values(), source.gauge_values(),
+                    source.histogram_values())
+        if hasattr(source, "counters"):
+            return (dict(source.counters), dict(source.gauges),
+                    dict(getattr(source, "histograms", {}) or {}))
+        if isinstance(source, Mapping):
+            return (dict(source.get("counters") or {}),
+                    dict(source.get("gauges") or {}),
+                    dict(source.get("histograms") or {}))
+        raise ObsError(
+            f"cannot extract metrics from {type(source).__name__!r}: "
+            "expected a MetricsRegistry, Tracer, report-like object or "
+            "a counters/gauges/histograms mapping")
+    return dict(counters or {}), dict(gauges or {}), dict(histograms or {})
+
+
+def render_prometheus(source=None, *, counters=None, gauges=None,
+                      histograms=None, prefix: str = "repro_") -> str:
+    """Render a Prometheus text exposition (ends with a newline).
+
+    Pass either ``source`` (a :class:`~repro.trace.metrics.MetricsRegistry`,
+    a :class:`~repro.trace.spans.Tracer`, a
+    :class:`~repro.trace.report.TraceReport`, a
+    :class:`~repro.obs.recorder.MultilevelProfile`, or an ``as_dict()``-style
+    mapping) or the individual ``counters=`` / ``gauges=`` / ``histograms=``
+    snapshots.  Histogram values may be live
+    :class:`~repro.trace.metrics.Histogram` objects or their snapshots.
+    """
+    cvals, gvals, hvals = _resolve(source, counters, gauges, histograms)
+    lines: list[str] = []
+
+    for name, value in sorted(cvals.items()):
+        if value is None:
+            continue
+        n = _sanitize(name, prefix)
+        lines.append(f"# TYPE {n} counter")
+        lines.append(f"{n} {_fmt_value(value)}")
+    for name, value in sorted(gvals.items()):
+        if value is None:
+            continue
+        n = _sanitize(name, prefix)
+        lines.append(f"# TYPE {n} gauge")
+        lines.append(f"{n} {_fmt_value(value)}")
+    for name, hist in sorted(hvals.items()):
+        snap = hist.snapshot() if hasattr(hist, "snapshot") else hist
+        n = _sanitize(name, prefix)
+        lines.append(f"# TYPE {n} histogram")
+        for bound, cum in snap["buckets"]:
+            lines.append(f'{n}_bucket{{le="{_fmt_le(bound)}"}} {int(cum)}')
+        lines.append(f"{n}_sum {_fmt_value(snap['sum'])}")
+        lines.append(f"{n}_count {int(snap['count'])}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def parse_exposition(text: str) -> dict:
+    """Parse + validate a Prometheus text exposition.
+
+    Returns ``{family: {"type": str, "samples": [(name, labels, value)]}}``
+    where ``labels`` is a dict and histogram sample names keep their
+    ``_bucket`` / ``_sum`` / ``_count`` suffixes.  Raises
+    :class:`~repro.errors.ObsError` on malformed lines, samples without a
+    preceding ``# TYPE``, or histogram families whose buckets are not
+    cumulative / not terminated by ``+Inf == _count``.
+    """
+    families: dict[str, dict] = {}
+    types: dict[str, str] = {}
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in ("counter", "gauge",
+                                                   "histogram", "summary",
+                                                   "untyped"):
+                raise ObsError(f"line {lineno}: malformed TYPE line: {raw!r}")
+            fam = parts[2]
+            types[fam] = parts[3]
+            families.setdefault(fam, {"type": parts[3], "samples": []})
+            continue
+        if line.startswith("#"):
+            continue  # other comments (HELP etc.)
+        m = _SAMPLE_RE.match(line)
+        if m is None:
+            raise ObsError(f"line {lineno}: malformed sample line: {raw!r}")
+        name = m.group("name")
+        labels = dict((k, v) for k, v in
+                      _LABEL_RE.findall(m.group("labels") or ""))
+        try:
+            value = float(m.group("value"))
+        except ValueError:
+            raise ObsError(
+                f"line {lineno}: non-numeric sample value: {raw!r}") from None
+        fam = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            base = name[:-len(suffix)] if name.endswith(suffix) else None
+            if base and types.get(base) == "histogram":
+                fam = base
+                break
+        if fam not in families:
+            raise ObsError(
+                f"line {lineno}: sample {name!r} has no preceding TYPE line")
+        families[fam]["samples"].append((name, labels, value))
+
+    for fam, data in families.items():
+        if data["type"] != "histogram":
+            continue
+        buckets = [(labels.get("le"), value)
+                   for name, labels, value in data["samples"]
+                   if name == fam + "_bucket"]
+        counts = [value for name, labels, value in data["samples"]
+                  if name == fam + "_count"]
+        if not buckets or not counts:
+            raise ObsError(
+                f"histogram {fam!r} is missing _bucket or _count samples")
+        if buckets[-1][0] != "+Inf":
+            raise ObsError(
+                f"histogram {fam!r}: last bucket must be le=\"+Inf\"")
+        cums = [v for _, v in buckets]
+        if any(b > a for b, a in zip(cums, cums[1:])):
+            raise ObsError(f"histogram {fam!r}: buckets are not cumulative")
+        if cums[-1] != counts[0]:
+            raise ObsError(
+                f"histogram {fam!r}: +Inf bucket ({cums[-1]:g}) != _count "
+                f"({counts[0]:g})")
+    return families

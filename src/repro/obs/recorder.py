@@ -1,0 +1,302 @@
+"""Flight recorder: structured events -> a typed :class:`MultilevelProfile`.
+
+The drivers emit one ``"level"`` event per coarsening / refinement step
+(see ``repro.partition._events`` and ``docs/observability.md``).  A
+:class:`FlightRecorder` is a :class:`~repro.trace.sinks.Sink` that buffers
+the raw event stream; :meth:`FlightRecorder.profile` (or the standalone
+:func:`profile_from_events`) materialises the per-level story of one run:
+
+* the **coarsening** ladder, finest to coarsest, one row per level;
+* the **initial partition** of the coarsest graph;
+* the **uncoarsening** ladder, coarsest to finest, one row per refined
+  level.
+
+Cut and per-constraint imbalance at every *coarsening* level come for free
+from the uncoarsening rows: projecting a partition down one level changes
+neither the cut nor any part weight, so the state in which refinement
+*arrives* at level ``i`` (``cut_before`` of level ``i``'s refine row, the
+refined imbalance of level ``i+1``) is exactly the state a partition of
+coarsening level ``i`` would have had.  No extra instrumentation runs
+during coarsening.
+
+Scoping: every event carries the id of its enclosing span, so nested
+pipelines (the recursive bisection the k-way driver runs on its coarsest
+graph, for instance) are excluded from the top-level profile by checking
+the event's span against the root's phase spans.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+
+from ..trace.sinks import Sink, spans_from_events
+
+__all__ = ["LevelRecord", "MultilevelProfile", "FlightRecorder",
+           "profile_from_events"]
+
+_LEVEL_FIELDS = ("phase", "direction", "level", "nvtxs", "nedges", "cut",
+                 "cut_before", "imbalance", "maxload", "matching_rate",
+                 "shrink", "moves", "passes", "rollbacks", "balance_moves",
+                 "seconds")
+
+
+@dataclass
+class LevelRecord:
+    """One row of a multilevel profile (one level of one phase)."""
+
+    phase: str
+    direction: str
+    level: int
+    nvtxs: int
+    nedges: int
+    cut: int | None = None
+    cut_before: int | None = None
+    #: per-constraint achieved imbalance (1.0 = perfect), length ``ncon``.
+    imbalance: list | None = None
+    #: per-constraint maximum part load (integer weight units).
+    maxload: list | None = None
+    matching_rate: float | None = None
+    shrink: float | None = None
+    moves: int = 0
+    passes: int = 0
+    rollbacks: int = 0
+    balance_moves: int = 0
+    seconds: float | None = None
+
+    @classmethod
+    def from_event(cls, ev: dict) -> "LevelRecord":
+        return cls(**{k: ev[k] for k in _LEVEL_FIELDS if k in ev})
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "LevelRecord":
+        return cls(**{k: d[k] for k in _LEVEL_FIELDS if k in d})
+
+
+@dataclass
+class MultilevelProfile:
+    """The per-level story of one partitioning run."""
+
+    method: str | None
+    nparts: int | None
+    ncon: int | None
+    nvtxs: int | None
+    nedges: int | None
+    #: finest -> coarsest, one row per contraction step.
+    coarsening: list[LevelRecord] = field(default_factory=list)
+    #: the initial partition of the coarsest graph.
+    initial: LevelRecord | None = None
+    #: coarsest -> finest, one row per refined level.
+    uncoarsening: list[LevelRecord] = field(default_factory=list)
+    final_cut: int | None = None
+    #: per-constraint imbalance of the finished partition.
+    final_imbalance: list | None = None
+    feasible: bool | None = None
+    phase_seconds: dict = field(default_factory=dict)
+    total_seconds: float | None = None
+    counters: dict = field(default_factory=dict)
+    gauges: dict = field(default_factory=dict)
+    #: ``{name: snapshot}``, see :meth:`repro.trace.metrics.Histogram.snapshot`.
+    histograms: dict = field(default_factory=dict)
+
+    @property
+    def nlevels(self) -> int:
+        """Coarsening steps recorded."""
+        return len(self.coarsening)
+
+    def rows(self) -> list[LevelRecord]:
+        """All rows in pipeline order: down the coarsening ladder, the
+        initial partition, back up the uncoarsening ladder."""
+        out = list(self.coarsening)
+        if self.initial is not None:
+            out.append(self.initial)
+        out.extend(self.uncoarsening)
+        return out
+
+    def to_dict(self) -> dict:
+        return {
+            "method": self.method,
+            "nparts": self.nparts,
+            "ncon": self.ncon,
+            "nvtxs": self.nvtxs,
+            "nedges": self.nedges,
+            "coarsening": [r.to_dict() for r in self.coarsening],
+            "initial": self.initial.to_dict() if self.initial else None,
+            "uncoarsening": [r.to_dict() for r in self.uncoarsening],
+            "final_cut": self.final_cut,
+            "final_imbalance": self.final_imbalance,
+            "feasible": self.feasible,
+            "phase_seconds": dict(self.phase_seconds),
+            "total_seconds": self.total_seconds,
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": dict(self.histograms),
+        }
+
+    def to_json(self, *, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "MultilevelProfile":
+        return cls(
+            method=d.get("method"),
+            nparts=d.get("nparts"),
+            ncon=d.get("ncon"),
+            nvtxs=d.get("nvtxs"),
+            nedges=d.get("nedges"),
+            coarsening=[LevelRecord.from_dict(r)
+                        for r in d.get("coarsening") or []],
+            initial=(LevelRecord.from_dict(d["initial"])
+                     if d.get("initial") else None),
+            uncoarsening=[LevelRecord.from_dict(r)
+                          for r in d.get("uncoarsening") or []],
+            final_cut=d.get("final_cut"),
+            final_imbalance=d.get("final_imbalance"),
+            feasible=d.get("feasible"),
+            phase_seconds=dict(d.get("phase_seconds") or {}),
+            total_seconds=d.get("total_seconds"),
+            counters=dict(d.get("counters") or {}),
+            gauges=dict(d.get("gauges") or {}),
+            histograms=dict(d.get("histograms") or {}),
+        )
+
+
+class FlightRecorder(Sink):
+    """A sink that buffers the raw event stream of one traced run.
+
+    Attach next to any other sinks::
+
+        from repro.obs import FlightRecorder
+        from repro.trace import Tracer
+
+        rec = FlightRecorder()
+        tracer = Tracer([rec])
+        res = part_graph(g, 8, seed=0, tracer=tracer)
+        tracer.finish()              # span events flush at close
+        profile = rec.profile()
+
+    The recorder itself does no work per event beyond an append, so its
+    overhead rides the same budget as the in-memory sink (see
+    ``benchmarks/bench_trace_overhead.py``).
+    """
+
+    def __init__(self):
+        self.events: list[dict] = []
+
+    def emit(self, event: dict) -> None:
+        self.events.append(event)
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def profile(self) -> MultilevelProfile:
+        """Materialise the profile (call after ``tracer.finish()`` so every
+        span event has been emitted)."""
+        return profile_from_events(self.events)
+
+
+def _scope_ids(root) -> dict:
+    """Map phase name -> the span id scoping that phase's level events.
+
+    * k-way / parallel: ``coarsen`` and ``refine`` level events are emitted
+      directly under the root's phase spans; the ``initpart`` summary event
+      fires after the initpart span closed, i.e. under the root itself.
+    * recursive bisection: the profile follows the *first* (top) split --
+      its ``coarsen`` / ``initbisect`` / ``fm_refine`` events are all
+      emitted directly under the first ``bisect`` span of the ``rb`` phase.
+    """
+    scopes = {}
+    coarsen = root.child("coarsen")
+    refine = root.child("refine")
+    if coarsen is not None:
+        scopes["coarsen"] = coarsen.span_id
+    if refine is not None:
+        scopes["refine"] = refine.span_id
+    scopes["initpart"] = root.span_id
+    rb = root.child("rb")
+    if rb is not None:
+        top_bisect = rb.child("bisect")
+        if top_bisect is not None:
+            scopes["coarsen"] = top_bisect.span_id
+            scopes["fm_refine"] = top_bisect.span_id
+            scopes["initbisect"] = top_bisect.span_id
+    return scopes
+
+
+def profile_from_events(events) -> MultilevelProfile:
+    """Build a :class:`MultilevelProfile` from a raw event stream (the
+    buffered events of a :class:`FlightRecorder`, or a JSONL trace loaded
+    with :func:`repro.trace.sinks.load_jsonl`)."""
+    roots = spans_from_events(events)
+    root = next((sp for sp in roots
+                 if sp.name in ("partition", "parallel_partition")),
+                roots[0] if roots else None)
+
+    prof = MultilevelProfile(method=None, nparts=None, ncon=None,
+                             nvtxs=None, nedges=None)
+    for ev in events:
+        if ev.get("event") == "metrics":
+            prof.counters.update(ev.get("counters") or {})
+            prof.gauges.update(ev.get("gauges") or {})
+            prof.histograms.update(ev.get("histograms") or {})
+    if root is None:
+        return prof
+
+    attrs = root.attrs
+    prof.method = ("parallel" if root.name == "parallel_partition"
+                   else attrs.get("method"))
+    prof.nparts = attrs.get("nparts")
+    prof.ncon = attrs.get("ncon")
+    prof.nvtxs = attrs.get("nvtxs")
+    prof.nedges = attrs.get("nedges")
+    prof.final_cut = attrs.get("cut")
+    prof.feasible = attrs.get("feasible")
+    prof.total_seconds = root.seconds
+
+    scopes = _scope_ids(root)
+    for name in ("coarsen", "initpart", "refine", "rb"):
+        sp = root.child(name)
+        if sp is not None and sp.seconds is not None:
+            prof.phase_seconds[name] = sp.seconds
+
+    refine_phases = ("refine", "fm_refine")
+    initial_phases = ("initpart", "initbisect")
+    for ev in events:
+        if ev.get("event") != "level":
+            continue
+        phase = ev.get("phase")
+        if scopes.get(phase) != ev.get("span"):
+            continue
+        rec = LevelRecord.from_event(ev)
+        if phase == "coarsen":
+            prof.coarsening.append(rec)
+        elif phase in refine_phases:
+            prof.uncoarsening.append(rec)
+        elif phase in initial_phases and prof.initial is None:
+            prof.initial = rec
+
+    prof.coarsening.sort(key=lambda r: r.level)
+    prof.uncoarsening.sort(key=lambda r: -r.level)  # coarsest first
+
+    # Fill each coarsening row's cut/imbalance from the arrival state of
+    # refinement at the same level (projection preserves both; see module
+    # docstring).
+    by_level = {r.level: r for r in prof.uncoarsening}
+    for row in prof.coarsening:
+        ref = by_level.get(row.level)
+        if ref is not None and row.cut is None:
+            row.cut = ref.cut_before
+        above = by_level.get(row.level + 1) or prof.initial
+        if above is not None:
+            if row.imbalance is None:
+                row.imbalance = above.imbalance
+            if row.maxload is None:
+                row.maxload = above.maxload
+
+    if prof.uncoarsening:
+        finest = prof.uncoarsening[-1]
+        prof.final_imbalance = finest.imbalance
+    return prof

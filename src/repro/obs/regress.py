@@ -1,0 +1,147 @@
+"""Baseline-drift checking over recorded multilevel profiles.
+
+A committed baseline (``MultilevelProfile.to_dict()`` as JSON) pins the
+*shape* of a seeded run: final cut, per-constraint imbalance, hierarchy
+depth, coarsest size.  :func:`compare_profiles` flags drift beyond
+explicit tolerances, so an accidental change to matching, refinement or
+the RNG stream shows up as a failed ``make obs-smoke`` instead of a silent
+quality regression.  Timings are deliberately *not* compared -- they vary
+per machine; the perf guard benchmarks own that budget.
+
+Record / refresh a baseline with ``python benchmarks/obs_smoke.py
+--record``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+
+from ..errors import ObsError
+from .recorder import MultilevelProfile
+
+__all__ = ["DriftTolerances", "DriftReport", "compare_profiles",
+           "check_baseline", "load_baseline"]
+
+
+@dataclass(frozen=True)
+class DriftTolerances:
+    """Allowed drift of a current profile against its baseline.
+
+    ``cut_rel`` bounds the relative final-cut change; ``imbalance_abs``
+    bounds the absolute per-constraint imbalance change; ``levels_delta``
+    bounds the hierarchy-depth change; ``coarsest_rel`` bounds the relative
+    change of the coarsest-graph size.  Identity fields (method, nparts,
+    ncon, input sizes) always compare exactly.
+    """
+
+    cut_rel: float = 0.10
+    imbalance_abs: float = 0.05
+    levels_delta: int = 1
+    coarsest_rel: float = 0.25
+
+
+@dataclass
+class DriftReport:
+    """Outcome of one profile-vs-baseline comparison."""
+
+    violations: list[str] = field(default_factory=list)
+    checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        if self.ok:
+            return f"drift check OK ({self.checked} checks)"
+        lines = [f"drift check FAILED ({len(self.violations)} of "
+                 f"{self.checked} checks):"]
+        lines.extend(f"  - {v}" for v in self.violations)
+        return "\n".join(lines)
+
+
+def _coarsest_nvtxs(profile: MultilevelProfile) -> int | None:
+    if profile.initial is not None:
+        return profile.initial.nvtxs
+    if profile.uncoarsening:
+        return profile.uncoarsening[0].nvtxs
+    return None
+
+
+def compare_profiles(current: MultilevelProfile,
+                     baseline: MultilevelProfile,
+                     tol: DriftTolerances | None = None) -> DriftReport:
+    """Compare ``current`` against ``baseline`` under ``tol``."""
+    tol = tol or DriftTolerances()
+    rep = DriftReport()
+
+    def check(cond: bool, message: str) -> None:
+        rep.checked += 1
+        if not cond:
+            rep.violations.append(message)
+
+    for name in ("method", "nparts", "ncon", "nvtxs", "nedges"):
+        cur, base = getattr(current, name), getattr(baseline, name)
+        check(cur == base, f"{name} changed: baseline {base!r}, now {cur!r}")
+
+    if baseline.final_cut is not None:
+        cur = current.final_cut
+        if cur is None:
+            check(False, "final_cut missing from current profile")
+        else:
+            lim = tol.cut_rel * max(abs(baseline.final_cut), 1)
+            check(abs(cur - baseline.final_cut) <= lim,
+                  f"final cut drifted: baseline {baseline.final_cut}, now "
+                  f"{cur} (tolerance ±{lim:.1f})")
+
+    if baseline.final_imbalance:
+        cur = current.final_imbalance or []
+        check(len(cur) == len(baseline.final_imbalance),
+              "final_imbalance length changed: baseline "
+              f"{len(baseline.final_imbalance)}, now {len(cur)}")
+        for j, (a, b) in enumerate(zip(cur, baseline.final_imbalance)):
+            check(abs(a - b) <= tol.imbalance_abs,
+                  f"imbalance[{j}] drifted: baseline {b:.4f}, now {a:.4f} "
+                  f"(tolerance ±{tol.imbalance_abs})")
+
+    check(abs(current.nlevels - baseline.nlevels) <= tol.levels_delta,
+          f"hierarchy depth drifted: baseline {baseline.nlevels} levels, "
+          f"now {current.nlevels} (tolerance ±{tol.levels_delta})")
+
+    base_c = _coarsest_nvtxs(baseline)
+    cur_c = _coarsest_nvtxs(current)
+    if base_c is not None and cur_c is not None:
+        lim = tol.coarsest_rel * max(base_c, 1)
+        check(abs(cur_c - base_c) <= lim,
+              f"coarsest graph size drifted: baseline {base_c}, now {cur_c} "
+              f"(tolerance ±{lim:.1f})")
+
+    check(bool(current.feasible) or baseline.feasible is False,
+          "current profile is infeasible but the baseline was feasible")
+    return rep
+
+
+def load_baseline(path) -> MultilevelProfile:
+    """Load a committed baseline profile; raises
+    :class:`~repro.errors.ObsError` when missing or malformed."""
+    path = str(path)
+    if not os.path.exists(path):
+        raise ObsError(
+            f"drift baseline {path!r} does not exist (record one with "
+            "'python benchmarks/obs_smoke.py --record')")
+    try:
+        with open(path) as fh:
+            data = json.load(fh)
+    except (OSError, ValueError) as exc:
+        raise ObsError(f"drift baseline {path!r} is unreadable: {exc}") from exc
+    if not isinstance(data, dict):
+        raise ObsError(f"drift baseline {path!r} is not a profile dict")
+    return MultilevelProfile.from_dict(data)
+
+
+def check_baseline(profile: MultilevelProfile, path,
+                   tol: DriftTolerances | None = None) -> DriftReport:
+    """Compare ``profile`` against the baseline JSON at ``path``."""
+    return compare_profiles(profile, load_baseline(path), tol)

@@ -1,0 +1,101 @@
+"""Terminal rendering of a :class:`~repro.obs.recorder.MultilevelProfile`.
+
+One row per level of the pipeline -- down the coarsening ladder, the
+initial partition, back up the uncoarsening ladder -- with cut and
+per-constraint imbalance populated on *every* row (coarsening rows borrow
+the arrival state of refinement; see ``repro.obs.recorder``).  This is
+what ``repro-part --profile`` prints.
+"""
+
+from __future__ import annotations
+
+from ..trace.render import format_seconds
+
+__all__ = ["render_profile"]
+
+_COLUMNS = ("phase", "lvl", "nvtxs", "nedges", "cut", "imbalance", "detail",
+            "time")
+
+
+def _fmt_imb(vec) -> str:
+    if not vec:
+        return "-"
+    return ",".join(f"{float(x):.3f}" for x in vec)
+
+
+def _fmt_int(v) -> str:
+    return "-" if v is None else str(int(v))
+
+
+def _detail(row) -> str:
+    if row.phase == "coarsen":
+        parts = []
+        if row.matching_rate is not None:
+            parts.append(f"match {100.0 * row.matching_rate:.0f}%")
+        if row.shrink is not None:
+            parts.append(f"shrink {row.shrink:.2f}")
+        return " ".join(parts) or "-"
+    if row.phase in ("initpart", "initbisect"):
+        return "initial partition"
+    parts = [f"moves {row.moves}", f"passes {row.passes}"]
+    if row.rollbacks:
+        parts.append(f"rbk {row.rollbacks}")
+    if row.balance_moves:
+        parts.append(f"bal {row.balance_moves}")
+    return " ".join(parts)
+
+
+def render_profile(profile) -> str:
+    """Human-readable per-level dashboard of one run."""
+    head = [
+        f"multilevel profile: {profile.method or '?'}"
+        f" k={profile.nparts} m={profile.ncon}"
+        f" n={profile.nvtxs} e={profile.nedges}"
+    ]
+    if profile.final_cut is not None:
+        feas = ("feasible" if profile.feasible
+                else "INFEASIBLE" if profile.feasible is not None else "?")
+        tail = (f" [{format_seconds(profile.total_seconds)}]"
+                if profile.total_seconds is not None else "")
+        head.append(f"final: cut={profile.final_cut}"
+                    f" imbalance=[{_fmt_imb(profile.final_imbalance)}]"
+                    f" {feas}{tail}")
+
+    rows = []
+    for r in profile.rows():
+        rows.append((
+            r.phase,
+            str(r.level),
+            str(r.nvtxs),
+            str(r.nedges),
+            _fmt_int(r.cut),
+            _fmt_imb(r.imbalance),
+            _detail(r),
+            format_seconds(r.seconds) if r.seconds is not None else "-",
+        ))
+
+    lines = list(head)
+    if rows:
+        widths = [max(len(c), *(len(row[i]) for row in rows))
+                  for i, c in enumerate(_COLUMNS)]
+        # detail is the one left-aligned free-text column
+        def fmt(cells):
+            out = []
+            for i, cell in enumerate(cells):
+                if _COLUMNS[i] in ("phase", "detail"):
+                    out.append(cell.ljust(widths[i]))
+                else:
+                    out.append(cell.rjust(widths[i]))
+            return "  ".join(out).rstrip()
+
+        lines.append(fmt(_COLUMNS))
+        lines.append(fmt(tuple("-" * w for w in widths)))
+        lines.extend(fmt(row) for row in rows)
+    else:
+        lines.append("(no level records -- was the run traced?)")
+
+    if profile.phase_seconds:
+        lines.append("phases: " + "  ".join(
+            f"{name}={format_seconds(sec)}"
+            for name, sec in profile.phase_seconds.items()))
+    return "\n".join(lines)

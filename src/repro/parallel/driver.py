@@ -43,6 +43,7 @@ from ..errors import CommError, DegradedResult, FaultError, PhaseTimeoutError
 from ..faults.recovery import RecoveryPolicy, run_with_retries
 from ..faults.spec import as_fault_spec
 from ..graph.csr import Graph
+from ..partition._events import emit_level_event
 from ..partition.config import PartitionOptions
 from ..partition.recursive import partition_recursive
 from ..partition.validate import validate_request
@@ -242,6 +243,9 @@ def _pipeline(graph, nparts, nranks, options, cluster, policy, tracer, root,
         if tracer.enabled:
             csp.set(levels=[g.nvtxs for g, _ in levels] + [cur.nvtxs],
                     sim_seconds=phase_marks["coarsen"] - phase_marks["start"])
+    if tracer.enabled:
+        tracer.observe("parallel.phase_seconds.coarsen",
+                       progress["phase_times"]["coarsen"])
 
     # ---- Initial partitioning at rank 0 (gather + serial RB + bcast).
     cluster.set_phase("initpart")
@@ -266,18 +270,28 @@ def _pipeline(graph, nparts, nranks, options, cluster, policy, tracer, root,
         if tracer.enabled:
             isp.set(cut=int(edge_cut(cur, where)),
                     sim_seconds=phase_marks["initpart"] - phase_marks["coarsen"])
+    if tracer.enabled:
+        tracer.observe("parallel.phase_seconds.initpart",
+                       progress["phase_times"]["initpart"])
+        emit_level_event(
+            tracer, phase="initpart", direction="initial", level=len(levels),
+            graph=cur, where=where, nparts=nparts, fracs=None,
+            cut=int(edge_cut(cur, where)),
+            seconds=progress["phase_times"]["initpart"])
 
     # ---- Parallel uncoarsening with reservation refinement.
     cluster.set_phase("refine")
     deadline = policy.deadline(_elapsed())
     refine_stats: list[dict] = []
     with tracer.span("refine") as rsp:
-        for fine, cmap in reversed(levels):
+        for idx in range(len(levels) - 1, -1, -1):
+            fine, cmap = levels[idx]
             if deadline is not None and _elapsed() > deadline:
                 raise PhaseTimeoutError(
                     f"phase 'refine' exceeded its simulated-time budget "
                     f"({policy.phase_timeout:g}s)")
             where = where[cmap]
+            t_level = _elapsed()
             with tracer.span("level", nvtxs=fine.nvtxs) as sp:
                 dist = DistGraph(fine, nranks)
 
@@ -299,11 +313,24 @@ def _pipeline(graph, nparts, nranks, options, cluster, policy, tracer, root,
                            **{k: v for k, v in st.items()
                               if isinstance(v, (bool, int, float))})
                     tracer.incr("parallel.committed", int(st["committed"]))
+            if tracer.enabled:
+                tracer.observe("parallel.level_seconds.refine",
+                               _elapsed() - t_level)
+                emit_level_event(
+                    tracer, phase="refine", direction="uncoarsening",
+                    level=idx, graph=fine, where=where, nparts=nparts,
+                    fracs=None, cut=int(edge_cut(fine, where)),
+                    moves=int(st.get("committed", 0)),
+                    passes=int(st.get("passes", 0)),
+                    seconds=_elapsed() - t_level)
         phase_marks["refine"] = _elapsed()
         progress["phase_times"]["refine"] = (
             phase_marks["refine"] - phase_marks["initpart"])
         if tracer.enabled:
             rsp.set(sim_seconds=phase_marks["refine"] - phase_marks["initpart"])
+    if tracer.enabled:
+        tracer.observe("parallel.phase_seconds.refine",
+                       progress["phase_times"]["refine"])
 
     phase_times = {
         "coarsen": phase_marks["coarsen"] - phase_marks["start"],

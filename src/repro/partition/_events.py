@@ -1,0 +1,48 @@
+"""Structured per-level ``"level"`` event emission shared by the drivers.
+
+Every multilevel driver (k-way, recursive bisection, the parallel driver)
+emits one ``"level"`` event per coarsening / refinement step through
+:func:`emit_level_event`; ``repro.obs.recorder`` consumes them to build a
+:class:`~repro.obs.recorder.MultilevelProfile`.  The schema is documented
+in ``docs/observability.md``.
+
+Callers must guard on ``tracer.enabled`` -- the imbalance / max-load
+computation here is not free -- and nothing in this module touches the RNG
+stream, so recording can never perturb seeded results.
+"""
+
+from __future__ import annotations
+
+from ..weights.balance import imbalance, part_weights
+
+__all__ = ["emit_level_event"]
+
+
+def emit_level_event(tracer, *, phase, direction, level, graph, where,
+                     nparts, fracs, cut, imbvec=None, cut_before=None,
+                     moves=0, passes=0, balance_moves=0, rollbacks=0,
+                     seconds=None):
+    """Emit one structured per-level ``"level"`` event: sizes, cut,
+    per-constraint imbalance and max part load, and the refiner's move
+    accounting.  ``imbvec`` may be passed when the caller already computed
+    the per-constraint imbalance vector."""
+    if imbvec is None:
+        imbvec = imbalance(graph.vwgt, where, nparts, fracs)
+    maxload = part_weights(graph.vwgt, where, nparts).max(axis=0)
+    tracer.event(
+        "level",
+        phase=phase,
+        direction=direction,
+        level=int(level),
+        nvtxs=graph.nvtxs,
+        nedges=graph.nedges,
+        cut=int(cut),
+        cut_before=None if cut_before is None else int(cut_before),
+        imbalance=[float(x) for x in imbvec],
+        maxload=[int(x) for x in maxload],
+        moves=int(moves),
+        passes=int(passes),
+        balance_moves=int(balance_moves),
+        rollbacks=int(rollbacks),
+        seconds=seconds,
+    )

@@ -27,6 +27,7 @@ from ..refine.gain import edge_cut
 from ..refine.kwayref import balance_kway, kway_refine
 from ..trace import as_tracer
 from ..weights.balance import as_target_fracs, as_ubvec, imbalance
+from ._events import emit_level_event as _emit_level_event
 from .config import PartitionOptions
 from .recursive import partition_recursive
 
@@ -88,6 +89,8 @@ def partition_kway(
             sizes = hier.sizes() if hier is not None else [graph.nvtxs]
             csp.set(levels=sizes, coarsest_nvtxs=coarsest.nvtxs)
             tracer.incr("coarsen.levels", len(sizes) - 1)
+    if tracer.enabled:
+        tracer.observe("phase_seconds.coarsen", csp.seconds)
 
     # Initial k-way partition of the coarsest graph: recursive bisection.
     # The coarsest graph is O(k) vertices, so multilevel recursion inside
@@ -104,10 +107,18 @@ def partition_kway(
                                     target_fracs=fracs, tracer=tracer)
         if tracer.enabled:
             isp.set(cut=int(edge_cut(coarsest, where)))
+    if tracer.enabled:
+        tracer.observe("phase_seconds.initpart", isp.seconds)
+        _emit_level_event(
+            tracer, phase="initpart", direction="initial",
+            level=len(hier.levels) if hier is not None else 0,
+            graph=coarsest, where=where, nparts=nparts, fracs=fracs,
+            cut=int(edge_cut(coarsest, where)), seconds=isp.seconds)
 
     with tracer.span("refine") as rsp:
         if hier is not None:
-            for lvl in reversed(hier.levels):
+            for idx in range(len(hier.levels) - 1, -1, -1):
+                lvl = hier.levels[idx]
                 where = where[lvl.cmap]
                 with tracer.span("level", nvtxs=lvl.graph.nvtxs,
                                  nedges=lvl.graph.nedges) as lsp:
@@ -122,17 +133,26 @@ def partition_kway(
                         seed=refine_rng,
                     )
                     if tracer.enabled:
+                        imbvec = imbalance(lvl.graph.vwgt, where, nparts, fracs)
                         lsp.set(
                             cut=int(st.final_cut),
                             moves=int(st.moves),
                             passes=int(st.passes),
                             balance_moves=int(st.balance_moves),
-                            imbalance=float(
-                                imbalance(lvl.graph.vwgt, where, nparts, fracs).max()
-                            ),
+                            imbalance=float(imbvec.max()),
                         )
                         tracer.incr("kway.moves", int(st.moves))
                         tracer.incr("kway.passes", int(st.passes))
+                if tracer.enabled:
+                    tracer.observe("level_seconds.refine", lsp.seconds)
+                    _emit_level_event(
+                        tracer, phase="refine", direction="uncoarsening",
+                        level=idx, graph=lvl.graph, where=where,
+                        nparts=nparts, fracs=fracs, imbvec=imbvec,
+                        cut=int(st.final_cut), cut_before=int(st.initial_cut),
+                        moves=int(st.moves), passes=int(st.passes),
+                        balance_moves=int(st.balance_moves), rollbacks=0,
+                        seconds=lsp.seconds)
         else:
             st = kway_refine(graph, where, nparts, ubvec=ub, target_fracs=fracs,
                              npasses=options.kway_refine_passes,
@@ -142,6 +162,16 @@ def partition_kway(
                         passes=int(st.passes))
                 tracer.incr("kway.moves", int(st.moves))
                 tracer.incr("kway.passes", int(st.passes))
+                _emit_level_event(
+                    tracer, phase="refine", direction="uncoarsening",
+                    level=0, graph=graph, where=where, nparts=nparts,
+                    fracs=fracs, cut=int(st.final_cut),
+                    cut_before=int(st.initial_cut), moves=int(st.moves),
+                    passes=int(st.passes),
+                    balance_moves=int(st.balance_moves), rollbacks=0,
+                    seconds=None)
+    if tracer.enabled:
+        tracer.observe("phase_seconds.refine", rsp.seconds)
 
     if options.final_balance:
         with tracer.span("balance"):

@@ -37,6 +37,7 @@ from ..refine.gain import edge_cut
 from ..refine.kwayref import balance_kway
 from ..trace import as_tracer
 from ..weights.balance import as_target_fracs, as_ubvec
+from ._events import emit_level_event
 from .config import PartitionOptions
 
 __all__ = ["partition_recursive", "multilevel_bisection"]
@@ -83,7 +84,8 @@ def multilevel_bisection(
         tracer=tracer,
     )
     if hier is not None:
-        for lvl in reversed(hier.levels):
+        for idx in range(len(hier.levels) - 1, -1, -1):
+            lvl = hier.levels[idx]
             where = where[lvl.cmap]
             with tracer.span("fm_level", nvtxs=lvl.graph.nvtxs) as sp:
                 st = fm2way_refine(
@@ -96,9 +98,19 @@ def multilevel_bisection(
                 )
                 if tracer.enabled:
                     sp.set(cut=int(st.final_cut), moves=int(st.moves),
-                           passes=int(st.passes))
+                           passes=int(st.passes), rollbacks=int(st.rollbacks))
                     tracer.incr("fm.moves", int(st.moves))
                     tracer.incr("fm.passes", int(st.passes))
+                    tracer.incr("fm.rollbacks", int(st.rollbacks))
+            if tracer.enabled:
+                tracer.observe("level_seconds.fm_refine", sp.seconds)
+                emit_level_event(
+                    tracer, phase="fm_refine", direction="uncoarsening",
+                    level=idx, graph=lvl.graph, where=where, nparts=2,
+                    fracs=np.array([target, 1.0 - target]),
+                    cut=int(st.final_cut), cut_before=int(st.initial_cut),
+                    moves=int(st.moves), passes=int(st.passes),
+                    rollbacks=int(st.rollbacks), seconds=sp.seconds)
     return where
 
 

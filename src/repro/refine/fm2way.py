@@ -73,6 +73,10 @@ class FMStats:
     #: Final total balance excess (0.0 when feasible); lets drivers score
     #: candidates without rebuilding a state around the refined partition.
     balance: float = 0.0
+    #: Speculative moves undone by per-pass rollback to the best prefix;
+    #: a high ratio of rollbacks to moves means passes explored far past
+    #: their best state (observability signal, no algorithmic effect).
+    rollbacks: int = 0
 
 
 class TwoWayState:
@@ -419,13 +423,15 @@ def fm2way_refine(
         max_bad_moves = max(64, n // 20)
 
     total_moves = 0
+    total_rollbacks = 0
     passes = 0
     for _ in range(npasses):
         if not state.feasible():
             total_moves += balance_2way(state)
-        improved, nmoves = _fm_pass(state, max_bad_moves)
+        improved, nmoves, nrollbacks = _fm_pass(state, max_bad_moves)
         passes += 1
         total_moves += nmoves
+        total_rollbacks += nrollbacks
         if not improved:
             break
     if not state.feasible():
@@ -437,6 +443,7 @@ def fm2way_refine(
         moves=total_moves,
         feasible=state.feasible(),
         balance=state.balance_obj(),
+        rollbacks=total_rollbacks,
     )
 
 
@@ -447,8 +454,9 @@ def _state_key(state: TwoWayState):
     return (0, state.cut, 0.0) if b <= FEASIBILITY_EPS else (1, b, state.cut)
 
 
-def _fm_pass(state: TwoWayState, max_bad_moves: int) -> tuple[bool, int]:
-    """One FM pass with rollback.  Returns (improved, committed moves)."""
+def _fm_pass(state: TwoWayState, max_bad_moves: int) -> tuple[bool, int, int]:
+    """One FM pass with rollback.  Returns (improved, committed moves,
+    rolled-back moves)."""
     n = state.graph.nvtxs
     locked = [False] * n
     queues = state.build_queues(boundary_only=True, locked=locked)
@@ -478,7 +486,7 @@ def _fm_pass(state: TwoWayState, max_bad_moves: int) -> tuple[bool, int]:
     # Roll back everything after the best prefix.
     for v in reversed(history[best_len:]):
         state.move(v)
-    return best_key < start_key, best_len
+    return best_key < start_key, best_len, len(history) - best_len
 
 
 def _select_move(state: TwoWayState, queues, m: int) -> int:

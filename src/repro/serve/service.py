@@ -38,7 +38,7 @@ from ..graph.csr import Graph
 from ..partition.api import PartitionResult, part_graph
 from ..partition.config import PartitionOptions, check_option_kwargs
 from ..partition.validate import validate_request
-from ..trace import Tracer, as_tracer
+from ..trace import MetricsRegistry, Tracer, as_tracer
 from .cache import ResultCache
 from .key import RequestKey, request_key
 from .warm import warm_start
@@ -138,6 +138,10 @@ class PartitionService:
         self._lock = threading.Lock()
         self._inflight: dict[str, ServeFuture] = {}
         self._closed = False
+        #: service-owned metrics: per-request latency histograms keyed by
+        #: outcome (``serve.latency.{hit,warm,cold,timeout}``), exposed by
+        #: :meth:`metrics_text` independently of any tracer.
+        self.metrics = MetricsRegistry()
         self.counters = {
             "serve.requests": 0,
             "serve.dedup.coalesced": 0,
@@ -169,6 +173,7 @@ class PartitionService:
         the calling thread, so malformed requests raise here, not inside
         the pool.
         """
+        t_submit = time.perf_counter()
         check_option_kwargs(kwargs)
         if options is None:
             options = PartitionOptions(**kwargs)
@@ -192,6 +197,7 @@ class PartitionService:
                 fut = ServeFuture(key=key, disposition="hit",
                                   _deadline=deadline)
                 fut._future.set_result(cached)
+                self._observe_latency("hit", time.perf_counter() - t_submit)
                 return fut
             if self.config.dedup and key.cacheable:
                 running = self._inflight.get(key.digest)
@@ -235,6 +241,34 @@ class PartitionService:
             out.update(self.cache.counters())
         return out
 
+    def latency(self, outcome: str) -> dict | None:
+        """Snapshot of the ``serve.latency.<outcome>`` histogram (outcome
+        one of ``hit`` / ``warm`` / ``cold`` / ``timeout``), or ``None``
+        when no such request has been served yet."""
+        with self._lock:
+            h = self.metrics._histograms.get(f"serve.latency.{outcome}")
+            return h.snapshot() if h is not None else None
+
+    def metrics_text(self) -> str:
+        """The service's metrics as a Prometheus text exposition.
+
+        Counters (``serve.requests``, cache hits/misses, ...), the
+        cache-occupancy gauges (``serve.cache.entries`` / ``.bytes``) and
+        the per-outcome latency histograms, rendered with
+        :func:`repro.obs.expose.render_prometheus`.
+        """
+        from ..obs.expose import render_prometheus
+
+        with self._lock:
+            counters = dict(self.counters)
+            cache = self.cache.counters()
+            histograms = self.metrics.histogram_values()
+        gauges = {name: cache.pop(name)
+                  for name in ("serve.cache.entries", "serve.cache.bytes")}
+        counters.update(cache)
+        return render_prometheus(counters=counters, gauges=gauges,
+                                 histograms=histograms)
+
     def close(self, wait: bool = True) -> None:
         with self._lock:
             self._closed = True
@@ -256,6 +290,13 @@ class PartitionService:
         if self.tracer.enabled:
             self.tracer.incr(name, n)
 
+    def _observe_latency(self, outcome: str, seconds: float) -> None:
+        """Record one request latency under its outcome.  Caller holds the
+        lock (Histogram.observe is not thread-safe)."""
+        self.metrics.histogram(f"serve.latency.{outcome}").observe(seconds)
+        if self.tracer.enabled:
+            self.tracer.observe(f"serve.latency.{outcome}", seconds)
+
     def _mirror_cache_counters(self) -> None:
         if self.tracer.enabled:
             for name, value in self.cache.counters().items():
@@ -264,10 +305,13 @@ class PartitionService:
     def _run(self, graph, nparts, method, options, target_fracs, key,
              fut: ServeFuture, deadline) -> None:
         """Worker-thread body: warm or cold compute, publish, cache."""
+        t0 = time.perf_counter()
         try:
             if deadline is not None and time.monotonic() > deadline:
                 with self._lock:
                     self._incr("serve.timeouts")
+                    self._observe_latency("timeout",
+                                          time.perf_counter() - t0)
                 raise ServeTimeoutError(
                     f"request {key.digest[:12]} expired before compute "
                     "started")
@@ -311,6 +355,7 @@ class PartitionService:
                 if source == "cold" or self.config.cache_warm_results:
                     self.cache.put(key, result, source=source)
                 self._mirror_cache_counters()
+                self._observe_latency(source, time.perf_counter() - t0)
                 if span is not None:
                     span.set(source=source, cut=result.edgecut,
                              feasible=result.feasible)

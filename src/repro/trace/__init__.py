@@ -27,7 +27,7 @@ Quickstart::
 See ``docs/observability.md`` for the span names and the JSONL schema.
 """
 
-from .metrics import Counter, Gauge, MetricsRegistry
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .render import format_attrs, format_seconds, render_span_tree
 from .report import TraceReport
 from .sinks import InMemorySink, JsonlSink, Sink, load_jsonl, spans_from_events
@@ -41,6 +41,7 @@ __all__ = [
     "as_tracer",
     "Counter",
     "Gauge",
+    "Histogram",
     "MetricsRegistry",
     "Sink",
     "InMemorySink",

@@ -1,19 +1,28 @@
-"""Counters and gauges with a small named registry.
+"""Counters, gauges and histograms with a small named registry.
 
 Counters accumulate (moves committed, candidates tried); gauges hold the
-latest value (final cut, final imbalance).  The registry creates metrics on
-first use so instrumentation sites never need set-up code::
+latest value (final cut, final imbalance); histograms record value
+distributions (request latencies, per-phase durations) into fixed
+log-spaced buckets with exact small-sample quantiles.  The registry
+creates metrics on first use so instrumentation sites never need set-up
+code::
 
     registry.counter("kway.moves").inc(42)
     registry.gauge("final.cut").set(1234)
+    registry.histogram("serve.latency.cold").observe(0.031)
 
 The :class:`~repro.trace.spans.Tracer` owns one registry and exposes the
-shorthands ``tracer.incr(name, n)`` / ``tracer.gauge(name, value)``.
+shorthands ``tracer.incr(name, n)`` / ``tracer.gauge(name, value)`` /
+``tracer.observe(name, value)``.
 """
 
 from __future__ import annotations
 
-__all__ = ["Counter", "Gauge", "MetricsRegistry"]
+import math
+from bisect import bisect_left, insort
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "default_latency_bounds"]
 
 
 class Counter:
@@ -50,12 +59,133 @@ class Gauge:
         return f"Gauge({self.name!r}, {self.value})"
 
 
+def default_latency_bounds() -> tuple[float, ...]:
+    """Log-spaced bucket upper bounds for durations in seconds.
+
+    Half-decade steps from 1 microsecond to 100 seconds (17 finite
+    buckets); everything above the last bound lands in the implicit
+    ``+Inf`` bucket.  The same ladder serves request latencies and phase
+    durations, which keeps every exposition's ``le`` labels comparable.
+    """
+    return tuple(10.0 ** (-6 + i / 2) for i in range(17))
+
+
+class Histogram:
+    """Fixed-bucket distribution with exact small-sample quantiles.
+
+    Two regimes, switched automatically:
+
+    * up to ``exact_cap`` observations the raw samples are kept sorted and
+      quantiles are *exact* (linear interpolation between order statistics,
+      numpy's default) -- the common case for per-run phase timings where a
+      handful of samples must not be smeared across log buckets;
+    * past the cap, samples stop being retained and quantiles are estimated
+      from the cumulative bucket counts (linear within the containing
+      bucket, the standard Prometheus ``histogram_quantile`` scheme).
+
+    Snapshots are plain-JSON-safe: the ``+Inf`` bucket bound is rendered as
+    the string ``"+Inf"``.
+    """
+
+    __slots__ = ("name", "bounds", "count", "sum", "min", "max",
+                 "_bucket_counts", "_samples", "_exact_cap")
+
+    def __init__(self, name: str, bounds=None, exact_cap: int = 512):
+        self.name = name
+        self.bounds = tuple(float(b) for b in
+                            (bounds if bounds is not None
+                             else default_latency_bounds()))
+        if any(b2 <= b1 for b1, b2 in zip(self.bounds, self.bounds[1:])):
+            raise ValueError("histogram bounds must be strictly increasing")
+        self.count = 0
+        self.sum = 0.0
+        self.min = None
+        self.max = None
+        self._bucket_counts = [0] * (len(self.bounds) + 1)  # last = +Inf
+        self._samples: list[float] | None = []
+        self._exact_cap = int(exact_cap)
+
+    def observe(self, value) -> "Histogram":
+        v = float(value)
+        self.count += 1
+        self.sum += v
+        if self.min is None or v < self.min:
+            self.min = v
+        if self.max is None or v > self.max:
+            self.max = v
+        self._bucket_counts[bisect_left(self.bounds, v)] += 1
+        if self._samples is not None:
+            if self.count <= self._exact_cap:
+                insort(self._samples, v)
+            else:
+                self._samples = None  # switch to bucket-estimated quantiles
+        return self
+
+    @property
+    def exact(self) -> bool:
+        """True while quantiles come from the raw (retained) samples."""
+        return self._samples is not None
+
+    def quantile(self, q: float) -> float | None:
+        """The ``q``-quantile (``0 <= q <= 1``); ``None`` when empty."""
+        if self.count == 0:
+            return None
+        if self._samples is not None:
+            s = self._samples
+            pos = q * (len(s) - 1)
+            lo = math.floor(pos)
+            hi = min(lo + 1, len(s) - 1)
+            frac = pos - lo
+            return s[lo] * (1.0 - frac) + s[hi] * frac
+        # Bucket estimate: find the bucket holding the q-th observation and
+        # interpolate linearly inside it.
+        rank = q * self.count
+        cum = 0
+        for i, c in enumerate(self._bucket_counts):
+            prev = cum
+            cum += c
+            if cum >= rank and c > 0:
+                if i >= len(self.bounds):        # +Inf bucket
+                    return self.max
+                lo = self.bounds[i - 1] if i > 0 else min(self.min, 0.0)
+                hi = self.bounds[i]
+                return lo + (hi - lo) * ((rank - prev) / c)
+        return self.max
+
+    def snapshot(self) -> dict:
+        """JSON-safe summary: count/sum/min/max, p50/p90/p99, cumulative
+        buckets as ``[upper_bound, cumulative_count]`` pairs (last bound is
+        the string ``"+Inf"``)."""
+        buckets = []
+        cum = 0
+        for bound, c in zip(self.bounds, self._bucket_counts):
+            cum += c
+            buckets.append([bound, cum])
+        buckets.append(["+Inf", self.count])
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
+            "exact": self.exact,
+            "buckets": buckets,
+        }
+
+    def __repr__(self) -> str:
+        return (f"Histogram({self.name!r}, count={self.count}, "
+                f"p50={self.quantile(0.5)})")
+
+
 class MetricsRegistry:
-    """Create-on-first-use registry of counters and gauges."""
+    """Create-on-first-use registry of counters, gauges and histograms."""
 
     def __init__(self):
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
 
     def counter(self, name: str) -> Counter:
         c = self._counters.get(name)
@@ -69,6 +199,12 @@ class MetricsRegistry:
             g = self._gauges[name] = Gauge(name)
         return g
 
+    def histogram(self, name: str, bounds=None) -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = Histogram(name, bounds=bounds)
+        return h
+
     def counter_values(self) -> dict:
         """``{name: value}`` snapshot of every counter."""
         return {name: c.value for name, c in sorted(self._counters.items())}
@@ -77,5 +213,15 @@ class MetricsRegistry:
         """``{name: value}`` snapshot of every gauge."""
         return {name: g.value for name, g in sorted(self._gauges.items())}
 
+    def histogram_values(self) -> dict:
+        """``{name: snapshot}`` of every histogram (see
+        :meth:`Histogram.snapshot`)."""
+        return {name: h.snapshot()
+                for name, h in sorted(self._histograms.items())}
+
     def as_dict(self) -> dict:
-        return {"counters": self.counter_values(), "gauges": self.gauge_values()}
+        return {
+            "counters": self.counter_values(),
+            "gauges": self.gauge_values(),
+            "histograms": self.histogram_values(),
+        }

@@ -30,10 +30,14 @@ class TraceReport(Mapping):
     did when ``stats`` was a plain dict.
     """
 
-    def __init__(self, root: Span | None, counters=None, gauges=None):
+    def __init__(self, root: Span | None, counters=None, gauges=None,
+                 histograms=None):
         self.root = root
         self.counters = dict(counters or {})
         self.gauges = dict(gauges or {})
+        #: ``{name: snapshot}`` histogram snapshots
+        #: (see :meth:`repro.trace.metrics.Histogram.snapshot`).
+        self.histograms = dict(histograms or {})
         self._dict: dict | None = None
 
     # ---------------------------------------------------- constructors
@@ -45,6 +49,7 @@ class TraceReport(Mapping):
             root if root is not None else tracer.root,
             tracer.metrics.counter_values(),
             tracer.metrics.gauge_values(),
+            tracer.metrics.histogram_values(),
         )
 
     @classmethod
@@ -55,11 +60,13 @@ class TraceReport(Mapping):
                     roots[0] if roots else None)
         counters: dict = {}
         gauges: dict = {}
+        histograms: dict = {}
         for ev in events:
             if ev.get("event") == "metrics":
                 counters.update(ev.get("counters") or {})
                 gauges.update(ev.get("gauges") or {})
-        return cls(root, counters, gauges)
+                histograms.update(ev.get("histograms") or {})
+        return cls(root, counters, gauges, histograms)
 
     # ------------------------------------------------- typed accessors
 

@@ -19,13 +19,28 @@ __all__ = ["Sink", "InMemorySink", "JsonlSink", "load_jsonl", "spans_from_events
 
 
 class Sink:
-    """Event consumer interface; subclasses override :meth:`emit`."""
+    """Event consumer interface; subclasses override :meth:`emit`.
+
+    Sinks are context managers: ``__exit__`` calls :meth:`close`, so a
+    file-backed sink used outside a :class:`~repro.trace.spans.Tracer`
+    (which closes its sinks in ``finish()``) still flushes reliably::
+
+        with JsonlSink("run.jsonl") as sink:
+            sink.emit({"event": "span", ...})
+    """
 
     def emit(self, event: dict) -> None:
         raise NotImplementedError
 
     def close(self) -> None:
         pass
+
+    def __enter__(self) -> "Sink":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
 
 
 class InMemorySink(Sink):
@@ -51,18 +66,26 @@ def _json_default(obj):
 
 
 class JsonlSink(Sink):
-    """Writes one JSON object per event to a file (JSON-lines)."""
+    """Writes one JSON object per event to a file (JSON-lines).
+
+    :meth:`close` flushes and releases the file handle and is idempotent;
+    emitting after close raises a clear :class:`ValueError` instead of an
+    ``AttributeError`` from a dead handle.
+    """
 
     def __init__(self, path):
         self.path = str(path)
         self._fh = open(self.path, "w")
 
     def emit(self, event: dict) -> None:
+        if self._fh is None:
+            raise ValueError(f"JsonlSink({self.path!r}) is closed")
         self._fh.write(json.dumps(event, default=_json_default,
                                   separators=(",", ":")) + "\n")
 
     def close(self) -> None:
         if self._fh is not None:
+            self._fh.flush()
             self._fh.close()
             self._fh = None
 

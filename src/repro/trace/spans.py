@@ -205,7 +205,26 @@ class Tracer:
         """Set gauge ``name`` to ``value``."""
         self.metrics.gauge(name).set(value)
 
+    def observe(self, name: str, value) -> None:
+        """Record ``value`` into histogram ``name``."""
+        self.metrics.histogram(name).observe(value)
+
     # ------------------------------------------------------------ sinks
+
+    def event(self, kind: str, **payload) -> None:
+        """Emit a structured non-span event to every sink immediately.
+
+        The event dict is ``{"event": kind, "span": <enclosing span id>,
+        **payload}``; ``span`` lets consumers (e.g. the flight recorder)
+        scope the event to its position in the span tree even though span
+        events themselves are only emitted at close.  Used by the drivers
+        for the per-level ``"level"`` records (see ``docs/observability.md``
+        for the schema).
+        """
+        cur = self.current
+        ev = {"event": kind, "span": cur.span_id if cur is not None else None}
+        ev.update(payload)
+        self._emit(ev)
 
     def _emit(self, event: dict) -> None:
         for sink in self.sinks:
@@ -221,9 +240,13 @@ class Tracer:
                 self._close(self._stack[-1])
             counters = self.metrics.counter_values()
             gauges = self.metrics.gauge_values()
-            if counters or gauges:
-                self._emit({"event": "metrics", "counters": counters,
-                            "gauges": gauges})
+            histograms = self.metrics.histogram_values()
+            if counters or gauges or histograms:
+                ev = {"event": "metrics", "counters": counters,
+                      "gauges": gauges}
+                if histograms:
+                    ev["histograms"] = histograms
+                self._emit(ev)
             for sink in self.sinks:
                 sink.close()
             self._finished = True
@@ -277,6 +300,12 @@ class NullTracer:
         pass
 
     def gauge(self, name: str, value) -> None:
+        pass
+
+    def observe(self, name: str, value) -> None:
+        pass
+
+    def event(self, kind: str, **payload) -> None:
         pass
 
     def finish(self) -> tuple:

@@ -127,7 +127,7 @@ class TestTraceFlags:
         events = load_jsonl(trace)
         assert events, "trace file must not be empty"
         kinds = {e["event"] for e in events}
-        assert kinds == {"span", "metrics"}
+        assert kinds == {"span", "level", "metrics"}
         roots = spans_from_events(events)
         assert [r.name for r in roots] == ["partition"]
         root = roots[0]
@@ -181,6 +181,69 @@ class TestTraceFlags:
         rc = main([graph_file, "2", "--seed", "0", "--quiet"])
         assert rc == 0
         assert "counters:" not in capsys.readouterr().out
+
+
+class TestProfileFlags:
+    def test_profile_prints_per_level_dashboard(self, graph_file, capsys):
+        rc = main([graph_file, "4", "--seed", "5", "--profile"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "multilevel profile" in out
+        assert "coarsen" in out and "initpart" in out and "refine" in out
+        # every uncoarsening row carries both constraints' imbalance
+        refine_rows = [ln for ln in out.splitlines()
+                       if ln.startswith("refine")]
+        assert refine_rows
+        for ln in refine_rows:
+            assert "," in ln.split()[5]  # imbalance column: "1.050,1.048"
+
+    def test_profile_json_artifact_roundtrips(self, graph_file, tmp_path,
+                                              capsys):
+        from repro.obs import MultilevelProfile
+        import json
+
+        path = tmp_path / "prof.json"
+        rc = main([graph_file, "4", "--seed", "5", "--quiet",
+                   "--profile-json", str(path)])
+        assert rc == 0
+        prof = MultilevelProfile.from_dict(json.loads(path.read_text()))
+        assert prof.method == "kway" and prof.nparts == 4
+        assert prof.nvtxs == 300
+        assert prof.coarsening and prof.uncoarsening
+        assert prof.final_cut is not None
+
+    def test_profile_recursive_method(self, graph_file, capsys):
+        rc = main([graph_file, "2", "--method", "recursive", "--seed", "3",
+                   "--profile"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fm_refine" in out and "initbisect" in out
+
+    def test_profile_parallel_driver(self, capsys):
+        rc = main(["--demo", "200", "4", "--seed", "1", "--ranks", "3",
+                   "--profile"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "multilevel profile: parallel" in out and "refine" in out
+
+    def test_trace_bad_parent_dir_fails_fast(self, graph_file, tmp_path,
+                                             capsys):
+        rc = main([graph_file, "2", "--trace",
+                   str(tmp_path / "no" / "such" / "dir" / "t.jsonl")])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "directory" in err and "does not exist" in err
+
+    def test_profile_json_bad_parent_dir_fails_fast(self, graph_file,
+                                                    tmp_path, capsys):
+        rc = main([graph_file, "2", "--profile-json",
+                   str(tmp_path / "missing" / "p.json")])
+        assert rc == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_profile_rejects_serve_modes(self, graph_file, capsys):
+        rc = main([graph_file, "2", "--profile", "--cache"])
+        assert rc == 2
 
 
 class TestEnsembleAndNpz:

@@ -23,6 +23,7 @@ DOC_FILES = [
     "docs/api.md",
     "docs/robustness.md",
     "docs/serving.md",
+    "docs/observability.md",
 ]
 
 _FENCE = re.compile(r"^```python\s*$")

@@ -23,6 +23,7 @@ from repro.errors import (
     GraphError,
     GraphFormatError,
     MessageDropError,
+    ObsError,
     OptionsError,
     PartitionError,
     PermanentCommError,
@@ -219,6 +220,21 @@ class TestServeErrors:
         svc.close()
         with pytest.raises(ServiceClosedError):
             svc.submit(g200, 2, seed=0)
+
+
+class TestObsErrors:
+    @covers(ObsError)
+    def test_obs_error_on_missing_baseline(self, tmp_path):
+        from repro.obs import load_baseline
+
+        with pytest.raises(ObsError, match="baseline"):
+            load_baseline(tmp_path / "nope.json")
+
+    def test_obs_error_on_malformed_exposition(self):
+        from repro.obs import parse_exposition
+
+        with pytest.raises(ObsError):
+            parse_exposition('repro_h_bucket{le="+Inf"} not_a_number\n')
 
 
 class TestTaxonomyShape:

@@ -1,0 +1,348 @@
+"""Tests for repro.obs: the flight recorder and MultilevelProfile, the
+per-level dashboard, Prometheus exposition + validation, and drift
+checking against recorded baselines."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ObsError
+from repro.graph import mesh_like
+from repro.obs import (
+    DriftTolerances,
+    FlightRecorder,
+    LevelRecord,
+    MultilevelProfile,
+    check_baseline,
+    compare_profiles,
+    load_baseline,
+    parse_exposition,
+    profile_from_events,
+    render_profile,
+    render_prometheus,
+)
+from repro.partition import part_graph
+from repro.trace import JsonlSink, Tracer, load_jsonl
+from repro.weights import type1_region_weights
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    g = mesh_like(600, seed=0)
+    return g.with_vwgt(type1_region_weights(g, 2, seed=1))
+
+
+def record(graph, nparts, **kwargs):
+    rec = FlightRecorder()
+    tracer = Tracer([rec])
+    res = part_graph(graph, nparts, tracer=tracer, **kwargs)
+    tracer.finish()
+    return res, rec.profile()
+
+
+@pytest.fixture(scope="module")
+def kway(mesh):
+    return record(mesh, 4, seed=2)
+
+
+class TestFlightRecorderKway:
+    def test_identity_fields(self, kway):
+        res, prof = kway
+        assert prof.method == "kway"
+        assert prof.nparts == 4 and prof.ncon == 2
+        assert prof.nvtxs == 600
+        assert prof.final_cut == res.edgecut
+        assert prof.feasible == res.feasible
+        assert prof.total_seconds > 0
+
+    def test_both_ladders_and_initial(self, kway):
+        _, prof = kway
+        assert prof.nlevels >= 1
+        assert prof.initial is not None
+        assert prof.initial.phase == "initpart"
+        assert len(prof.uncoarsening) == prof.nlevels
+        # coarsening runs finest -> coarsest, uncoarsening back up
+        assert [r.level for r in prof.coarsening] == list(range(prof.nlevels))
+        assert [r.level for r in prof.uncoarsening] == \
+            list(range(prof.nlevels - 1, -1, -1))
+        assert prof.uncoarsening[-1].nvtxs == 600
+
+    def test_every_row_has_cut_and_imbalance(self, kway):
+        _, prof = kway
+        rows = prof.rows()
+        assert len(rows) == 2 * prof.nlevels + 1
+        for row in rows:
+            assert row.cut is not None and row.cut >= 0
+            assert row.imbalance is not None and len(row.imbalance) == 2
+            assert all(v >= 1.0 - 1e-9 for v in row.imbalance)
+            assert row.maxload is not None and len(row.maxload) == 2
+
+    def test_coarsening_fill_in_matches_arrival_state(self, kway):
+        # Projection preserves cut and part weights, so coarsening level i
+        # carries the state refinement arrives in at level i.
+        _, prof = kway
+        by_level = {r.level: r for r in prof.uncoarsening}
+        for row in prof.coarsening:
+            assert row.cut == by_level[row.level].cut_before
+            above = by_level.get(row.level + 1) or prof.initial
+            assert row.imbalance == above.imbalance
+
+    def test_coarsening_quality_fields(self, kway):
+        _, prof = kway
+        for row in prof.coarsening:
+            assert 0.0 < row.matching_rate <= 1.0
+            assert 0.0 < row.shrink < 1.0
+            assert row.direction == "coarsening"
+
+    def test_refinement_monotone_cut(self, kway):
+        _, prof = kway
+        for row in prof.uncoarsening:
+            assert row.cut <= row.cut_before
+            assert row.passes >= 1
+        assert prof.final_imbalance == prof.uncoarsening[-1].imbalance
+
+    def test_nested_rb_pipeline_is_scoped_out(self, kway):
+        # The k-way driver runs a full recursive bisection on its coarsest
+        # graph; none of its internal levels may leak into the profile.
+        _, prof = kway
+        coarsest = prof.coarsening[-1].nvtxs if prof.coarsening else 600
+        for row in prof.uncoarsening:
+            assert row.phase == "refine"
+        assert prof.initial.nvtxs <= coarsest
+
+    def test_phase_seconds_and_metrics(self, kway):
+        _, prof = kway
+        for phase in ("coarsen", "initpart", "refine"):
+            assert prof.phase_seconds[phase] >= 0
+        assert prof.counters["kway.moves"] >= 0
+        assert prof.gauges["final.cut"] == prof.final_cut
+        assert prof.histograms["phase_seconds.refine"]["count"] == 1
+
+    def test_recording_is_bit_identical(self, mesh, kway):
+        res, _ = kway
+        plain = part_graph(mesh, 4, seed=2)
+        assert plain.edgecut == res.edgecut
+        assert np.array_equal(plain.part, res.part)
+
+
+class TestFlightRecorderOtherDrivers:
+    def test_recursive_profile_follows_top_split(self, mesh):
+        res, prof = record(mesh, 2, method="recursive", seed=3)
+        assert prof.method == "recursive"
+        assert prof.final_cut == res.edgecut
+        assert prof.initial is not None and prof.initial.phase == "initbisect"
+        assert prof.coarsening and prof.uncoarsening
+        assert all(r.phase == "fm_refine" for r in prof.uncoarsening)
+        for row in prof.rows():
+            assert row.cut is not None
+            assert row.imbalance is not None and len(row.imbalance) == 2
+
+    def test_parallel_profile(self, mesh):
+        from repro.parallel import parallel_part_graph
+
+        rec = FlightRecorder()
+        tracer = Tracer([rec])
+        res = parallel_part_graph(mesh, 4, 3, tracer=tracer)
+        tracer.finish()
+        prof = rec.profile()
+        assert prof.method == "parallel"
+        assert prof.final_cut == res.edgecut
+        assert prof.uncoarsening
+        for row in prof.uncoarsening:
+            assert row.cut is not None and len(row.imbalance) == 2
+
+
+class TestProfileSerialisation:
+    def test_json_roundtrip(self, kway):
+        _, prof = kway
+        back = MultilevelProfile.from_dict(json.loads(prof.to_json()))
+        assert back.to_dict() == prof.to_dict()
+        assert back.nlevels == prof.nlevels
+        assert back.uncoarsening[-1].cut == prof.final_cut
+
+    def test_profile_from_jsonl_file(self, mesh, tmp_path):
+        path = tmp_path / "run.jsonl"
+        tracer = Tracer([JsonlSink(path)])
+        res = part_graph(mesh, 4, seed=2, tracer=tracer)
+        tracer.finish()
+        prof = profile_from_events(load_jsonl(path))
+        assert prof.method == "kway"
+        assert prof.final_cut == res.edgecut
+        assert prof.coarsening and prof.uncoarsening
+
+    def test_empty_event_stream(self):
+        prof = profile_from_events([])
+        assert prof.method is None and prof.rows() == []
+        assert prof.nlevels == 0
+
+
+class TestRenderProfile:
+    def test_dashboard_contents(self, kway):
+        _, prof = kway
+        out = render_profile(prof)
+        assert "multilevel profile: kway k=4 m=2 n=600" in out
+        assert f"cut={prof.final_cut}" in out
+        for token in ("coarsen", "initpart", "refine", "phases:",
+                      "initial partition", "moves"):
+            assert token in out
+        # one line per row, each showing both constraints' imbalance
+        body = [ln for ln in out.splitlines()
+                if ln.startswith(("coarsen", "initpart", "refine"))]
+        assert len(body) == len(prof.rows())
+        for ln in body:
+            assert "," in ln.split()[5]
+
+    def test_empty_profile_renders(self):
+        out = render_profile(MultilevelProfile(
+            method=None, nparts=None, ncon=None, nvtxs=None, nedges=None))
+        assert "multilevel profile" in out
+
+
+class TestPrometheus:
+    def test_render_from_profile_and_parse(self, kway):
+        _, prof = kway
+        text = render_prometheus(prof)
+        families = parse_exposition(text)
+        assert "repro_final_cut" in families
+        assert families["repro_final_cut"]["type"] == "gauge"
+        hist = [n for n, d in families.items() if d["type"] == "histogram"]
+        assert hist, "profile exposition must carry histogram families"
+        name = hist[0]
+        samples = {s[0]: s for s in families[name]["samples"]
+                   if not s[0].endswith("_bucket")}
+        assert f"{name}_count" in samples and f"{name}_sum" in samples
+
+    def test_render_explicit_dicts(self):
+        text = render_prometheus(counters={"a.b": 3}, gauges={"x": 1.5})
+        assert "# TYPE repro_a_b counter" in text
+        assert "repro_a_b 3" in text
+        assert "repro_x 1.5" in text
+
+    def test_bucket_series_cumulative_to_inf(self, kway):
+        _, prof = kway
+        families = parse_exposition(render_prometheus(prof))
+        name, d = next((n, d) for n, d in families.items()
+                       if d["type"] == "histogram")
+        buckets = [s for s in d["samples"] if s[0] == f"{name}_bucket"]
+        counts = [v for _, _, v in buckets]
+        assert counts == sorted(counts)
+        assert buckets[-1][1]["le"] == "+Inf"
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ObsError):
+            parse_exposition("this is { not an exposition\n")
+
+    def test_parse_rejects_non_cumulative_buckets(self):
+        bad = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="0.1"} 5\n'
+            'repro_h_bucket{le="+Inf"} 3\n'
+            "repro_h_sum 1\n"
+            "repro_h_count 3\n"
+        )
+        with pytest.raises(ObsError, match="cumulative|non-decreasing"):
+            parse_exposition(bad)
+
+    def test_parse_rejects_missing_inf_bucket(self):
+        bad = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="0.1"} 1\n'
+            "repro_h_sum 1\n"
+            "repro_h_count 1\n"
+        )
+        with pytest.raises(ObsError):
+            parse_exposition(bad)
+
+
+class TestDriftChecking:
+    def test_profile_never_drifts_from_itself(self, kway):
+        _, prof = kway
+        rep = compare_profiles(prof, prof)
+        assert rep.ok and not rep.violations
+        assert rep.checked >= 8
+        assert "OK" in rep.summary()
+
+    def test_cut_drift_beyond_tolerance(self, kway):
+        _, prof = kway
+        moved = MultilevelProfile.from_dict(prof.to_dict())
+        moved.final_cut = int(prof.final_cut * 1.5)
+        rep = compare_profiles(moved, prof, DriftTolerances(cut_rel=0.10))
+        assert not rep.ok
+        assert any("final cut" in v for v in rep.violations)
+        assert "FAILED" in rep.summary() or "violation" in rep.summary()
+
+    def test_identity_mismatch_is_violation(self, kway):
+        _, prof = kway
+        other = MultilevelProfile.from_dict(prof.to_dict())
+        other.nparts = 8
+        rep = compare_profiles(other, prof)
+        assert any("nparts" in v for v in rep.violations)
+
+    def test_imbalance_and_depth_tolerances(self, kway):
+        _, prof = kway
+        near = MultilevelProfile.from_dict(prof.to_dict())
+        near.final_cut = prof.final_cut + 1
+        near.final_imbalance = [v + 0.01 for v in prof.final_imbalance]
+        assert compare_profiles(near, prof).ok
+
+        far = MultilevelProfile.from_dict(prof.to_dict())
+        far.final_imbalance = [v + 0.2 for v in prof.final_imbalance]
+        assert not compare_profiles(far, prof).ok
+
+    def test_infeasible_current_flagged(self, kway):
+        _, prof = kway
+        bad = MultilevelProfile.from_dict(prof.to_dict())
+        bad.feasible = False
+        rep = compare_profiles(bad, prof)
+        assert any("infeasible" in v for v in rep.violations)
+
+    def test_check_baseline_roundtrip(self, kway, tmp_path):
+        _, prof = kway
+        path = tmp_path / "baseline.json"
+        path.write_text(prof.to_json())
+        assert load_baseline(path).final_cut == prof.final_cut
+        assert check_baseline(prof, path).ok
+
+    def test_missing_baseline_raises(self, tmp_path):
+        with pytest.raises(ObsError, match="baseline"):
+            load_baseline(tmp_path / "nope.json")
+
+    def test_malformed_baseline_raises(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text("not json{{")
+        with pytest.raises(ObsError):
+            load_baseline(p)
+        p.write_text("[1, 2, 3]")
+        with pytest.raises(ObsError):
+            load_baseline(p)
+
+
+class TestServeMetrics:
+    def test_latency_by_outcome_and_exposition(self, mesh):
+        from repro.serve import PartitionService
+
+        with PartitionService() as svc:
+            r1 = svc.partition(mesh, 4, seed=2)
+            r2 = svc.partition(mesh, 4, seed=2)   # cache hit
+            assert np.array_equal(r1.part, r2.part)
+            cold = svc.latency("cold")
+            hit = svc.latency("hit")
+            assert cold["count"] == 1 and cold["sum"] > 0
+            assert hit["count"] == 1
+            assert svc.latency("timeout") is None  # no such outcome yet
+            text = svc.metrics_text()
+
+        families = parse_exposition(text)
+        assert families["repro_serve_latency_cold"]["type"] == "histogram"
+        assert families["repro_serve_latency_hit"]["type"] == "histogram"
+        assert families["repro_serve_requests"]["type"] == "counter"
+        assert families["repro_serve_cache_entries"]["type"] == "gauge"
+
+    def test_level_record_defaults(self):
+        rec = LevelRecord(phase="refine", direction="uncoarsening",
+                          level=0, nvtxs=10, nedges=20)
+        assert rec.moves == 0 and rec.cut is None
+        assert LevelRecord.from_dict(rec.to_dict()) == rec

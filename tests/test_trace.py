@@ -18,10 +18,12 @@ from repro.graph import mesh_like
 from repro.partition import best_of, part_graph
 from repro.trace import (
     NULL_TRACER,
+    Histogram,
     InMemorySink,
     JsonlSink,
     MetricsRegistry,
     NullTracer,
+    Sink,
     Span,
     TraceReport,
     Tracer,
@@ -120,17 +122,58 @@ class TestMetrics:
         reg.counter("moves").inc(3)
         reg.counter("moves").inc()
         reg.gauge("cut").set(42)
+        reg.histogram("lat").observe(0.01)
         assert reg.counter_values() == {"moves": 4}
         assert reg.gauge_values() == {"cut": 42}
-        assert reg.as_dict() == {"counters": {"moves": 4}, "gauges": {"cut": 42}}
+        d = reg.as_dict()
+        assert set(d) == {"counters", "gauges", "histograms"}
+        assert d["counters"] == {"moves": 4}
+        assert d["gauges"] == {"cut": 42}
+        assert d["histograms"]["lat"]["count"] == 1
+        assert d["histograms"]["lat"]["sum"] == pytest.approx(0.01)
 
     def test_tracer_shorthands(self):
         tr = Tracer()
         tr.incr("a", 2)
         tr.incr("a")
         tr.gauge("b", 7)
+        tr.observe("c", 0.25)
         assert tr.metrics.counter_values() == {"a": 3}
         assert tr.metrics.gauge_values() == {"b": 7}
+        assert tr.metrics.histogram("c").count == 1
+
+    def test_histogram_exact_quantiles(self):
+        h = Histogram("h")
+        for v in (0.010, 0.012, 0.048, 0.250):
+            h.observe(v)
+        assert h.exact and h.count == 4
+        assert h.min == 0.010 and h.max == 0.250
+        assert h.quantile(0.0) == pytest.approx(0.010)
+        assert h.quantile(0.5) == pytest.approx(0.030)  # midway 0.012..0.048
+        assert h.quantile(1.0) == pytest.approx(0.250)
+
+    def test_histogram_snapshot_buckets_cumulative(self):
+        h = Histogram("h", bounds=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 5.0, 50.0):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["buckets"] == [[0.1, 1], [1.0, 2], [10.0, 3], ["+Inf", 4]]
+        assert snap["count"] == 4
+        assert snap["p50"] is not None
+
+    def test_histogram_bucket_estimate_past_cap(self):
+        h = Histogram("h", exact_cap=8)
+        for i in range(100):
+            h.observe(0.001 * (1 + i % 10))
+        assert not h.exact and h.count == 100
+        # Estimated quantiles stay inside the observed range.
+        for q in (0.5, 0.9, 0.99):
+            assert h.min <= h.quantile(q) <= h.max
+
+    def test_histogram_empty_and_bad_bounds(self):
+        assert Histogram("h").quantile(0.5) is None
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=(1.0, 1.0))
 
 
 class TestSinks:
@@ -174,6 +217,59 @@ class TestSinks:
 
     def test_spans_from_events_ignores_other_events(self):
         assert spans_from_events([{"event": "metrics", "counters": {}}]) == []
+
+    def test_spans_from_events_out_of_order(self):
+        # Children are emitted before parents in a live stream; the tree
+        # must also survive arbitrary shuffling of the lines.
+        tr = Tracer([sink := InMemorySink()])
+        with tr.span("root"):
+            with tr.span("mid"):
+                with tr.span("leaf", n=1):
+                    pass
+            with tr.span("leaf", n=2):
+                pass
+        tr.finish()
+        events = [e for e in sink.events if e["event"] == "span"]
+        for order in (events, events[::-1],
+                      sorted(events, key=lambda e: e["name"])):
+            (root,) = spans_from_events(order)
+            assert root.name == "root"
+            assert [c.name for c in root.children] == ["mid", "leaf"]
+            assert root.children[0].children[0].attrs == {"n": 1}
+            assert root.find("leaf").attrs == {"n": 1}  # nesting preserved
+
+    def test_sink_is_context_manager(self):
+        class Recording(Sink):
+            def __init__(self):
+                self.events, self.closed = [], False
+
+            def emit(self, event):
+                self.events.append(event)
+
+            def close(self):
+                self.closed = True
+
+        with Recording() as sink:
+            sink.emit({"event": "x"})
+        assert sink.closed and sink.events == [{"event": "x"}]
+
+    def test_jsonl_emit_after_close_raises(self, tmp_path):
+        sink = JsonlSink(tmp_path / "t.jsonl")
+        sink.emit({"event": "x"})
+        sink.close()
+        sink.close()  # idempotent
+        with pytest.raises(ValueError, match="closed"):
+            sink.emit({"event": "y"})
+        assert load_jsonl(tmp_path / "t.jsonl") == [{"event": "x"}]
+
+    def test_tracer_finish_closes_sinks_once(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tr = Tracer([JsonlSink(path)])
+        with tr.span("a"):
+            pass
+        roots = tr.finish()
+        assert tr.finish() is roots  # second finish: no emit into dead sink
+        assert [e["name"] for e in load_jsonl(path)] == ["a"]
 
 
 class TestRender:
