@@ -1,6 +1,6 @@
 # Convenience targets for the repro project.
 
-.PHONY: install test bench bench-smoke docs-check chaos-smoke serve-smoke obs-smoke examples smoke all clean
+.PHONY: install test bench bench-smoke docs-check chaos-smoke serve-smoke serve-cluster-smoke obs-smoke examples smoke all clean
 
 install:
 	pip install -e .
@@ -34,6 +34,16 @@ chaos-smoke:
 # fallback, deadlines.  See docs/serving.md.
 serve-smoke:
 	PYTHONPATH=src python -m pytest tests/test_serve.py -q
+
+# The cluster tier: process/thread backend parity + disk-cache robustness
+# suites, then the load harness in smoke mode and its JSON invariants
+# (zero determinism violations; process >= 2x thread cold throughput,
+# asserted only on >= 4 cores -- single-core boxes record the ratio
+# honestly without gating on it).  See docs/serving.md.
+serve-cluster-smoke:
+	PYTHONPATH=src python -m pytest tests/test_serve_cluster.py tests/test_diskcache.py -q
+	PYTHONPATH=src:benchmarks python benchmarks/bench_serve_cluster.py --smoke
+	PYTHONPATH=src:benchmarks python benchmarks/bench_serve_cluster.py --check
 
 # The observability contract: a seeded 2-constraint run through the
 # flight recorder must yield cut + per-constraint imbalance at every

@@ -1,0 +1,327 @@
+"""Cluster-tier load harness: thread vs process backends under a skewed
+request stream.
+
+Replays a **zipf-skewed** synthetic stream (mixed topologies, ``k``, ``m``)
+against :class:`repro.serve.PartitionService` on each execution backend and
+records into ``benchmarks/results/BENCH_serve_cluster.json`` (schema
+``BENCH_serve_cluster/v1``):
+
+* **cold saturation throughput** -- all-distinct cold requests fanned
+  across the service pool with caching/dedup off;
+* **replay tail latency** -- p50/p99 over the skewed stream served with
+  the full front end (cache + dedup + admission control);
+* **shed rate** -- requests refused by admission control under a bounded
+  queue with more clients than workers;
+* **determinism violations** -- every served result is compared
+  bit-for-bit against a serial ``part_graph`` reference; the count must
+  be **zero** on every backend (the headline invariant of the tier).
+
+The process-vs-thread throughput invariant (process >= 2x thread cold
+saturation) only holds where there are cores to scale onto, so the record
+carries ``cores`` and the ratio is **asserted only when cores >= 4**
+(``invariants.ratio_asserted``); single-core boxes still record the honest
+ratio.  ``--smoke`` shrinks the stream for CI; ``--check`` re-validates the
+recorded JSON without re-running (the CI job runs ``--smoke`` then
+``--check``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import queue
+import sys
+import threading
+import time
+
+import numpy as np
+
+from repro.errors import ServeOverloadError
+from repro.graph import mesh_like
+from repro.partition import part_graph
+from repro.serve import BACKENDS, PartitionService, ServiceConfig
+from repro.weights import type1_region_weights
+
+from _util import RESULTS_DIR, emit_table, timed
+
+RESULT_PATH = os.path.join(RESULTS_DIR, "BENCH_serve_cluster.json")
+SCHEMA = "BENCH_serve_cluster/v1"
+MASTER_SEED = 20260808
+ZIPF_S = 1.1               # stream skew exponent
+RATIO_FLOOR = 2.0          # process >= 2x thread cold throughput ...
+RATIO_MIN_CORES = 4        # ... asserted only at >= this many cores
+
+
+def _graph_pool(smoke: bool):
+    """Mixed topologies x constraint counts, built once per run."""
+    sizes = [600, 900, 1200] if smoke else [3000, 4500, 6000]
+    pool = []
+    for i, n in enumerate(sizes):
+        g = mesh_like(n, seed=MASTER_SEED + i)
+        for m in (1, 2, 3):
+            gm = g if m == 1 else g.with_vwgt(
+                type1_region_weights(g, m, seed=MASTER_SEED + 7 * m + i))
+            pool.append((f"n{n}m{m}", gm))
+    return pool
+
+
+def _templates(smoke: bool):
+    """The request catalog the zipf stream draws from."""
+    ks = (4, 8) if smoke else (4, 8, 16)
+    out = []
+    for name, g in _graph_pool(smoke):
+        for k in ks:
+            out.append({"name": f"{name}k{k}", "graph": g, "nparts": k,
+                        "seed": MASTER_SEED % 1000 + k})
+    return out
+
+
+def _zipf_stream(templates, length, rng):
+    """Zipf-skewed template indices: a few hot requests, a long tail."""
+    ranks = np.arange(1, len(templates) + 1, dtype=float)
+    p = ranks ** -ZIPF_S
+    p /= p.sum()
+    return rng.choice(len(templates), size=length, p=p)
+
+
+def _references(templates):
+    """Serial bit-identity oracle, one compute per unique template."""
+    return {t["name"]: part_graph(t["graph"], t["nparts"], seed=t["seed"])
+            for t in templates}
+
+
+def _identical(a, b) -> bool:
+    return (np.array_equal(a.part, b.part) and a.edgecut == b.edgecut
+            and np.array_equal(a.imbalance, b.imbalance)
+            and a.feasible == b.feasible)
+
+
+def _percentile_ms(samples, q) -> float:
+    return round(float(np.percentile(samples, q)) * 1000.0, 3) if samples \
+        else 0.0
+
+
+# ------------------------------------------------------------------ phases
+
+
+def _cold_saturation(backend, templates, repeats, workers):
+    """All-distinct cold computes, front end stripped (no cache, no dedup):
+    the execution substrate is the only variable."""
+    cfg = ServiceConfig(backend=backend, max_workers=workers,
+                        process_workers=workers, cache_entries=0,
+                        dedup=False, warm_start=False)
+    jobs = [(t, rep) for rep in range(repeats) for t in templates]
+    with PartitionService(cfg) as svc:
+        svc.warmup()  # spawn cost must not pollute the measurement
+        t0 = time.perf_counter()
+        futs = [svc.submit(t["graph"], t["nparts"],
+                           seed=t["seed"] + 1000 * (rep + 1))
+                for t, rep in jobs]
+        for f in futs:
+            f.result(timeout=600.0)
+        seconds = time.perf_counter() - t0
+    return {
+        "requests": len(jobs),
+        "seconds": round(seconds, 3),
+        "throughput_rps": round(len(jobs) / seconds, 3),
+    }
+
+
+def _replay(backend, templates, stream, refs, *, workers, clients,
+            max_pending):
+    """Closed-loop clients replaying the skewed stream through the full
+    front end; bounded queue so overload sheds instead of piling up."""
+    cfg = ServiceConfig(backend=backend, max_workers=workers,
+                        process_workers=workers, warm_start=False,
+                        max_pending=max_pending)
+    work: "queue.Queue[int]" = queue.Queue()
+    for idx in stream:
+        work.put(int(idx))
+    latencies, violations, shed = [], [], 0
+    lock = threading.Lock()
+
+    def client(svc):
+        nonlocal shed
+        while True:
+            try:
+                idx = work.get_nowait()
+            except queue.Empty:
+                return
+            t = templates[idx]
+            t0 = time.perf_counter()
+            try:
+                res = svc.partition(t["graph"], t["nparts"], seed=t["seed"])
+            except ServeOverloadError:
+                with lock:
+                    shed += 1
+                continue
+            dt = time.perf_counter() - t0
+            with lock:
+                latencies.append(dt)
+                if not _identical(res, refs[t["name"]]):
+                    violations.append(t["name"])
+
+    with PartitionService(cfg) as svc:
+        svc.warmup()
+        t0 = time.perf_counter()
+        threads = [threading.Thread(target=client, args=(svc,))
+                   for _ in range(clients)]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        seconds = time.perf_counter() - t0
+        stats = svc.stats()
+    offered = len(stream)
+    return {
+        "offered": offered,
+        "served": len(latencies),
+        "shed": shed,
+        "shed_rate": round(shed / offered, 4) if offered else 0.0,
+        "seconds": round(seconds, 3),
+        "p50_ms": _percentile_ms(latencies, 50),
+        "p99_ms": _percentile_ms(latencies, 99),
+        "cache_hits": stats["serve.cache.hits"],
+        "dedup_coalesced": stats["serve.dedup.coalesced"],
+        "stats_shed": stats["serve.shed"],
+        "determinism_violations": sorted(set(violations)),
+    }
+
+
+# --------------------------------------------------------------------- run
+
+
+def run(smoke: bool = False) -> dict:
+    cores = os.cpu_count() or 1
+    workers = max(2, min(4, cores))
+    templates = _templates(smoke)
+    stream_len = 60 if smoke else 400
+    clients = workers * 3          # oversubscribed: admission has work to do
+    max_pending = workers * 2
+    cold_repeats = 1 if smoke else 2
+
+    refs, ref_s = timed(_references, templates)
+    print(f"[setup] {len(templates)} templates, serial references in "
+          f"{ref_s:.1f}s; cores={cores}, workers={workers}")
+    rng = np.random.default_rng(MASTER_SEED)
+    stream = _zipf_stream(templates, stream_len, rng)
+
+    backends = {}
+    for backend in BACKENDS:
+        cold = _cold_saturation(backend, templates, cold_repeats, workers)
+        replay = _replay(backend, templates, stream, refs, workers=workers,
+                         clients=clients, max_pending=max_pending)
+        backends[backend] = {"cold": cold, "replay": replay}
+        print(f"[{backend}] cold {cold['throughput_rps']} rps; replay "
+              f"p50 {replay['p50_ms']}ms p99 {replay['p99_ms']}ms "
+              f"shed {replay['shed']}/{replay['offered']}")
+
+    thread_rps = backends["thread"]["cold"]["throughput_rps"]
+    process_rps = backends["process"]["cold"]["throughput_rps"]
+    total_violations = sum(
+        len(b["replay"]["determinism_violations"]) for b in backends.values())
+    record = {
+        "schema": SCHEMA,
+        "mode": "smoke" if smoke else "full",
+        "cores": cores,
+        "config": {
+            "workers": workers, "clients": clients,
+            "max_pending": max_pending, "zipf_s": ZIPF_S,
+            "stream_length": int(stream_len),
+            "templates": len(templates), "cold_repeats": cold_repeats,
+        },
+        "backends": backends,
+        "invariants": {
+            "determinism_violations": total_violations,
+            "cold_throughput_ratio": round(process_rps / thread_rps, 3)
+            if thread_rps else 0.0,
+            "ratio_floor": RATIO_FLOOR,
+            "ratio_asserted": cores >= RATIO_MIN_CORES,
+        },
+    }
+
+    emit_table(
+        "serve_cluster",
+        ["backend", "cold rps", "replay p50 (ms)", "p99 (ms)",
+         "shed rate", "cache hits", "det. violations"],
+        [[b, backends[b]["cold"]["throughput_rps"],
+          backends[b]["replay"]["p50_ms"], backends[b]["replay"]["p99_ms"],
+          backends[b]["replay"]["shed_rate"],
+          backends[b]["replay"]["cache_hits"],
+          len(backends[b]["replay"]["determinism_violations"])]
+         for b in BACKENDS],
+        title=f"Cluster tier: thread vs process ({cores} cores, "
+              f"{workers} workers, zipf s={ZIPF_S})",
+    )
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(RESULT_PATH, "w") as fh:
+        json.dump(record, fh, indent=2)
+        fh.write("\n")
+    print(f"recorded -> {RESULT_PATH}")
+    check_record(record)
+    return record
+
+
+def check_record(record: dict) -> None:
+    """The JSON invariants the CI job enforces."""
+    failures = []
+    if record.get("schema") != SCHEMA:
+        failures.append(f"schema {record.get('schema')!r} != {SCHEMA!r}")
+    inv = record.get("invariants", {})
+    if inv.get("determinism_violations") != 0:
+        failures.append(
+            f"determinism violations: {inv.get('determinism_violations')} "
+            "(must be zero on every backend)")
+    for backend, b in record.get("backends", {}).items():
+        r = b["replay"]
+        if r["served"] + r["shed"] != r["offered"]:
+            failures.append(
+                f"{backend}: served {r['served']} + shed {r['shed']} != "
+                f"offered {r['offered']}")
+        if r["shed"] != r["stats_shed"]:
+            failures.append(
+                f"{backend}: client-observed sheds {r['shed']} != "
+                f"service counter {r['stats_shed']}")
+        if b["cold"]["throughput_rps"] <= 0:
+            failures.append(f"{backend}: non-positive cold throughput")
+    ratio = inv.get("cold_throughput_ratio", 0.0)
+    if inv.get("ratio_asserted"):
+        if ratio < inv.get("ratio_floor", RATIO_FLOOR):
+            failures.append(
+                f"process/thread cold throughput {ratio}x < "
+                f"{inv.get('ratio_floor')}x on {record.get('cores')} cores")
+    if failures:
+        raise AssertionError("cluster-tier contract violated:\n  " +
+                             "\n  ".join(failures))
+    note = ("asserted" if inv.get("ratio_asserted")
+            else f"recorded only: {record.get('cores')} core(s)")
+    print(f"check ok: zero determinism violations; process/thread cold "
+          f"throughput {ratio}x ({note})")
+
+
+def check_file(path: str = RESULT_PATH) -> None:
+    with open(path) as fh:
+        check_record(json.load(fh))
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true",
+                    help="small stream / small graphs for CI")
+    ap.add_argument("--check", action="store_true",
+                    help="validate the recorded JSON without re-running")
+    args = ap.parse_args(argv)
+    if args.check:
+        check_file()
+        return 0
+    t0 = time.time()
+    run(smoke=args.smoke)
+    print(f"total {time.time() - t0:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    # Real-file entry with a __main__ guard: the process backend uses the
+    # *spawn* start method, which re-imports __main__ in every worker.
+    raise SystemExit(main())

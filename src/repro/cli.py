@@ -25,8 +25,11 @@ forbids graceful degradation; see ``docs/robustness.md``.
 Serving: ``--cache`` routes the run through the in-process
 :class:`repro.serve.PartitionService` (same result, exercises the cached
 path); ``--serve-bench N`` replays the request N times across a thread
-pool and prints cache hit rate and cold/hit latencies; see
-``docs/serving.md``.
+pool and prints cache hit rate and cold/hit latencies; ``--backend
+process`` computes on a spawned worker-process pool instead of the
+service threads, and ``--cache-dir DIR`` persists results to a
+disk-backed cache so a later invocation serves them back bit-identical;
+see ``docs/serving.md``.
 """
 
 from __future__ import annotations
@@ -91,6 +94,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="benchmark the partition service: replay the "
                         "request N times over a thread pool and report "
                         "hit rate and cold/hit latency (implies --cache)")
+    p.add_argument("--backend", choices=("thread", "process"),
+                   default="thread",
+                   help="cold-compute backend for the served request: "
+                        "inline threads (default) or a spawned "
+                        "worker-process pool (requires --cache/"
+                        "--serve-bench; see docs/serving.md)")
+    p.add_argument("--cache-dir", metavar="DIR",
+                   help="disk-backed second-level result cache directory "
+                        "for the partition service: cold results persist "
+                        "there and later runs (even after restart) serve "
+                        "them back bit-identical (requires --cache/"
+                        "--serve-bench)")
     p.add_argument("--trace", metavar="FILE",
                    help="write a structured JSONL trace of the run to FILE "
                         "(spans with timings + metrics; see "
@@ -202,6 +217,10 @@ def main(argv=None) -> int:
                   file=sys.stderr)
             return 2
         use_cache = args.cache or args.serve_bench
+        if (args.backend != "thread" or args.cache_dir) and not use_cache:
+            print("error: --backend/--cache-dir only apply to the served "
+                  "path; add --cache or --serve-bench", file=sys.stderr)
+            return 2
         if use_cache and (args.ranks or args.nseeds > 1):
             print("error: --cache/--serve-bench cannot be combined with "
                   "--ranks or --nseeds", file=sys.stderr)
@@ -219,14 +238,21 @@ def main(argv=None) -> int:
 
         t0 = time.perf_counter()
         if use_cache:
-            from .serve import PartitionService
+            from .serve import PartitionService, ServiceConfig
 
-            with PartitionService(tracer=tracer) as svc:
+            cfg = ServiceConfig(backend=args.backend,
+                                cache_dir=args.cache_dir)
+            with PartitionService(cfg, tracer=tracer) as svc:
                 res = svc.partition(graph, args.nparts, method=args.method,
                                     ubvec=args.tol, seed=args.seed,
                                     matching=args.matching)
                 elapsed = time.perf_counter() - t0
-                print(res.summary() + f"  [{elapsed:.2f}s cold]")
+                served_from = "cold"
+                if args.cache_dir:
+                    st = svc.stats()
+                    if st.get("serve.diskcache.hits", 0):
+                        served_from = "disk hit"
+                print(res.summary() + f"  [{elapsed:.2f}s {served_from}]")
                 if args.serve_bench:
                     _serve_bench(svc, graph, args, cold_seconds=elapsed)
         elif args.ranks:

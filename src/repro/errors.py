@@ -156,6 +156,38 @@ class ServiceClosedError(ServeError):
     requests are accepted."""
 
 
+class ServeOverloadError(ServeError):
+    """The service shed this request at admission: the pending-compute
+    queue was at its bound (``ServiceConfig.max_pending``) and the
+    request's class did not qualify for the remaining headroom.  Shedding
+    happens *before* any compute is queued -- retry later, lower the
+    offered load, or raise the bound.  Carries the request class in
+    :attr:`klass` and the queue depth observed at rejection in
+    :attr:`queue_depth`."""
+
+    def __init__(self, message: str, *, klass: str = "interactive",
+                 queue_depth: int = 0):
+        super().__init__(message)
+        self.klass = klass
+        self.queue_depth = queue_depth
+
+
+class ServeBatchError(ServeError):
+    """One or more requests of a :meth:`PartitionService.batch` failed.
+
+    The batch is gathered to completion before this is raised, so the
+    successful results are not abandoned: :attr:`results` holds the
+    per-request outcome in submission order (a
+    :class:`~repro.partition.PartitionResult` or ``None`` for a failed
+    slot) and :attr:`errors` maps each failed index to the exception that
+    killed it."""
+
+    def __init__(self, message: str, *, results=(), errors=None):
+        super().__init__(message)
+        self.results = list(results)
+        self.errors = dict(errors or {})
+
+
 class ObsError(ReproError):
     """An observability artifact is unusable: a drift baseline is missing
     or malformed, or a Prometheus exposition fails validation

@@ -1,12 +1,23 @@
-"""repro.serve -- cached, batched, warm-starting partition service.
+"""repro.serve -- cached, batched, warm-starting partition service tier.
 
 The production-shaped front-end over :func:`repro.partition.part_graph`
 (see ``docs/serving.md`` for the full contract):
 
 * :class:`PartitionService` -- thread-safe request front door: submit /
-  partition / batch, per-request deadlines, trace counters.
+  partition / batch, per-request and per-class deadlines, admission
+  control with load shedding, trace counters.
+* :class:`ComputeBackend` seam -- cold computes run inline on the service
+  threads (:class:`ThreadBackend`, the deterministic oracle) or on a pool
+  of spawned worker processes (:class:`ProcessBackend`,
+  ``ServiceConfig(backend="process")``) that sidesteps the GIL.
 * :class:`ResultCache` -- content-addressed LRU + max-byte result cache;
   a hit is bit-identical to the cold compute it stands in for.
+* :class:`DiskCache` -- disk-backed second-level cache
+  (``ServiceConfig(cache_dir=...)``): digest-named atomic entries,
+  corruption-tolerant reads, byte-budget LRU; a restarted service warms
+  instantly.
+* :class:`AdmissionController` -- bounded pending queue with per-class
+  shedding (:class:`~repro.errors.ServeOverloadError`).
 * :func:`request_key` -- the canonical cache-key constructor (CSR bytes,
   weights, nparts, method, target fractions, semantic options, pinned
   seed).
@@ -25,7 +36,11 @@ Quickstart::
         assert (cold.part == hit.part).all()
 """
 
+from .admission import REQUEST_CLASSES, AdmissionController
 from .cache import CacheEntry, ResultCache
+from .cluster import ProcessBackend
+from .diskcache import DiskCache
+from .executor import BACKENDS, ComputeBackend, ThreadBackend, make_backend
 from .key import SEMANTIC_OPTION_FIELDS, RequestKey, request_key
 from .service import PartitionService, ServeFuture, ServiceConfig
 from .warm import warm_start
@@ -36,6 +51,14 @@ __all__ = [
     "ServeFuture",
     "ResultCache",
     "CacheEntry",
+    "DiskCache",
+    "AdmissionController",
+    "REQUEST_CLASSES",
+    "ComputeBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "BACKENDS",
+    "make_backend",
     "RequestKey",
     "request_key",
     "SEMANTIC_OPTION_FIELDS",

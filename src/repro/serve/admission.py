@@ -1,0 +1,120 @@
+"""Admission control and backpressure for the partition service.
+
+A service that accepts every request degrades for everyone at once: the
+pending queue grows without bound and every deadline starts expiring.
+:class:`AdmissionController` bounds the damage at the front door:
+
+* **bounded pending queue** -- at most ``max_pending`` computes may be
+  queued (submitted but not yet started).  Cache hits, disk hits and
+  coalesced duplicates never occupy a slot;
+* **per-class service levels** -- every request carries a class,
+  ``"interactive"`` (default) or ``"batch"``.  Batch traffic is shed
+  early, at ``batch_shed_fraction`` of the bound, keeping headroom so
+  interactive requests still get in while the queue drains; interactive
+  requests are shed only when the queue is full;
+* **load shedding** -- a rejected request raises the typed
+  :class:`~repro.errors.ServeOverloadError` *at submit time*: the caller
+  knows immediately, nothing is queued, and the ``serve.shed`` /
+  ``serve.shed.<class>`` counters record it;
+* **observability** -- the live ``queue_depth`` (pending) and ``inflight``
+  (running computes) gauges feed ``service.stats()`` and the Prometheus
+  exposition.
+
+The controller is bookkeeping only -- the owning service calls it under
+its own admission lock; nothing here blocks.
+"""
+
+from __future__ import annotations
+
+from ..errors import ServeOverloadError
+
+__all__ = ["AdmissionController", "REQUEST_CLASSES"]
+
+#: Valid request classes, most to least latency-sensitive.
+REQUEST_CLASSES = ("interactive", "batch")
+
+
+class AdmissionController:
+    """Bounded-queue admission with per-class shedding thresholds.
+
+    Parameters
+    ----------
+    max_pending:
+        Pending-compute bound; ``None`` disables shedding (the gauges are
+        still tracked).  ``0`` sheds every compute -- useful to drain a
+        service that must only answer from cache.
+    batch_shed_fraction:
+        Fraction of ``max_pending`` at which *batch* requests start being
+        shed (default 0.5).  Interactive requests use the full bound.
+    """
+
+    def __init__(self, max_pending: int | None = None,
+                 batch_shed_fraction: float = 0.5):
+        if max_pending is not None and max_pending < 0:
+            raise ValueError("max_pending must be >= 0 or None")
+        if not 0.0 <= batch_shed_fraction <= 1.0:
+            raise ValueError("batch_shed_fraction must be in [0, 1]")
+        self.max_pending = max_pending
+        self.batch_shed_fraction = batch_shed_fraction
+        self.pending = 0    # submitted, not yet started (queue depth)
+        self.inflight = 0   # compute currently running
+        self.shed = {klass: 0 for klass in REQUEST_CLASSES}
+
+    # ------------------------------------------------------------ limits
+
+    def _bound(self, klass: str) -> int | None:
+        if self.max_pending is None:
+            return None
+        if klass == "batch":
+            return int(self.max_pending * self.batch_shed_fraction)
+        return self.max_pending
+
+    def admit(self, klass: str) -> None:
+        """Claim a queue slot for one compute, or shed it.
+
+        Raises :class:`ServeOverloadError` when the class's threshold is
+        reached; on success the caller *must* later pair this with
+        :meth:`start` + :meth:`done` (or :meth:`abandon` if the compute is
+        never handed to a worker).
+        """
+        if klass not in REQUEST_CLASSES:
+            raise ValueError(
+                f"unknown request class {klass!r}: expected one of "
+                f"{REQUEST_CLASSES}")
+        bound = self._bound(klass)
+        if bound is not None and self.pending >= bound:
+            self.shed[klass] += 1
+            raise ServeOverloadError(
+                f"request shed: {self.pending} computes pending >= "
+                f"{klass} bound {bound}", klass=klass,
+                queue_depth=self.pending)
+        self.pending += 1
+
+    def start(self) -> None:
+        """A queued compute was picked up by a worker."""
+        self.pending = max(0, self.pending - 1)
+        self.inflight += 1
+
+    def done(self) -> None:
+        """A running compute finished (any outcome)."""
+        self.inflight = max(0, self.inflight - 1)
+
+    def abandon(self) -> None:
+        """A claimed slot will never run (submit failed after admit)."""
+        self.pending = max(0, self.pending - 1)
+
+    # ------------------------------------------------------------- stats
+
+    def counters(self) -> dict:
+        """Shed counters (``serve.shed*`` names)."""
+        out = {"serve.shed": sum(self.shed.values())}
+        for klass in REQUEST_CLASSES:
+            out[f"serve.shed.{klass}"] = self.shed[klass]
+        return out
+
+    def gauges(self) -> dict:
+        """Live queue gauges (``serve.queue_depth`` / ``serve.inflight``)."""
+        return {
+            "serve.queue_depth": self.pending,
+            "serve.inflight": self.inflight,
+        }

@@ -86,12 +86,17 @@ class ResultCache:
         """Current summed size of the cached arrays."""
         return self._bytes
 
-    def get(self, key: RequestKey) -> PartitionResult | None:
+    def get(self, key: RequestKey, *,
+            count_miss: bool = True) -> PartitionResult | None:
         """The cached result for ``key`` (refreshing its LRU position), or
-        ``None``.  Uncacheable keys always miss."""
+        ``None``.  Uncacheable keys always miss.  ``count_miss=False``
+        suppresses the miss counter -- used by the service when it
+        re-checks a key it already counted as missed (e.g. after a disk
+        lookup), so one request never records two misses."""
         entry = self._entries.get(key.digest) if key.cacheable else None
         if entry is None:
-            self.misses += 1
+            if count_miss:
+                self.misses += 1
             return None
         self._entries.move_to_end(key.digest)
         self.hits += 1

@@ -32,7 +32,9 @@ from repro.errors import (
     RankUnavailableError,
     ReproError,
     RetryExhaustedError,
+    ServeBatchError,
     ServeError,
+    ServeOverloadError,
     ServeTimeoutError,
     ServiceClosedError,
     TransientCommError,
@@ -221,6 +223,28 @@ class TestServeErrors:
         with pytest.raises(ServiceClosedError):
             svc.submit(g200, 2, seed=0)
 
+    @covers(ServeOverloadError)
+    def test_overload_shed_on_full_queue(self, g200):
+        from repro.serve import PartitionService, ServiceConfig
+
+        cfg = ServiceConfig(max_pending=0, warm_start=False)
+        with PartitionService(cfg) as svc:
+            with pytest.raises(ServeOverloadError) as ei:
+                svc.submit(g200, 4, seed=0)
+        assert ei.value.klass == "interactive"
+        assert ei.value.queue_depth == 0
+
+    @covers(ServeBatchError)
+    def test_batch_failure_raises_aggregate(self, g200):
+        from repro.serve import PartitionService, ServiceConfig
+
+        with PartitionService(ServiceConfig(warm_start=False)) as svc:
+            with pytest.raises(ServeBatchError) as ei:
+                svc.batch([(g200, 2, {"seed": 0}),
+                           (g200, 10**9, {"seed": 0})])  # nparts > nvtxs
+        assert sorted(ei.value.errors) == [1]
+        assert ei.value.results[0] is not None
+
 
 class TestObsErrors:
     @covers(ObsError)
@@ -251,6 +275,8 @@ class TestTaxonomyShape:
         assert issubclass(GraphFormatError, GraphError)
         assert issubclass(ServeTimeoutError, ServeError)
         assert issubclass(ServiceClosedError, ServeError)
+        assert issubclass(ServeOverloadError, ServeError)
+        assert issubclass(ServeBatchError, ServeError)
 
     def test_everything_is_repro_error(self):
         for name, obj in vars(errors_mod).items():

@@ -5,6 +5,7 @@ checking against recorded baselines."""
 from __future__ import annotations
 
 import json
+import time
 
 import numpy as np
 import pytest
@@ -340,6 +341,54 @@ class TestServeMetrics:
         assert families["repro_serve_latency_hit"]["type"] == "histogram"
         assert families["repro_serve_requests"]["type"] == "counter"
         assert families["repro_serve_cache_entries"]["type"] == "gauge"
+        # the admission layer's live queue gauges + shed counters are
+        # always exposed (zero-valued on an idle thread backend)
+        assert families["repro_serve_inflight"]["type"] == "gauge"
+        assert families["repro_serve_queue_depth"]["type"] == "gauge"
+        assert families["repro_serve_shed"]["type"] == "counter"
+        assert families["repro_serve_shed_batch"]["type"] == "counter"
+
+    def test_queue_gauges_track_load_and_disk_tier_exposes(self, mesh,
+                                                           tmp_path):
+        """`serve.inflight`/`serve.queue_depth` reflect live load, and a
+        disk-tier service exposes its `serve.diskcache.*` families."""
+        import threading
+
+        from repro.serve import PartitionService, ServiceConfig
+
+        cfg = ServiceConfig(max_workers=1, warm_start=False,
+                            cache_dir=str(tmp_path / "dc"))
+        release = threading.Event()
+        with PartitionService(cfg) as svc:
+            import repro.serve.service as service_mod
+            real = service_mod.part_graph
+
+            def gated(*args, **kwargs):
+                release.wait(5.0)
+                return real(*args, **kwargs)
+
+            service_mod.part_graph = gated
+            try:
+                f1 = svc.submit(mesh, 4, seed=2)
+                f2 = svc.submit(mesh, 5, seed=2)   # queued behind f1
+                deadline = time.monotonic() + 5.0
+                while time.monotonic() < deadline:
+                    st = svc.stats()
+                    if st["serve.inflight"] == 1 and st["serve.queue_depth"] == 1:
+                        break
+                    time.sleep(0.01)
+                else:
+                    raise AssertionError(f"gauges never converged: {st}")
+            finally:
+                release.set()
+                service_mod.part_graph = real
+            f1.result()
+            f2.result()
+            st = svc.stats()
+            assert st["serve.inflight"] == 0 and st["serve.queue_depth"] == 0
+            families = parse_exposition(svc.metrics_text())
+        assert families["repro_serve_diskcache_entries"]["type"] == "gauge"
+        assert families["repro_serve_diskcache_stores"]["type"] == "counter"
 
     def test_level_record_defaults(self):
         rec = LevelRecord(phase="refine", direction="uncoarsening",

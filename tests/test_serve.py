@@ -22,6 +22,7 @@ from repro._rng import canonical_seed
 from repro.adaptive.repart import RepartitionResult
 from repro.errors import (
     OptionsError,
+    ServeBatchError,
     ServeTimeoutError,
     ServiceClosedError,
 )
@@ -267,6 +268,40 @@ class TestDedup:
         assert same_result(out[0], out[2])
         assert svc.stats()["serve.cold_computes"] == 2
 
+    def test_batch_gathers_all_outcomes_on_failure(self, monkeypatch):
+        """Regression: ``batch`` used to raise on the first failed future
+        and silently abandon the rest.  It now gathers everything and
+        raises an aggregate carrying per-request outcomes."""
+        g = make_graph(150, 1)
+        real = service_mod.part_graph
+
+        def flaky(graph, nparts, **kwargs):
+            if nparts == 3:
+                raise RuntimeError("injected compute failure")
+            return real(graph, nparts, **kwargs)
+
+        monkeypatch.setattr(service_mod, "part_graph", flaky)
+        with PartitionService(ServiceConfig(warm_start=False)) as svc:
+            with pytest.raises(ServeBatchError) as excinfo:
+                svc.batch([
+                    (g, 2, {"seed": 0}),
+                    (g, 3, {"seed": 0}),          # fails in compute
+                    (g, 4, {"seed": 0}),
+                ])
+        err = excinfo.value
+        assert set(err.errors) == {1}
+        assert isinstance(err.errors[1], RuntimeError)
+        # the siblings were not abandoned: their results are delivered
+        assert err.results[1] is None
+        assert same_result(err.results[0], part_graph(g, 2, seed=0))
+        assert same_result(err.results[2], part_graph(g, 4, seed=0))
+
+    def test_batch_all_success_unchanged(self):
+        g = make_graph(120, 1)
+        with PartitionService(ServiceConfig(warm_start=False)) as svc:
+            out = svc.batch([(g, 2, {"seed": 1}), (g, 4, {"seed": 1})])
+        assert [r.nparts for r in out] == [2, 4]
+
     def test_none_seed_requests_are_independent(self):
         g = make_graph(120, 1)
         with PartitionService() as svc:
@@ -392,6 +427,59 @@ class TestDeadlinesAndErrors:
             with pytest.raises(ServeTimeoutError):
                 f2.result(timeout=5.0)
             assert f1.result().nparts == 4
+        assert svc.stats()["serve.timeouts"] == 1
+
+    def test_live_follower_keeps_coalesced_compute_alive(self, monkeypatch):
+        """Regression: a follower with a longer (or no) timeout used to
+        inherit the leader's deadline -- when the leader expired before
+        compute started, the shared future carried ServeTimeoutError to
+        everyone.  Per-follower deadlines keep the compute running for
+        live waiters."""
+        g = make_graph(100, 1)
+        real = service_mod.part_graph
+
+        def slow(*args, **kwargs):
+            time.sleep(0.3)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(service_mod, "part_graph", slow)
+        cfg = ServiceConfig(max_workers=1, warm_start=False)
+        with PartitionService(cfg) as svc:
+            filler = svc.submit(g, 4, seed=0)         # occupies the worker
+            leader = svc.submit(g, 5, seed=0, timeout=0.05)
+            follower = svc.submit(g, 5, seed=0)       # no deadline
+            assert follower.disposition == "coalesced"
+            # Only the genuinely-expired leader times out (checked while
+            # the compute is still queued behind the filler)...
+            with pytest.raises(ServeTimeoutError):
+                leader.result()
+            # ...while the follower gets a real result even though the
+            # leader's deadline expired before compute started.
+            res = follower.result(timeout=10.0)
+            assert same_result(res, part_graph(g, 5, seed=0))
+            assert filler.result().nparts == 4
+        # The compute ran: it was never skipped as expired.
+        assert svc.stats()["serve.timeouts"] == 0
+
+    def test_all_waiters_expired_still_skips(self, monkeypatch):
+        """When the leader *and* every follower are past their deadlines
+        the queued compute is still skipped entirely."""
+        g = make_graph(100, 1)
+        real = service_mod.part_graph
+
+        def slow(*args, **kwargs):
+            time.sleep(0.3)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(service_mod, "part_graph", slow)
+        cfg = ServiceConfig(max_workers=1, warm_start=False)
+        with PartitionService(cfg) as svc:
+            svc.submit(g, 4, seed=0)
+            leader = svc.submit(g, 5, seed=0, timeout=0.05)
+            follower = svc.submit(g, 5, seed=0, timeout=0.05)
+            for fut in (leader, follower):
+                with pytest.raises(ServeTimeoutError):
+                    fut.result(timeout=10.0)
         assert svc.stats()["serve.timeouts"] == 1
 
     def test_unknown_option_raises_options_error(self):
