@@ -5,13 +5,21 @@ balanced in all m constraints -- the paper stresses that refinement cannot
 repair a badly imbalanced start (>20% is usually unrecoverable).  This
 ablation restricts the candidate generator to a single strategy and
 measures the resulting end-to-end quality.
+
+Run standalone (``PYTHONPATH=src:benchmarks python
+benchmarks/bench_initpart_ablation.py``) to also emit machine-readable
+JSON for CI artifact upload; the pytest entry point keeps the txt table.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
+import os
+
 import numpy as np
 
-from _util import emit_table, timed, type1_graph
+from _util import RESULTS_DIR, emit_table, timed, type1_graph
 
 from repro.coarsen import coarsen
 from repro.initpart import initial_bisection
@@ -38,9 +46,33 @@ def _sweep():
         )
         cut = edge_cut(coarsest, where)
         imb = max_imbalance(coarsest.vwgt, where, 2)
-        stats[method] = (cut, imb)
+        stats[method] = (cut, imb, secs)
         rows.append([method, cut, f"{imb:.3f}", f"{secs:.2f}"])
     return rows, stats
+
+
+def _patience_sweep():
+    """Early-stop ablation: plateau patience vs. exhaustive legacy mode."""
+    g = type1_graph(GRAPH, M)
+    coarsest = coarsen(g, coarsen_to=100, seed=SEED).coarsest
+    records = []
+    for label, kwargs in (
+        ("strict (no early-stop)", {"strict": True}),
+        ("patience=2", {"patience": 2}),
+        ("patience=6 (default)", {"patience": 6}),
+        ("patience=12", {"patience": 12}),
+    ):
+        where, secs = timed(
+            initial_bisection, coarsest,
+            ubvec=1.05, ntries=8, seed=SEED, **kwargs,
+        )
+        records.append({
+            "config": label,
+            "cut": int(edge_cut(coarsest, where)),
+            "imbalance": round(float(max_imbalance(coarsest.vwgt, where, 2)), 4),
+            "seconds": round(secs, 4),
+        })
+    return records
 
 
 def test_initpart_ablation(once):
@@ -53,9 +85,56 @@ def test_initpart_ablation(once):
     )
     # The combined default must match or beat every single strategy on cut
     # among the feasible ones.
-    all_cut, all_imb = stats["all (default)"]
+    all_cut, all_imb, _ = stats["all (default)"]
     assert all_imb <= 1.06
-    feasible_cuts = [c for m, (c, i) in stats.items()
+    feasible_cuts = [c for m, (c, i, _) in stats.items()
                      if i <= 1.06 and m != "all (default)"]
     if feasible_cuts:
         assert all_cut <= min(feasible_cuts) * 1.05
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Initial-bisection ablation with machine-readable output")
+    parser.add_argument(
+        "--out",
+        default=os.path.join(RESULTS_DIR, "BENCH_initpart_ablation.json"),
+        help="path for the JSON artifact (default: %(default)s)")
+    args = parser.parse_args(argv)
+
+    rows, stats = _sweep()
+    emit_table(
+        "initpart_ablation",
+        ["candidate generator", "coarsest-graph cut", "max imbalance", "time (s)"],
+        rows,
+        f"A3: initial-bisection strategy ablation (coarsest graph of {GRAPH}, m={M})",
+    )
+    patience = _patience_sweep()
+
+    payload = {
+        "graph": GRAPH,
+        "ncon": M,
+        "seed": SEED,
+        "methods": [
+            {
+                "method": m,
+                "cut": int(c),
+                "imbalance": round(float(i), 4),
+                "seconds": round(s, 4),
+            }
+            for m, (c, i, s) in stats.items()
+        ],
+        "early_stop": patience,
+    }
+    os.makedirs(os.path.dirname(args.out), exist_ok=True)
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"ablation JSON -> {args.out}")
+    for rec in patience:
+        print(f"  {rec['config']:<24} cut={rec['cut']:<6} "
+              f"imb={rec['imbalance']:.3f}  {rec['seconds']:.2f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -63,6 +63,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=None, help="RNG seed")
     p.add_argument("--matching", choices=("hem", "bem", "rm", "fhem"), default="hem",
                    help="coarsening matching scheme (default: hem)")
+    p.add_argument("--init-ntries", type=int, metavar="N",
+                   help="candidate rounds in the initial bisection "
+                        "(default: PartitionOptions.init_ntries)")
+    p.add_argument("--init-methods", metavar="M1,M2,...",
+                   help="comma-separated candidate-generation methods for the "
+                        "initial bisection (unknown names get a suggestion)")
+    p.add_argument("--init-patience", type=int, metavar="P",
+                   help="plateau patience of the initial bisection's "
+                        "early stop (0 disables it)")
+    p.add_argument("--init-workers", type=int, metavar="W",
+                   help="process-pool workers for initial-bisection "
+                        "candidates (0 = in-process, bit-identical)")
+    p.add_argument("--strict-ntries", action="store_true",
+                   help="exact legacy multi-start: every round runs every "
+                        "method, no early stop, no duplicate skipping")
     p.add_argument("--out", help="write the partition vector to this file")
     p.add_argument("--demo", type=int, metavar="N",
                    help="ignore the graph file; run on a synthetic N-vertex "
@@ -236,6 +251,23 @@ def main(argv=None) -> int:
             # cache; pin one so the served run is reproducible & cacheable.
             args.seed = 0
 
+        # Initial-partitioning knobs ride through every execution path as
+        # plain option kwargs; the PartitionOptions front-door validates
+        # them (unknown method names raise OptionsError with a did-you-mean
+        # suggestion).
+        init_opts = {}
+        if args.init_ntries is not None:
+            init_opts["init_ntries"] = args.init_ntries
+        if args.init_methods is not None:
+            init_opts["init_methods"] = tuple(
+                m.strip() for m in args.init_methods.split(",") if m.strip())
+        if args.init_patience is not None:
+            init_opts["init_patience"] = args.init_patience
+        if args.init_workers is not None:
+            init_opts["init_workers"] = args.init_workers
+        if args.strict_ntries:
+            init_opts["strict_ntries"] = True
+
         t0 = time.perf_counter()
         if use_cache:
             from .serve import PartitionService, ServiceConfig
@@ -245,7 +277,7 @@ def main(argv=None) -> int:
             with PartitionService(cfg, tracer=tracer) as svc:
                 res = svc.partition(graph, args.nparts, method=args.method,
                                     ubvec=args.tol, seed=args.seed,
-                                    matching=args.matching)
+                                    matching=args.matching, **init_opts)
                 elapsed = time.perf_counter() - t0
                 served_from = "cold"
                 if args.cache_dir:
@@ -260,7 +292,7 @@ def main(argv=None) -> int:
             from .partition.config import PartitionOptions
 
             opts = PartitionOptions(ubvec=args.tol, seed=args.seed,
-                                    matching=args.matching)
+                                    matching=args.matching, **init_opts)
             res = parallel_part_graph(
                 graph, args.nparts, args.ranks,
                 options=opts, tracer=tracer,
@@ -281,7 +313,7 @@ def main(argv=None) -> int:
                 graph, args.nparts, args.nseeds,
                 seed=args.seed, method=args.method,
                 ubvec=args.tol, matching=args.matching,
-                tracer=tracer,
+                tracer=tracer, **init_opts,
             )
             res = ens.best
             elapsed = time.perf_counter() - t0
@@ -296,6 +328,7 @@ def main(argv=None) -> int:
                 matching=args.matching,
                 tracer=tracer,
                 strict=args.strict,
+                **init_opts,
             )
             elapsed = time.perf_counter() - t0
             print(res.summary() + f"  [{elapsed:.2f}s]")

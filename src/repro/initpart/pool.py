@@ -1,0 +1,241 @@
+"""Persistent process pool for initial-bisection candidate refinement.
+
+The multi-start candidates of :func:`repro.initpart.bisect.initial_bisection`
+are independent FM refinements of a small coarsest graph -- embarrassingly
+parallel work that the sequential plateau walk merely *consumes* in order.
+:class:`InitPool` fans the distinct candidates across spawned worker
+processes; the caller then replays its sequential selection over the
+ordered results, so the winner is bit-identical to the in-process path.
+
+Marshalling protocol ("ship once per worker", the idiom of
+:mod:`repro.serve.cluster`):
+
+* every graph is identified by a stable content token (a digest of its CSR
+  arrays -- the coarsest graphs handled here are tiny, so hashing is
+  cheap and safe against id() reuse);
+* a worker keeps a small LRU of reconstructed :class:`~repro.graph.csr.Graph`
+  objects keyed by token.  Chunks normally carry **only the token**; a
+  worker that does not hold the graph answers ``_NEED_GRAPH`` and the
+  parent resubmits that chunk once with the full CSR arrays.  The
+  ``initpart.pool.ship.*`` counters make the protocol observable.
+
+Workers are **spawned**, never forked (the caller may own threads, and
+forking a threaded process is undefined behaviour).  ``InitPool(0)``
+degrades to an inline single-process refinement loop -- handy for testing
+the batch/replay machinery without paying a process spawn.
+"""
+
+from __future__ import annotations
+
+import atexit
+import hashlib
+import threading
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import get_context
+
+import numpy as np
+
+from ..graph.csr import Graph
+from ..refine.fm2way import BisectScratch, fm2way_refine
+
+__all__ = ["InitPool", "get_pool"]
+
+#: Worker answer meaning "I do not hold this graph; resend with arrays".
+_NEED_GRAPH = "__repro_need_graph__"
+
+#: Per-worker-process graph cache size (distinct topologies a worker keeps).
+_WORKER_CACHE_ENTRIES = 8
+
+# ---------------------------------------------------------------- worker
+# Everything below runs inside the spawned worker processes; it must stay
+# importable at module top level (spawn pickles by reference).
+
+_worker_graphs: "OrderedDict[str, Graph]" = OrderedDict()
+
+
+def _worker_get_graph(token: str, blob) -> Graph | None:
+    """Resolve ``token`` against the worker-local cache, admitting ``blob``
+    (the CSR arrays) when it was shipped along."""
+    g = _worker_graphs.get(token)
+    if g is not None:
+        _worker_graphs.move_to_end(token)
+        return g
+    if blob is None:
+        return None
+    xadj, adjncy, vwgt, adjwgt = blob
+    g = Graph(xadj, adjncy, vwgt, adjwgt, validate=False)
+    _worker_graphs[token] = g
+    while len(_worker_graphs) > _WORKER_CACHE_ENTRIES:
+        _worker_graphs.popitem(last=False)
+    return g
+
+
+def _worker_refine(token, blob, wstack, target_fracs, ubvec, npasses):
+    """Refine one chunk of stacked candidate side-vectors in a worker.
+
+    Returns ``(refined_stack, [FMStats, ...])`` aligned with the chunk, or
+    ``_NEED_GRAPH`` when the worker does not hold the graph and no blob was
+    shipped."""
+    g = _worker_get_graph(token, blob)
+    if g is None:
+        return _NEED_GRAPH
+    scratch = BisectScratch(g, target_fracs=target_fracs, ubvec=ubvec)
+    out = np.empty_like(wstack)
+    stats = []
+    for i in range(wstack.shape[0]):
+        where = wstack[i].copy()
+        st = fm2way_refine(
+            g, where, target_fracs=target_fracs, ubvec=ubvec,
+            npasses=npasses, scratch=scratch,
+        )
+        out[i] = where
+        stats.append(st)
+    return out, stats
+
+
+# ---------------------------------------------------------------- parent
+
+
+def _graph_token(graph: Graph) -> str:
+    h = hashlib.sha1()
+    for arr in (graph.xadj, graph.adjncy, graph.vwgt, graph.adjwgt):
+        a = np.ascontiguousarray(arr)
+        h.update(str(a.shape).encode())
+        h.update(a.tobytes())
+    return h.hexdigest()
+
+
+class InitPool:
+    """Process pool refining initial-bisection candidates in parallel.
+
+    Parameters
+    ----------
+    workers:
+        Worker-process count.  0 runs the refinement inline (single
+        process, no executor) -- results are bit-identical either way,
+        which is pinned by the parity tests.
+    """
+
+    def __init__(self, workers: int):
+        self.workers = int(workers)
+        self._pool: ProcessPoolExecutor | None = None
+        self._lock = threading.Lock()
+        self._shipped: set[str] = set()
+        self._counters = {
+            "initpart.pool.batches": 0,
+            "initpart.pool.candidates": 0,
+            "initpart.pool.ship.full": 0,
+            "initpart.pool.ship.token": 0,
+            "initpart.pool.ship.retry": 0,
+        }
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        with self._lock:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=max(1, self.workers),
+                    mp_context=get_context("spawn"))
+            return self._pool
+
+    def _incr(self, key: str, n: int = 1) -> None:
+        with self._lock:
+            self._counters[key] += n
+
+    def counters(self) -> dict:
+        with self._lock:
+            return dict(self._counters)
+
+    def refine_batch(self, graph: Graph, candidates, *, target_fracs, ubvec, npasses):
+        """FM-refine every candidate side-vector against ``graph``.
+
+        Returns a list of ``(refined_where, FMStats)`` aligned with
+        ``candidates``.  Chunks are distributed across the workers; with
+        ``workers=0`` the loop runs inline.
+        """
+        if not candidates:
+            return []
+        self._incr("initpart.pool.batches")
+        self._incr("initpart.pool.candidates", len(candidates))
+        if self.workers <= 0:
+            scratch = BisectScratch(graph, target_fracs=target_fracs, ubvec=ubvec)
+            out = []
+            for w in candidates:
+                where = w.copy()
+                st = fm2way_refine(
+                    graph, where, target_fracs=target_fracs, ubvec=ubvec,
+                    npasses=npasses, scratch=scratch,
+                )
+                out.append((where, st))
+            return out
+
+        pool = self._ensure_pool()
+        token = _graph_token(graph)
+        with self._lock:
+            shipped = token in self._shipped
+        blob = (graph.xadj, graph.adjncy, graph.vwgt, graph.adjwgt)
+        wstack = np.stack(candidates)
+        nchunks = min(self.workers, len(candidates))
+        chunks = np.array_split(np.arange(len(candidates)), nchunks)
+
+        futs = []
+        for idx in chunks:
+            if shipped:
+                # Optimistic: some worker already holds this graph.
+                self._incr("initpart.pool.ship.token")
+                fut = pool.submit(_worker_refine, token, None, wstack[idx],
+                                  target_fracs, ubvec, npasses)
+            else:
+                self._incr("initpart.pool.ship.full")
+                fut = pool.submit(_worker_refine, token, blob, wstack[idx],
+                                  target_fracs, ubvec, npasses)
+            futs.append((idx, fut))
+        if not shipped:
+            with self._lock:
+                self._shipped.add(token)
+
+        results: list = [None] * len(candidates)
+        for idx, fut in futs:
+            out = fut.result()
+            if isinstance(out, str) and out == _NEED_GRAPH:
+                # Landed on a cold worker: reship the arrays once to it.
+                self._incr("initpart.pool.ship.retry")
+                self._incr("initpart.pool.ship.full")
+                out = pool.submit(_worker_refine, token, blob, wstack[idx],
+                                  target_fracs, ubvec, npasses).result()
+            refined, stats = out
+            for j, i in enumerate(idx.tolist()):
+                results[i] = (refined[j], stats[j])
+        return results
+
+    def close(self) -> None:
+        """Shut the executor down (idempotent)."""
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+
+_pools: dict[int, InitPool] = {}
+_pools_lock = threading.Lock()
+
+
+def get_pool(workers: int) -> InitPool:
+    """Shared per-process :class:`InitPool` registry (one pool per worker
+    count, spawned lazily, closed at interpreter exit)."""
+    workers = int(workers)
+    with _pools_lock:
+        pool = _pools.get(workers)
+        if pool is None:
+            pool = InitPool(workers)
+            _pools[workers] = pool
+        return pool
+
+
+@atexit.register
+def _close_pools() -> None:
+    with _pools_lock:
+        pools = list(_pools.values())
+        _pools.clear()
+    for p in pools:
+        p.close()

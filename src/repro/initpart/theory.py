@@ -80,6 +80,13 @@ def greedy_bisection(relw: np.ndarray, target: float = 0.5, seed=None) -> np.nda
     smaller.  Overloads are scaled by the side targets so asymmetric splits
     (``target != 0.5``) work.
 
+    The placement loop is inherently sequential (each decision depends on
+    the running loads), so it runs on plain-Python floats: at ``m <= 5``
+    elements per step, ufunc dispatch costs more than the arithmetic.  The
+    operations are IEEE-identical to the NumPy-row version
+    (:func:`_reference_greedy_bisection` pins the parity), so seeded
+    outputs are unchanged.
+
     Returns a 0/1 side vector.
     """
     relw = _check_relw(relw)
@@ -94,11 +101,45 @@ def greedy_bisection(relw: np.ndarray, target: float = 0.5, seed=None) -> np.nda
     # Guard vacuous constraints (zero column total).
     scale = np.where(tgt > 0, tgt, 1.0)
 
+    tgt0, tgt1 = tgt[0].tolist(), tgt[1].tolist()
+    sc0, sc1 = scale[0].tolist(), scale[1].tolist()
+    relwl = relw.tolist()
+    load0 = [0.0] * m
+    load1 = [0.0] * m
+    rng_m = range(m)
+    where = np.zeros(n, dtype=np.int64)
+    wl = [0] * n
+    for v in order.tolist():
+        w = relwl[v]
+        # Worst relative overload if placed on each side.
+        over0 = max((load0[j] + w[j] - tgt0[j]) / sc0[j] for j in rng_m)
+        over1 = max((load1[j] + w[j] - tgt1[j]) / sc1[j] for j in rng_m)
+        if over0 <= over1:
+            for j in rng_m:
+                load0[j] += w[j]
+        else:
+            for j in rng_m:
+                load1[j] += w[j]
+            wl[v] = 1
+    where[:] = wl
+    return where
+
+
+def _reference_greedy_bisection(relw: np.ndarray, target: float = 0.5, seed=None) -> np.ndarray:
+    """Per-row NumPy oracle for :func:`greedy_bisection` (parity tests)."""
+    relw = _check_relw(relw)
+    if not (0.0 < target < 1.0):
+        raise WeightError("target must be in (0, 1)")
+    n, m = relw.shape
+    rng = as_rng(seed)
+    order = np.lexsort((rng.random(n), -relw.max(axis=1)))
+    tot = relw.sum(axis=0)
+    tgt = np.stack([target * tot, (1.0 - target) * tot])
+    scale = np.where(tgt > 0, tgt, 1.0)
     load = np.zeros((2, m))
     where = np.zeros(n, dtype=np.int64)
     for v in order.tolist():
         w = relw[v]
-        # Worst relative overload if placed on each side.
         over0 = ((load[0] + w - tgt[0]) / scale[0]).max()
         over1 = ((load[1] + w - tgt[1]) / scale[1]).max()
         side = 0 if over0 <= over1 else 1
@@ -163,18 +204,11 @@ def alternating_bisection(relw: np.ndarray, projection=None, target: float = 0.5
     return where
 
 
-def best_projection_bisection(
-    relw: np.ndarray, ntries: int = 8, target: float = 0.5, seed=None
-) -> np.ndarray:
-    """Best prefix bisection over several projections: the canonical pairwise
-    differences ``w_i - w_j`` plus random signed combinations.
-
-    Generalises :func:`prefix_bisection` to ``m > 2``; returns the candidate
-    with the smallest :func:`bisection_excess`.
-    """
-    relw = _check_relw(relw)
+def _projection_stack(relw: np.ndarray, ntries: int, rng) -> np.ndarray:
+    """The ``(T, n)`` projection family of :func:`best_projection_bisection`:
+    canonical pairwise differences plus random signed combinations (same RNG
+    draw order as the per-projection loop)."""
     n, m = relw.shape
-    rng = as_rng(seed)
     projections = []
     for i in range(m):
         for j in range(i + 1, m):
@@ -184,7 +218,77 @@ def best_projection_bisection(
     for _ in range(max(0, ntries - len(projections))):
         coef = rng.normal(size=m)
         projections.append(relw @ coef)
+    return np.stack(projections)
 
+
+def best_projection_bisection(
+    relw: np.ndarray, ntries: int = 8, target: float = 0.5, seed=None
+) -> np.ndarray:
+    """Best prefix bisection over several projections: the canonical pairwise
+    differences ``w_i - w_j`` plus random signed combinations.
+
+    Generalises :func:`prefix_bisection` to ``m > 2``; returns the candidate
+    with the smallest :func:`bisection_excess`.
+
+    All ``T`` projections are evaluated as one stacked batch -- a single
+    row-wise argsort / gather / cumsum instead of ``T`` python-loop
+    iterations of :func:`prefix_bisection` -- with the winning candidate
+    selected by exactly the same per-candidate excess computation as the
+    reference loop (:func:`_reference_best_projection_bisection` pins the
+    seeded parity).
+    """
+    relw = _check_relw(relw)
+    n, m = relw.shape
+    rng = as_rng(seed)
+    P = _projection_stack(relw, ntries, rng)
+    T = P.shape[0]
+
+    # Batched prefix cuts: per-row stable sort, gathered cumulative loads,
+    # worst overload per prefix length, best prefix per projection.
+    order = np.argsort(-P, axis=1, kind="stable")          # (T, n)
+    pref = np.zeros((T, n + 1, m))
+    np.cumsum(relw[order], axis=1, out=pref[:, 1:])
+    tot = relw.sum(axis=0)
+    over0 = (pref - target * tot).max(axis=2)              # (T, n+1)
+    over1 = ((tot - pref) - (1.0 - target) * tot).max(axis=2)
+    worst = np.maximum(np.maximum(over0, over1), 0.0)
+    ks = np.argmin(worst, axis=1)                          # (T,)
+
+    # Alternating deals share the sorted orders; the take-mask is order-free.
+    r = np.arange(n, dtype=np.float64)
+    take0 = np.floor((r + 1) * target) > np.floor(r * target)
+
+    best_where = None
+    best_exc = np.inf
+    for t in range(T):
+        where_pref = np.ones(n, dtype=np.int64)
+        where_pref[order[t, : ks[t]]] = 0
+        where_alt = np.ones(n, dtype=np.int64)
+        where_alt[order[t][take0]] = 0
+        for where in (where_pref, where_alt):
+            # Same ops as bisection_excess (index-order subset sums), with
+            # the input checks and column totals hoisted out of the loop.
+            load0 = relw[where == 0].sum(axis=0)
+            exc = float(
+                max(
+                    (load0 - target * tot).max(initial=0.0),
+                    ((tot - load0) - (1.0 - target) * tot).max(initial=0.0),
+                )
+            )
+            if exc < best_exc:
+                best_exc = exc
+                best_where = where
+    return best_where
+
+
+def _reference_best_projection_bisection(
+    relw: np.ndarray, ntries: int = 8, target: float = 0.5, seed=None
+) -> np.ndarray:
+    """Per-projection oracle for :func:`best_projection_bisection`
+    (parity tests)."""
+    relw = _check_relw(relw)
+    rng = as_rng(seed)
+    projections = list(_projection_stack(relw, ntries, rng))
     best_where = None
     best_exc = np.inf
     for proj in projections:

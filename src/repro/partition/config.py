@@ -38,6 +38,23 @@ class PartitionOptions:
         Coarsening loop bounds (see :func:`repro.coarsen.coarsen`).
     init_ntries:
         Candidate rounds in the initial bisection.
+    init_methods:
+        Candidate-generation methods for the initial bisection (a subset of
+        :data:`repro.initpart.INITIAL_METHODS`; unknown names raise
+        :class:`~repro.errors.OptionsError` with a suggestion).
+    init_diverse_rounds:
+        How many of the ``init_ntries`` rounds run *every* method; later
+        rounds re-try only the seed-sensitive graph-growing methods.
+    init_patience:
+        Plateau patience of the initial bisection: stop refining candidates
+        once the best (feasible, cut, balance) key has gone this many
+        refined candidates without improving.  0 disables the early stop.
+    strict_ntries:
+        Run the exact legacy multi-start (every round runs every method,
+        no plateau stop, no duplicate skipping).
+    init_workers:
+        Process-pool workers for initial-bisection candidate refinement
+        (0 = in-process; results are bit-identical either way).
     refine_passes:
         FM passes per uncoarsening level (2-way).
     kway_refine_passes:
@@ -68,7 +85,12 @@ class PartitionOptions:
     kway_coarsen_factor: int = 30
     max_coarsen_levels: int = 60
     min_shrink: float = 0.95
-    init_ntries: int = 4
+    init_ntries: int = 5
+    init_methods: tuple = ("greedy", "prefix", "region", "gggp")
+    init_diverse_rounds: int = 1
+    init_patience: int = 6
+    strict_ntries: bool = False
+    init_workers: int = 0
     refine_passes: int = 8
     kway_refine_passes: int = 8
     rb_multilevel: bool = True
@@ -85,6 +107,28 @@ class PartitionOptions:
             raise PartitionError("coarsen_to must be >= 2")
         if self.init_ntries < 1 or self.refine_passes < 0 or self.kway_refine_passes < 0:
             raise PartitionError("iteration counts must be positive")
+        if self.init_patience < 0 or self.init_diverse_rounds < 0 or self.init_workers < 0:
+            raise PartitionError("init_patience/init_diverse_rounds/init_workers must be >= 0")
+        if not isinstance(self.init_methods, tuple):
+            object.__setattr__(self, "init_methods", tuple(self.init_methods))
+        if not self.init_methods:
+            raise PartitionError("init_methods must name at least one method")
+        # Deferred import: repro.initpart imports repro.refine which has no
+        # cycle back here, but keeping the import local avoids ordering
+        # surprises during package initialisation.
+        from ..initpart.bisect import INITIAL_METHODS
+
+        unknown = [m for m in self.init_methods if m not in INITIAL_METHODS]
+        if unknown:
+            parts = []
+            for name in unknown:
+                close = difflib.get_close_matches(name, INITIAL_METHODS, n=1)
+                hint = f" (did you mean {close[0]!r}?)" if close else ""
+                parts.append(f"{name!r}{hint}")
+            raise OptionsError(
+                f"unknown init_methods value{'s' if len(unknown) > 1 else ''} "
+                f"{', '.join(parts)}; valid methods: {', '.join(INITIAL_METHODS)}"
+            )
 
     def with_(self, **kwargs) -> "PartitionOptions":
         """Functional update (``dataclasses.replace`` wrapper).

@@ -97,9 +97,15 @@ def partition_kway(
     # the bisection is unnecessary; a slightly relaxed tolerance leaves the
     # k-way refiner room to work.
     (init_rng, refine_rng) = spawn(rng, 2)
+    # The nested bisections only need a genuinely O(k)-vertex coarsest
+    # graph, so cap their coarsening target below the global default --
+    # the multi-start candidates then run on a smaller graph without
+    # touching the outer driver's coarsen_to.
+    rb_coarsen_to = min(options.coarsen_to, 80)
     init_opts = options.with_(
         seed=init_rng,
-        rb_multilevel=coarsest.nvtxs > 4 * options.coarsen_to,
+        coarsen_to=rb_coarsen_to,
+        rb_multilevel=coarsest.nvtxs > 4 * rb_coarsen_to,
         final_balance=True,
     )
     with tracer.span("initpart", nvtxs=coarsest.nvtxs) as isp:

@@ -56,9 +56,70 @@ from ..weights.balance import FEASIBILITY_EPS, as_ubvec
 from .gain import compute_2way_degrees
 from .pq import LazyMaxPQ
 
-__all__ = ["TwoWayState", "balance_2way", "fm2way_refine", "FMStats"]
+__all__ = ["BisectScratch", "TwoWayState", "balance_2way", "fm2way_refine", "FMStats"]
 
 _EPS = 1e-12
+
+
+class BisectScratch:
+    """Graph-side constants of repeated 2-way refinements, shared across
+    candidates.
+
+    Building a :class:`TwoWayState` converts the CSR arrays, the relative
+    weight matrix and the per-side caps into plain-Python lists (the FM
+    hot-path mirrors) -- O(V + E) work that is *identical* for every
+    candidate partition of the same graph under the same
+    ``(target_fracs, ubvec)``.  The multi-start initial bisection refines
+    ~20 candidates per coarsest graph; one scratch hoists the conversion
+    out of that loop (pass it via ``fm2way_refine(..., scratch=...)``).
+
+    A scratch is read-only after construction: per-move bookkeeping only
+    ever mutates the *where-dependent* state (``pw``, ``id/ed``, ``cut``),
+    which each :class:`TwoWayState` still builds for itself.
+    """
+
+    __slots__ = (
+        "graph", "relw", "dom", "fracs", "caps",
+        "_m", "_xadj", "_adj", "_adjw", "_relwl", "_doml", "_capsl",
+    )
+
+    def __init__(self, graph: Graph, target_fracs=(0.5, 0.5), ubvec=1.05):
+        m = graph.ncon
+        t = graph.vwgt.sum(axis=0).astype(np.float64)
+        t[t == 0] = 1.0
+        self.graph = graph
+        self.relw = graph.vwgt / t
+        self.dom = (np.argmax(self.relw, axis=1) if m > 1
+                    else np.zeros(graph.nvtxs, dtype=np.int64))
+
+        fr = np.asarray(target_fracs, dtype=np.float64)
+        if fr.shape != (2,) or np.any(fr <= 0):
+            raise PartitionError("target_fracs must be two positive numbers")
+        fr = fr / fr.sum()
+        ub = as_ubvec(ubvec, m)
+        self.fracs = fr
+        self.caps = fr[:, None] * ub[None, :]
+
+        self._m = m
+        self._xadj = graph.xadj.tolist()
+        self._adj = graph.adjncy.tolist()
+        self._adjw = graph.adjwgt.tolist()
+        self._relwl = self.relw.tolist()
+        self._doml = self.dom.tolist()
+        self._capsl = self.caps.tolist()
+
+    def matches(self, graph: Graph, target_fracs, ubvec) -> bool:
+        """Cheap guard: does this scratch describe ``graph`` under the same
+        normalised fractions and caps?  (Mismatch falls back to a rebuild.)"""
+        if graph is not self.graph:
+            return False
+        fr = np.asarray(target_fracs, dtype=np.float64)
+        if fr.shape != (2,) or np.any(fr <= 0):
+            return False
+        fr = fr / fr.sum()
+        return (np.array_equal(fr, self.fracs)
+                and np.array_equal(fr[:, None] * as_ubvec(ubvec, self._m)[None, :],
+                                   self.caps))
 
 
 @dataclass
@@ -93,7 +154,8 @@ class TwoWayState:
     dispatch per touched element.
     """
 
-    def __init__(self, graph: Graph, where, target_fracs=(0.5, 0.5), ubvec=1.05):
+    def __init__(self, graph: Graph, where, target_fracs=(0.5, 0.5), ubvec=1.05,
+                 scratch: BisectScratch | None = None):
         where = np.asarray(where, dtype=np.int64)
         if where.shape != (graph.nvtxs,):
             raise PartitionError("where must cover all vertices")
@@ -102,20 +164,20 @@ class TwoWayState:
         self.graph = graph
         self.where = where
         m = graph.ncon
-        t = graph.vwgt.sum(axis=0).astype(np.float64)
-        # A constraint with zero total weight in this (sub)graph is vacuous;
-        # normalising by 1 leaves its relative weights identically zero.
-        t[t == 0] = 1.0
-        self.relw = graph.vwgt / t
-        self.dom = np.argmax(self.relw, axis=1) if m > 1 else np.zeros(graph.nvtxs, dtype=np.int64)
-
-        fr = np.asarray(target_fracs, dtype=np.float64)
-        if fr.shape != (2,) or np.any(fr <= 0):
-            raise PartitionError("target_fracs must be two positive numbers")
-        fr = fr / fr.sum()
-        ub = as_ubvec(ubvec, m)
-        self.fracs = fr
-        self.caps = fr[:, None] * ub[None, :]
+        if scratch is None or not scratch.matches(graph, target_fracs, ubvec):
+            scratch = BisectScratch(graph, target_fracs, ubvec)
+        # Graph-side constants (possibly shared across many states).
+        self.relw = scratch.relw
+        self.dom = scratch.dom
+        self.fracs = scratch.fracs
+        self.caps = scratch.caps
+        self._m = m
+        self._xadj = scratch._xadj
+        self._adj = scratch._adj
+        self._adjw = scratch._adjw
+        self._relwl = scratch._relwl
+        self._doml = scratch._doml
+        self._capsl = scratch._capsl
 
         pw = np.zeros((2, m), dtype=np.float64)
         pw[0] = self.relw[where == 0].sum(axis=0)
@@ -123,15 +185,9 @@ class TwoWayState:
         id_, ed = compute_2way_degrees(graph, where)
         self.cut = int(ed.sum()) // 2
 
-        # Hot-path mirrors: plain-Python scalars, no ufunc dispatch.
-        self._m = m
-        self._xadj = graph.xadj.tolist()
-        self._adj = graph.adjncy.tolist()
-        self._adjw = graph.adjwgt.tolist()
+        # Hot-path mirrors of the where-dependent state: plain-Python
+        # scalars, no ufunc dispatch.
         self._wh = where.tolist()
-        self._relwl = self.relw.tolist()
-        self._doml = self.dom.tolist()
-        self._capsl = self.caps.tolist()
         self._pw = pw.tolist()
         self._id = id_.tolist()
         self._ed = ed.tolist()
@@ -390,6 +446,7 @@ def fm2way_refine(
     npasses: int = 8,
     max_bad_moves: int | None = None,
     seed=None,
+    scratch: BisectScratch | None = None,
 ) -> FMStats:
     """Refine a 2-way partition in place with multi-constraint FM.
 
@@ -407,6 +464,11 @@ def fm2way_refine(
     max_bad_moves:
         Abort a pass after this many consecutive non-improving moves
         (default ``max(64, n // 20)``).
+    scratch:
+        Optional :class:`BisectScratch` for ``graph`` under the same
+        ``(target_fracs, ubvec)``; hoists the O(V + E) list-mirror
+        construction out of multi-candidate loops.  A mismatched scratch
+        is ignored (the state rebuilds its own constants).
 
     Returns
     -------
@@ -416,7 +478,7 @@ def fm2way_refine(
     """
     as_rng(seed)  # reserved: selection is deterministic, seed kept for API symmetry
     where = np.asarray(where, dtype=np.int64)
-    state = TwoWayState(graph, where, target_fracs, ubvec)
+    state = TwoWayState(graph, where, target_fracs, ubvec, scratch=scratch)
     initial_cut = state.cut
     n = graph.nvtxs
     if max_bad_moves is None:
@@ -467,6 +529,13 @@ def _fm_pass(state: TwoWayState, max_bad_moves: int) -> tuple[bool, int, int]:
     history: list[int] = []
     best_len = 0
     bad = 0
+    # Pass-start snapshot of the integer state, for the rollback fast
+    # path below (three pointer-level list copies; cheap next to even one
+    # skipped move replay on the coarsest graphs this dominates).
+    snap_wh = state._wh.copy()
+    snap_id = state._id.copy()
+    snap_ed = state._ed.copy()
+    snap_cut = state.cut
 
     while bad < max_bad_moves:
         v = _select_move(state, queues, m)
@@ -483,10 +552,74 @@ def _fm_pass(state: TwoWayState, max_bad_moves: int) -> tuple[bool, int, int]:
         else:
             bad += 1
 
-    # Roll back everything after the best prefix.
+    # Roll back everything after the best prefix, by whichever replay is
+    # shorter: reverse-replaying the rolled suffix, or restoring the
+    # snapshot and forward-replaying the committed prefix.  Both rebuild
+    # the identical state -- the integer bookkeeping (sides, degrees, cut)
+    # has exact inverses either way, and the float part weights are always
+    # computed by the reverse replay's own operations (IEEE add/sub is not
+    # exactly invertible, so a float snapshot would NOT reproduce the
+    # pinned reverse-replay bit patterns).
+    rolled = len(history) - best_len
+    if rolled:
+        if best_len < rolled:
+            _rollback_to_prefix(state, history, best_len, m,
+                                snap_wh, snap_id, snap_ed, snap_cut)
+        else:
+            for v in reversed(history[best_len:]):
+                state.move(v)
+    return best_key < start_key, best_len, rolled
+
+
+def _rollback_to_prefix(state: TwoWayState, history, best_len: int, m: int,
+                        snap_wh, snap_id, snap_ed, snap_cut: int) -> None:
+    """Return ``state`` to its best prefix without replaying every rolled
+    move: reverse-replay only the *float* part-weight updates of the
+    rolled suffix (bit-for-bit the operations :meth:`TwoWayState.move`
+    would do), then rebuild the integer state from the pass-start
+    snapshot by re-applying the committed prefix's integer bookkeeping.
+    Exact because integer adds are invertible; worthwhile because the
+    common rolled-back pass is the final non-improving one, whose prefix
+    is empty."""
+    pw = state._pw
+    wh = state._wh
+    relwl = state._relwl
+    rng_m = range(m)
+    where = state.where
     for v in reversed(history[best_len:]):
-        state.move(v)
-    return best_key < start_key, best_len, len(history) - best_len
+        s = wh[v]  # the side the forward move put v on
+        rv = relwl[v]
+        pws = pw[s]
+        pwd = pw[1 - s]
+        for j in rng_m:
+            pws[j] -= rv[j]
+            pwd[j] += rv[j]
+        where[v] = 1 - s
+
+    # Integer state: snapshot + forward replay of the committed prefix
+    # (each vertex moves at most once per pass, so the replay's evolving
+    # side vector sees exactly what the original forward moves saw).
+    cut = snap_cut
+    wh, idl, edl = snap_wh, snap_id, snap_ed
+    xadj, adj, adjw = state._xadj, state._adj, state._adjw
+    for v in history[:best_len]:
+        cut -= edl[v] - idl[v]
+        d = 1 - wh[v]
+        wh[v] = d
+        idl[v], edl[v] = edl[v], idl[v]
+        for i in range(xadj[v], xadj[v + 1]):
+            u = adj[i]
+            w = adjw[i]
+            if wh[u] == d:
+                idl[u] += w
+                edl[u] -= w
+            else:
+                idl[u] -= w
+                edl[u] += w
+    state._wh = wh
+    state._id = idl
+    state._ed = edl
+    state.cut = cut
 
 
 def _select_move(state: TwoWayState, queues, m: int) -> int:
@@ -527,18 +660,21 @@ def _select_move(state: TwoWayState, queues, m: int) -> int:
         return -1
 
     # Feasible: best gain over all queues, destination must stay feasible.
-    # A tiny meta-heap of (neg_gain, queue_order) over the 2m queue tops
-    # replaces rescanning every queue after each rejected pop; queue order
-    # breaks gain ties exactly like the previous first-queue-wins scan
-    # (side 0 before side 1, constraint 0 before constraint 1, ...).
+    # All 2m queues are skimmed once up front; each iteration then scans
+    # their live tops directly.  Nothing restales a top during selection
+    # (rejected pops are physical-only and touch one queue, which is
+    # re-skimmed below), so the one-time skim stays valid.  First queue
+    # wins gain ties (side 0 before side 1, constraint 0 before
+    # constraint 1, ...), matching the (neg_gain, queue_order) meta-heap
+    # this scan replaces -- at 2m queues a flat scan is cheaper than
+    # maintaining a heap of tops.
     heappop = heapq.heappop
     qlist = []
-    meta = []
     for side in (0, 1):
         qrow = queues[side]
         for c in range(m):
             q = qrow[c]
-            # Inline skim + peek (see LazyMaxPQ invariants).
+            # Inline skim (see LazyMaxPQ invariants).
             heap = q._heap
             stamp = q._stamp
             while heap:
@@ -546,10 +682,7 @@ def _select_move(state: TwoWayState, queues, m: int) -> int:
                 if stamp.get(entry[1]) == entry[2]:
                     break
                 heappop(heap)
-            if heap:
-                meta.append((heap[0][0], len(qlist)))
             qlist.append(q)
-    heapq.heapify(meta)
 
     # Rejected pops are *physical only*: the stamp/priority dicts are left
     # untouched, so pushing the identical entry tuples back afterwards
@@ -564,12 +697,18 @@ def _select_move(state: TwoWayState, queues, m: int) -> int:
     relwl = state._relwl
     rng_m = range(m)
     for _ in range(64):
-        if not meta:
+        best = None
+        bq = None
+        for q in qlist:
+            heap = q._heap
+            if heap:
+                top = heap[0][0]
+                if best is None or top < best:
+                    best = top
+                    bq = q
+        if bq is None:
             break
-        qi = meta[0][1]
-        q = qlist[qi]
-        # The top is live (skimmed at meta entry refresh time).
-        heap = q._heap
+        heap = bq._heap
         entry = heappop(heap)
         v = entry[1]
         # Inline dest_fits(v).
@@ -584,22 +723,18 @@ def _select_move(state: TwoWayState, queues, m: int) -> int:
                 break
         if fits:
             # Logical removal of the accepted vertex only.
-            del q._prio[v]
-            q._stamp[v] = entry[2] + 1
-            q._size -= 1
+            del bq._prio[v]
+            bq._stamp[v] = entry[2] + 1
+            bq._size -= 1
             chosen = v
             break
         popped.append((heap, entry))
-        stamp = q._stamp
+        stamp = bq._stamp
         while heap:
             entry = heap[0]
             if stamp.get(entry[1]) == entry[2]:
                 break
             heappop(heap)
-        if heap:
-            heapq.heapreplace(meta, (heap[0][0], qi))
-        else:
-            heappop(meta)
     for heap, entry in popped:
         heappush(heap, entry)
     return chosen

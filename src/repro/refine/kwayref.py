@@ -307,30 +307,76 @@ def _greedy_pass(state: KWayState, rng) -> int:
     moves = 0
     wh = state._wh
     counts = state._counts
+    xadj = state._xadj
+    adj = state._adj
+    adjw = state._adjw
+    dest_fits = state.dest_fits
+    balance_delta = state.balance_delta
+    # Reusable per-part accumulator replacing the neighbor_weights() dict
+    # build (hashing every edge was this pass's hot spot).  ``touched``
+    # records first-touch order, which is exactly the insertion order the
+    # dict would iterate in, so the candidate scan below sees the same
+    # destinations in the same order.
+    nparts = state.nparts
+    acc = [0] * nparts
+    seen = [0] * nparts
+    touched: list[int] = []
+    stamp = 0
+    # Vectorized pass-start prefilter: a vertex whose heaviest external
+    # connection is lighter than its internal weight has gain < 0 towards
+    # every destination and can never move (zero-gain moves need gain == 0
+    # exactly, negative gains are never taken) -- skip it without the edge
+    # scan.  The verdict is computed against pass-start part ids, so it is
+    # only trusted while the vertex's neighbourhood is untouched by this
+    # pass's moves; each committed move dirties its neighbours.
+    g = state.graph
+    n = g.nvtxs
+    src = np.repeat(np.arange(n, dtype=np.int64), np.diff(g.xadj))
+    nw = np.bincount(src * nparts + state.where[g.adjncy],
+                     weights=g.adjwgt, minlength=n * nparts)
+    nw = nw.reshape(n, nparts)
+    rows = np.arange(n)
+    w_in_vec = nw[rows, state.where].copy()
+    nw[rows, state.where] = -1.0
+    maybe = (nw.max(axis=1) >= w_in_vec).tolist()
+    dirty = [False] * n
     for v in bnd.tolist():
+        if not dirty[v] and not maybe[v]:
+            continue
         s = wh[v]
         if counts[s] <= 1:
             continue  # never empty a part
-        nbw = state.neighbor_weights(v)
-        w_in = nbw.get(s, 0)
+        stamp += 1
+        for i in range(xadj[v], xadj[v + 1]):
+            p = wh[adj[i]]
+            if seen[p] != stamp:
+                seen[p] = stamp
+                acc[p] = adjw[i]
+                touched.append(p)
+            else:
+                acc[p] += adjw[i]
+        w_in = acc[s] if seen[s] == stamp else 0
         best_d = -1
         best_key = None
-        for d, wd in nbw.items():
+        for d in touched:
             if d == s:
                 continue
-            gain = wd - w_in
-            if gain < 0 or not state.dest_fits(v, d):
+            gain = acc[d] - w_in
+            if gain < 0 or not dest_fits(v, d):
                 continue
-            bal = state.balance_delta(v, d)
+            bal = balance_delta(v, d)
             if gain == 0 and bal >= -_EPS:
                 continue  # zero-gain moves must strictly help balance
             key = (gain, -bal)
             if best_key is None or key > best_key:
                 best_key = key
                 best_d = d
+        touched.clear()
         if best_d >= 0:
             state.move(v, best_d)
             moves += 1
+            for i in range(xadj[v], xadj[v + 1]):
+                dirty[adj[i]] = True
     return moves
 
 

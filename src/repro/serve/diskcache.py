@@ -62,7 +62,18 @@ def _options_to_jsonable(options: PartitionOptions | None):
     for f in dc_fields(options):
         v = getattr(options, f.name)
         if isinstance(v, (tuple, np.ndarray)):
-            v = [float(x) for x in np.asarray(v).ravel()]
+            items = v.ravel().tolist() if isinstance(v, np.ndarray) else list(v)
+            conv = []
+            for x in items:
+                if isinstance(x, (str, bool)):
+                    conv.append(x)
+                elif isinstance(x, (int, np.integer)):
+                    conv.append(int(x))
+                elif isinstance(x, (float, np.floating)):
+                    conv.append(float(x))
+                else:
+                    return None  # exotic element: drop options
+            v = conv
         elif isinstance(v, np.integer):
             v = int(v)
         elif isinstance(v, np.floating):

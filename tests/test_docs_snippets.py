@@ -24,6 +24,7 @@ DOC_FILES = [
     "docs/robustness.md",
     "docs/serving.md",
     "docs/observability.md",
+    "docs/performance.md",
 ]
 
 _FENCE = re.compile(r"^```python\s*$")

@@ -226,3 +226,124 @@ class TestGGGP:
     def test_in_initial_bisection_method_list(self, mesh500):
         where = initial_bisection(mesh500, methods=("gggp",), ntries=1, seed=4)
         assert where.shape == (500,)
+
+
+class TestOptimizedParity:
+    """The batched/vectorized fast paths pinned against the in-tree
+    ``_reference_*`` oracles: same seed, bit-identical side vectors."""
+
+    def _corpus(self):
+        cases = []
+        for i, (n, m) in enumerate([(60, 1), (90, 2), (120, 3), (150, 2)]):
+            g = mesh_like(n, seed=300 + i)
+            if m > 1:
+                g = g.with_vwgt(random_vwgt(n, m, low=1, high=9, seed=i))
+            cases.append(g)
+        return cases
+
+    def test_grow_matches_reference(self):
+        from repro.initpart.bisect import _reference_grow_bisection
+
+        for g in self._corpus():
+            for seed in (0, 1, 2):
+                assert np.array_equal(
+                    grow_bisection(g, seed=seed),
+                    _reference_grow_bisection(g, seed=seed))
+
+    def test_gggp_matches_reference(self):
+        from repro.initpart import gggp_bisection
+        from repro.initpart.bisect import _reference_gggp_bisection
+
+        for g in self._corpus():
+            for seed in (0, 1, 2):
+                assert np.array_equal(
+                    gggp_bisection(g, seed=seed),
+                    _reference_gggp_bisection(g, seed=seed))
+
+    def test_asymmetric_target_matches_reference(self):
+        from repro.initpart.bisect import (_reference_gggp_bisection,
+                                           _reference_grow_bisection)
+
+        g = self._corpus()[2]
+        for target in (0.25, 0.375):
+            assert np.array_equal(
+                grow_bisection(g, target, seed=7),
+                _reference_grow_bisection(g, target, seed=7))
+            from repro.initpart import gggp_bisection
+            assert np.array_equal(
+                gggp_bisection(g, target, seed=7),
+                _reference_gggp_bisection(g, target, seed=7))
+
+    def test_strict_matches_reference_multistart(self):
+        """``strict=True`` replays the legacy exhaustive loop exactly."""
+        from repro.initpart.bisect import _reference_initial_bisection
+
+        for g in self._corpus():
+            fast = initial_bisection(g, ntries=3, seed=11, strict=True)
+            ref = _reference_initial_bisection(g, ntries=3, seed=11)
+            assert np.array_equal(fast, ref)
+
+    def test_early_stop_deterministic(self):
+        """Same seed -> same winner, with and without the plateau stop."""
+        g = mesh_like(400, seed=9).with_vwgt(
+            random_vwgt(400, 2, low=1, high=9, seed=9))
+        for kwargs in ({"patience": 2}, {"patience": 4}, {"strict": True}):
+            a = initial_bisection(g, ntries=8, seed=5, **kwargs)
+            b = initial_bisection(g, ntries=8, seed=5, **kwargs)
+            assert np.array_equal(a, b), kwargs
+
+    def test_early_stop_quality_envelope(self):
+        """The adaptive walk may stop early but must stay feasible and
+        within a modest cut factor of the exhaustive answer."""
+        g = mesh_like(400, seed=9).with_vwgt(
+            random_vwgt(400, 2, low=1, high=9, seed=9))
+        adaptive = initial_bisection(g, ntries=8, seed=5, patience=4)
+        strict = initial_bisection(g, ntries=8, seed=5, strict=True)
+        relw = relative_weights(g.vwgt)
+        for where in (adaptive, strict):
+            load0 = relw[where == 0].sum(axis=0)
+            assert np.all(load0 <= 0.55)
+        assert edge_cut(g, adaptive) <= edge_cut(g, strict) * 1.5
+
+
+class TestInitOptionsFrontDoor:
+    """Unknown init knobs fail fast in PartitionOptions with a
+    difflib suggestion (the PR 4 convention)."""
+
+    def test_init_methods_typo_suggests(self):
+        from repro.errors import OptionsError
+        from repro.partition import PartitionOptions
+
+        with pytest.raises(OptionsError, match="prefix"):
+            PartitionOptions(init_methods=("greedy", "prefx"))
+
+    def test_negative_knobs_rejected(self):
+        from repro.partition import PartitionOptions
+
+        with pytest.raises(PartitionError):
+            PartitionOptions(init_ntries=0)
+        with pytest.raises(PartitionError):
+            PartitionOptions(init_patience=-1)
+        with pytest.raises(PartitionError):
+            PartitionOptions(init_workers=-2)
+
+    def test_cli_flags_reach_options(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["--demo", "100", "2", "--init-ntries", "3",
+             "--init-methods", "greedy,gggp", "--init-patience", "2",
+             "--init-workers", "0", "--strict-ntries"])
+        assert args.init_ntries == 3
+        assert args.init_methods == "greedy,gggp"
+        assert args.init_patience == 2
+        assert args.init_workers == 0
+        assert args.strict_ntries is True
+
+    def test_cli_typo_exits_with_suggestion(self, capsys):
+        from repro.cli import main
+
+        rc = main(["--demo", "100", "2", "--init-methods", "prefx"])
+        assert rc != 0
+        err = capsys.readouterr().err
+        assert "prefix" in err

@@ -1,0 +1,113 @@
+"""The initial-bisection process pool: bit-identity to the in-process
+path and the ship-once marshalling protocol.
+
+The headline invariant: the pool generates the full deduped candidate set
+up front and the caller replays the same sequential plateau walk over the
+ordered results, so ``init_workers=N`` never changes the partition -- only
+the wall clock.  One test spawns a real 2-worker pool (spawn context, so
+it works under pytest); everything else uses the inline ``workers=0``
+degenerate, which exercises the identical batch/replay machinery without
+paying a process start.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import mesh_like
+from repro.initpart import initial_bisection
+from repro.initpart.pool import InitPool
+from repro.partition import part_graph
+from repro.refine.fm2way import fm2way_refine
+from repro.weights import random_vwgt
+
+
+@pytest.fixture
+def small_graph():
+    g = mesh_like(150, seed=21)
+    return g.with_vwgt(random_vwgt(150, 2, low=1, high=9, seed=21))
+
+
+def _candidates(graph, count, seed):
+    rng = np.random.default_rng(seed)
+    return [(rng.random(graph.nvtxs) > 0.5).astype(np.int64)
+            for _ in range(count)]
+
+
+class TestInlineBatch:
+    def test_workers0_matches_direct_refine(self, small_graph):
+        """InitPool(0).refine_batch == a plain fm2way_refine loop."""
+        cands = _candidates(small_graph, 6, seed=3)
+        pool = InitPool(0)
+        batched = pool.refine_batch(
+            small_graph, [w.copy() for w in cands],
+            target_fracs=(0.5, 0.5), ubvec=1.05, npasses=6)
+        for w0, (w_pool, st) in zip(cands, batched):
+            w_direct = w0.copy()
+            st_direct = fm2way_refine(
+                small_graph, w_direct,
+                target_fracs=(0.5, 0.5), ubvec=1.05, npasses=6)
+            assert np.array_equal(w_pool, w_direct)
+            assert st.final_cut == st_direct.final_cut
+            assert st.feasible == st_direct.feasible
+
+    def test_counters_accumulate(self, small_graph):
+        pool = InitPool(0)
+        pool.refine_batch(small_graph, _candidates(small_graph, 4, seed=1),
+                          target_fracs=(0.5, 0.5), ubvec=1.05, npasses=2)
+        c = pool.counters()
+        assert c["initpart.pool.batches"] == 1
+        assert c["initpart.pool.candidates"] == 4
+        # Inline mode never ships anything.
+        assert c["initpart.pool.ship.full"] == 0
+        assert c["initpart.pool.ship.token"] == 0
+
+    def test_empty_batch(self, small_graph):
+        assert InitPool(0).refine_batch(
+            small_graph, [], target_fracs=(0.5, 0.5),
+            ubvec=1.05, npasses=2) == []
+
+
+class TestBitIdentity:
+    def test_initial_bisection_pool_vs_none(self, small_graph):
+        """Passing an inline pool reproduces the no-pool walk exactly."""
+        a = initial_bisection(small_graph, ntries=4, seed=8)
+        b = initial_bisection(small_graph, ntries=4, seed=8, pool=InitPool(0))
+        assert np.array_equal(a, b)
+
+    def test_part_graph_init_workers_zero(self, small_graph):
+        """The options front-door: init_workers=0 is the default path."""
+        a = part_graph(small_graph, 4, seed=6)
+        b = part_graph(small_graph, 4, seed=6, init_workers=0)
+        assert np.array_equal(a.part, b.part)
+        assert a.edgecut == b.edgecut
+
+    def test_spawned_pool_bit_identity(self, small_graph):
+        """One real spawn: 2 workers refine the same candidates to the
+        same answers, and the ship-once protocol sends the graph with the
+        first chunks only."""
+        cands = _candidates(small_graph, 6, seed=3)
+        inline = InitPool(0).refine_batch(
+            small_graph, [w.copy() for w in cands],
+            target_fracs=(0.5, 0.5), ubvec=1.05, npasses=6)
+        pool = InitPool(2)
+        try:
+            spawned = pool.refine_batch(
+                small_graph, [w.copy() for w in cands],
+                target_fracs=(0.5, 0.5), ubvec=1.05, npasses=6)
+            # Second batch on the same graph rides the token path.
+            again = pool.refine_batch(
+                small_graph, [w.copy() for w in cands],
+                target_fracs=(0.5, 0.5), ubvec=1.05, npasses=6)
+        finally:
+            pool.close()
+        for (wi, sti), (ws, sts), (wa, sta) in zip(inline, spawned, again):
+            assert np.array_equal(wi, ws)
+            assert np.array_equal(wi, wa)
+            assert sti.final_cut == sts.final_cut == sta.final_cut
+            assert sti.feasible == sts.feasible == sta.feasible
+        c = pool.counters()
+        assert c["initpart.pool.batches"] == 2
+        assert c["initpart.pool.ship.full"] >= 1
+        assert c["initpart.pool.ship.token"] >= 1
