@@ -1,6 +1,6 @@
 # Convenience targets for the repro project.
 
-.PHONY: install test bench bench-smoke bench-initpart-ablation docs-check chaos-smoke serve-smoke serve-cluster-smoke obs-smoke examples smoke all clean
+.PHONY: install test bench bench-smoke bench-initpart-ablation docs-check chaos-smoke serve-smoke serve-cluster-smoke parallel-shm-smoke obs-smoke examples smoke all clean
 
 install:
 	pip install -e .
@@ -57,6 +57,18 @@ serve-cluster-smoke:
 	PYTHONPATH=src python -m pytest tests/test_serve_cluster.py tests/test_diskcache.py -q
 	PYTHONPATH=src:benchmarks python benchmarks/bench_serve_cluster.py --smoke
 	PYTHONPATH=src:benchmarks python benchmarks/bench_serve_cluster.py --check
+
+# The shm-executor contract: the real multiprocess backend must be
+# bit-identical to the simulated oracle (same messages, same partition),
+# degrade to the serial fallback when a worker dies, and leak no
+# /dev/shm segment on any exit path.  The test suite pins all of that,
+# then the benchmark records parity + wall times at 1/2/4 ranks (the
+# p=4/p=1 speedup floor is asserted only on >= 4 cores; single-core
+# boxes record the honest ratio).  See docs/parallel.md.
+parallel-shm-smoke:
+	PYTHONPATH=src python -m pytest tests/test_parallel_shm.py -q
+	PYTHONPATH=src:benchmarks python benchmarks/bench_parallel_shm.py --smoke
+	PYTHONPATH=src:benchmarks python benchmarks/bench_parallel_shm.py --check
 
 # The observability contract: a seeded 2-constraint run through the
 # flight recorder must yield cut + per-constraint imbalance at every

@@ -1,0 +1,183 @@
+"""Shm-executor benchmark: sim-vs-shm parity plus wall-clock scaling.
+
+Runs the coarse-grain parallel partitioner on the **shm** executor (real
+spawned worker processes over shared-memory CSR views) at 1/2/4 ranks and
+records into ``benchmarks/results/BENCH_parallel_shm.json`` (schema
+``BENCH_parallel_shm/v1``):
+
+* **parity** -- every rank count is checked bit-identical against the
+  simulated oracle (equal message digests *and* equal partitions); the
+  count of parity failures must be **zero** (the headline invariant of
+  the executor);
+* **wall seconds** -- shm wall-clock per rank count, plus the serial
+  ``part_graph`` wall time of the same problem as the scaling reference;
+* **speedup gate** -- multi-rank runs only beat the 1-rank run where
+  there are cores to scale onto, so the record carries ``cores`` and the
+  ``speedup_floor`` (p=4 over p=1) is **asserted only when cores >= 4**
+  (``invariants.speedup_asserted``); single-core boxes still record the
+  honest ratio;
+* **cleanup** -- ``/dev/shm`` is swept after every run; any surviving
+  ``repro-shm-*`` segment fails the check.
+
+``--smoke`` shrinks the graph for CI; ``--check`` re-validates the
+recorded JSON without re-running (the CI job runs ``--smoke`` then
+``--check``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+
+from repro.graph import mesh_like
+from repro.parallel import run_parity
+from repro.parallel.shm import active_segments
+from repro.partition import PartitionOptions, part_graph
+from repro.weights import type1_region_weights
+
+from _util import RESULTS_DIR, emit_table, timed
+
+RESULT_PATH = os.path.join(RESULTS_DIR, "BENCH_parallel_shm.json")
+SCHEMA = "BENCH_parallel_shm/v1"
+MASTER_SEED = 20260809
+RANKS = (1, 2, 4)
+NPARTS = 8
+NCON = 2
+SPEEDUP_FLOOR = 1.2        # shm p=4 >= 1.2x shm p=1 wall ...
+SPEEDUP_MIN_CORES = 4      # ... asserted only at >= this many cores
+
+
+def _problem(smoke: bool):
+    n = 1_500 if smoke else 12_000
+    g = mesh_like(n, seed=MASTER_SEED)
+    return g.with_vwgt(type1_region_weights(g, NCON, seed=MASTER_SEED + 1))
+
+
+def run(smoke: bool = False) -> dict:
+    graph = _problem(smoke)
+    options = PartitionOptions(seed=MASTER_SEED % 1000)
+    cores = os.cpu_count() or 1
+
+    serial, serial_seconds = timed(
+        part_graph, graph, NPARTS, options=options)
+
+    ranks = []
+    parity_failures = 0
+    for p in RANKS:
+        rep, _ = timed(run_parity, graph, NPARTS, p, options=options)
+        if not rep.ok:
+            parity_failures += 1
+            print(rep.summary())
+        leaked = active_segments()
+        ranks.append({
+            "nranks": p,
+            "parity_ok": rep.ok,
+            "first_divergence": rep.first_divergence,
+            "messages": rep.messages,
+            "edgecut": rep.shm_result.edgecut,
+            "sim_modelled_seconds": round(rep.sim_result.simulated_time, 6),
+            "shm_wall_seconds": round(rep.shm_result.simulated_time, 4),
+            "leaked_segments": leaked,
+        })
+
+    wall = {r["nranks"]: r["shm_wall_seconds"] for r in ranks}
+    speedup = round(wall[1] / wall[4], 3) if wall.get(4) else 0.0
+    record = {
+        "schema": SCHEMA,
+        "smoke": smoke,
+        "cores": cores,
+        "config": {
+            "nvtxs": graph.nvtxs, "nedges": graph.nedges, "ncon": NCON,
+            "nparts": NPARTS, "ranks": list(RANKS),
+            "seed": options.seed,
+        },
+        "serial_wall_seconds": round(serial_seconds, 4),
+        "serial_edgecut": int(serial.edgecut),
+        "ranks": ranks,
+        "invariants": {
+            "parity_failures": parity_failures,
+            "leaked_segments": sum(len(r["leaked_segments"]) for r in ranks),
+            "speedup_p4_over_p1": speedup,
+            "speedup_floor": SPEEDUP_FLOOR,
+            "speedup_asserted": cores >= SPEEDUP_MIN_CORES,
+        },
+    }
+
+    emit_table(
+        "parallel_shm",
+        ["ranks", "parity", "messages", "cut",
+         "sim modelled (s)", "shm wall (s)"],
+        [[r["nranks"], "ok" if r["parity_ok"] else "FAIL", r["messages"],
+          r["edgecut"], r["sim_modelled_seconds"], r["shm_wall_seconds"]]
+         for r in ranks],
+        title=f"Shm executor parity + scaling ({cores} cores, "
+              f"n={graph.nvtxs}, k={NPARTS}, m={NCON}; "
+              f"serial {record['serial_wall_seconds']}s)",
+    )
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(RESULT_PATH, "w") as fh:
+        json.dump(record, fh, indent=2)
+        fh.write("\n")
+    print(f"recorded -> {RESULT_PATH}")
+    check_record(record)
+    return record
+
+
+def check_record(record: dict) -> None:
+    """The JSON invariants the CI job enforces."""
+    failures = []
+    if record.get("schema") != SCHEMA:
+        failures.append(f"schema {record.get('schema')!r} != {SCHEMA!r}")
+    inv = record.get("invariants", {})
+    if inv.get("parity_failures") != 0:
+        failures.append(
+            f"parity failures: {inv.get('parity_failures')} "
+            "(shm must be bit-identical to the simulator)")
+    if inv.get("leaked_segments") != 0:
+        failures.append(
+            f"leaked /dev/shm segments: {inv.get('leaked_segments')}")
+    for r in record.get("ranks", []):
+        if r["shm_wall_seconds"] <= 0:
+            failures.append(f"p={r['nranks']}: non-positive wall time")
+    if inv.get("speedup_asserted"):
+        if inv.get("speedup_p4_over_p1", 0.0) < inv.get("speedup_floor",
+                                                        SPEEDUP_FLOOR):
+            failures.append(
+                f"shm p=4 speedup {inv.get('speedup_p4_over_p1')}x < "
+                f"{inv.get('speedup_floor')}x on {record.get('cores')} cores")
+    if failures:
+        raise AssertionError("shm-executor contract violated:\n  " +
+                             "\n  ".join(failures))
+    note = ("asserted" if inv.get("speedup_asserted")
+            else f"recorded only: {record.get('cores')} core(s)")
+    print(f"check ok: zero parity failures, zero leaks; p=4/p=1 speedup "
+          f"{inv.get('speedup_p4_over_p1')}x ({note})")
+
+
+def check_file(path: str = RESULT_PATH) -> None:
+    with open(path) as fh:
+        check_record(json.load(fh))
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true",
+                    help="small graph for CI")
+    ap.add_argument("--check", action="store_true",
+                    help="validate the recorded JSON without re-running")
+    args = ap.parse_args(argv)
+    if args.check:
+        check_file()
+        return 0
+    t0 = time.time()
+    run(smoke=args.smoke)
+    print(f"total {time.time() - t0:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    # Real-file entry with a __main__ guard: the shm executor uses the
+    # *spawn* start method, which re-imports __main__ in every worker.
+    raise SystemExit(main())

@@ -17,9 +17,13 @@ coarsening and uncoarsening level) and ``--profile-json FILE`` saves the
 recorded profile as a drift-checkable JSON artifact; see
 ``docs/observability.md``.
 
-Robustness: ``--ranks P`` runs the simulated parallel pipeline;
-``--fault-spec 'drop=0.05,crash=0.01,seed=7'`` injects deterministic
-faults into it, and ``--strict`` turns on the structural graph audit and
+Parallel: ``--ranks P`` runs the coarse-grain parallel pipeline --
+``--executor sim`` (default) on the deterministic BSP simulation,
+``--executor shm`` on real worker processes over shared-memory CSR
+views, ``--executor parity`` on both with a bit-identity check (exit 1
+on divergence); see ``docs/parallel.md``.  ``--fault-spec
+'drop=0.05,crash=0.01,seed=7'`` injects deterministic faults into the
+sim executor, and ``--strict`` turns on the structural graph audit and
 forbids graceful degradation; see ``docs/robustness.md``.
 
 Serving: ``--cache`` routes the run through the in-process
@@ -93,10 +97,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--ranks", type=int, metavar="P",
                    help="run the simulated parallel pipeline on P ranks "
                         "instead of the serial partitioner")
+    p.add_argument("--executor", choices=("sim", "shm", "parity"),
+                   default="sim",
+                   help="how the parallel ranks execute: 'sim' (default) is "
+                        "the deterministic BSP simulation, 'shm' runs real "
+                        "worker processes over shared-memory CSR views, "
+                        "'parity' runs both and verifies they are "
+                        "bit-identical (requires --ranks; see "
+                        "docs/parallel.md)")
     p.add_argument("--fault-spec", metavar="SPEC",
                    help="inject deterministic faults into the parallel run, "
                         "e.g. 'drop=0.05,dup=0.02,crash=0.01,seed=7' "
-                        "(requires --ranks; see docs/robustness.md)")
+                        "(requires --ranks and the sim executor; see "
+                        "docs/robustness.md)")
     p.add_argument("--strict", action="store_true",
                    help="strict mode: run the O(E) graph audit up front and "
                         "forbid the serial fallback (failures raise instead "
@@ -227,6 +240,15 @@ def main(argv=None) -> int:
             print("error: --fault-spec requires --ranks (faults are injected "
                   "into the simulated parallel run)", file=sys.stderr)
             return 2
+        if args.executor != "sim" and not args.ranks:
+            print("error: --executor requires --ranks", file=sys.stderr)
+            return 2
+        if args.fault_spec and args.executor != "sim":
+            print("error: --fault-spec only applies to the sim executor "
+                  "(the injector screens simulated collectives; real worker "
+                  "failure is tested via ShmFabric(inject_crash=...))",
+                  file=sys.stderr)
+            return 2
         if args.ranks and args.nseeds > 1:
             print("error: --ranks and --nseeds cannot be combined",
                   file=sys.stderr)
@@ -287,6 +309,16 @@ def main(argv=None) -> int:
                 print(res.summary() + f"  [{elapsed:.2f}s {served_from}]")
                 if args.serve_bench:
                     _serve_bench(svc, graph, args, cold_seconds=elapsed)
+        elif args.ranks and args.executor == "parity":
+            from .parallel import run_parity
+            from .partition.config import PartitionOptions
+
+            opts = PartitionOptions(ubvec=args.tol, seed=args.seed,
+                                    matching=args.matching, **init_opts)
+            rep = run_parity(graph, args.nparts, args.ranks, options=opts)
+            elapsed = time.perf_counter() - t0
+            print(rep.summary() + f"  [{elapsed:.2f}s]")
+            return 0 if rep.ok else 1
         elif args.ranks:
             from .parallel import parallel_part_graph
             from .partition.config import PartitionOptions
@@ -297,6 +329,7 @@ def main(argv=None) -> int:
                 graph, args.nparts, args.ranks,
                 options=opts, tracer=tracer,
                 faults=args.fault_spec, strict=args.strict,
+                executor=args.executor,
             )
             elapsed = time.perf_counter() - t0
             print(res.summary() + f"  [{elapsed:.2f}s]")

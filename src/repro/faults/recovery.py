@@ -1,16 +1,23 @@
 """Recovery policy and the retry-with-backoff loop.
 
 The parallel driver wraps each pipeline phase in :func:`run_with_retries`:
-transient communication errors re-run the phase attempt after charging an
-exponential backoff to the simulated clock; permanent errors and exhausted
-budgets propagate as typed :class:`~repro.errors.FaultError` /
-:class:`~repro.errors.CommError` subclasses for the driver's degradation
-logic to handle.  Semantics are documented in ``docs/robustness.md``.
+transient communication errors re-run the phase attempt after an
+exponential backoff; permanent errors and exhausted budgets propagate as
+typed :class:`~repro.errors.FaultError` / :class:`~repro.errors.CommError`
+subclasses for the driver's degradation logic to handle.
+
+The backoff and the phase deadline are measured on whatever clock the
+executor runs: on the simulated cluster the backoff is *charged* to the
+modelled ``comm_time`` and deadlines compare against simulated seconds;
+on a real executor (``fabric.realtime`` is true, e.g. the shm backend)
+the backoff actually sleeps and deadlines fire on wall-clock.  Semantics
+are documented in ``docs/robustness.md`` and ``docs/parallel.md``.
 """
 
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, replace
 
 from ..errors import (
@@ -79,19 +86,22 @@ def run_with_retries(make_attempt, cluster, policy: RecoveryPolicy, *,
     """Run ``make_attempt()`` under ``policy``; returns ``(result, retries)``.
 
     :class:`~repro.errors.TransientCommError` failures are retried after
-    charging the policy's backoff to ``cluster``'s simulated clock (the
-    ranks sit at the barrier waiting out the timeout); anything else
-    propagates.  ``deadline`` is an absolute simulated-time bound --
-    checked before every attempt, so a faulty run cannot spin past its
-    phase budget unnoticed.
+    the policy's backoff -- charged to ``cluster``'s simulated clock (the
+    ranks sit at the barrier waiting out the timeout), or really slept
+    when ``cluster`` is a real-time fabric; anything else propagates.
+    ``deadline`` is an absolute bound on the same clock -- checked before
+    every attempt, so a faulty run cannot spin past its phase budget
+    unnoticed.  ``cluster`` is anything with ``.stats`` (a ``SimCluster``
+    or a fabric).
     """
     tracer = as_tracer(tracer)
+    realtime = bool(getattr(cluster, "realtime", False))
     attempt = 0
     while True:
         if deadline is not None and cluster.stats.simulated_time > deadline:
             raise PhaseTimeoutError(
-                f"phase {phase or 'unknown'!r} exceeded its simulated-time "
-                f"budget ({policy.phase_timeout:g}s)")
+                f"phase {phase or 'unknown'!r} exceeded its time budget "
+                f"({policy.phase_timeout:g}s)")
         try:
             return make_attempt(), attempt
         except TransientCommError as exc:
@@ -101,4 +111,7 @@ def run_with_retries(make_attempt, cluster, policy: RecoveryPolicy, *,
                 raise RetryExhaustedError(
                     f"phase {phase or 'unknown'!r} still failing after "
                     f"{policy.max_retries} retries: {exc}") from exc
-            cluster.stats.comm_time += policy.backoff(attempt)
+            if realtime:
+                time.sleep(policy.backoff(attempt))
+            else:
+                cluster.stats.comm_time += policy.backoff(attempt)

@@ -1,20 +1,33 @@
-"""Simulated coarse-grain parallel formulation (future-work extension).
+"""Coarse-grain parallel formulation (future-work extension).
 
 This subpackage is **not** part of the reproduced SC'98 contribution; it
-implements the parallel formulation the paper names as future work, on a
-deterministic BSP simulation with an alpha-beta cost model (real MPI is
-unavailable offline; see DESIGN.md for the substitution rationale).
+implements the parallel formulation the paper names as future work.  The
+algorithms are written once as a *rank program* (:mod:`~repro.parallel.rankprog`)
+-- pure per-rank step functions over published read-only snapshots --
+driven by one orchestrator through a pluggable fabric
+(:mod:`~repro.parallel.fabric`):
 
-The driver is hardened against injected faults (``repro.faults``): pass
-``faults=`` / ``recovery=`` / ``strict=`` to :func:`parallel_part_graph`;
-see ``docs/robustness.md`` for the error/robustness contract.
+* ``executor="sim"`` -- deterministic in-process BSP simulation with an
+  alpha-beta cost model (:class:`SimCluster`); supports injected faults
+  via ``repro.faults``.
+* ``executor="shm"`` -- **real** spawned worker processes over
+  ``multiprocessing.shared_memory`` CSR views (:class:`ShmFabric`);
+  wall-clock timing, real crash/timeout handling.
+
+The two executors are bit-identical on fault-free runs -- same messages,
+same partition -- which :func:`run_parity` asserts; ``docs/parallel.md``
+documents the model and the degradation contract (``faults=`` /
+``recovery=`` / ``strict=``; see also ``docs/robustness.md``).
 """
 
 from .coarsen import parallel_matching
 from .contract import parallel_contract
 from .distgraph import DistGraph
 from .driver import ParallelResult, parallel_part_graph
+from .fabric import MessageLog, SimFabric, as_fabric
+from .parity import ParityReport, run_parity
 from .refine import parallel_kway_refine
+from .shm import ShmFabric, ShmStats
 from .simcomm import CostModel, SimCluster, SimStats
 
 __all__ = [
@@ -22,9 +35,16 @@ __all__ = [
     "SimStats",
     "CostModel",
     "DistGraph",
+    "MessageLog",
+    "SimFabric",
+    "ShmFabric",
+    "ShmStats",
+    "as_fabric",
     "parallel_matching",
     "parallel_contract",
     "parallel_kway_refine",
     "parallel_part_graph",
     "ParallelResult",
+    "ParityReport",
+    "run_parity",
 ]

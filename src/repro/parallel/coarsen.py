@@ -1,24 +1,29 @@
 """Coarse-grain parallel matching with conflict arbitration.
 
 Each round, every rank proposes a heavy-edge match for its unmatched local
-vertices.  Proposals between vertices of the same rank are resolved locally;
-proposals to a remote vertex are shipped to its owner (one ``alltoall``),
-which arbitrates conflicting requests deterministically -- the heaviest edge
-wins, ties broken by the lower proposer id (the protocol of the coarse-grain
-formulation; this arbitration is what makes the parallel matching *less*
-maximal than the serial one, producing the "slow coarsening" effect the
-literature reports).  Acceptance notifications return in a second
-``alltoall``.
+vertices against a published snapshot of the previous round's global match
+(:func:`repro.parallel.rankprog.match_propose`).  Local pairs commit
+immediately; a remote proposal locks the proposer for the round and ships
+to the target's owner, which arbitrates deterministically -- the heaviest
+edge wins, ties broken by the lower proposer id, and mutually-proposing
+cross-rank pairs commit via a symmetric handshake
+(:func:`~repro.parallel.rankprog.match_arbitrate`).  Acceptance
+notifications return in a second ``alltoall``; unaccepted proposers are
+released to retry next round.  This snapshot protocol is what makes the
+parallel matching *less* maximal than the serial one (the "slow
+coarsening" effect the literature reports) -- and, because no rank ever
+reads another rank's same-round writes, it is exactly executable by the
+real multiprocess backend (:mod:`repro.parallel.shm`) with bit-identical
+results.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from .._rng import as_rng
-from ..graph.csr import Graph
+from .._rng import as_rng, spawn
 from .distgraph import DistGraph
-from .simcomm import SimCluster
+from .fabric import as_fabric
 
 __all__ = ["parallel_matching"]
 
@@ -27,89 +32,39 @@ _INT = np.int64
 
 def parallel_matching(
     dist: DistGraph,
-    cluster: SimCluster,
+    comm,
     seed=None,
     rounds: int = 4,
 ) -> np.ndarray:
     """Compute a matching of ``dist.graph`` with the coarse-grain protocol.
 
-    Returns the global match array (``match[v] = partner or v``).  All
-    communication is charged to ``cluster``.
+    ``comm`` is a fabric or a bare :class:`~repro.parallel.simcomm.SimCluster`.
+    Returns the global match array (``match[v] = partner or v``); all
+    communication is charged to / measured on the fabric.
     """
+    fabric = as_fabric(comm)
     g = dist.graph
     rng = as_rng(seed)
     n = g.nvtxs
+    p = fabric.nranks
     match = np.arange(n, dtype=_INT)
-    xadj, adjncy, adjwgt = g.xadj, g.adjncy, g.adjwgt
+    fabric.publish_graph(g)
 
     for _ in range(rounds):
         if np.all(match != np.arange(n)):
             break
-        # ---- Phase 1: each rank proposes for its unmatched local vertices.
-        proposals: list[dict[int, np.ndarray]] = [dict() for _ in range(cluster.nranks)]
-        local_batches: list[list[tuple[int, int, int]]] = [[] for _ in range(cluster.nranks)]
-        for r in range(cluster.nranks):
+        fabric.publish(match_prev=match)
+        rngs = spawn(rng, p)
+        proposals = fabric.run(
+            "match_propose", [{"seed": rngs[r]} for r in range(p)])
+        delivered = fabric.exchange(proposals)
+        accepts = fabric.run(
+            "match_arbitrate", [{"incoming": delivered[r]} for r in range(p)])
+        notified = fabric.exchange(accepts)
+        blocks = fabric.run(
+            "match_finish", [{"incoming": notified[r]} for r in range(p)])
+        for r in range(p):
             lo, hi = dist.local_range(r)
-            ops = 0
-            out: dict[int, list[tuple[int, int, int]]] = {}
-            for v in rng.permutation(np.arange(lo, hi)).tolist():
-                if match[v] != v:
-                    continue
-                beg, end = xadj[v], xadj[v + 1]
-                nbrs = adjncy[beg:end]
-                ws = adjwgt[beg:end]
-                ops += len(nbrs)
-                best_u, best_w = -1, -1
-                for u, w in zip(nbrs.tolist(), ws.tolist()):
-                    # Ranks only know the match state of ghosts as of the
-                    # previous round; stale proposals get rejected by the
-                    # owner, which is exactly the protocol's behaviour.
-                    if match[u] == u and w > best_w:
-                        best_u, best_w = u, w
-                if best_u < 0:
-                    continue
-                owner = int(dist.owner(best_u))
-                if owner == r:
-                    # Local arbitration is immediate.
-                    if match[best_u] == best_u and match[v] == v:
-                        match[v] = best_u
-                        match[best_u] = v
-                else:
-                    out.setdefault(owner, []).append((v, best_u, best_w))
-            cluster.add_compute(r, ops)
-            for dst, rows in out.items():
-                proposals[r][dst] = np.asarray(rows, dtype=_INT).reshape(-1, 3)
-            local_batches[r] = []
-
-        delivered = cluster.alltoall(proposals)
-
-        # ---- Phase 2: owners arbitrate remote proposals.
-        accepts: list[dict[int, np.ndarray]] = [dict() for _ in range(cluster.nranks)]
-        for r in range(cluster.nranks):
-            best: dict[int, tuple[int, int]] = {}  # target -> (weight, proposer)
-            ops = 0
-            for src, arr in delivered[r].items():
-                for v, u, w in arr.tolist():
-                    ops += 1
-                    if match[u] != u:
-                        continue  # already taken this or an earlier round
-                    cur = best.get(u)
-                    # Heaviest edge wins; lower proposer id breaks ties.
-                    if cur is None or (w, -v) > (cur[0], -cur[1]):
-                        best[u] = (w, v)
-            cluster.add_compute(r, ops)
-            winners: dict[int, list[tuple[int, int]]] = {}
-            for u, (w, v) in best.items():
-                if match[u] != u or match[v] != v:
-                    continue
-                match[u] = v
-                match[v] = u
-                winners.setdefault(int(dist.owner(v)), []).append((v, u))
-            for dst, rows in winners.items():
-                accepts[r][dst] = np.asarray(rows, dtype=_INT).reshape(-1, 2)
-
-        # ---- Phase 3: acceptance notifications (match[] already updated in
-        # the shared simulation state; the exchange is charged for realism).
-        cluster.alltoall(accepts)
+            match[lo:hi] = blocks[r]
 
     return match

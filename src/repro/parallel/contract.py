@@ -4,19 +4,21 @@ The coarse-grain protocol after a matching round:
 
 1. **Halo exchange** -- each rank needs the coarse id (``cmap``) of its
    ghost vertices; owners ship them (one personalised all-to-all of int64
-   pairs).
+   pairs), enumerated by :func:`~repro.parallel.rankprog.contract_ghosts`.
 2. **Edge fold** -- each rank maps its local directed edges to coarse
-   endpoint pairs, drops self-loops, pre-merges local duplicates, and sends
-   every coarse edge to the owner of its coarse *source* row (coarse
-   vertices are block-distributed like fine ones).
-3. **Row assembly** -- owners merge the received triples per coarse row and
-   contribute their rows to the coarse CSR; vertex-weight vectors travel
-   the same way.
+   endpoint pairs, drops self-loops, pre-merges local duplicates, and
+   sends every coarse edge to the owner of its coarse *source* row
+   (:func:`~repro.parallel.rankprog.contract_fold`; coarse vertices are
+   block-distributed like fine ones).
+3. **Row assembly** -- the orchestrator merges the received triples per
+   coarse row into the coarse CSR; vertex-weight vectors travel the same
+   way.  The merge is a sort + commutative integer add, so it is
+   independent of delivery order.
 
 The result is bit-identical to the serial :func:`repro.graph.contract`
-(asserted by the test-suite), while every byte of the protocol is charged
-to the cluster's cost model -- this is what makes the simulated coarsening
-phase's communication profile meaningful.
+(asserted by the test-suite) on either executor, while every byte of the
+protocol is charged to the simulator's cost model or measured on the real
+pipe transport.
 """
 
 from __future__ import annotations
@@ -25,7 +27,7 @@ import numpy as np
 
 from ..graph.csr import Graph
 from .distgraph import DistGraph
-from .simcomm import SimCluster
+from .fabric import as_fabric
 
 __all__ = ["parallel_contract"]
 
@@ -34,79 +36,36 @@ _INT = np.int64
 
 def parallel_contract(
     dist: DistGraph,
-    cluster: SimCluster,
+    comm,
     cmap: np.ndarray,
     ncoarse: int,
 ) -> Graph:
     """Contract ``dist.graph`` according to ``cmap`` with the distributed
-    protocol, charging all traffic to ``cluster``.  Returns the (globally
-    assembled) coarse graph."""
+    protocol.  ``comm`` is a fabric or a bare ``SimCluster``.  Returns the
+    (globally assembled) coarse graph."""
+    fabric = as_fabric(comm)
     g = dist.graph
-    p = cluster.nranks
+    p = fabric.nranks
     cmap = np.asarray(cmap, dtype=_INT)
+    fabric.publish_graph(g)
+    fabric.publish(cmap=cmap)
+    m = g.ncon
 
-    # Coarse block distribution (same layout rule as DistGraph).
-    base, extra = divmod(ncoarse, p)
-    csizes = np.full(p, base, dtype=_INT)
-    csizes[:extra] += 1
-    cvtxdist = np.concatenate([[0], np.cumsum(csizes)]).astype(_INT)
-
-    def coarse_owner(cv: np.ndarray) -> np.ndarray:
-        return np.searchsorted(cvtxdist, cv, side="right") - 1
-
-    # ---- 1. Halo exchange: ghost cmap values.
+    # ---- 1. Halo exchange: ghost cmap values.  Rank r enumerates the
+    # rows owner o will send it; in the simulation the reply is
+    # materialised directly (shared state), but the reply bytes are what
+    # the exchange charges.
+    wants = fabric.run("contract_ghosts", [{} for _ in range(p)])
     ghost_payloads: list[dict[int, np.ndarray]] = [dict() for _ in range(p)]
     for r in range(p):
-        ghosts = dist.ghost_vertices(r)
-        if ghosts.size == 0:
-            continue
-        owners = dist.owner(ghosts)
-        for o in np.unique(owners).tolist():
-            ids = ghosts[owners == o]
-            # Owner o replies with (id, cmap[id]) pairs; in the simulation
-            # the reply is materialised directly (shared memory), but the
-            # request+reply bytes are what we charge.
-            ghost_payloads[o][r] = np.stack([ids, cmap[ids]], axis=1)
-    cluster.alltoall(ghost_payloads)
+        for o, rows in wants[r].items():
+            ghost_payloads[o][r] = rows
+    fabric.exchange(ghost_payloads)
 
     # ---- 2. Edge fold: map local edges and route to coarse-row owners.
-    edge_payloads: list[dict[int, np.ndarray]] = [dict() for _ in range(p)]
-    vw_payloads: list[dict[int, np.ndarray]] = [dict() for _ in range(p)]
-    m = g.ncon
-    for r in range(p):
-        lo, hi = dist.local_range(r)
-        beg, end = g.xadj[lo], g.xadj[hi]
-        counts = np.diff(g.xadj[lo : hi + 1])
-        src = np.repeat(np.arange(lo, hi, dtype=_INT), counts)
-        cu = cmap[src]
-        cv = cmap[g.adjncy[beg:end]]
-        w = g.adjwgt[beg:end]
-        keep = cu != cv
-        cu, cv, w = cu[keep], cv[keep], w[keep]
-        cluster.add_compute(r, int(end - beg))
-
-        # Local pre-merge (the standard combining optimisation).
-        key = cu * _INT(ncoarse) + cv
-        uniq, inverse = np.unique(key, return_inverse=True)
-        wsum = np.zeros(uniq.shape[0], dtype=_INT)
-        np.add.at(wsum, inverse, w)
-        cu = (uniq // ncoarse).astype(_INT)
-        cv = (uniq % ncoarse).astype(_INT)
-
-        owners = coarse_owner(cu)
-        for o in np.unique(owners).tolist():
-            sel = owners == o
-            edge_payloads[r][int(o)] = np.stack([cu[sel], cv[sel], wsum[sel]], axis=1)
-
-        # Vertex-weight contributions: (coarse id, weight vector) rows.
-        local_cv = cmap[lo:hi]
-        vw_owners = coarse_owner(local_cv)
-        rows = np.concatenate([local_cv[:, None], g.vwgt[lo:hi]], axis=1)
-        for o in np.unique(vw_owners).tolist():
-            vw_payloads[r][int(o)] = rows[vw_owners == o]
-
-    edges_in = cluster.alltoall(edge_payloads)
-    vws_in = cluster.alltoall(vw_payloads)
+    folded = fabric.run("contract_fold", [{"ncoarse": ncoarse} for _ in range(p)])
+    edges_in = fabric.exchange([e for e, _ in folded])
+    vws_in = fabric.exchange([v for _, v in folded])
 
     # ---- 3. Row assembly at the owners.
     all_triples = []
@@ -116,7 +75,7 @@ def parallel_contract(
         if got:
             tri = np.concatenate(got)
             all_triples.append(tri)
-            cluster.add_compute(r, tri.shape[0])
+            fabric.add_compute(r, tri.shape[0])
         for rows in vws_in[r].values():
             ids = rows[:, 0]
             np.add.at(cvwgt, ids, rows[:, 1:])

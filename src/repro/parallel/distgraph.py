@@ -14,9 +14,37 @@ import numpy as np
 from ..errors import GraphError
 from ..graph.csr import Graph
 
-__all__ = ["DistGraph"]
+__all__ = ["DistGraph", "block_vtxdist", "block_range", "block_owner"]
 
 _INT = np.int64
+
+
+def block_vtxdist(n: int, nranks: int) -> np.ndarray:
+    """The balanced contiguous ``vtxdist``: first ``n % p`` ranks get one
+    extra vertex.  Shared by the parent and the shm rank program so both
+    sides agree on ownership without shipping the array."""
+    base, extra = divmod(n, nranks)
+    sizes = np.full(nranks, base, dtype=_INT)
+    sizes[:extra] += 1
+    return np.concatenate([[0], np.cumsum(sizes)]).astype(_INT)
+
+
+def block_range(n: int, nranks: int, rank: int) -> tuple[int, int]:
+    """``[lo, hi)`` owned by ``rank`` under :func:`block_vtxdist` (closed
+    form, no array needed)."""
+    base, extra = divmod(n, nranks)
+    lo = rank * base + min(rank, extra)
+    return lo, lo + base + (1 if rank < extra else 0)
+
+
+def block_owner(n: int, nranks: int, v) -> np.ndarray:
+    """Owner rank of vertex/array ``v`` under :func:`block_vtxdist`."""
+    base, extra = divmod(n, nranks)
+    v = np.asarray(v)
+    split = extra * (base + 1)
+    if base == 0:
+        return np.minimum(v, n)  # every owned vertex sits on its own rank
+    return np.where(v < split, v // (base + 1), extra + (v - split) // base)
 
 
 class DistGraph:
@@ -27,13 +55,7 @@ class DistGraph:
             raise GraphError("nranks must be >= 1")
         self.graph = graph
         self.nranks = nranks
-        n = graph.nvtxs
-        # Balanced contiguous blocks: first n % p ranks get one extra.
-        base = n // nranks
-        extra = n % nranks
-        sizes = np.full(nranks, base, dtype=_INT)
-        sizes[:extra] += 1
-        self.vtxdist = np.concatenate([[0], np.cumsum(sizes)]).astype(_INT)
+        self.vtxdist = block_vtxdist(graph.nvtxs, nranks)
 
     # ------------------------------------------------------------------ #
 

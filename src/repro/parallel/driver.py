@@ -1,34 +1,49 @@
-"""Simulated coarse-grain parallel multilevel multi-constraint partitioner.
+"""Coarse-grain parallel multilevel multi-constraint partitioner.
 
-Pipeline (all on the :class:`~repro.parallel.simcomm.SimCluster`):
+Pipeline (one orchestrator, pluggable executors -- see
+:mod:`repro.parallel.fabric`):
 
 1. **Parallel coarsening** -- conflict-arbitrated heavy-edge matching
    (:func:`repro.parallel.coarsen.parallel_matching`) followed by
-   contraction; the halo exchange needed to fold cross-rank edges is charged
-   to the cost model.
+   contraction; the halo exchange needed to fold cross-rank edges travels
+   the fabric (cost-model-charged on the simulator, really shipped on the
+   shm executor).
 2. **Initial partitioning** -- the coarsest graph is gathered to rank 0 and
    partitioned with the serial multi-constraint recursive bisection (the
    standard practice: the coarsest graph is tiny).
 3. **Parallel uncoarsening** -- project and refine with the reservation
    scheme (:func:`repro.parallel.refine.parallel_kway_refine`).
 
-The returned :class:`ParallelResult` carries both the partition quality and
-the simulated-time accounting used by the scaling benchmarks.
+``executor="sim"`` (default) runs every rank step inline on a
+deterministic BSP simulation with an alpha-beta cost model;
+``executor="shm"`` runs the identical rank program in spawned worker
+processes over ``multiprocessing.shared_memory`` CSR views
+(:mod:`repro.parallel.shm`) -- same messages, same partition, real wall
+clock.  The returned :class:`ParallelResult` carries the partition quality
+plus whichever time accounting the executor produced (simulated seconds or
+wall seconds).
 
-Robustness (see ``docs/robustness.md`` for the full contract): the driver
-accepts a fault specification (``faults=``) injected through a
-:class:`~repro.faults.FaultyCluster` and a
-:class:`~repro.faults.RecoveryPolicy` (``recovery=``).  Each phase runs
-under retry-with-backoff for transient communication failures and a
-simulated-time phase budget; on unrecoverable failure (permanent rank
-crash, exhausted retries, timeout) the driver *degrades gracefully*: it
-falls back to the serial k-way partitioner, marks the result
-(``result.degraded``, ``result.degraded_reason``) and records a
-``degraded_fallback`` trace span plus a ``parallel.degraded`` counter so
-``TraceReport`` shows exactly what happened.  In strict mode
-(``strict=True`` or ``RecoveryPolicy(allow_degraded=False)``) it raises
+Robustness (see ``docs/robustness.md`` and ``docs/parallel.md`` for the
+full contract): the driver accepts a fault specification (``faults=``,
+simulator only) injected through a :class:`~repro.faults.FaultyCluster`
+and a :class:`~repro.faults.RecoveryPolicy` (``recovery=``).  Each phase
+runs under retry-with-backoff for transient communication failures and a
+phase budget measured on the executor's clock -- simulated seconds under
+``sim``, **real wall-clock** under ``shm``, where backoff really sleeps
+and a crashed or hung worker process surfaces as
+:class:`~repro.errors.RankCrashedError` /
+:class:`~repro.errors.PhaseTimeoutError`.  On unrecoverable failure the
+driver *degrades gracefully*: it falls back to the serial k-way
+partitioner, marks the result (``result.degraded``,
+``result.degraded_reason``) and records a ``degraded_fallback`` trace span
+plus a ``parallel.degraded`` counter so ``TraceReport`` shows exactly what
+happened.  In strict mode (``strict=True`` or
+``RecoveryPolicy(allow_degraded=False)``) it raises
 :class:`~repro.errors.DegradedResult` instead.  With no faults injected
-the happy path is bit-identical to the unhardened driver.
+the two executors are bit-identical to each other (asserted by
+:func:`repro.parallel.parity.run_parity`), and the fallback partition is
+derived from ``options.seed`` alone, so even a crashed run is reproducible
+across executors.
 """
 
 from __future__ import annotations
@@ -39,7 +54,7 @@ import numpy as np
 
 from .._rng import as_rng, spawn
 from ..coarsen.matching import matching_to_cmap
-from ..errors import CommError, DegradedResult, FaultError, PhaseTimeoutError
+from ..errors import CommError, DegradedResult, FaultError, FaultSpecError, PhaseTimeoutError
 from ..faults.recovery import RecoveryPolicy, run_with_retries
 from ..faults.spec import as_fault_spec
 from ..graph.csr import Graph
@@ -53,15 +68,16 @@ from ..weights.balance import FEASIBILITY_EPS, as_ubvec, imbalance
 from .coarsen import parallel_matching
 from .contract import parallel_contract
 from .distgraph import DistGraph
+from .fabric import SimFabric, as_fabric
 from .refine import parallel_kway_refine
-from .simcomm import CostModel, SimCluster, SimStats
+from .simcomm import CostModel, SimCluster
 
 __all__ = ["ParallelResult", "parallel_part_graph"]
 
 
 @dataclass
 class ParallelResult:
-    """Partition plus simulated-execution accounting."""
+    """Partition plus per-executor execution accounting."""
 
     part: np.ndarray
     nparts: int
@@ -69,10 +85,13 @@ class ParallelResult:
     edgecut: int
     imbalance: np.ndarray
     feasible: bool
-    stats: SimStats
+    #: :class:`~repro.parallel.simcomm.SimStats` (``executor="sim"``) or
+    #: :class:`~repro.parallel.shm.ShmStats` (``executor="shm"``).
+    stats: object
     levels: int
     refine_stats: list[dict]
-    #: simulated seconds per phase: {"coarsen": ..., "initpart": ..., "refine": ...}
+    #: seconds per phase on the executor's clock (simulated or wall):
+    #: {"coarsen": ..., "initpart": ..., "refine": ...}
     phase_times: dict | None = None
     #: True when the parallel pipeline failed and the result came from the
     #: serial fallback path (documented graceful degradation).
@@ -84,9 +103,13 @@ class ParallelResult:
     faults: dict | None = field(repr=False, default=None)
     #: transient communication failures absorbed by retry-with-backoff.
     retries: int = 0
+    #: which executor produced the run ("sim" or "shm").
+    executor: str = "sim"
 
     @property
     def simulated_time(self) -> float:
+        """The executor's clock: modelled seconds under ``sim``, real wall
+        seconds under ``shm`` (kept under the historical name)."""
         return self.stats.simulated_time
 
     @property
@@ -96,16 +119,48 @@ class ParallelResult:
 
     def summary(self) -> str:
         imb = ", ".join(f"{x:.3f}" for x in self.imbalance)
+        clock = "t_wall" if self.executor == "shm" else "t_sim"
         out = (
             f"parallel(p={self.nranks}) k={self.nparts}: cut={self.edgecut} "
-            f"imbalance=[{imb}] t_sim={self.simulated_time * 1e3:.2f}ms "
+            f"imbalance=[{imb}] {clock}={self.simulated_time * 1e3:.2f}ms "
             f"{'feasible' if self.feasible else 'INFEASIBLE'}"
         )
+        if self.executor != "sim":
+            out += f" executor={self.executor}"
         if self.retries:
             out += f" retries={self.retries}"
         if self.degraded:
             out += " DEGRADED(serial fallback)"
         return out
+
+
+def _make_fabric(executor, nranks, spec, cost, tracer):
+    """Resolve the ``executor`` argument to a fabric instance."""
+    if not isinstance(executor, str):
+        fabric = as_fabric(executor)
+        if spec.enabled and fabric.kind != "sim":
+            raise FaultSpecError(
+                "fault specs are simulator-only; use ShmFabric's "
+                "inject_crash hook to test real worker failure")
+        return fabric
+    if executor == "sim":
+        if spec.enabled:
+            from ..faults.injector import FaultyCluster
+
+            cluster: SimCluster = FaultyCluster(nranks, spec, cost)
+        else:
+            cluster = SimCluster(nranks, cost)
+        return SimFabric(cluster)
+    if executor == "shm":
+        if spec.enabled:
+            raise FaultSpecError(
+                "fault specs are simulator-only (the injector screens "
+                "simulated collectives); run the shm executor against real "
+                "failures via ShmFabric(inject_crash=...)")
+        from .shm import ShmFabric
+
+        return ShmFabric(nranks, cost=cost, tracer=tracer)
+    raise FaultSpecError(f"unknown executor {executor!r} (use 'sim' or 'shm')")
 
 
 def parallel_part_graph(
@@ -119,19 +174,25 @@ def parallel_part_graph(
     faults=None,
     recovery: RecoveryPolicy | None = None,
     strict: bool = False,
+    executor="sim",
 ) -> ParallelResult:
-    """Partition ``graph`` with the simulated parallel formulation.
+    """Partition ``graph`` with the coarse-grain parallel formulation.
 
-    ``nranks`` simulated ranks cooperate; quality should track the serial
-    k-way partitioner while simulated time exhibits the parallel scaling
-    shape (see benchmark P1).  ``tracer`` records the run under a
-    ``parallel_partition`` root span whose phase spans carry both wall
-    time and the cost-model's simulated seconds (``sim_seconds``).
+    ``nranks`` ranks cooperate; quality should track the serial k-way
+    partitioner while the time accounting exhibits the parallel scaling
+    shape (see benchmark P1).  ``executor`` selects how ranks execute:
+    ``"sim"`` (deterministic in-process BSP simulation, default),
+    ``"shm"`` (real spawned processes over shared-memory CSR views -- same
+    messages, bit-identical partition, wall-clock timing), or an existing
+    fabric instance (it is closed when the run finishes).  ``tracer``
+    records the run under a ``parallel_partition`` root span whose phase
+    spans carry wall time plus the executor clock (``sim_seconds``).
 
     ``faults`` (a :class:`repro.faults.FaultSpec`, spec string, or dict)
-    injects deterministic network faults; ``recovery`` tunes the
-    retry/backoff/timeout/degradation behaviour; ``strict=True`` forbids
-    the serial fallback (failures raise
+    injects deterministic network faults into the *simulated* executor;
+    ``recovery`` tunes the retry/backoff/timeout/degradation behaviour
+    (timeouts fire on real wall-clock under ``shm``); ``strict=True``
+    forbids the serial fallback (failures raise
     :class:`~repro.errors.DegradedResult` instead).
     """
     if options is None:
@@ -144,33 +205,32 @@ def parallel_part_graph(
     policy = recovery if recovery is not None else RecoveryPolicy()
     if strict:
         policy = policy.with_(allow_degraded=False)
-    if spec.enabled:
-        from ..faults.injector import FaultyCluster
-
-        cluster: SimCluster = FaultyCluster(nranks, spec, cost)
-    else:
-        cluster = SimCluster(nranks, cost)
+    fabric = _make_fabric(executor, nranks, spec, cost, tracer)
 
     progress = {"levels": 0, "retries": 0, "phase_times": {}}
-    with tracer.span("parallel_partition", nvtxs=graph.nvtxs,
-                     nedges=graph.nedges, ncon=graph.ncon, nparts=nparts,
-                     nranks=nranks) as root:
-        try:
-            result = _pipeline(graph, nparts, nranks, options, cluster,
-                               policy, tracer, root, rng, ub, progress)
-        except (CommError, FaultError) as exc:
-            tracer.incr("parallel.degraded")
-            if not policy.allow_degraded:
-                if tracer.enabled:
-                    root.set(degraded_refused=type(exc).__name__)
-                raise DegradedResult(
-                    f"parallel run failed ({type(exc).__name__}: {exc}); "
-                    "serial fallback disabled by strict mode") from exc
-            result = _degraded_result(graph, nparts, nranks, options,
-                                      cluster, tracer, root, rng, ub,
-                                      progress, exc)
+    try:
+        with tracer.span("parallel_partition", nvtxs=graph.nvtxs,
+                         nedges=graph.nedges, ncon=graph.ncon, nparts=nparts,
+                         nranks=nranks, executor=fabric.kind) as root:
+            try:
+                result = _pipeline(graph, nparts, nranks, options, fabric,
+                                   policy, tracer, root, rng, ub, progress)
+            except (CommError, FaultError) as exc:
+                tracer.incr("parallel.degraded")
+                if not policy.allow_degraded:
+                    if tracer.enabled:
+                        root.set(degraded_refused=type(exc).__name__)
+                    raise DegradedResult(
+                        f"parallel run failed ({type(exc).__name__}: {exc}); "
+                        "serial fallback disabled by strict mode") from exc
+                result = _degraded_result(graph, nparts, nranks, options,
+                                          fabric, tracer, root, rng, ub,
+                                          progress, exc)
+    finally:
+        fabric.close()
     result.retries = progress["retries"]
-    fault_stats = getattr(cluster, "faults", None)
+    result.executor = fabric.kind
+    fault_stats = getattr(fabric, "faults", None)
     if fault_stats is not None:
         result.faults = fault_stats.to_dict()
         if tracer.enabled:
@@ -180,28 +240,26 @@ def parallel_part_graph(
     return result
 
 
-def _retrying(progress, make_attempt, cluster, policy, *, phase, deadline,
+def _retrying(progress, make_attempt, fabric, policy, *, phase, deadline,
               tracer):
     """``run_with_retries`` + retry bookkeeping in ``progress``."""
-    value, retries = run_with_retries(make_attempt, cluster, policy,
+    value, retries = run_with_retries(make_attempt, fabric, policy,
                                       phase=phase, deadline=deadline,
                                       tracer=tracer)
     progress["retries"] += retries
     return value
 
 
-def _pipeline(graph, nparts, nranks, options, cluster, policy, tracer, root,
+def _pipeline(graph, nparts, nranks, options, fabric, policy, tracer, root,
               rng, ub, progress) -> ParallelResult:
     """The parallel pipeline proper (may raise Comm/Fault errors)."""
     coarsen_to = max(options.kway_coarsen_factor * nparts, options.coarsen_to)
 
-    def _elapsed():
-        return cluster.stats.simulated_time
-
+    _elapsed = fabric.elapsed
     phase_marks = {"start": _elapsed()}
 
     # ---- Parallel coarsening.
-    cluster.set_phase("coarsen")
+    fabric.set_phase("coarsen")
     deadline = policy.deadline(_elapsed())
     levels: list[tuple[Graph, np.ndarray]] = []
     cur = graph
@@ -209,16 +267,16 @@ def _pipeline(graph, nparts, nranks, options, cluster, policy, tracer, root,
         while cur.nvtxs > coarsen_to and len(levels) < options.max_coarsen_levels:
             if deadline is not None and _elapsed() > deadline:
                 raise PhaseTimeoutError(
-                    f"phase 'coarsen' exceeded its simulated-time budget "
+                    f"phase 'coarsen' exceeded its time budget "
                     f"({policy.phase_timeout:g}s)")
             with tracer.span("coarsen_level", nvtxs=cur.nvtxs) as sp:
                 dist = DistGraph(cur, nranks)
 
                 def match_attempt(dist=dist):
                     (mrng,) = spawn(rng, 1)
-                    return parallel_matching(dist, cluster, seed=mrng)
+                    return parallel_matching(dist, fabric, seed=mrng)
 
-                match = _retrying(progress, match_attempt, cluster, policy,
+                match = _retrying(progress, match_attempt, fabric, policy,
                                   phase="coarsen", deadline=deadline,
                                   tracer=tracer)
                 cmap, ncoarse = matching_to_cmap(match)
@@ -229,8 +287,8 @@ def _pipeline(graph, nparts, nranks, options, cluster, policy, tracer, root,
                 nxt = _retrying(
                     progress,
                     lambda dist=dist, cmap=cmap, ncoarse=ncoarse:
-                        parallel_contract(dist, cluster, cmap, ncoarse),
-                    cluster, policy, phase="coarsen", deadline=deadline,
+                        parallel_contract(dist, fabric, cmap, ncoarse),
+                    fabric, policy, phase="coarsen", deadline=deadline,
                     tracer=tracer)
                 if tracer.enabled:
                     sp.set(nedges=cur.nedges, coarse_nvtxs=nxt.nvtxs,
@@ -248,21 +306,23 @@ def _pipeline(graph, nparts, nranks, options, cluster, policy, tracer, root,
                        progress["phase_times"]["coarsen"])
 
     # ---- Initial partitioning at rank 0 (gather + serial RB + bcast).
-    cluster.set_phase("initpart")
+    fabric.set_phase("initpart")
     deadline = policy.deadline(_elapsed())
     with tracer.span("initpart", nvtxs=cur.nvtxs) as isp:
 
         def init_attempt():
-            cluster.gather(
-                [np.empty(cur.nvtxs // max(nranks, 1), dtype=np.int64)] * nranks)
+            # Zeroed (not np.empty) so the parity harness can digest the
+            # payload bytes deterministically; only the size is charged.
+            fabric.gather(
+                [np.zeros(cur.nvtxs // max(nranks, 1), dtype=np.int64)] * nranks)
             (irng,) = spawn(rng, 1)
             init_opts = options.with_(seed=irng, final_balance=True)
             w = partition_recursive(cur, nparts, init_opts, tracer=tracer)
-            cluster.add_compute(0, 20 * (cur.nvtxs + 2 * cur.nedges))
-            cluster.bcast(w)
+            fabric.add_compute(0, 20 * (cur.nvtxs + 2 * cur.nedges))
+            fabric.bcast(w)
             return w
 
-        where = _retrying(progress, init_attempt, cluster, policy,
+        where = _retrying(progress, init_attempt, fabric, policy,
                           phase="initpart", deadline=deadline, tracer=tracer)
         phase_marks["initpart"] = _elapsed()
         progress["phase_times"]["initpart"] = (
@@ -280,7 +340,7 @@ def _pipeline(graph, nparts, nranks, options, cluster, policy, tracer, root,
             seconds=progress["phase_times"]["initpart"])
 
     # ---- Parallel uncoarsening with reservation refinement.
-    cluster.set_phase("refine")
+    fabric.set_phase("refine")
     deadline = policy.deadline(_elapsed())
     refine_stats: list[dict] = []
     with tracer.span("refine") as rsp:
@@ -288,7 +348,7 @@ def _pipeline(graph, nparts, nranks, options, cluster, policy, tracer, root,
             fine, cmap = levels[idx]
             if deadline is not None and _elapsed() > deadline:
                 raise PhaseTimeoutError(
-                    f"phase 'refine' exceeded its simulated-time budget "
+                    f"phase 'refine' exceeded its time budget "
                     f"({policy.phase_timeout:g}s)")
             where = where[cmap]
             t_level = _elapsed()
@@ -299,12 +359,12 @@ def _pipeline(graph, nparts, nranks, options, cluster, policy, tracer, root,
                     (rrng,) = spawn(rng, 1)
                     trial = where.copy()
                     st = parallel_kway_refine(
-                        dist, cluster, trial, nparts,
+                        dist, fabric, trial, nparts,
                         ubvec=ub, npasses=options.kway_refine_passes, seed=rrng,
                     )
                     return trial, st
 
-                where, st = _retrying(progress, refine_attempt, cluster,
+                where, st = _retrying(progress, refine_attempt, fabric,
                                       policy, phase="refine",
                                       deadline=deadline, tracer=tracer)
                 refine_stats.append(st)
@@ -352,31 +412,46 @@ def _pipeline(graph, nparts, nranks, options, cluster, policy, tracer, root,
         edgecut=edge_cut(graph, where),
         imbalance=imb,
         feasible=bool(np.all(imb <= ub + FEASIBILITY_EPS)),
-        stats=cluster.stats,
+        stats=fabric.stats,
         levels=len(levels),
         refine_stats=refine_stats,
     )
 
 
-def _degraded_result(graph, nparts, nranks, options, cluster, tracer, root,
+def _fallback_rng(options, rng):
+    """Seed for the serial fallback.
+
+    Derived from ``options.seed`` alone (not from how far the parallel
+    run progressed) so a degraded run reproduces the same partition
+    regardless of where -- or on which executor -- the failure struck.
+    Only when the caller passed a live ``Generator`` as the seed is the
+    pipeline rng used (there is no stable value to restart from)."""
+    if isinstance(options.seed, np.random.Generator):
+        (srng,) = spawn(rng, 1)
+        return srng
+    (srng,) = spawn(as_rng(options.seed), 1)
+    return srng
+
+
+def _degraded_result(graph, nparts, nranks, options, fabric, tracer, root,
                      rng, ub, progress, exc) -> ParallelResult:
     """Serial fallback: the documented graceful-degradation path."""
     from ..partition.api import part_graph
 
     reason = f"{type(exc).__name__}: {exc}"
-    t_fail = cluster.stats.simulated_time
+    t_fail = fabric.elapsed()
     with tracer.span("degraded_fallback", cause=type(exc).__name__,
                      reason=str(exc)):
-        (srng,) = spawn(rng, 1)
+        srng = _fallback_rng(options, rng)
         serial = part_graph(graph, nparts, method="kway",
                             options=options.with_(seed=srng), tracer=tracer)
-    # The fallback runs on the one surviving host: charge its compute to
-    # the simulated clock with the same constant used for the serial
-    # initial-partitioning step.
-    cluster.stats.compute_time += (
-        20 * (graph.nvtxs + 2 * graph.nedges) / cluster.cost.compute_rate)
+    # The fallback runs on the one surviving host: on the simulator its
+    # compute is charged to the modelled clock (same constant as the
+    # serial initial-partitioning step); on the shm executor the wall
+    # clock already paid for it.
+    fabric.charge_fallback(graph)
     phase_times = dict(progress["phase_times"])
-    phase_times["fallback"] = cluster.stats.simulated_time - t_fail
+    phase_times["fallback"] = fabric.elapsed() - t_fail
     if tracer.enabled:
         root.set(degraded=True, degraded_reason=reason,
                  cut=int(serial.edgecut),
@@ -389,7 +464,7 @@ def _degraded_result(graph, nparts, nranks, options, cluster, tracer, root,
         edgecut=serial.edgecut,
         imbalance=serial.imbalance,
         feasible=serial.feasible,
-        stats=cluster.stats,
+        stats=fabric.stats,
         levels=progress["levels"],
         refine_stats=[],
         phase_times=phase_times,

@@ -1,0 +1,227 @@
+"""Executor seam: one orchestrator, two fabrics.
+
+The parallel kernels (``coarsen``/``contract``/``refine``) and the driver
+are written against a small *fabric* interface:
+
+* ``publish(**arrays)`` / ``publish_graph(g)`` -- make read-only snapshot
+  arrays visible to every rank;
+* ``run(fn_name, kwargs_list)`` -- execute one registered rank-program
+  step (:mod:`repro.parallel.rankprog`) on every rank, returning the
+  per-rank results;
+* ``exchange`` / ``allreduce`` / ``gather`` / ``bcast`` / ``barrier`` --
+  the BSP collectives;
+* ``elapsed()`` -- the fabric's clock (simulated seconds on the
+  simulator, real wall seconds on the shm executor), which is what the
+  :class:`~repro.faults.RecoveryPolicy` deadlines are measured against.
+
+:class:`SimFabric` runs the steps inline in rank order and charges every
+byte and op to a :class:`~repro.parallel.simcomm.SimCluster` (or a
+:class:`~repro.faults.FaultyCluster` -- fault screening keeps working
+because the collectives still flow through the cluster).
+:class:`~repro.parallel.shm.ShmFabric` runs the same steps in spawned
+worker processes over shared memory.  Because both fabrics execute the
+identical step functions on identical snapshots with identical shipped
+RNGs, their messages and results are bit-identical; :class:`MessageLog`
+records the traffic so the parity harness can assert it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from .rankprog import RANK_FNS, RankContext
+from .simcomm import SimCluster
+
+__all__ = ["MessageLog", "SimFabric", "as_fabric"]
+
+
+class MessageLog:
+    """Flat record of every collective: one tuple per message.
+
+    Entries are ``(step, phase, op, src, dst, nbytes, digest)`` with
+    ``src``/``dst`` of ``-1`` for whole-fabric legs (reduce results,
+    broadcast payloads).  Two runs are *message-equal* iff their entry
+    lists compare equal."""
+
+    def __init__(self):
+        self.entries: list[tuple] = []
+
+    @staticmethod
+    def _digest(arr: np.ndarray) -> str:
+        arr = np.ascontiguousarray(arr)
+        return hashlib.sha256(arr.tobytes()).hexdigest()[:16]
+
+    def record(self, step, phase, op, src, dst, arr) -> None:
+        arr = np.asarray(arr)
+        self.entries.append(
+            (step, phase, op, src, dst, arr.nbytes, self._digest(arr)))
+
+    def __len__(self):
+        return len(self.entries)
+
+    def diff(self, other: "MessageLog") -> str | None:
+        """First divergence against ``other`` (``None`` when equal)."""
+        a, b = self.entries, other.entries
+        for i, (x, y) in enumerate(zip(a, b)):
+            if x != y:
+                return f"entry {i}: {x} != {y}"
+        if len(a) != len(b):
+            return f"length {len(a)} != {len(b)}"
+        return None
+
+
+class _FabricBase:
+    """Shared bookkeeping: phase tags, step counter, message logging."""
+
+    #: True when ``elapsed()`` is real wall-clock (retry backoff should
+    #: sleep instead of charging a simulated clock).
+    realtime = False
+
+    def __init__(self, nranks: int, message_log: MessageLog | None = None):
+        self.nranks = nranks
+        self.log = message_log
+        self.phase = ""
+        self._step = 0
+
+    def set_phase(self, name: str) -> None:
+        self.phase = str(name)
+
+    # -- logging helpers ------------------------------------------------ #
+
+    def _log_exchange(self, payloads) -> None:
+        if self.log is None:
+            return
+        self._step += 1
+        for src in range(self.nranks):
+            for dst in sorted(payloads[src]):
+                self.log.record(self._step, self.phase, "alltoall",
+                                src, dst, payloads[src][dst])
+
+    def _log_collective(self, op, values, result) -> None:
+        if self.log is None:
+            return
+        self._step += 1
+        for src, v in enumerate(values):
+            self.log.record(self._step, self.phase, op, src, -1, v)
+        if result is not None:
+            self.log.record(self._step, self.phase, op, -1, -1, result)
+
+    # -- lifecycle ------------------------------------------------------ #
+
+    def close(self) -> None:  # pragma: no cover - overridden where needed
+        pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+
+class SimFabric(_FabricBase):
+    """Inline fabric over a (possibly fault-injecting) simulated cluster."""
+
+    kind = "sim"
+
+    def __init__(self, cluster: SimCluster,
+                 message_log: MessageLog | None = None):
+        super().__init__(cluster.nranks, message_log)
+        self.cluster = cluster
+        self._arrays: dict = {}
+        self._graph_token = None
+        self._ctxs = [RankContext(r, cluster.nranks, self._arrays, {})
+                      for r in range(cluster.nranks)]
+
+    # -- clocks & accounting -------------------------------------------- #
+
+    @property
+    def stats(self):
+        return self.cluster.stats
+
+    @property
+    def cost(self):
+        return self.cluster.cost
+
+    @property
+    def faults(self):
+        return getattr(self.cluster, "faults", None)
+
+    def elapsed(self) -> float:
+        return self.cluster.stats.simulated_time
+
+    def add_compute(self, rank: int, ops: float) -> None:
+        self.cluster.add_compute(rank, ops)
+
+    def charge_fallback(self, graph) -> None:
+        """Charge the serial fallback's compute to the simulated clock
+        (same constant as the serial initial-partitioning step)."""
+        self.cluster.stats.compute_time += (
+            20 * (graph.nvtxs + 2 * graph.nedges) / self.cluster.cost.compute_rate)
+
+    def set_phase(self, name: str) -> None:
+        super().set_phase(name)
+        self.cluster.set_phase(name)
+
+    # -- snapshots ------------------------------------------------------ #
+
+    def publish(self, **arrays) -> None:
+        """In the simulation ranks share the process: publishing stores a
+        reference (the orchestrator never mutates a published array while
+        a step is in flight, so reference == snapshot)."""
+        self._arrays.update(arrays)
+
+    def publish_graph(self, graph) -> None:
+        if self._graph_token is id(graph):
+            return
+        self._graph_token = id(graph)
+        self.publish(xadj=graph.xadj, adjncy=graph.adjncy,
+                     adjwgt=graph.adjwgt, vwgt=graph.vwgt)
+
+    # -- execution ------------------------------------------------------ #
+
+    def run(self, fn_name: str, kwargs_list: list[dict]) -> list:
+        fn = RANK_FNS[fn_name]
+        out = []
+        for r in range(self.nranks):
+            result, ops = fn(self._ctxs[r], **kwargs_list[r])
+            self.cluster.add_compute(r, ops)
+            out.append(result)
+        return out
+
+    # -- collectives ---------------------------------------------------- #
+
+    def exchange(self, payloads: list[dict]) -> list[dict]:
+        self._log_exchange(payloads)
+        return self.cluster.alltoall(payloads)
+
+    def allreduce(self, values, op: str = "sum") -> np.ndarray:
+        out = self.cluster.allreduce(values, op)
+        self._log_collective("allreduce_" + op, values, out)
+        return out
+
+    def gather(self, values, root: int = 0):
+        out = self.cluster.gather(values, root)
+        self._log_collective("gather", values, None)
+        return out
+
+    def bcast(self, value, root: int = 0):
+        out = self.cluster.bcast(value, root)
+        self._log_collective("bcast", [value], None)
+        return out
+
+    def barrier(self) -> None:
+        self.cluster.barrier()
+
+
+def as_fabric(comm) -> "_FabricBase":
+    """Coerce to a fabric: pass fabrics through, wrap a bare
+    :class:`SimCluster` (the pre-executor kernel API used by tests and
+    benchmarks) in a fresh :class:`SimFabric`."""
+    if isinstance(comm, _FabricBase):
+        return comm
+    if isinstance(comm, SimCluster):
+        return SimFabric(comm)
+    raise TypeError(f"not a fabric or SimCluster: {type(comm).__name__}")

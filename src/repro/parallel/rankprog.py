@@ -1,0 +1,312 @@
+"""The per-rank program: pure step functions shared by both executors.
+
+Every parallel kernel (matching, contraction, refinement) is split into
+*steps*.  A step is a module-level function registered in :data:`RANK_FNS`
+that receives a :class:`RankContext` -- published read-only arrays plus a
+small per-rank scratch dict -- and keyword arguments shipped by the
+orchestrator, and returns ``(result, ops)`` where ``ops`` is the abstract
+operation count the simulator charges to its cost model (the shm executor
+ignores it: its clock is the wall).
+
+The contract that makes sim/shm bit-identity hold *by construction*:
+
+* a step only **reads** published arrays (they are snapshots: the
+  orchestrator never mutates them while a step is in flight);
+* all cross-rank data travels through the step's return value and the
+  ``incoming`` kwarg of a later step -- there is no shared mutable state
+  between ranks;
+* any randomness comes from a per-rank generator spawned by the
+  orchestrator and shipped in, so the draw sequence is independent of
+  which process executes the step;
+* iteration over ``incoming`` messages is in ascending source-rank order.
+
+Because the functions are module-level and their arguments picklable, the
+shm executor can run the very same code in spawned worker processes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._rng import as_rng
+from ..weights.balance import FEASIBILITY_EPS
+from .distgraph import block_owner, block_range
+
+__all__ = ["RANK_FNS", "RankContext", "PENDING", "rankfn"]
+
+_INT = np.int64
+
+#: Round-local sentinel: a vertex that proposed to a remote partner and is
+#: locked until the owner's verdict arrives (never visible across rounds).
+PENDING = _INT(-2)
+
+#: Registry of step functions, keyed by ``__name__`` (the wire format the
+#: shm executor dispatches on).
+RANK_FNS: dict = {}
+
+
+def rankfn(fn):
+    """Register a step function under its name."""
+    RANK_FNS[fn.__name__] = fn
+    return fn
+
+
+class RankContext:
+    """What a step sees: its rank, the fleet size, the published arrays
+    (``arrays[name] -> np.ndarray``, read-only by contract) and a scratch
+    dict that persists between the steps of one kernel round."""
+
+    __slots__ = ("rank", "nranks", "arrays", "state")
+
+    def __init__(self, rank: int, nranks: int, arrays: dict, state: dict):
+        self.rank = rank
+        self.nranks = nranks
+        self.arrays = arrays
+        self.state = state
+
+
+# --------------------------------------------------------------------- #
+# Matching (one round = propose -> arbitrate -> finish)
+# --------------------------------------------------------------------- #
+
+@rankfn
+def match_propose(ctx: RankContext, seed) -> tuple:
+    """Propose a heavy-edge match for every unmatched local vertex.
+
+    Local pairs commit immediately; a remote proposal locks the proposer
+    (:data:`PENDING`) for the round and ships ``(v, target, weight)`` to
+    the target's owner.  Remote match state is read from the published
+    ``match_prev`` snapshot (one round stale -- the protocol's defining
+    approximation)."""
+    xadj = ctx.arrays["xadj"]
+    adjncy = ctx.arrays["adjncy"]
+    adjwgt = ctx.arrays["adjwgt"]
+    prev = ctx.arrays["match_prev"]
+    n = prev.shape[0]
+    lo, hi = block_range(n, ctx.nranks, ctx.rank)
+    rng = as_rng(seed)
+    local = prev[lo:hi].copy()
+    pending: dict[int, int] = {}
+    out: dict[int, list[tuple[int, int, int]]] = {}
+    ops = 0
+    for v in rng.permutation(np.arange(lo, hi)).tolist():
+        if local[v - lo] != v:
+            continue
+        beg, end = xadj[v], xadj[v + 1]
+        nbrs = adjncy[beg:end]
+        ws = adjwgt[beg:end]
+        ops += len(nbrs)
+        best_u, best_w = -1, -1
+        for u, w in zip(nbrs.tolist(), ws.tolist()):
+            if lo <= u < hi:
+                free = local[u - lo] == u
+            else:
+                free = prev[u] == u
+            if free and w > best_w:
+                best_u, best_w = u, w
+        if best_u < 0:
+            continue
+        if lo <= best_u < hi:
+            # Local arbitration is immediate.
+            local[v - lo] = best_u
+            local[best_u - lo] = v
+        else:
+            local[v - lo] = PENDING
+            pending[v] = best_u
+            owner = int(block_owner(n, ctx.nranks, best_u))
+            out.setdefault(owner, []).append((v, best_u, best_w))
+    ctx.state["m_local"] = local
+    ctx.state["m_pending"] = pending
+    ctx.state["m_lo"] = lo
+    payload = {dst: np.asarray(rows, dtype=_INT).reshape(-1, 3)
+               for dst, rows in out.items()}
+    return payload, ops
+
+
+@rankfn
+def match_arbitrate(ctx: RankContext, incoming: dict) -> tuple:
+    """Arbitrate remote proposals at the owner.
+
+    A *free* target accepts the heaviest proposal (ties to the lower
+    proposer id) and notifies the winner's owner.  A *pending* target
+    ``u`` accepts only the mutual proposal from its own target ``v``
+    (``pending[u] == v``): both owners hold the evidence for the
+    handshake, so the pair commits symmetrically with no extra message --
+    this is what keeps mutually-best cross-rank pairs from livelocking."""
+    local = ctx.state["m_local"]
+    pending = ctx.state["m_pending"]
+    lo = ctx.state["m_lo"]
+    n = ctx.arrays["match_prev"].shape[0]
+    best: dict[int, tuple[int, int]] = {}  # target -> (weight, proposer)
+    ops = 0
+    for src in sorted(incoming):
+        for v, u, w in incoming[src].tolist():
+            ops += 1
+            ul = int(local[u - lo])
+            if ul == u:
+                cur = best.get(u)
+                if cur is None or (w, -v) > (cur[0], -cur[1]):
+                    best[u] = (w, v)
+            elif ul == PENDING and pending.get(u) == v:
+                local[u - lo] = v
+                del pending[u]
+    out: dict[int, list[tuple[int, int]]] = {}
+    for u in sorted(best):
+        w, v = best[u]
+        if local[u - lo] != u:
+            continue
+        local[u - lo] = v
+        owner = int(block_owner(n, ctx.nranks, v))
+        out.setdefault(owner, []).append((v, u))
+    payload = {dst: np.asarray(rows, dtype=_INT).reshape(-1, 2)
+               for dst, rows in out.items()}
+    return payload, ops
+
+
+@rankfn
+def match_finish(ctx: RankContext, incoming: dict) -> tuple:
+    """Apply acceptance notifications, release unaccepted pending
+    proposers (they retry next round), and return the final local block."""
+    local = ctx.state["m_local"]
+    pending = ctx.state["m_pending"]
+    lo = ctx.state["m_lo"]
+    ops = 0
+    for src in sorted(incoming):
+        for v, u in incoming[src].tolist():
+            ops += 1
+            local[v - lo] = u
+            pending.pop(v, None)
+    for v in sorted(pending):
+        local[v - lo] = v
+    pending.clear()
+    return local, ops
+
+
+# --------------------------------------------------------------------- #
+# Contraction
+# --------------------------------------------------------------------- #
+
+@rankfn
+def contract_ghosts(ctx: RankContext) -> tuple:
+    """Enumerate this rank's halo and the ``(id, cmap[id])`` rows each
+    owner will ship it (the request side of the halo exchange; the
+    orchestrator materialises the replies)."""
+    xadj = ctx.arrays["xadj"]
+    adjncy = ctx.arrays["adjncy"]
+    cmap = ctx.arrays["cmap"]
+    n = cmap.shape[0]
+    lo, hi = block_range(n, ctx.nranks, ctx.rank)
+    nbrs = adjncy[xadj[lo]:xadj[hi]]
+    foreign = np.unique(nbrs[(nbrs < lo) | (nbrs >= hi)])
+    out: dict[int, np.ndarray] = {}
+    if foreign.size:
+        owners = block_owner(n, ctx.nranks, foreign)
+        for o in np.unique(owners).tolist():
+            ids = foreign[owners == o]
+            out[int(o)] = np.stack([ids, cmap[ids]], axis=1)
+    return out, int(foreign.size)
+
+
+@rankfn
+def contract_fold(ctx: RankContext, ncoarse: int) -> tuple:
+    """Map local edges to coarse endpoint pairs, drop self-loops,
+    pre-merge local duplicates, and route every coarse edge (and
+    vertex-weight row) to the owner of its coarse source."""
+    xadj = ctx.arrays["xadj"]
+    adjncy = ctx.arrays["adjncy"]
+    adjwgt = ctx.arrays["adjwgt"]
+    vwgt = ctx.arrays["vwgt"]
+    cmap = ctx.arrays["cmap"]
+    n = cmap.shape[0]
+    lo, hi = block_range(n, ctx.nranks, ctx.rank)
+    beg, end = xadj[lo], xadj[hi]
+    counts = np.diff(xadj[lo:hi + 1])
+    src = np.repeat(np.arange(lo, hi, dtype=_INT), counts)
+    cu = cmap[src]
+    cv = cmap[adjncy[beg:end]]
+    w = adjwgt[beg:end]
+    keep = cu != cv
+    cu, cv, w = cu[keep], cv[keep], w[keep]
+
+    # Local pre-merge (the standard combining optimisation).
+    key = cu * _INT(ncoarse) + cv
+    uniq, inverse = np.unique(key, return_inverse=True)
+    wsum = np.zeros(uniq.shape[0], dtype=_INT)
+    np.add.at(wsum, inverse, w)
+    cu = (uniq // ncoarse).astype(_INT)
+    cv = (uniq % ncoarse).astype(_INT)
+
+    edge_out: dict[int, np.ndarray] = {}
+    owners = block_owner(ncoarse, ctx.nranks, cu)
+    for o in np.unique(owners).tolist():
+        sel = owners == o
+        edge_out[int(o)] = np.stack([cu[sel], cv[sel], wsum[sel]], axis=1)
+
+    vw_out: dict[int, np.ndarray] = {}
+    local_cv = cmap[lo:hi]
+    vw_owners = block_owner(ncoarse, ctx.nranks, local_cv)
+    rows = np.concatenate([local_cv[:, None], vwgt[lo:hi]], axis=1)
+    for o in np.unique(vw_owners).tolist():
+        vw_out[int(o)] = rows[vw_owners == o]
+    return (edge_out, vw_out), int(end - beg)
+
+
+# --------------------------------------------------------------------- #
+# Refinement (phase 1 of the reservation scheme)
+# --------------------------------------------------------------------- #
+
+@rankfn
+def refine_select(ctx: RankContext, nparts: int, pw, caps, seed) -> tuple:
+    """Tentatively select gainful boundary moves against the shipped
+    part-weight snapshot (plus this rank's own proposed inflow), in the
+    first-touch neighbour order of the serial k-way kernel.  Returns the
+    ordered proposal triples and the proposed inflow per (part,
+    constraint)."""
+    xadj = ctx.arrays["xadj"]
+    adjncy = ctx.arrays["adjncy"]
+    adjwgt = ctx.arrays["adjwgt"]
+    where = ctx.arrays["where"]
+    relw = ctx.arrays["relw"]
+    n = where.shape[0]
+    m = relw.shape[1]
+    lo, hi = block_range(n, ctx.nranks, ctx.rank)
+    rng = as_rng(seed)
+
+    # Local boundary mask, one vectorised sweep.
+    beg, end = xadj[lo], xadj[hi]
+    counts = np.diff(xadj[lo:hi + 1])
+    src = np.repeat(np.arange(lo, hi, dtype=_INT), counts)
+    crossing = where[src] != where[adjncy[beg:end]]
+    mask = np.zeros(hi - lo, dtype=bool)
+    np.logical_or.at(mask, src - lo, crossing)
+    lb = np.arange(lo, hi, dtype=_INT)[mask]
+
+    local_prop: list[tuple[int, int, int]] = []
+    local_in = np.zeros((nparts, m))
+    ops = 0
+    for v in rng.permutation(lb).tolist():
+        nbw: dict[int, int] = {}
+        get = nbw.get
+        for i in range(xadj[v], xadj[v + 1]):
+            d = int(where[adjncy[i]])
+            nbw[d] = get(d, 0) + int(adjwgt[i])
+        ops += int(xadj[v + 1] - xadj[v])
+        s = int(where[v])
+        w_in = nbw.get(s, 0)
+        rv = relw[v]
+        best_d, best_gain = -1, 0
+        for d, wd in nbw.items():
+            if d == s:
+                continue
+            gain = wd - w_in
+            if gain <= 0:
+                continue
+            if np.any(pw[d] + local_in[d] + rv > caps[d] + FEASIBILITY_EPS):
+                continue
+            if gain > best_gain:
+                best_d, best_gain = d, gain
+        if best_d >= 0:
+            local_prop.append((v, best_d, best_gain))
+            local_in[best_d] += rv
+    props = np.asarray(local_prop, dtype=_INT).reshape(-1, 3)
+    return (props, local_in), ops

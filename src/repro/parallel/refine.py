@@ -6,12 +6,17 @@ balance caps, and with several constraints such overshoots are very hard to
 repair.  The reservation scheme avoids the overshoot instead of fixing it:
 
 1. every rank sweeps its local boundary and *tentatively* selects its
-   gainful moves against a snapshot of the global subdomain weights;
+   gainful moves against a snapshot of the global subdomain weights
+   (:func:`~repro.parallel.rankprog.refine_select` -- a pure per-rank
+   step, so both executors run it identically);
 2. one global reduction sums the proposed inflow per (part, constraint);
 3. for every part whose proposed inflow would exceed its remaining space,
    each rank randomly disallows the fraction
-   ``1 - space / proposed_inflow`` of its own proposals into that part;
-4. surviving moves commit, and a second reduction refreshes the weights.
+   ``1 - space / proposed_inflow`` of its own proposals into that part
+   (per-rank spawned RNGs keep the draws executor-independent);
+4. surviving moves commit on the orchestrator's authoritative
+   :class:`~repro.refine.kwayref.KWayState`, and a second reduction
+   refreshes the weights.
 
 Disallowing is randomised and *not* iterated to convergence -- the residual
 imbalance from step 4 is small and later passes absorb it.  When a pass ends
@@ -27,7 +32,7 @@ from .._rng import as_rng, spawn
 from ..refine.kwayref import KWayState, balance_kway_state
 from ..weights.balance import FEASIBILITY_EPS
 from .distgraph import DistGraph
-from .simcomm import SimCluster
+from .fabric import as_fabric
 
 __all__ = ["parallel_kway_refine"]
 
@@ -36,7 +41,7 @@ _INT = np.int64
 
 def parallel_kway_refine(
     dist: DistGraph,
-    cluster: SimCluster,
+    comm,
     where: np.ndarray,
     nparts: int,
     *,
@@ -46,12 +51,17 @@ def parallel_kway_refine(
 ) -> dict:
     """Refine ``where`` (mutated in place) with the reservation scheme.
 
-    Returns a stats dict: committed/disallowed move counts and passes.
+    ``comm`` is a fabric or a bare ``SimCluster``.  Returns a stats dict:
+    committed/disallowed move counts and passes.
     """
+    fabric = as_fabric(comm)
     g = dist.graph
     rng = as_rng(seed)
     state = KWayState(g, where, nparts, ubvec)
     m = state.relw.shape[1]
+    p = fabric.nranks
+    fabric.publish_graph(g)
+    fabric.publish(relw=state.relw)
 
     committed = 0
     disallowed = 0
@@ -59,48 +69,17 @@ def parallel_kway_refine(
     for _ in range(npasses):
         passes += 1
         # ---- Phase 1: tentative local selection against the snapshot.
+        fabric.publish(where=np.asarray(where, dtype=_INT))
         pw_snapshot = state.pw.copy()
-        proposals: list[list[tuple[int, int, int]]] = []  # rank -> (v, dest, gain)
-        inflow: list[np.ndarray] = []
-        for r in range(cluster.nranks):
-            lo, hi = dist.local_range(r)
-            local_prop: list[tuple[int, int, int]] = []
-            local_in = np.zeros((nparts, m))
-            ops = 0
-            lv = np.arange(lo, hi)
-            lb = lv[_is_boundary(g, state.where, lo, hi)]
-            for v in rng.permutation(lb).tolist():
-                nbw = state.neighbor_weights(v)
-                ops += g.degree(v)
-                s = int(state.where[v])
-                w_in = nbw.get(s, 0)
-                best_d, best_gain = -1, 0
-                for d, wd in nbw.items():
-                    if d == s:
-                        continue
-                    gain = wd - w_in
-                    if gain <= 0:
-                        continue
-                    # Check against the snapshot plus this rank's own
-                    # already-proposed inflow (ranks are internally
-                    # consistent; the cross-rank hazard is what the
-                    # reservation handles).
-                    if np.any(
-                        pw_snapshot[d] + local_in[d] + state.relw[v]
-                        > state.caps[d] + FEASIBILITY_EPS
-                    ):
-                        continue
-                    if gain > best_gain:
-                        best_d, best_gain = d, gain
-                if best_d >= 0:
-                    local_prop.append((v, best_d, best_gain))
-                    local_in[best_d] += state.relw[v]
-            cluster.add_compute(r, ops)
-            proposals.append(local_prop)
-            inflow.append(local_in)
+        select_rngs = spawn(rng, p)
+        results = fabric.run("refine_select", [
+            {"nparts": nparts, "pw": pw_snapshot, "caps": state.caps,
+             "seed": select_rngs[r]} for r in range(p)])
+        proposals = [props for props, _ in results]
+        inflow = [local_in for _, local_in in results]
 
         # ---- Phase 2: global reduction of proposed inflow.
-        total_in = cluster.allreduce([x.ravel() for x in inflow]).reshape(nparts, m)
+        total_in = fabric.allreduce([x.ravel() for x in inflow]).reshape(nparts, m)
 
         # ---- Phase 3: randomly disallow the overshoot fraction.
         space = np.maximum(state.caps - pw_snapshot, 0.0)
@@ -113,19 +92,19 @@ def parallel_kway_refine(
                 keep_frac[d] = float(np.clip(fr.min(), 0.0, 1.0))
 
         moved_this_pass = 0
-        rank_rngs = spawn(rng, cluster.nranks)
-        for r, local_prop in enumerate(proposals):
-            rr = rank_rngs[r]
-            for v, d, gain in local_prop:
+        commit_rngs = spawn(rng, p)
+        for r in range(p):
+            rr = commit_rngs[r]
+            for v, d, _gain in proposals[r].tolist():
                 if rr.random() > keep_frac[d]:
                     disallowed += 1
                     continue
                 state.move(v, d)
                 moved_this_pass += 1
-            cluster.add_compute(r, len(local_prop))
+            fabric.add_compute(r, proposals[r].shape[0])
 
         # ---- Phase 4: refresh global weights.
-        cluster.allreduce([state.pw.ravel() / cluster.nranks] * cluster.nranks)
+        fabric.allreduce([state.pw.ravel() / p] * p)
         committed += moved_this_pass
         if moved_this_pass == 0:
             break
@@ -134,8 +113,8 @@ def parallel_kway_refine(
     balance_moves = 0
     if not state.feasible():
         balance_moves = balance_kway_state(state)
-        cluster.add_compute(0, balance_moves * 8)
-        cluster.barrier()
+        fabric.add_compute(0, balance_moves * 8)
+        fabric.barrier()
 
     return {
         "passes": passes,
@@ -144,14 +123,3 @@ def parallel_kway_refine(
         "balance_moves": balance_moves,
         "feasible": state.feasible(),
     }
-
-
-def _is_boundary(graph, where, lo: int, hi: int) -> np.ndarray:
-    """Boolean mask (over the local range) of local boundary vertices."""
-    src_beg, src_end = graph.xadj[lo], graph.xadj[hi]
-    counts = np.diff(graph.xadj[lo : hi + 1])
-    src = np.repeat(np.arange(lo, hi, dtype=_INT), counts)
-    crossing = where[src] != where[graph.adjncy[src_beg:src_end]]
-    out = np.zeros(hi - lo, dtype=bool)
-    np.logical_or.at(out, src - lo, crossing)
-    return out

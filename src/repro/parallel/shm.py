@@ -1,0 +1,477 @@
+"""Real multiprocess executor over shared-memory CSR views.
+
+:class:`ShmFabric` runs the rank program (:mod:`repro.parallel.rankprog`)
+in ``nranks`` **spawn**-context worker processes (spawn, never fork: the
+parent may own threads).  Published arrays -- the input CSR, vertex
+weights, the per-level partition/`relw` snapshots -- live in
+``multiprocessing.shared_memory`` segments that workers map as read-only
+numpy views; only the small per-step results and message payloads travel
+a per-worker duplex pipe.  Because workers execute the identical step
+functions on identical snapshots with identical shipped RNGs, and the
+parent routes exchanged messages in the simulator's (src, dst) order,
+a shm run is **bit-identical** to the simulated oracle -- the parity
+harness (:mod:`repro.parallel.parity`) asserts equal message logs and an
+equal final partition.
+
+Lifecycle and failure semantics:
+
+* ``elapsed()`` is real wall-clock, so :class:`~repro.faults.RecoveryPolicy`
+  phase budgets fire on actual time; a worker that stops answering within
+  the budget raises :class:`~repro.errors.PhaseTimeoutError`, a dead
+  worker process raises :class:`~repro.errors.RankCrashedError` -- both
+  feed the driver's documented ``degraded_fallback`` path.
+* every segment is created under a unique ``repro-shm-*`` name and
+  unlinked on ``close()``, which runs on all exit paths (the driver's
+  ``finally``, the context manager, and a ``weakref.finalize`` backstop);
+  the test-suite pins that no ``/dev/shm`` segment survives either a
+  normal or a crashing run.
+* ``inject_crash=(phase, rank)`` is the real-failure test hook: the
+  worker is hard-killed (``os._exit``) at its first dispatch in that
+  phase.
+
+Observability: ``parallel.shm.*`` counters (workers, dispatches,
+messages, bytes, segments, crashes) and per-phase wall-latency
+histograms (``parallel.shm.phase_seconds.<phase>``) flow through the
+tracer into the usual ``repro.obs`` profile.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import time
+import traceback
+import uuid
+import weakref
+from dataclasses import dataclass
+from multiprocessing import get_context, shared_memory
+
+import numpy as np
+
+from ..errors import PhaseTimeoutError, RankCrashedError
+from ..trace import as_tracer
+from .fabric import MessageLog, _FabricBase
+from .rankprog import RANK_FNS, RankContext
+
+__all__ = ["ShmArena", "ShmFabric", "ShmStats", "active_segments"]
+
+#: All segments of all arenas share this name prefix (plus a per-arena
+#: unique token), so leak checks can sweep ``/dev/shm`` for survivors.
+SEGMENT_PREFIX = "repro-shm-"
+
+_SHM_DIR = "/dev/shm"
+
+
+def active_segments(prefix: str = SEGMENT_PREFIX) -> list[str]:
+    """Names of live shared-memory segments under ``prefix`` (POSIX
+    ``/dev/shm`` listing; empty where the OS exposes no such directory)."""
+    try:
+        return sorted(n for n in os.listdir(_SHM_DIR) if n.startswith(prefix))
+    except OSError:  # pragma: no cover - non-POSIX fallback
+        return []
+
+
+def _attach(segname: str) -> shared_memory.SharedMemory:
+    """Attach to a parent-owned segment without tracker registration.
+
+    Before 3.13 (no ``track=`` parameter) every attach registers the
+    segment with the resource tracker shared by the whole process tree;
+    with several workers attaching the same segment that means duplicate
+    registrations and spurious unlink attempts at exit.  The parent owns
+    cleanup; workers must only map -- so registration is suppressed for
+    the duration of the attach."""
+    from multiprocessing import resource_tracker
+
+    orig = resource_tracker.register
+    resource_tracker.register = lambda *a, **k: None
+    try:
+        return shared_memory.SharedMemory(name=segname)
+    finally:
+        resource_tracker.register = orig
+
+
+class ShmArena:
+    """Owner of a set of named shared-memory segments.
+
+    ``publish(key, arr)`` copies ``arr`` into the segment backing ``key``,
+    reusing it in place when shape and dtype match (a pure memcpy, no
+    IPC) and allocating a fresh uniquely-named segment otherwise.  The
+    arena is a context manager; :meth:`close` unlinks everything and is
+    idempotent."""
+
+    def __init__(self):
+        self.token = uuid.uuid4().hex[:8]
+        self.prefix = f"{SEGMENT_PREFIX}{os.getpid()}-{self.token}-"
+        self._seq = itertools.count()
+        self._segs: dict[str, tuple[shared_memory.SharedMemory, np.ndarray]] = {}
+        self._finalizer = weakref.finalize(self, ShmArena._cleanup, self._segs)
+
+    def publish(self, key: str, arr: np.ndarray):
+        """Copy ``arr`` into ``key``'s segment.  Returns the
+        ``(key, segment_name, shape, dtype_str)`` spec when workers must
+        (re)attach, or ``None`` when the existing mapping still holds."""
+        arr = np.ascontiguousarray(arr)
+        cur = self._segs.get(key)
+        if cur is not None:
+            shm, view = cur
+            if view.shape == arr.shape and view.dtype == arr.dtype:
+                view[...] = arr
+                return None
+            self._drop(key)
+        name = f"{self.prefix}{next(self._seq)}"
+        shm = shared_memory.SharedMemory(name=name, create=True,
+                                         size=max(arr.nbytes, 1))
+        view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
+        view[...] = arr
+        self._segs[key] = (shm, view)
+        return (key, name, arr.shape, arr.dtype.str)
+
+    def _drop(self, key: str) -> None:
+        shm, view = self._segs.pop(key)
+        del view
+        try:
+            shm.close()
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+    def close(self) -> None:
+        """Unlink every segment (idempotent; safe on all exit paths)."""
+        for key in list(self._segs):
+            self._drop(key)
+        self._finalizer.detach()
+
+    @staticmethod
+    def _cleanup(segs: dict) -> None:  # pragma: no cover - GC backstop
+        for shm, view in list(segs.values()):
+            del view
+            try:
+                shm.close()
+                shm.unlink()
+            except Exception:
+                pass
+        segs.clear()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+
+def _worker_main(conn, rank: int, nranks: int) -> None:
+    """Worker loop: attach published segments, dispatch rank steps."""
+    arrays: dict[str, np.ndarray] = {}
+    segs: dict[str, shared_memory.SharedMemory] = {}
+    state: dict = {}
+    ctx = RankContext(rank, nranks, arrays, state)
+    try:
+        while True:
+            try:
+                cmd = conn.recv()
+            except (EOFError, OSError):
+                break
+            op = cmd[0]
+            if op == "publish":
+                for key, segname, shape, dtype in cmd[1]:
+                    arrays.pop(key, None)
+                    old = segs.pop(key, None)
+                    if old is not None:
+                        old.close()
+                    shm = _attach(segname)
+                    segs[key] = shm
+                    arrays[key] = np.ndarray(shape, dtype=dtype, buffer=shm.buf)
+                conn.send(("ok", None))
+            elif op == "run":
+                _, fn_name, kwargs = cmd
+                try:
+                    result, ops = RANK_FNS[fn_name](ctx, **kwargs)
+                    conn.send(("ok", (result, ops)))
+                except BaseException:
+                    conn.send(("err", traceback.format_exc()))
+            elif op == "die":
+                os._exit(1)
+            elif op == "exit":
+                conn.send(("ok", None))
+                break
+    finally:
+        arrays.clear()
+        state.clear()
+        for shm in segs.values():
+            try:
+                shm.close()
+            except BufferError:  # pragma: no cover - view still alive
+                pass
+        conn.close()
+
+
+@dataclass
+class ShmStats:
+    """Accounting of a shm run.  ``simulated_time`` (kept for API parity
+    with :class:`~repro.parallel.simcomm.SimStats`) is **real wall
+    seconds** since the fabric started."""
+
+    nranks: int
+    supersteps: int = 0
+    total_bytes: int = 0
+    total_messages: int = 0
+    dispatches: int = 0
+    crashes: int = 0
+    compute_time: float = 0.0
+    comm_time: float = 0.0
+    _t0: float = 0.0
+    _closed_at: float | None = None
+
+    @property
+    def wall_seconds(self) -> float:
+        end = self._closed_at if self._closed_at is not None else time.perf_counter()
+        return end - self._t0
+
+    @property
+    def simulated_time(self) -> float:
+        return self.wall_seconds
+
+
+class ShmFabric(_FabricBase):
+    """Spawn-context multiprocess fabric over shared-memory snapshots."""
+
+    kind = "shm"
+    realtime = True
+
+    def __init__(self, nranks: int, *, cost=None, tracer=None,
+                 message_log: MessageLog | None = None,
+                 phase_timeout: float | None = None,
+                 inject_crash: tuple[str, int] | None = None):
+        super().__init__(nranks, message_log)
+        self.tracer = as_tracer(tracer)
+        self.stats = ShmStats(nranks=nranks, _t0=time.perf_counter())
+        self.arena = ShmArena()
+        self.phase_timeout = phase_timeout
+        self._inject = inject_crash
+        self._injected = False
+        self._graph_token = None
+        self._phase_t0 = time.perf_counter()
+        self._closed = False
+        self._dead: set[int] = set()
+
+        ctx = get_context("spawn")
+        self._conns = []
+        self._procs = []
+        for r in range(nranks):
+            parent_conn, child_conn = ctx.Pipe(duplex=True)
+            proc = ctx.Process(target=_worker_main,
+                               args=(child_conn, r, nranks),
+                               daemon=True, name=f"repro-shm-rank{r}")
+            proc.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._procs.append(proc)
+        self._finalizer = weakref.finalize(
+            self, ShmFabric._final_cleanup, self._procs, self._conns, self.arena)
+        self.tracer.incr("parallel.shm.workers", nranks)
+
+    # -- clocks & accounting -------------------------------------------- #
+
+    def elapsed(self) -> float:
+        return self.stats.wall_seconds
+
+    def add_compute(self, rank: int, ops: float) -> None:
+        """No-op: on real hardware the wall clock pays for compute."""
+
+    def charge_fallback(self, graph) -> None:
+        """No-op: the serial fallback's time is already on the wall."""
+
+    def set_phase(self, name: str) -> None:
+        self._observe_phase()
+        super().set_phase(name)
+        self._phase_t0 = time.perf_counter()
+
+    def _observe_phase(self) -> None:
+        if self.phase and self.tracer.enabled:
+            self.tracer.observe(f"parallel.shm.phase_seconds.{self.phase}",
+                                time.perf_counter() - self._phase_t0)
+
+    # -- snapshots ------------------------------------------------------ #
+
+    def publish(self, **arrays) -> None:
+        specs = []
+        for key, arr in arrays.items():
+            spec = self.arena.publish(key, np.asarray(arr))
+            if spec is not None:
+                specs.append(spec)
+        if specs:
+            self.tracer.incr("parallel.shm.segments", len(specs))
+            self._command_all(("publish", specs))
+
+    def publish_graph(self, graph) -> None:
+        if self._graph_token is id(graph):
+            return
+        self._graph_token = id(graph)
+        self.publish(xadj=graph.xadj, adjncy=graph.adjncy,
+                     adjwgt=graph.adjwgt, vwgt=graph.vwgt)
+
+    # -- worker dispatch ------------------------------------------------ #
+
+    def _deadline(self) -> float | None:
+        if self.phase_timeout is None or self.phase_timeout == float("inf"):
+            return None
+        return self._phase_t0 + self.phase_timeout
+
+    def _collect(self, rank: int):
+        """Receive one reply from ``rank``, mapping timeouts and death to
+        the driver's error taxonomy."""
+        conn = self._conns[rank]
+        deadline = self._deadline()
+        while True:
+            budget = 0.05 if deadline is None else min(
+                0.05, max(deadline - time.perf_counter(), 0.0))
+            try:
+                if conn.poll(budget):
+                    kind, payload = conn.recv()
+                    if kind == "err":
+                        raise RuntimeError(
+                            f"shm worker {rank} failed:\n{payload}")
+                    return payload
+            except (EOFError, BrokenPipeError, OSError):
+                self._mark_dead(rank)
+                raise RankCrashedError(
+                    f"shm worker {rank} died mid-phase "
+                    f"{self.phase or 'unknown'!r}", ranks=(rank,))
+            if not self._procs[rank].is_alive():
+                self._mark_dead(rank)
+                raise RankCrashedError(
+                    f"shm worker {rank} died mid-phase "
+                    f"{self.phase or 'unknown'!r} "
+                    f"(exitcode {self._procs[rank].exitcode})", ranks=(rank,))
+            if deadline is not None and time.perf_counter() > deadline:
+                raise PhaseTimeoutError(
+                    f"shm worker {rank} exceeded the {self.phase!r} "
+                    f"wall-clock budget ({self.phase_timeout:g}s)")
+
+    def _mark_dead(self, rank: int) -> None:
+        if rank not in self._dead:
+            self._dead.add(rank)
+            self.stats.crashes += 1
+            self.tracer.incr("parallel.shm.crashes")
+
+    def _command_all(self, cmd) -> list:
+        for conn in self._conns:
+            conn.send(cmd)
+        return [self._collect(r) for r in range(self.nranks)]
+
+    def run(self, fn_name: str, kwargs_list: list[dict]) -> list:
+        t0 = time.perf_counter()
+        for r, conn in enumerate(self._conns):
+            if (self._inject is not None and not self._injected
+                    and self._inject == (self.phase, r)):
+                self._injected = True
+                conn.send(("die",))
+            else:
+                conn.send(("run", fn_name, kwargs_list[r]))
+        results = [self._collect(r) for r in range(self.nranks)]
+        self.stats.dispatches += 1
+        self.tracer.incr("parallel.shm.dispatches")
+        if self.tracer.enabled:
+            self.tracer.observe("parallel.shm.step_seconds",
+                                time.perf_counter() - t0)
+        return [result for result, _ops in results]
+
+    # -- collectives (parent-side routing over the pipe transport) ------ #
+
+    def _account(self, nbytes: int, nmessages: int) -> None:
+        self.stats.total_bytes += int(nbytes)
+        self.stats.total_messages += int(nmessages)
+        self.stats.supersteps += 1
+        self.tracer.incr("parallel.shm.messages", int(nmessages))
+        self.tracer.incr("parallel.shm.bytes", int(nbytes))
+
+    def exchange(self, payloads: list[dict]) -> list[dict]:
+        """Route ``payloads[src][dst]`` to ``received[dst][src]``.
+
+        Delivery is in ascending (src, dst) order -- the simulator's
+        message order -- which keeps the receiver-side dict iteration
+        identical between executors."""
+        self._log_exchange(payloads)
+        received: list[dict[int, np.ndarray]] = [dict() for _ in range(self.nranks)]
+        nbytes = nmsg = 0
+        for src in range(self.nranks):
+            for dst in sorted(payloads[src]):
+                arr = np.asarray(payloads[src][dst])
+                received[dst][src] = arr
+                nbytes += arr.nbytes
+                nmsg += 1
+        self._account(nbytes, nmsg)
+        return received
+
+    def allreduce(self, values, op: str = "sum") -> np.ndarray:
+        arrs = [np.asarray(v, dtype=np.float64) for v in values]
+        stack = np.stack(arrs)
+        if op == "sum":
+            out = stack.sum(axis=0)
+        elif op == "max":
+            out = stack.max(axis=0)
+        elif op == "min":
+            out = stack.min(axis=0)
+        else:
+            raise ValueError(f"unknown reduction op {op!r}")
+        self._log_collective("allreduce_" + op, values, out)
+        self._account(sum(a.nbytes for a in arrs), len(arrs))
+        return out
+
+    def gather(self, values, root: int = 0):
+        self._log_collective("gather", values, None)
+        arrs = [np.asarray(v) for v in values]
+        self._account(sum(a.nbytes for r, a in enumerate(arrs) if r != root),
+                      len(arrs) - 1)
+        return arrs
+
+    def bcast(self, value, root: int = 0):
+        arr = np.asarray(value)
+        self._log_collective("bcast", [value], None)
+        self._account(arr.nbytes * (self.nranks - 1), self.nranks - 1)
+        return arr
+
+    def barrier(self) -> None:
+        self.stats.supersteps += 1
+
+    # -- lifecycle ------------------------------------------------------ #
+
+    def close(self) -> None:
+        """Tear down workers and unlink every segment (idempotent; runs
+        from the driver's ``finally``, the context manager, and a GC
+        finalizer backstop)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._observe_phase()
+        self.stats._closed_at = time.perf_counter()
+        for r, conn in enumerate(self._conns):
+            try:
+                conn.send(("exit",))
+            except (BrokenPipeError, OSError):
+                pass
+        for r, proc in enumerate(self._procs):
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - hung worker
+                proc.terminate()
+                proc.join(timeout=5.0)
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+        self.arena.close()
+        self._finalizer.detach()
+
+    @staticmethod
+    def _final_cleanup(procs, conns, arena):  # pragma: no cover - GC backstop
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()
+        for conn in conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        arena.close()

@@ -1,16 +1,21 @@
-"""Simulated message-passing substrate (BSP style).
+"""Simulated message-passing substrate (BSP style) -- the ``sim`` executor.
 
-Real MPI is unavailable offline, so the parallel formulation runs on a
-deterministic single-process simulation: algorithms are written as
-supersteps (local compute, then collective exchange), the cluster delivers
-messages between ranks and *accounts* for them under a classic alpha-beta
-cost model:
+This is the deterministic oracle behind the executor seam
+(:mod:`repro.parallel.fabric`): :class:`SimFabric` runs the rank program
+inline and routes every collective through a :class:`SimCluster`, which
+delivers messages between ranks in one process and *accounts* for them
+under a classic alpha-beta cost model:
 
     T_superstep = max_r compute_r / rate  +  alpha * rounds  +  beta * max_r bytes_r
 
-The API mirrors the mpi4py idioms used in practice (``alltoall`` over NumPy
-buffers, ``allreduce``), so porting to mpi4py is mechanical: replace
-``SimCluster`` collectives with ``COMM_WORLD`` ones.
+The same rank program also runs on real worker processes
+(:class:`~repro.parallel.shm.ShmFabric`), bit-identically -- the
+simulation defines the reference message stream the parity harness
+checks the shm executor against.  The API mirrors the mpi4py idioms used
+in practice (``alltoall`` over NumPy buffers, ``allreduce``), so porting
+to mpi4py is mechanical: replace ``SimCluster`` collectives with
+``COMM_WORLD`` ones.  :class:`~repro.faults.FaultyCluster` subclasses
+this to inject deterministic network faults at the collectives.
 """
 
 from __future__ import annotations

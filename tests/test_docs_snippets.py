@@ -25,6 +25,7 @@ DOC_FILES = [
     "docs/serving.md",
     "docs/observability.md",
     "docs/performance.md",
+    "docs/parallel.md",
 ]
 
 _FENCE = re.compile(r"^```python\s*$")

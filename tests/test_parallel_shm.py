@@ -1,0 +1,233 @@
+"""Tests for the shared-memory multiprocess executor (repro.parallel.shm).
+
+The contract under test: the shm executor is bit-identical to the
+simulated oracle on fault-free runs (same message stream, same final
+partition), degrades to the documented serial fallback when a worker
+really dies, fires phase timeouts on real wall-clock, and never leaks a
+``/dev/shm`` segment on any exit path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    DegradedResult,
+    FaultSpecError,
+    PhaseTimeoutError,
+    RankCrashedError,
+)
+from repro.faults import RecoveryPolicy
+from repro.graph import mesh_like, path_graph
+from repro.parallel import (
+    MessageLog,
+    ShmFabric,
+    SimCluster,
+    SimFabric,
+    parallel_part_graph,
+    run_parity,
+)
+from repro.parallel.shm import ShmArena, active_segments
+from repro.partition import PartitionOptions
+from repro.trace import TraceReport, Tracer
+from repro.weights import type1_region_weights
+
+
+@pytest.fixture(scope="module")
+def mesh_mc():
+    """Small multi-constraint mesh (module-cached; every test spawns
+    processes, so keep the graph small)."""
+    g = mesh_like(400, seed=5)
+    return g.with_vwgt(type1_region_weights(g, 2, seed=3))
+
+
+def _no_leaks():
+    assert active_segments() == [], "leaked /dev/shm segments"
+
+
+class TestShmArena:
+    def test_publish_roundtrip_and_reuse(self):
+        with ShmArena() as arena:
+            a = np.arange(10, dtype=np.int64)
+            spec = arena.publish("a", a)
+            assert spec is not None  # fresh segment: workers must attach
+            key, name, shape, dtype = spec
+            assert key == "a" and shape == (10,) and dtype == "<i8"
+            # Same shape/dtype: in-place memcpy, no re-attach needed.
+            assert arena.publish("a", a * 2) is None
+            # New shape: fresh segment under a new unique name.
+            spec2 = arena.publish("a", np.arange(4, dtype=np.int64))
+            assert spec2 is not None and spec2[1] != name
+        _no_leaks()
+
+    def test_close_idempotent(self):
+        arena = ShmArena()
+        arena.publish("x", np.zeros(3))
+        arena.close()
+        arena.close()
+        _no_leaks()
+
+    def test_segments_visible_while_open(self):
+        arena = ShmArena()
+        arena.publish("x", np.zeros(3))
+        assert len(active_segments()) == 1
+        arena.close()
+        _no_leaks()
+
+
+class TestShmParity:
+    @pytest.mark.parametrize("nranks", [1, 2, 4])
+    def test_bit_identical_to_simulator(self, mesh_mc, nranks):
+        rep = run_parity(mesh_mc, 4, nranks,
+                         options=PartitionOptions(seed=17))
+        assert rep.ok, rep.summary()
+        assert rep.messages > 0
+        assert rep.sim_result.executor == "sim"
+        assert rep.shm_result.executor == "shm"
+        _no_leaks()
+
+    def test_parity_rejects_live_generator_seed(self, mesh_mc):
+        with pytest.raises(ValueError):
+            run_parity(mesh_mc, 2, 2,
+                       options=PartitionOptions(seed=np.random.default_rng(1)))
+
+    def test_wall_clock_stats(self, mesh_mc):
+        res = parallel_part_graph(mesh_mc, 2, 2,
+                                  options=PartitionOptions(seed=9),
+                                  executor="shm")
+        assert res.executor == "shm"
+        assert res.simulated_time > 0  # real wall seconds under shm
+        assert res.stats.total_messages > 0
+        assert "t_wall" in res.summary()
+        _no_leaks()
+
+
+class TestShmEdgeCases:
+    def test_more_ranks_than_vertices(self):
+        rep = run_parity(path_graph(3), 2, 5,
+                         options=PartitionOptions(seed=3))
+        assert rep.ok, rep.summary()
+        _no_leaks()
+
+    def test_single_part(self, mesh_mc):
+        res = parallel_part_graph(mesh_mc, 1, 2,
+                                  options=PartitionOptions(seed=3),
+                                  executor="shm")
+        assert res.edgecut == 0
+        assert np.all(res.part == 0)
+        _no_leaks()
+
+    def test_fault_spec_rejected_on_shm(self, mesh_mc):
+        with pytest.raises(FaultSpecError):
+            parallel_part_graph(mesh_mc, 2, 2, executor="shm",
+                                faults="drop=0.5")
+        _no_leaks()
+
+    def test_unknown_executor_rejected(self, mesh_mc):
+        with pytest.raises(FaultSpecError):
+            parallel_part_graph(mesh_mc, 2, 2, executor="mpi")
+
+
+class TestShmCrash:
+    def test_killed_worker_degrades_to_serial_fallback(self, mesh_mc):
+        fab = ShmFabric(2, inject_crash=("refine", 1))
+        res = parallel_part_graph(mesh_mc, 4, 2,
+                                  options=PartitionOptions(seed=11),
+                                  executor=fab)
+        assert res.degraded
+        assert "RankCrashedError" in res.degraded_reason
+        assert res.stats.crashes == 1
+        assert res.feasible
+        _no_leaks()
+
+    def test_crash_fallback_matches_sim_crash_fallback(self, mesh_mc):
+        # The fallback seed derives from options.seed alone, so a real
+        # worker kill and a simulated crash land on the same partition.
+        opts = PartitionOptions(seed=11)
+        shm_res = parallel_part_graph(
+            mesh_mc, 4, 2, options=opts,
+            executor=ShmFabric(2, inject_crash=("coarsen", 0)))
+        sim_res = parallel_part_graph(
+            mesh_mc, 4, 2, options=opts,
+            faults="crash_permanent=1.0,phase.coarsen=1.0,"
+                   "phase.initpart=0.0,phase.refine=0.0")
+        assert shm_res.degraded and sim_res.degraded
+        assert np.array_equal(shm_res.part, sim_res.part)
+        _no_leaks()
+
+    def test_strict_mode_raises_and_still_cleans_up(self, mesh_mc):
+        fab = ShmFabric(2, inject_crash=("coarsen", 0))
+        with pytest.raises(DegradedResult):
+            parallel_part_graph(mesh_mc, 4, 2,
+                                options=PartitionOptions(seed=11),
+                                executor=fab, strict=True)
+        _no_leaks()  # exceptional exit must not leak segments
+
+    def test_crash_counters_traced(self, mesh_mc):
+        tracer = Tracer()
+        fab = ShmFabric(2, tracer=tracer, inject_crash=("refine", 0))
+        parallel_part_graph(mesh_mc, 4, 2,
+                            options=PartitionOptions(seed=11), executor=fab,
+                            tracer=tracer)
+        counters = TraceReport.from_tracer(tracer).counters
+        assert counters.get("parallel.shm.crashes") == 1
+        assert counters.get("parallel.degraded") == 1
+        assert counters.get("parallel.shm.workers") == 2
+        assert counters.get("parallel.shm.dispatches", 0) > 0
+        _no_leaks()
+
+
+class TestShmTimeout:
+    def test_phase_timeout_on_wall_clock(self, mesh_mc):
+        # An absurdly small real-time budget must trip PhaseTimeoutError
+        # and then degrade (allow_degraded default).
+        policy = RecoveryPolicy(phase_timeout=1e-9, max_retries=0)
+        res = parallel_part_graph(mesh_mc, 4, 2,
+                                  options=PartitionOptions(seed=11),
+                                  executor="shm", recovery=policy)
+        assert res.degraded
+        assert "PhaseTimeoutError" in res.degraded_reason
+        _no_leaks()
+
+
+class TestShmFabricDirect:
+    def test_collect_raises_rank_crashed(self):
+        fab = ShmFabric(2)
+        try:
+            fab.set_phase("coarsen")
+            fab._procs[1].terminate()
+            fab._procs[1].join()
+            with pytest.raises((RankCrashedError, PhaseTimeoutError)):
+                fab._collect(1)
+        finally:
+            fab.close()
+        _no_leaks()
+
+    def test_close_idempotent_and_leak_free(self):
+        fab = ShmFabric(2)
+        fab.publish(x=np.arange(8))
+        assert len(active_segments()) == 1
+        fab.close()
+        fab.close()
+        _no_leaks()
+
+    def test_exchange_matches_sim_routing(self):
+        sim = SimFabric(SimCluster(3), message_log=MessageLog())
+        shm = ShmFabric(3, message_log=MessageLog())
+        try:
+            payloads = [
+                {1: np.array([1, 2]), 2: np.array([3])},
+                {0: np.array([4])},
+                {0: np.array([5]), 1: np.array([6])},
+            ]
+            a = sim.exchange(payloads)
+            b = shm.exchange(payloads)
+            for dst in range(3):
+                assert list(a[dst]) == list(b[dst])  # same src order
+                for src in a[dst]:
+                    assert np.array_equal(a[dst][src], b[dst][src])
+            assert sim.log.diff(shm.log) is None
+        finally:
+            shm.close()
+        _no_leaks()
