@@ -1,0 +1,220 @@
+#!/usr/bin/env python
+"""Effort-level benchmark: iterated V-cycles vs the standard pipeline.
+
+Runs the ladder at ``effort="standard"`` and ``effort="high"`` (standard
+pipeline + iterated V-cycles, :mod:`repro.partition.vcycle`) from the same
+pinned seed and records both cuts.  The ladder reuses the exact
+configurations of ``BENCH_kernels.json`` -- smoke400/smoke700 (k=4, m=2)
+and sm1/sm2 (k=16, m=3), all seed=4 -- so the recorded artifact
+cross-validates against the kernel baseline:
+
+* ``standard`` cuts must equal the BENCH_kernels recorded cuts **exactly**
+  (the effort machinery must not perturb the default pipeline), and
+* ``high`` must never be worse, and strictly better on >= 3 of 4 cases
+  (the iterated V-cycles must actually buy quality).
+
+Usage
+-----
+    PYTHONPATH=src python benchmarks/bench_vcycle.py            # measure + compare
+    PYTHONPATH=src python benchmarks/bench_vcycle.py --record   # (re)record artifact
+    PYTHONPATH=src python benchmarks/bench_vcycle.py --check    # gate the committed
+                                                                # artifact (no measurement)
+
+``--check`` is what CI runs (see ``make vcycle-smoke``): it never measures
+wall clock, so it is safe on noisy shared machines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from _util import MASTER_SEED, RESULTS_DIR, type1_graph  # noqa: E402
+
+from repro.graph import mesh_like  # noqa: E402
+from repro.partition import part_graph  # noqa: E402
+from repro.weights import type1_region_weights  # noqa: E402
+
+ARTIFACT = os.path.join(RESULTS_DIR, "BENCH_vcycle.json")
+KERNELS = os.path.join(RESULTS_DIR, "BENCH_kernels.json")
+
+SEED = 4
+MIN_STRICT_WINS = 3  # of the 4 ladder cases, effort="high" must strictly win
+
+
+def _smoke_graph(n: int, m: int = 2):
+    # Identical construction to perf_guard's smoke ladder so the recorded
+    # standard cuts are comparable entry for entry.
+    g = mesh_like(n, seed=MASTER_SEED + n)
+    return g.with_vwgt(type1_region_weights(g, m, nregions=8, seed=MASTER_SEED + n))
+
+
+def ladder():
+    """(name, graph, nparts) for the four benchmark cases."""
+    return [
+        ("smoke400", _smoke_graph(400), 4),
+        ("smoke700", _smoke_graph(700), 4),
+        ("sm1", type1_graph("sm1", 3), 16),
+        ("sm2", type1_graph("sm2", 3), 16),
+    ]
+
+
+def _run_case(name: str, graph, nparts: int) -> dict:
+    t0 = time.perf_counter()
+    std = part_graph(graph, nparts, seed=SEED)
+    std_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    high = part_graph(graph, nparts, seed=SEED, effort="high")
+    high_s = time.perf_counter() - t0
+    assert high.edgecut <= std.edgecut, (
+        f"{name}: effort='high' regressed the cut "
+        f"({high.edgecut} > {std.edgecut}) -- the V-cycle guard is broken")
+    return {
+        "graph": name,
+        "nvtxs": graph.nvtxs,
+        "ncon": graph.ncon,
+        "nparts": nparts,
+        "standard_cut": int(std.edgecut),
+        "high_cut": int(high.edgecut),
+        "gain_pct": round(100.0 * (std.edgecut - high.edgecut)
+                          / max(1, std.edgecut), 2),
+        "standard_seconds": round(std_s, 4),
+        "high_seconds": round(high_s, 4),
+        "standard_feasible": bool(std.feasible),
+        "high_feasible": bool(high.feasible),
+        "high_max_imbalance": round(float(high.max_imbalance), 6),
+    }
+
+
+def run_suite() -> dict:
+    cases = [_run_case(*entry) for entry in ladder()]
+    return {
+        "schema": "BENCH_vcycle/v1",
+        "config": {"seed": SEED, "min_strict_wins": MIN_STRICT_WINS},
+        "cases": cases,
+    }
+
+
+def _kernel_cuts(kernels: dict) -> dict:
+    """graph -> recorded standard edge-cut, across full + smoke sections."""
+    cuts = {c["graph"]: c["edgecut"] for c in kernels.get("cases", [])}
+    for c in kernels.get("smoke_section", {}).get("cases", []):
+        cuts.setdefault(c["graph"], c["edgecut"])
+    return cuts
+
+
+def check_artifact(artifact: dict, kernels: dict | None) -> list[str]:
+    """Gate the recorded artifact; returns human-readable failures.
+
+    No measurement happens here -- only invariants of the recorded numbers,
+    so the gate is immune to machine noise.
+    """
+    failures = []
+    cases = artifact.get("cases", [])
+    if len(cases) < 4:
+        failures.append(f"artifact records {len(cases)} cases; expected 4")
+    strict = 0
+    for c in cases:
+        if c["high_cut"] > c["standard_cut"]:
+            failures.append(
+                f"{c['graph']}: recorded high cut {c['high_cut']} is worse "
+                f"than standard {c['standard_cut']}")
+        elif c["high_cut"] < c["standard_cut"]:
+            strict += 1
+        if not (c["standard_feasible"] and c["high_feasible"]):
+            failures.append(f"{c['graph']}: recorded partition infeasible")
+    if cases and strict < MIN_STRICT_WINS:
+        failures.append(
+            f"effort='high' strictly improved only {strict} of {len(cases)} "
+            f"cases (need >= {MIN_STRICT_WINS})")
+    if kernels is not None:
+        ref = _kernel_cuts(kernels)
+        for c in cases:
+            expect = ref.get(c["graph"])
+            if expect is not None and c["standard_cut"] != expect:
+                failures.append(
+                    f"{c['graph']}: recorded standard cut {c['standard_cut']} "
+                    f"!= BENCH_kernels baseline {expect} -- effort='standard' "
+                    f"is no longer bit-identical to the kernel baseline")
+    return failures
+
+
+def _load(path: str):
+    if not os.path.exists(path):
+        return None
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--record", action="store_true",
+                    help="write this run to benchmarks/results/BENCH_vcycle.json")
+    ap.add_argument("--check", action="store_true",
+                    help="validate the committed artifact only (no measurement)")
+    ap.add_argument("--artifact", default=ARTIFACT)
+    ap.add_argument("--kernels", default=KERNELS,
+                    help="BENCH_kernels.json used to cross-check standard cuts")
+    args = ap.parse_args(argv)
+
+    if args.check:
+        artifact = _load(args.artifact)
+        if artifact is None:
+            print(f"--check: no artifact at {args.artifact}", file=sys.stderr)
+            return 1
+        failures = check_artifact(artifact, _load(args.kernels))
+        if failures:
+            for f in failures:
+                print(f"CHECK FAILED: {f}", file=sys.stderr)
+            return 1
+        n = len(artifact.get("cases", []))
+        print(f"vcycle artifact check: PASS ({n} cases; standard cuts match "
+              f"BENCH_kernels; high <= standard, strict win on >= "
+              f"{MIN_STRICT_WINS})")
+        return 0
+
+    result = run_suite()
+    for c in result["cases"]:
+        print(f"{c['graph']:>9}  n={c['nvtxs']:>6} k={c['nparts']:>2}  "
+              f"std={c['standard_cut']:>6} ({c['standard_seconds']:5.2f}s)  "
+              f"high={c['high_cut']:>6} ({c['high_seconds']:5.2f}s)  "
+              f"gain {c['gain_pct']:5.2f}%")
+
+    status = 0
+    committed = None if args.record else _load(args.artifact)
+    if committed is not None:
+        # Both pipelines are deterministic at a pinned seed: the measured
+        # cuts must reproduce the committed artifact exactly.
+        ref = {c["graph"]: c for c in committed.get("cases", [])}
+        for c in result["cases"]:
+            b = ref.get(c["graph"])
+            if b is None:
+                continue
+            for fld in ("standard_cut", "high_cut"):
+                if c[fld] != b[fld]:
+                    print(f"REGRESSION: {c['graph']}: {fld} {c[fld]} != "
+                          f"recorded {b[fld]}", file=sys.stderr)
+                    status = 1
+        if status == 0:
+            print("vcycle guard: PASS (measured cuts reproduce the artifact)")
+    failures = check_artifact(result, _load(args.kernels))
+    for f in failures:
+        print(f"GATE FAILED: {f}", file=sys.stderr)
+        status = 1
+
+    if args.record and status == 0:
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        with open(args.artifact, "w") as fh:
+            json.dump(result, fh, indent=2)
+            fh.write("\n")
+        print(f"artifact recorded -> {args.artifact}")
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

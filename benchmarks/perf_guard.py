@@ -187,6 +187,26 @@ def check_artifact(baseline: dict, *, min_speedup: float,
     return failures
 
 
+def check_vcycle_consistency(baseline: dict, vcycle: dict) -> list[str]:
+    """Cross-validate ``BENCH_vcycle.json`` against the kernel baseline:
+    the vcycle artifact's ``standard_cut`` entries must equal the cuts this
+    baseline records for the same ladder cases.  A mismatch means the
+    effort-level machinery perturbed the default (``effort="standard"``)
+    pipeline, which is required to stay bit-identical."""
+    failures = []
+    cuts = {c["graph"]: c["edgecut"] for c in baseline.get("cases", [])}
+    for c in baseline.get("smoke_section", {}).get("cases", []):
+        cuts.setdefault(c["graph"], c["edgecut"])
+    for c in vcycle.get("cases", []):
+        expect = cuts.get(c["graph"])
+        if expect is not None and c.get("standard_cut") != expect:
+            failures.append(
+                f"{c['graph']}: BENCH_vcycle standard cut "
+                f"{c.get('standard_cut')} != kernel baseline {expect} "
+                f"(effort='standard' drifted)")
+    return failures
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--smoke", action="store_true",
@@ -222,6 +242,10 @@ def main(argv=None) -> int:
         failures = check_artifact(baseline,
                                   min_speedup=args.min_speedup,
                                   max_init_fraction=args.max_init_fraction)
+        vcycle_path = os.path.join(RESULTS_DIR, "BENCH_vcycle.json")
+        if os.path.exists(vcycle_path):
+            with open(vcycle_path) as fh:
+                failures += check_vcycle_consistency(baseline, json.load(fh))
         if failures:
             for f in failures:
                 print(f"CHECK FAILED: {f}", file=sys.stderr)

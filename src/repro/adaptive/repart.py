@@ -58,7 +58,13 @@ def migration_volume(vwgt: np.ndarray, old_part, new_part) -> int:
 
 def migration_stats(vwgt: np.ndarray, old_part, new_part) -> dict:
     """Moved-vertex count, per-constraint moved weight, and the summed
-    migration volume."""
+    migration volume.
+
+    Every value is a plain Python int/float/list (``moved_weight`` is a
+    length-``ncon`` list of ints), so the dict round-trips through
+    ``json.dumps`` unchanged -- stats payloads are shipped over the serve
+    layer and raw numpy scalars/arrays are not JSON-serialisable.
+    """
     old_part = np.asarray(old_part)
     new_part = np.asarray(new_part)
     moved = old_part != new_part
@@ -66,7 +72,7 @@ def migration_stats(vwgt: np.ndarray, old_part, new_part) -> dict:
     return {
         "moved_vertices": int(moved.sum()),
         "moved_fraction": float(moved.mean()) if moved.size else 0.0,
-        "moved_weight": w[moved].sum(axis=0),
+        "moved_weight": [int(x) for x in np.atleast_1d(w[moved].sum(axis=0))],
         "volume": int(w[moved].sum()),
     }
 

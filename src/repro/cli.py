@@ -67,6 +67,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=None, help="RNG seed")
     p.add_argument("--matching", choices=("hem", "bem", "rm", "fhem"), default="hem",
                    help="coarsening matching scheme (default: hem)")
+    p.add_argument("--effort", choices=("fast", "standard", "high"),
+                   default=None,
+                   help="quality/time preset: 'fast' trims the search "
+                        "knobs, 'standard' (default) is the single-V-cycle "
+                        "pipeline, 'high' adds iterated V-cycles that only "
+                        "ever lower the cut (see docs/api.md)")
     p.add_argument("--init-ntries", type=int, metavar="N",
                    help="candidate rounds in the initial bisection "
                         "(default: PartitionOptions.init_ntries)")
@@ -289,6 +295,8 @@ def main(argv=None) -> int:
             init_opts["init_workers"] = args.init_workers
         if args.strict_ntries:
             init_opts["strict_ntries"] = True
+        if args.effort is not None:
+            init_opts["effort"] = args.effort
 
         t0 = time.perf_counter()
         if use_cache:

@@ -90,6 +90,7 @@ def coarsen(
     two_hop: bool = True,
     seed=None,
     tracer=None,
+    constraint=None,
 ) -> Hierarchy:
     """Build a coarsening hierarchy for ``graph``.
 
@@ -116,6 +117,15 @@ def coarsen(
         Optional :class:`repro.trace.Tracer`; each match+contract step is
         recorded as a ``coarsen_level`` span (fine/coarse sizes, exposed
         edge weight, shrink factor).
+    constraint:
+        Optional per-vertex integer labels restricting matching: only
+        same-label vertices may be merged, so any partition that is constant
+        on each label class projects exactly onto every coarse level.  This
+        is the iterated-multilevel (V-cycle) hook -- pass the current
+        partition (or any refinement of it) to coarsen *within* its blocks.
+        The labels are propagated to each coarse level through the coarse
+        map.  ``None`` (the default) leaves matching unrestricted and is
+        bit-identical to the pre-constraint behaviour.
     """
     if matching not in MATCHERS:
         raise GraphError(f"unknown matching scheme {matching!r}; pick from {sorted(MATCHERS)}")
@@ -124,6 +134,14 @@ def coarsen(
     matcher = MATCHERS[matching]
     tracer = as_tracer(tracer)
     rng = as_rng(seed)
+
+    con = None
+    if constraint is not None:
+        con = np.asarray(constraint)
+        if con.shape != (graph.nvtxs,):
+            raise GraphError(
+                f"coarsening constraint must have shape ({graph.nvtxs},); "
+                f"got {con.shape}")
 
     # Relative weights are with respect to the *finest* totals, which are
     # invariant under contraction, so one totals vector serves every level.
@@ -138,13 +156,15 @@ def coarsen(
         with tracer.span("coarsen_level", nvtxs=cur.nvtxs) as sp:
             (child_rng,) = spawn(rng, 1)
             if matching == "rm":
-                match = matcher(cur, child_rng)
+                match = matcher(cur, child_rng, constraint=con)
             else:
-                match = matcher(cur, child_rng, relw=cur.vwgt / tvwgt)
+                match = matcher(cur, child_rng, relw=cur.vwgt / tvwgt,
+                                constraint=con)
             cmap, ncoarse = matching_to_cmap(match)
             if ncoarse > min_shrink * cur.nvtxs and two_hop:
                 (hop_rng,) = spawn(rng, 1)
-                match = two_hop_matching(cur, match, seed=hop_rng)
+                match = two_hop_matching(cur, match, seed=hop_rng,
+                                         constraint=con)
                 cmap, ncoarse = matching_to_cmap(match)
             if ncoarse > min_shrink * cur.nvtxs:
                 sp.set(stalled=True)
@@ -165,6 +185,12 @@ def coarsen(
                     )
         if stalled:
             break
+        if con is not None:
+            # Matched vertices share a label, so scattering through the
+            # coarse map is well-defined (later writes repeat earlier ones).
+            coarse_con = np.empty(nxt.nvtxs, dtype=con.dtype)
+            coarse_con[cmap] = con
+            con = coarse_con
         if tracer.enabled:
             # Structured per-level record (see docs/observability.md).  The
             # matching rate is the fraction of fine vertices absorbed into

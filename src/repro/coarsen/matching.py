@@ -23,6 +23,17 @@ Four schemes are provided (ablated by benchmark A1):
 All return a ``match`` array with ``match[v] == u`` and ``match[u] == v``
 for matched pairs, and ``match[v] == v`` for unmatched vertices.
 
+Constrained (partition-respecting) matching
+-------------------------------------------
+Every matcher accepts an optional ``constraint`` array (one integer label
+per vertex): vertices with *different* labels are never matched together.
+Passing the current partition as the constraint is the iterated-multilevel
+("V-cycle") device of KaFFPa-style partitioners -- the contracted hierarchy
+then reproduces the partition exactly at every level, so refinement can
+only improve it (see :mod:`repro.partition.vcycle`).  ``constraint=None``
+(the default) takes the exact unconstrained code paths, bit-identical to
+before the parameter existed.
+
 Performance
 -----------
 The greedy matchers precompute the balanced-edge score of **every** directed
@@ -91,16 +102,31 @@ def _edge_balance_scores(graph: Graph, relw: np.ndarray) -> np.ndarray:
     return out
 
 
-def random_matching(graph: Graph, seed=None) -> np.ndarray:
+def _as_constraint(graph: Graph, constraint) -> list | None:
+    """Validate a per-vertex matching-constraint array -> flat list."""
+    if constraint is None:
+        return None
+    con = np.asarray(constraint)
+    if con.shape != (graph.nvtxs,):
+        raise GraphError(
+            f"matching constraint must have shape ({graph.nvtxs},); "
+            f"got {con.shape}")
+    return con.tolist()
+
+
+def random_matching(graph: Graph, seed=None, *, constraint=None) -> np.ndarray:
     """Match each vertex (in random order) with a random unmatched
     neighbour.
 
     Single shuffled pass over plain lists; the free-neighbour scan reuses
     one preallocated buffer instead of building a filtered numpy array per
     vertex.  Seeded results are identical to
-    :func:`_reference_random_matching`."""
+    :func:`_reference_random_matching`.  ``constraint`` restricts matches
+    to same-label pairs (constrained results share the RNG stream shape of
+    the unconstrained ones only when no candidate is filtered)."""
     rng = as_rng(seed)
     n = graph.nvtxs
+    con = _as_constraint(graph, constraint)
     matchl = list(range(n))
     xadj = graph.xadj.tolist()
     adj = graph.adjncy.tolist()
@@ -111,7 +137,7 @@ def random_matching(graph: Graph, seed=None) -> np.ndarray:
         k = 0
         for i in range(xadj[v], xadj[v + 1]):
             u = adj[i]
-            if matchl[u] == u:
+            if matchl[u] == u and (con is None or con[u] == con[v]):
                 free_buf[k] = u
                 k += 1
         if k:
@@ -140,7 +166,8 @@ def _reference_random_matching(graph: Graph, seed=None) -> np.ndarray:
     return match
 
 
-def heavy_edge_matching(graph: Graph, seed=None, *, relw: np.ndarray | None = None) -> np.ndarray:
+def heavy_edge_matching(graph: Graph, seed=None, *, relw: np.ndarray | None = None,
+                        constraint=None) -> np.ndarray:
     """Heavy-edge matching with balanced-edge tie-breaking.
 
     Parameters
@@ -151,14 +178,20 @@ def heavy_edge_matching(graph: Graph, seed=None, *, relw: np.ndarray | None = No
         Optional ``(n, m)`` *relative* vertex weights used by the
         balanced-edge tie-break.  When ``None`` the graph's own weights are
         normalised by their per-constraint totals.
+    constraint:
+        Optional ``(n,)`` integer labels; only same-label vertices are
+        matched (partition-respecting matching for iterated V-cycles).
     """
-    return _greedy_matching(graph, seed, relw, primary="heavy")
+    return _greedy_matching(graph, seed, relw, primary="heavy",
+                            constraint=constraint)
 
 
-def balanced_edge_matching(graph: Graph, seed=None, *, relw: np.ndarray | None = None) -> np.ndarray:
+def balanced_edge_matching(graph: Graph, seed=None, *, relw: np.ndarray | None = None,
+                           constraint=None) -> np.ndarray:
     """Balanced-edge matching with heavy-edge tie-breaking (the dual
     priority order of :func:`heavy_edge_matching`)."""
-    return _greedy_matching(graph, seed, relw, primary="balanced")
+    return _greedy_matching(graph, seed, relw, primary="balanced",
+                            constraint=constraint)
 
 
 def _resolve_relw(graph: Graph, relw) -> np.ndarray:
@@ -171,16 +204,20 @@ def _resolve_relw(graph: Graph, relw) -> np.ndarray:
     return relw
 
 
-def _greedy_matching(graph: Graph, seed, relw, primary: str) -> np.ndarray:
+def _greedy_matching(graph: Graph, seed, relw, primary: str,
+                     constraint=None) -> np.ndarray:
     """Sequential greedy matcher over precomputed bulk edge scores.
 
     Visits vertices in one seeded permutation (same RNG consumption as the
     reference) and scans each free vertex's adjacency in CSR order with the
     exact tie-break rules of :func:`_best_candidate`, reading edge weight
-    and balanced score from flat Python lists."""
+    and balanced score from flat Python lists.  ``constraint`` (per-vertex
+    labels) restricts candidates to same-label neighbours; ``None`` keeps
+    the original unconstrained scan bit-identical."""
     rng = as_rng(seed)
     n = graph.nvtxs
     relw = _resolve_relw(graph, relw)
+    con = _as_constraint(graph, constraint)
 
     b_all = _edge_balance_scores(graph, relw).tolist()
     xadj = graph.xadj.tolist()
@@ -199,6 +236,8 @@ def _greedy_matching(graph: Graph, seed, relw, primary: str) -> np.ndarray:
         for i in range(xadj[v], xadj[v + 1]):
             u = adj[i]
             if matchl[u] != u:
+                continue
+            if con is not None and con[u] != con[v]:
                 continue
             w = adjw[i]
             b = b_all[i]
@@ -263,7 +302,8 @@ def _best_candidate(wv, cand, ws, relw, heavy_first: bool) -> int:
     return best
 
 
-def fast_heavy_edge_matching(graph: Graph, seed=None, *, relw=None, rounds: int = 10) -> np.ndarray:
+def fast_heavy_edge_matching(graph: Graph, seed=None, *, relw=None, rounds: int = 10,
+                             constraint=None) -> np.ndarray:
     """Vectorised heavy-edge matching by mutual proposals (handshaking).
 
     Each round, every free vertex proposes to its heaviest free neighbour;
@@ -292,12 +332,18 @@ def fast_heavy_edge_matching(graph: Graph, seed=None, *, relw=None, rounds: int 
     w_all = graph.adjwgt.astype(np.float64)
     balanced = relw is not None and relw.shape[1] > 1
     b_all = _edge_balance_scores(graph, relw) if balanced else None
+    allowed = None
+    if constraint is not None:
+        con = np.asarray(_as_constraint(graph, constraint), dtype=_INT)
+        allowed = con[src_all] == con[dst_all]
 
     for _ in range(rounds):
         free = match == np.arange(n)
         if not free.any():
             break
         live = free[src_all] & free[dst_all]
+        if allowed is not None:
+            live &= allowed
         if not live.any():
             break
         src = src_all[live]
@@ -321,7 +367,9 @@ def fast_heavy_edge_matching(graph: Graph, seed=None, *, relw=None, rounds: int 
     return match
 
 
-def two_hop_matching(graph: Graph, match: np.ndarray, seed=None, *, max_pair_degree: int | None = None) -> np.ndarray:
+def two_hop_matching(graph: Graph, match: np.ndarray, seed=None, *,
+                     max_pair_degree: int | None = None,
+                     constraint=None) -> np.ndarray:
     """Augment ``match`` by pairing leftover vertices that share a common
     neighbour (two-hop pairs).
 
@@ -341,10 +389,14 @@ def two_hop_matching(graph: Graph, match: np.ndarray, seed=None, *, max_pair_deg
         Only consider unmatched vertices of degree at most this (default:
         no limit); two-hop merging high-degree vertices creates dense
         coarse rows.
+    constraint:
+        Optional per-vertex labels; two-hop pairs are only formed between
+        same-label vertices.
     """
     rng = as_rng(seed)
     out = np.asarray(match, dtype=_INT).copy()
     n = graph.nvtxs
+    con = _as_constraint(graph, constraint)
     free = np.flatnonzero(out == np.arange(n))
     if max_pair_degree is not None:
         deg = np.diff(graph.xadj)
@@ -368,7 +420,8 @@ def two_hop_matching(graph: Graph, match: np.ndarray, seed=None, *, max_pair_deg
         for i in range(beg, end):
             u = adj[i]
             waiting = buckets.get(u, -1)
-            if waiting >= 0 and outl[waiting] == waiting and waiting != v:
+            if (waiting >= 0 and outl[waiting] == waiting and waiting != v
+                    and (con is None or con[waiting] == con[v])):
                 outl[v] = waiting
                 outl[waiting] = v
                 buckets[u] = -1

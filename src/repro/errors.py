@@ -172,6 +172,24 @@ class ServeOverloadError(ServeError):
         self.queue_depth = queue_depth
 
 
+class ImproverRejectedError(ServeError):
+    """The background improver could not upgrade a cached entry.
+
+    Raised by :meth:`repro.serve.improver.Improver.improve_digest` when the
+    entry is gone from the cache, its graph was not retained
+    (``ServiceConfig.retain_graphs``), it is already at the target effort
+    level, or its request is uncacheable.  Carries the request digest in
+    :attr:`digest` and the machine-readable cause in :attr:`reason`
+    (``"missing"`` / ``"no_graph"`` / ``"already_high"`` /
+    ``"uncacheable"``).  The sweep API (``Improver.run_once``) records
+    rejections as counters instead of raising."""
+
+    def __init__(self, message: str, *, digest: str = "", reason: str = ""):
+        super().__init__(message)
+        self.digest = digest
+        self.reason = reason
+
+
 class ServeBatchError(ServeError):
     """One or more requests of a :meth:`PartitionService.batch` failed.
 

@@ -2,10 +2,11 @@
 
 from .api import METHODS, PartitionResult, part_graph
 from .config import PartitionOptions
-from .ensemble import EnsembleResult, best_of
+from .ensemble import EnsembleResult, EvolveResult, Individual, best_of, evolve
 from .kway import partition_kway
 from .recursive import multilevel_bisection, partition_recursive
 from .validate import validate_request, validate_weights
+from .vcycle import VCycleStats, vcycle_improve, vcycle_once
 
 __all__ = [
     "part_graph",
@@ -16,7 +17,13 @@ __all__ = [
     "multilevel_bisection",
     "METHODS",
     "best_of",
+    "evolve",
     "EnsembleResult",
+    "EvolveResult",
+    "Individual",
+    "vcycle_once",
+    "vcycle_improve",
+    "VCycleStats",
     "validate_request",
     "validate_weights",
 ]

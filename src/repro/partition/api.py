@@ -148,15 +148,37 @@ def part_graph(
         tracer = Tracer()
     tracer = as_tracer(tracer)
 
+    # Effort presets (docs/api.md "Effort levels").  "fast" trims the
+    # search knobs of the base run; "standard" is the historical pipeline,
+    # bit-for-bit; "high" runs the standard pipeline first (same seed, so
+    # the base partition is identical to effort="standard") and then
+    # iterates constrained V-cycles, which only ever improve it.
+    run_options = options
+    if options.effort == "fast":
+        run_options = options.with_(
+            effort="standard",
+            init_ntries=min(options.init_ntries, 2),
+            init_patience=min(options.init_patience, 2) or 2,
+            refine_passes=min(options.refine_passes, 4),
+            kway_refine_passes=min(options.kway_refine_passes, 4),
+        )
+
     with tracer.span("partition", method=method, nparts=nparts,
                      nvtxs=graph.nvtxs, nedges=graph.nedges,
                      ncon=graph.ncon) as root:
         if method == "kway":
-            part = partition_kway(graph, nparts, options, tracer=tracer,
+            part = partition_kway(graph, nparts, run_options, tracer=tracer,
                                   target_fracs=target_fracs)
         else:
-            part = partition_recursive(graph, nparts, options, tracer=tracer,
+            part = partition_recursive(graph, nparts, run_options, tracer=tracer,
                                        target_fracs=target_fracs)
+
+        if options.effort == "high" and nparts > 1:
+            from .vcycle import vcycle_improve
+
+            part, _ = vcycle_improve(
+                graph, part, nparts, options, target_fracs=target_fracs,
+                tracer=tracer)
 
         ub = as_ubvec(options.ubvec, graph.ncon)
         imb = imbalance(graph.vwgt, part, nparts, target_fracs)

@@ -76,6 +76,18 @@ class PartitionOptions:
     kway_policy:
         Sweep order of the k-way refiner: ``"greedy"`` (randomised
         boundary sweep) or ``"priority"`` (gain-ordered queue).
+    effort:
+        Quality/time trade-off preset: ``"fast"`` (cheaper initial
+        partitioning -- fewer candidate rounds and refinement passes),
+        ``"standard"`` (default; bit-identical to the historical single
+        V-cycle pipeline) or ``"high"`` (run the standard pipeline, then
+        iterated V-cycles via :func:`repro.partition.vcycle.vcycle_improve`
+        -- cut is never worse than standard).  See docs/api.md
+        "Effort levels".
+    vcycle_max:
+        Maximum number of iterated V-cycles under ``effort="high"``.
+    vcycle_patience:
+        Stop iterating after this many consecutive non-improving V-cycles.
     """
 
     ubvec: object = 1.05
@@ -97,12 +109,21 @@ class PartitionOptions:
     final_balance: bool = True
     collect_stats: bool = False
     kway_policy: str = "greedy"
+    effort: str = "standard"
+    vcycle_max: int = 8
+    vcycle_patience: int = 2
 
     def __post_init__(self):
         if self.matching not in ("hem", "bem", "rm", "fhem"):
             raise PartitionError(f"unknown matching scheme {self.matching!r}")
         if self.kway_policy not in ("greedy", "priority"):
             raise PartitionError(f"unknown k-way policy {self.kway_policy!r}")
+        if self.effort not in ("fast", "standard", "high"):
+            raise OptionsError(
+                f"unknown effort level {self.effort!r}; "
+                "pick from 'fast', 'standard', 'high'")
+        if self.vcycle_max < 1 or self.vcycle_patience < 1:
+            raise PartitionError("vcycle_max/vcycle_patience must be >= 1")
         if self.coarsen_to < 2:
             raise PartitionError("coarsen_to must be >= 2")
         if self.init_ntries < 1 or self.refine_passes < 0 or self.kway_refine_passes < 0:

@@ -1,24 +1,45 @@
-"""Multi-seed ensemble runs.
+"""Ensemble partitioning: multi-seed best-of and evolutionary search.
 
 Multilevel partitioners are randomised; the paper reports *means over
 three seeds* with small spread.  :func:`best_of` runs several seeds and
 keeps the best (feasible-first, then cut), reporting the spread so callers
 can check the variance claim themselves.
+
+:func:`evolve` goes further ("Engineering Multilevel Graph Partitioning
+Algorithms", PAPERS.md): it keeps a small population of partitions and
+breeds it with two operators built on constrained V-cycles
+(:mod:`repro.partition.vcycle`):
+
+* **combine** -- overlap-cluster two parents (vertices agree on a cluster
+  iff both parents agree), coarsen under that overlap as the matching
+  constraint, and refine the better parent through the new hierarchy.
+  The overlap is a refinement of *both* parents, so the better parent
+  projects exactly and the child is never worse than it.
+* **mutate** -- a perturbed-seed V-cycle of one individual: a fresh
+  matching seed yields a fresh hierarchy and fresh refinement
+  opportunities, again never making the individual worse.
+
+The population keeps the **feasible Pareto front** on (cut, worst
+imbalance): an individual survives unless another is at least as good on
+both objectives and strictly better on one.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from .._rng import as_rng, spawn
-from ..errors import PartitionError
+from ..errors import OptionsError, PartitionError
 from ..graph.csr import Graph
+from ..refine.gain import edge_cut
+from ..weights.balance import FEASIBILITY_EPS, as_target_fracs, as_ubvec, imbalance
 from .api import PartitionResult, part_graph
 from .config import PartitionOptions
+from .vcycle import vcycle_once
 
-__all__ = ["best_of", "EnsembleResult"]
+__all__ = ["best_of", "evolve", "EnsembleResult", "EvolveResult", "Individual"]
 
 
 @dataclass
@@ -46,6 +67,31 @@ class EnsembleResult:
         )
 
 
+def _reject_options_kwargs(options, kwargs) -> None:
+    """``options=`` plus loose option kwargs is ambiguous here.
+
+    Historically the ensemble forwarded both to :func:`part_graph`, whose
+    ``options.with_(**kwargs)`` merge silently let a stray ``seed=`` (or
+    any knob already set on ``options``) override the per-member seeds --
+    every "independent" run then partitioned identically.  Reject the
+    combination loudly, like the ``part_graph`` front-door rejects unknown
+    names, and tell the caller how to fold the knobs in.
+    """
+    if options is not None and kwargs:
+        names = ", ".join(f"{k}={v!r}" for k, v in sorted(kwargs.items()))
+        raise OptionsError(
+            f"pass either options= or individual option kwargs, not both "
+            f"(got options= and {names}); fold them into the options object "
+            f"first: options.with_({', '.join(sorted(kwargs))}=...)"
+        )
+    if "seed" in kwargs:
+        raise OptionsError(
+            "seed= inside the forwarded option kwargs would override the "
+            "ensemble's per-member seeds; pass the ensemble-level seed= "
+            "parameter instead"
+        )
+
+
 def best_of(
     graph: Graph,
     nparts: int,
@@ -62,11 +108,14 @@ def best_of(
     Results are ranked feasible-first, then by cut, then by worst
     imbalance.  ``tracer`` (a :class:`repro.trace.Tracer`) records every
     run -- one ``partition`` root span each; counters accumulate across the
-    ensemble.  All remaining keyword arguments are forwarded to
-    :func:`repro.partition.part_graph`.
+    ensemble.  Remaining keyword arguments are forwarded to
+    :func:`repro.partition.part_graph` -- but only when ``options`` is not
+    also given (the combination raises :class:`~repro.errors.OptionsError`;
+    fold the knobs into ``options.with_(...)`` instead).
     """
     if nseeds < 1:
         raise PartitionError("nseeds must be >= 1")
+    _reject_options_kwargs(options, kwargs)
     rng = as_rng(seed)
     children = spawn(rng, nseeds)
 
@@ -74,7 +123,7 @@ def best_of(
     for child in children:
         if options is not None:
             res = part_graph(graph, nparts, method=method, tracer=tracer,
-                             options=options.with_(seed=child), **kwargs)
+                             options=options.with_(seed=child))
         else:
             res = part_graph(graph, nparts, method=method, tracer=tracer,
                              seed=child, **kwargs)
@@ -86,4 +135,190 @@ def best_of(
         cuts=[r.edgecut for r in runs],
         imbalances=[r.max_imbalance for r in runs],
         feasible_runs=sum(r.feasible for r in runs),
+    )
+
+
+@dataclass(eq=False)
+class Individual:
+    """One member of the evolutionary population.
+
+    Equality is identity (``eq=False``): membership tests on the front
+    must not compare the ``part`` arrays elementwise.
+    """
+
+    part: np.ndarray = field(repr=False)
+    cut: int
+    max_imbalance: float
+    feasible: bool
+
+    @property
+    def key(self):
+        """Selection order: feasible first, then cut, then imbalance."""
+        return (not self.feasible, self.cut, self.max_imbalance)
+
+    def dominates(self, other: "Individual") -> bool:
+        """Pareto dominance on (cut, max_imbalance), feasibility first."""
+        if self.feasible != other.feasible:
+            return self.feasible
+        if self.cut <= other.cut and self.max_imbalance <= other.max_imbalance:
+            return (self.cut < other.cut
+                    or self.max_imbalance < other.max_imbalance)
+        return False
+
+
+@dataclass
+class EvolveResult:
+    """Outcome of :func:`evolve`.
+
+    ``best`` is a full :class:`PartitionResult` for the best individual;
+    ``front`` is the surviving feasible Pareto front (cut ascending);
+    ``history`` records the best cut after the initial population and
+    after each generation; ``combines``/``mutations`` count the operator
+    applications that strictly improved an objective.
+    """
+
+    best: PartitionResult
+    front: list[Individual]
+    history: list[int]
+    combines: int
+    mutations: int
+
+    def summary(self) -> str:
+        return (
+            f"evolve: {self.best.summary()} "
+            f"(front {len(self.front)}, history {self.history})"
+        )
+
+
+def _individual(graph, part, nparts, ub, fracs) -> Individual:
+    imb = imbalance(graph.vwgt, part, nparts, fracs)
+    return Individual(
+        part=part,
+        cut=int(edge_cut(graph, part)),
+        max_imbalance=float(imb.max(initial=0.0)),
+        feasible=bool(np.all(imb <= ub + FEASIBILITY_EPS)),
+    )
+
+
+def _pareto_insert(front: list[Individual], cand: Individual,
+                   max_size: int) -> bool:
+    """Insert ``cand`` unless dominated; drop members it dominates.
+
+    Returns True when the candidate survived.  The front is kept sorted by
+    selection key and trimmed to ``max_size`` (worst key dropped first).
+    """
+    if any(m.dominates(cand) for m in front):
+        return False
+    if any(np.array_equal(m.part, cand.part) for m in front):
+        return False
+    front[:] = [m for m in front if not cand.dominates(m)]
+    front.append(cand)
+    front.sort(key=lambda m: m.key)
+    del front[max_size:]
+    return cand in front
+
+
+def _overlap_labels(pa: np.ndarray, pb: np.ndarray, nparts: int) -> np.ndarray:
+    """Dense labels of the overlap clustering of two partitions.
+
+    Two vertices share a label iff they share a block in *both* parents,
+    so the overlap refines each parent and either one projects exactly
+    onto any hierarchy coarsened under it.
+    """
+    _, labels = np.unique(pa * np.int64(nparts) + pb, return_inverse=True)
+    return labels.astype(np.int64)
+
+
+def evolve(
+    graph: Graph,
+    nparts: int,
+    *,
+    population: int = 4,
+    generations: int = 3,
+    seed=None,
+    method: str = "kway",
+    options: PartitionOptions | None = None,
+    target_fracs=None,
+    tracer=None,
+    **kwargs,
+) -> EvolveResult:
+    """Evolutionary ensemble search over partitions.
+
+    Seeds a population of ``population`` independent standard-effort runs,
+    then for each of ``generations`` rounds applies one **combine** (the
+    two best distinct parents bred through an overlap-constrained V-cycle)
+    and one **mutate** (perturbed-seed V-cycle of a random member) and
+    folds the children back into the feasible Pareto front on
+    (cut, worst imbalance).  Children of feasible parents are feasible by
+    the V-cycle monotonicity guard, so the front never regresses.
+
+    ``options``/kwargs follow the :func:`best_of` contract (mutually
+    exclusive).  The population's base options force ``effort="standard"``
+    -- the evolutionary loop *is* the high-effort mechanism, and nesting
+    iterated V-cycles inside each member would square the cost.
+    """
+    if population < 2:
+        raise PartitionError("population must be >= 2")
+    if generations < 0:
+        raise PartitionError("generations must be >= 0")
+    _reject_options_kwargs(options, kwargs)
+    if options is None:
+        options = PartitionOptions(**kwargs)
+    base = options.with_(effort="standard")
+    ub = as_ubvec(base.ubvec, graph.ncon)
+    fracs = as_target_fracs(target_fracs, nparts)
+    rng = as_rng(seed)
+
+    front: list[Individual] = []
+    max_front = max(population, 2)
+    for child in spawn(rng, population):
+        res = part_graph(graph, nparts, method=method, tracer=tracer,
+                         target_fracs=target_fracs,
+                         options=base.with_(seed=child))
+        _pareto_insert(front, _individual(graph, res.part, nparts, ub, fracs),
+                       max_front)
+    history = [front[0].cut]
+    combines = mutations = 0
+
+    for _ in range(generations):
+        (combine_rng, pick_rng, mutate_rng) = spawn(rng, 3)
+        # Combine the two best distinct members (if we still have two).
+        if len(front) >= 2:
+            pa, pb = front[0], front[1]
+            child_part = vcycle_once(
+                graph, pa.part, nparts, base, target_fracs=target_fracs,
+                seed=combine_rng,
+                constraint=_overlap_labels(pa.part, pb.part, nparts),
+                tracer=tracer)
+            child = _individual(graph, child_part, nparts, ub, fracs)
+            if _pareto_insert(front, child, max_front):
+                combines += 1
+        # Mutate a random member with a fresh hierarchy seed.
+        pick = front[int(as_rng(pick_rng).integers(len(front)))]
+        mutant_part = vcycle_once(
+            graph, pick.part, nparts, base, target_fracs=target_fracs,
+            seed=mutate_rng, tracer=tracer)
+        mutant = _individual(graph, mutant_part, nparts, ub, fracs)
+        if _pareto_insert(front, mutant, max_front):
+            mutations += 1
+        history.append(front[0].cut)
+
+    best = front[0]
+    imb = imbalance(graph.vwgt, best.part, nparts, fracs)
+    best_result = PartitionResult(
+        part=best.part,
+        nparts=nparts,
+        ncon=graph.ncon,
+        edgecut=best.cut,
+        imbalance=imb,
+        feasible=best.feasible,
+        method=method,
+        options=options,
+    )
+    return EvolveResult(
+        best=best_result,
+        front=[m for m in front if m.feasible],
+        history=history,
+        combines=combines,
+        mutations=mutations,
     )

@@ -23,6 +23,10 @@ The production-shaped front-end over :func:`repro.partition.part_graph`
   seed).
 * :func:`warm_start` -- seed the k-way refiner from a cached partition of
   the same mesh instead of partitioning from scratch.
+* :class:`Improver` -- background quality upgrader: recomputes hot cached
+  entries at ``effort="high"`` and caches them under the new high-effort
+  key (never swapping bits under an existing key; requires
+  ``ServiceConfig(retain_graphs=N)``).
 
 Quickstart::
 
@@ -41,11 +45,14 @@ from .cache import CacheEntry, ResultCache
 from .cluster import ProcessBackend
 from .diskcache import DiskCache
 from .executor import BACKENDS, ComputeBackend, ThreadBackend, make_backend
+from .improver import ImproveOutcome, Improver
 from .key import SEMANTIC_OPTION_FIELDS, RequestKey, request_key
 from .service import PartitionService, ServeFuture, ServiceConfig
 from .warm import warm_start
 
 __all__ = [
+    "Improver",
+    "ImproveOutcome",
     "PartitionService",
     "ServiceConfig",
     "ServeFuture",

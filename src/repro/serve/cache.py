@@ -45,6 +45,13 @@ class CacheEntry:
     #: ``"cold"`` for a from-scratch compute, ``"warm"`` for a warm-start
     #: result (only present when the service caches those).
     source: str = "cold"
+    #: Canonicalised target fractions of the original request (``None`` for
+    #: uniform parts) -- the background improver needs them to rebuild the
+    #: request key at a different effort level.
+    target_fracs: object = field(repr=False, default=None)
+    #: Exact-key hits served from this entry -- the improver's hotness
+    #: signal.
+    hits: int = 0
 
     def export(self) -> PartitionResult:
         """A result safe to hand to a caller (fresh object, frozen arrays)."""
@@ -100,10 +107,11 @@ class ResultCache:
             return None
         self._entries.move_to_end(key.digest)
         self.hits += 1
+        entry.hits += 1
         return entry.export()
 
     def put(self, key: RequestKey, result: PartitionResult,
-            source: str = "cold") -> bool:
+            source: str = "cold", *, target_fracs=None) -> bool:
         """Store a snapshot of ``result`` under ``key``; returns whether it
         was admitted (uncacheable keys and oversized results are not)."""
         if not key.cacheable or self.max_entries <= 0:
@@ -120,11 +128,30 @@ class ResultCache:
         if old is not None:
             self._bytes -= old.nbytes
         self._entries[key.digest] = CacheEntry(
-            key=key, result=frozen, nbytes=nbytes, source=source)
+            key=key, result=frozen, nbytes=nbytes, source=source,
+            target_fracs=target_fracs)
         self._bytes += nbytes
         self.stores += 1
         self._evict()
         return True
+
+    def peek(self, digest: str) -> CacheEntry | None:
+        """The entry stored under ``digest``, without touching the hit/miss
+        counters or the LRU order; ``None`` when absent.  For inspection
+        paths (the background improver) that must not distort the stats
+        real traffic produces."""
+        return self._entries.get(digest)
+
+    def hottest(self, limit: int = 8, *, min_hits: int = 1,
+                source: str = "cold") -> list[CacheEntry]:
+        """The ``limit`` most-hit entries of the given ``source`` with at
+        least ``min_hits`` exact-key hits, hotness-descending (recency
+        breaks ties).  This is the background improver's work queue; LRU
+        positions are not refreshed."""
+        ranked = [e for e in reversed(self._entries.values())
+                  if e.source == source and e.hits >= min_hits]
+        ranked.sort(key=lambda e: e.hits, reverse=True)
+        return ranked[:limit]
 
     def _evict(self) -> None:
         while self._entries and (

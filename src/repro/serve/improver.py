@@ -1,0 +1,186 @@
+"""Background improver: upgrade hot cached entries between requests.
+
+A serving deployment sees skewed traffic -- a few (graph, nparts, options)
+requests dominate.  Those hot entries were computed at whatever effort the
+caller asked for (usually ``"standard"``); the improver spends idle
+capacity recomputing them at ``effort="high"`` so that callers who opt
+into the high-effort key get a strictly better (never worse) partition
+for free.
+
+Cache contract -- the part that must not bend
+---------------------------------------------
+The result cache's headline invariant is **"an exact-key hit is
+bit-identical to a cold compute of the same request"**.  The improver
+therefore never swaps a better partition under an existing key: it
+re-submits the hot request with ``options.with_(effort="high")`` through
+the service's *normal* compute path, and because ``effort`` is one of
+:data:`repro.serve.key.SEMANTIC_OPTION_FIELDS`, the improved result lands
+under a **new** key.  The original entry is untouched; a later
+``effort="standard"`` request still hits the byte-identical standard
+result, and a later ``effort="high"`` request hits the improved one.  The
+improved result really is the cold compute of its own key -- the
+high-effort pipeline deterministically runs the standard pipeline first
+(same pinned seed) and then only improves it, so ``cut(high) <=
+cut(standard)`` by construction (:mod:`repro.partition.vcycle`).
+
+The cache stores results, not graphs, so the service must be configured
+with ``ServiceConfig(retain_graphs=N)`` for the improver to have anything
+to recompute; entries whose graph was not retained are **rejected**
+(:class:`~repro.errors.ImproverRejectedError` from the single-entry API,
+a ``serve.improver.rejected`` counter from the sweep).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ImproverRejectedError
+from .cache import CacheEntry
+from .key import request_key
+
+__all__ = ["Improver", "ImproveOutcome"]
+
+
+@dataclass
+class ImproveOutcome:
+    """What happened to one hot entry during a sweep.
+
+    ``status`` is ``"improved"`` (high-effort cut strictly lower),
+    ``"no_gain"`` (computed, cut equal -- still cached under the high key),
+    ``"cached"`` (the high-effort key was already in the cache) or
+    ``"rejected"`` (see :class:`~repro.errors.ImproverRejectedError`).
+    """
+
+    digest: str
+    status: str
+    standard_cut: int | None = None
+    improved_cut: int | None = None
+    reason: str = ""
+
+
+@dataclass
+class Improver:
+    """Sweeps the hottest cached entries and recomputes them at
+    ``effort="high"`` through the owning service.
+
+    Parameters
+    ----------
+    service:
+        The :class:`~repro.serve.service.PartitionService` to improve.
+        Must be configured with ``retain_graphs > 0``.
+    limit:
+        Entries considered per :meth:`run_once` sweep.
+    min_hits:
+        Only entries with at least this many exact-key hits qualify
+        ("hot" means *someone keeps asking*).
+    timeout:
+        Per-compute deadline (seconds) forwarded to the service;
+        ``None`` inherits the service default.
+
+    Counters are pushed into the service's counter map
+    (``serve.improver.{improved,no_gain,rejected,sweeps}``) so they show
+    up in ``service.stats()`` and the Prometheus exposition.
+    """
+
+    service: object
+    limit: int = 8
+    min_hits: int = 1
+    timeout: float | None = None
+    outcomes: list = field(default_factory=list, repr=False)
+
+    def candidates(self) -> list[CacheEntry]:
+        """Hot cold-computed entries not already at ``effort="high"``."""
+        with self.service._lock:
+            hot = self.service.cache.hottest(self.limit,
+                                             min_hits=self.min_hits)
+        return [e for e in hot
+                if getattr(e.result.options, "effort", "standard") != "high"]
+
+    def improve_digest(self, digest: str) -> ImproveOutcome:
+        """Upgrade one cached entry (by request digest); raises
+        :class:`~repro.errors.ImproverRejectedError` when it can't."""
+        with self.service._lock:
+            entry = self.service.cache.peek(digest)
+        if entry is None:
+            raise ImproverRejectedError(
+                f"no cached entry for digest {digest[:12]}",
+                digest=digest, reason="missing")
+        return self._improve_entry(entry, raise_on_reject=True)
+
+    def run_once(self) -> list[ImproveOutcome]:
+        """One sweep over the current hot set; never raises for individual
+        entries -- rejections become outcomes + counters.  Returns the
+        outcomes of this sweep (also appended to :attr:`outcomes`)."""
+        sweep: list[ImproveOutcome] = []
+        for entry in self.candidates():
+            try:
+                sweep.append(self._improve_entry(entry, raise_on_reject=False))
+            except ImproverRejectedError as exc:  # pragma: no cover - safety
+                sweep.append(ImproveOutcome(
+                    digest=entry.key.digest, status="rejected",
+                    reason=exc.reason))
+        self._incr("serve.improver.sweeps")
+        self.outcomes.extend(sweep)
+        return sweep
+
+    # ----------------------------------------------------------- internal
+
+    def _incr(self, name: str, n: int = 1) -> None:
+        with self.service._lock:
+            self.service._incr(name, n)
+
+    def _improve_entry(self, entry: CacheEntry,
+                       raise_on_reject: bool) -> ImproveOutcome:
+        digest = entry.key.digest
+        options = entry.result.options
+
+        def reject(reason: str, message: str) -> ImproveOutcome:
+            self._incr("serve.improver.rejected")
+            if raise_on_reject:
+                raise ImproverRejectedError(message, digest=digest,
+                                            reason=reason)
+            return ImproveOutcome(digest=digest, status="rejected",
+                                  reason=reason)
+
+        if not entry.key.cacheable or options is None or options.seed is None:
+            return reject("uncacheable",
+                          f"entry {digest[:12]} has no pinned seed")
+        if getattr(options, "effort", "standard") == "high":
+            return reject("already_high",
+                          f"entry {digest[:12]} is already effort='high'")
+        graph = self.service.retained_graph(digest)
+        if graph is None:
+            return reject(
+                "no_graph",
+                f"graph for entry {digest[:12]} was not retained "
+                "(set ServiceConfig.retain_graphs > 0)")
+
+        high_options = options.with_(effort="high")
+        high_key, _ = request_key(
+            graph, entry.key.nparts, method=entry.key.method,
+            options=high_options, target_fracs=entry.target_fracs)
+        with self.service._lock:
+            already = self.service.cache.peek(high_key.digest)
+        if already is not None:
+            return ImproveOutcome(
+                digest=digest, status="cached",
+                standard_cut=int(entry.result.edgecut),
+                improved_cut=int(already.result.edgecut))
+
+        # A genuine cold compute of the high-effort request through the
+        # normal service path: dedup, admission, backend and caching all
+        # apply, and the result is stored under the NEW high-effort key.
+        # warm=False forces the cold path -- a warm-started result would
+        # be neither cached nor bit-identical to a cold compute of the key.
+        improved = self.service.partition(
+            graph, entry.key.nparts, method=entry.key.method,
+            options=high_options, target_fracs=entry.target_fracs,
+            timeout=self.timeout, klass="batch", warm=False)
+        gained = int(improved.edgecut) < int(entry.result.edgecut)
+        self._incr("serve.improver.improved" if gained
+                   else "serve.improver.no_gain")
+        return ImproveOutcome(
+            digest=digest,
+            status="improved" if gained else "no_gain",
+            standard_cut=int(entry.result.edgecut),
+            improved_cut=int(improved.edgecut))

@@ -38,7 +38,8 @@ from ..weights.balance import as_target_fracs, as_ubvec
 __all__ = ["RequestKey", "request_key", "SEMANTIC_OPTION_FIELDS"]
 
 #: PartitionOptions fields that change the returned partition.  Everything
-#: except ``collect_stats`` (observability-only).  ``seed`` is handled
+#: except ``collect_stats`` (observability-only) and ``init_workers`` (the
+#: init pool is bit-identical at any worker count).  ``seed`` is handled
 #: separately through :func:`repro._rng.canonical_seed`.
 SEMANTIC_OPTION_FIELDS = (
     "matching",
@@ -47,11 +48,18 @@ SEMANTIC_OPTION_FIELDS = (
     "max_coarsen_levels",
     "min_shrink",
     "init_ntries",
+    "init_methods",
+    "init_diverse_rounds",
+    "init_patience",
+    "strict_ntries",
     "refine_passes",
     "kway_refine_passes",
     "rb_multilevel",
     "final_balance",
     "kway_policy",
+    "effort",
+    "vcycle_max",
+    "vcycle_patience",
 )
 
 

@@ -43,6 +43,7 @@ from __future__ import annotations
 import hashlib
 import threading
 import time
+from collections import OrderedDict
 from concurrent.futures import Future, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as _FutureTimeout
 from dataclasses import dataclass, field, replace
@@ -112,6 +113,12 @@ class ServiceConfig:
         timeout nor matches a per-class deadline.  ``None`` waits forever.
     interactive_timeout, batch_timeout:
         Per-class default deadlines, consulted before ``default_timeout``.
+    retain_graphs:
+        Keep up to this many recently requested graphs (LRU by request
+        digest) so the background improver (:mod:`repro.serve.improver`)
+        can recompute hot entries at a higher effort level -- the cache
+        stores only results, never graphs.  ``0`` (default) retains
+        nothing and the improver rejects every entry.
     """
 
     max_workers: int = 4
@@ -130,6 +137,7 @@ class ServiceConfig:
     default_timeout: float | None = None
     interactive_timeout: float | None = None
     batch_timeout: float | None = None
+    retain_graphs: int = 0
 
 
 @dataclass
@@ -201,6 +209,7 @@ class PartitionService:
             thread_name_prefix="repro-serve")
         self._lock = threading.Lock()
         self._inflight: dict[str, ServeFuture] = {}
+        self._graphs: "OrderedDict[str, Graph]" = OrderedDict()
         self._closed = False
         #: service-owned metrics: per-request latency histograms keyed by
         #: outcome (``serve.latency.{hit,disk,warm,cold,timeout}``),
@@ -228,6 +237,7 @@ class PartitionService:
         target_fracs=None,
         timeout: float | None = None,
         klass: str = "interactive",
+        warm: bool | None = None,
         **kwargs,
     ) -> ServeFuture:
         """Enqueue one request; returns immediately with a handle.
@@ -238,7 +248,10 @@ class PartitionService:
         the calling thread, so malformed requests raise here, not inside
         the pool.  ``klass`` selects the admission class (``"interactive"``
         default, or ``"batch"``); an over-bound queue sheds the request
-        here with :class:`~repro.errors.ServeOverloadError`.
+        here with :class:`~repro.errors.ServeOverloadError`.  ``warm``
+        overrides ``config.warm_start`` for this request (``False`` forces
+        a genuine cold compute on a miss -- the background improver uses
+        this so what it caches really is the cold compute of its key).
         """
         t_submit = time.perf_counter()
         if klass not in REQUEST_CLASSES:
@@ -261,6 +274,11 @@ class PartitionService:
             if self._closed:
                 raise ServiceClosedError("PartitionService is closed")
             self._incr("serve.requests")
+            if self.config.retain_graphs > 0 and key.cacheable:
+                self._graphs[key.digest] = graph
+                self._graphs.move_to_end(key.digest)
+                while len(self._graphs) > self.config.retain_graphs:
+                    self._graphs.popitem(last=False)
             fast = self._fast_path(key, deadline, t_submit)
             if fast is not None:
                 return fast
@@ -271,7 +289,8 @@ class PartitionService:
             stored = self.disk.get(key)
             if stored is not None:
                 with self._lock:
-                    self.cache.put(key, stored, source="cold")  # promote
+                    self.cache.put(key, stored, source="cold",  # promote
+                                   target_fracs=target_fracs)
                     self._mirror_cache_counters()
                     self._observe_latency("disk",
                                           time.perf_counter() - t_submit)
@@ -294,9 +313,10 @@ class PartitionService:
             fut._waiters.append(deadline)
             if key.cacheable:
                 self._inflight[key.digest] = fut
+            allow_warm = self.config.warm_start if warm is None else bool(warm)
             try:
                 self._pool.submit(self._run, graph, nparts, method, options,
-                                  target_fracs, key, fut)
+                                  target_fracs, key, fut, allow_warm)
             except BaseException:
                 self.admission.abandon()
                 if key.cacheable:
@@ -352,6 +372,13 @@ class PartitionService:
                 f"{len(errors)}/{len(futures)} batch requests failed "
                 f"(indices {sorted(errors)})", results=results, errors=errors)
         return results
+
+    def retained_graph(self, digest: str) -> Graph | None:
+        """The graph of a recently submitted request (by request digest),
+        when ``config.retain_graphs`` keeps it around; ``None`` otherwise.
+        Used by :class:`~repro.serve.improver.Improver`."""
+        with self._lock:
+            return self._graphs.get(digest)
 
     def warmup(self) -> None:
         """Pre-start the compute backend (spawns the worker processes of
@@ -486,7 +513,7 @@ class PartitionService:
                 self.tracer.gauge(name, value)
 
     def _run(self, graph, nparts, method, options, target_fracs, key,
-             fut: ServeFuture) -> None:
+             fut: ServeFuture, allow_warm: bool = True) -> None:
         """Worker-thread body: warm or cold compute, publish, cache."""
         t0 = time.perf_counter()
         started = False
@@ -517,7 +544,7 @@ class PartitionService:
 
             result = None
             source = "cold"
-            if self.config.warm_start and key.cacheable:
+            if allow_warm and key.cacheable:
                 with self._lock:
                     warm_src = self.cache.find_warm(key)
                 if warm_src is not None:
@@ -551,7 +578,8 @@ class PartitionService:
                 self.disk.put(key, result)
             with self._lock:
                 if persist:
-                    self.cache.put(key, result, source=source)
+                    self.cache.put(key, result, source=source,
+                                   target_fracs=target_fracs)
                 self._mirror_cache_counters()
                 self._observe_latency(source, time.perf_counter() - t0)
                 if span is not None:

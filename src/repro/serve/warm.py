@@ -21,7 +21,13 @@ Contract (documented in ``docs/serving.md``):
   "a hit is bit-identical to a cold compute of the same request";
 * when the cached source has a different ``nparts``, part ids are folded
   modulo the requested ``nparts`` -- crude, but only the *seeding* needs to
-  be legal; balancing and refinement do the rest.
+  be legal; balancing and refinement do the rest.  Folding **up** (source
+  has fewer parts than the request) leaves parts
+  ``source_nparts..nparts-1`` empty, and the k-way refiner cannot populate
+  an empty part, so the seed is repaired first: each empty part receives
+  half the vertices of the currently heaviest multi-vertex block.  The
+  repair count is recorded on the ``serve.warm_start`` span
+  (``repaired_parts``).
 """
 
 from __future__ import annotations
@@ -36,6 +42,44 @@ from ..refine.gain import edge_cut
 from .cache import CacheEntry
 
 __all__ = ["warm_start"]
+
+
+def _repair_empty_parts(graph: Graph, part: np.ndarray,
+                        nparts: int) -> tuple[np.ndarray, int]:
+    """Make every part of a folded seed nonempty; returns (part, nrepaired).
+
+    ``old_part % nparts`` with ``source_nparts < nparts`` can only produce
+    ids ``0..source_nparts-1``, so the upper parts start empty -- and the
+    greedy k-way refiner moves vertices between *existing* boundary parts,
+    so an empty part would stay empty and the warm result could never be
+    feasible.  Deterministically split the heaviest (by total vertex
+    weight) multi-vertex block in half for each empty part.  The split is
+    crude on purpose: balancing + refinement run right after.
+    """
+    counts = np.bincount(part, minlength=nparts)
+    empties = np.flatnonzero(counts == 0)
+    if empties.size == 0:
+        return part, 0
+    part = part.copy()
+    tot = np.asarray(graph.vwgt).reshape(graph.nvtxs, -1).sum(axis=1)
+    tot = tot.astype(np.float64)
+    loads = np.bincount(part, weights=tot, minlength=nparts)
+    repaired = 0
+    for p in empties:
+        donor_loads = np.where(counts >= 2, loads, -1.0)
+        donor = int(np.argmax(donor_loads))
+        if counts[donor] < 2:
+            break  # fewer multi-vertex blocks than empty parts; give up
+        verts = np.flatnonzero(part == donor)
+        take = verts[: verts.size // 2]
+        part[take] = p
+        moved = float(tot[take].sum())
+        loads[donor] -= moved
+        loads[p] += moved
+        counts[p] = take.size
+        counts[donor] -= take.size
+        repaired += 1
+    return part, repaired
 
 
 def warm_start(
@@ -56,12 +100,15 @@ def warm_start(
     old_part = np.asarray(source.result.part)
     if old_part.shape != (graph.nvtxs,):
         return None  # topology hash collision paranoia; cold compute
+    repaired = 0
     if source.key.nparts != nparts:
         old_part = old_part % nparts
+        old_part, repaired = _repair_empty_parts(graph, old_part, nparts)
     baseline_cut = edge_cut(graph, old_part)
 
     span = tracer.span("serve.warm_start", nparts=nparts,
                        source_nparts=source.key.nparts,
+                       repaired_parts=repaired,
                        baseline_cut=int(baseline_cut)) if tracer else None
     try:
         rep = refine_partition(

@@ -41,6 +41,22 @@ class TestMigration:
         with pytest.raises(PartitionError):
             migration_volume(mesh500.vwgt, np.zeros(3), np.zeros(500))
 
+    def test_stats_json_round_trip(self, mesh500):
+        # moved_weight must be plain ints (not np.int64) so the stats dict
+        # survives json.dumps -- the serve layer ships it over the wire.
+        import json
+
+        vw = np.ones((500, 3), dtype=np.int64)
+        vw[:, 1] = 2
+        vw[:, 2] = 7
+        old = np.arange(500) % 4
+        new = old.copy()
+        new[:25] = (new[:25] + 2) % 4
+        st = migration_stats(vw, old, new)
+        assert st["moved_weight"] == [25, 50, 175]
+        assert all(type(x) is int for x in st["moved_weight"])
+        assert json.loads(json.dumps(st)) == st
+
 
 class TestRefinePartition:
     def test_restores_balance_after_weight_change(self, mesh2000):

@@ -22,6 +22,7 @@ from repro.errors import (
     FaultSpecError,
     GraphError,
     GraphFormatError,
+    ImproverRejectedError,
     MessageDropError,
     ObsError,
     OptionsError,
@@ -233,6 +234,24 @@ class TestServeErrors:
                 svc.submit(g200, 4, seed=0)
         assert ei.value.klass == "interactive"
         assert ei.value.queue_depth == 0
+
+    @covers(ImproverRejectedError)
+    def test_improver_rejects_unretained_graph(self, g200):
+        from repro.serve import Improver, PartitionService, ServiceConfig
+
+        # retain_graphs=0 (default): the improver has nothing to recompute.
+        with PartitionService(ServiceConfig(warm_start=False)) as svc:
+            res = svc.partition(g200, 4, seed=0)
+            assert res.feasible
+            entry = svc.cache.hottest(1, min_hits=0)[0]
+            imp = Improver(svc)
+            with pytest.raises(ImproverRejectedError) as ei:
+                imp.improve_digest(entry.key.digest)
+        assert ei.value.reason == "no_graph"
+        assert ei.value.digest == entry.key.digest
+        with pytest.raises(ImproverRejectedError) as ei:
+            imp.improve_digest("0" * 64)
+        assert ei.value.reason == "missing"
 
     @covers(ServeBatchError)
     def test_batch_failure_raises_aggregate(self, g200):

@@ -386,6 +386,82 @@ class TestWarmStart:
         assert res.part.max() < 6
         assert svc.stats()["serve.warm_start.attempts"] == 1
 
+    def test_warm_up_nparts_repairs_empty_parts(self):
+        # Folding a 2-part seed into a 4-part request leaves parts 2..3
+        # empty (old_part % 4 == old_part); the refiner cannot populate an
+        # empty part, so warm_start must repair the seed first.  The warm
+        # result must be feasible with every part nonempty, and the repair
+        # must be recorded on the serve.warm_start span.
+        g = make_graph(800, 1, seed=9)
+        tracer = Tracer()
+        with PartitionService(tracer=tracer) as svc:
+            svc.partition(g, 2, seed=3)
+            res = svc.partition(g, 4, seed=3)
+        stats = svc.stats()
+        assert stats["serve.warm_start.attempts"] == 1
+        assert stats["serve.warm_start.accepted"] == 1
+        assert res.nparts == 4 and res.feasible
+        sizes = np.bincount(res.part, minlength=4)
+        assert (sizes > 0).all(), f"empty parts in warm result: {sizes}"
+        spans = [sp for root in tracer.roots for _, sp in root.walk()
+                 if sp.name == "serve.warm_start"]
+        assert len(spans) == 1
+        assert spans[0].attrs["repaired_parts"] == 2
+        assert spans[0].attrs["accepted"]
+
+
+# --------------------------------------------------------------------- #
+# Background improver
+# --------------------------------------------------------------------- #
+
+
+class TestImprover:
+    def test_sweep_rekeys_and_preserves_standard_entry(self):
+        from repro.serve import Improver
+
+        g = make_graph(500, 1, seed=6)
+        cfg = ServiceConfig(warm_start=True, retain_graphs=4)
+        with PartitionService(cfg) as svc:
+            std = svc.partition(g, 8, seed=4)
+            svc.partition(g, 8, seed=4)            # exact-key hit -> "hot"
+            std_digest = svc.cache.hottest(1)[0].key.digest
+
+            imp = Improver(svc)
+            (out,) = imp.run_once()
+            assert out.status in ("improved", "no_gain")
+            assert out.digest == std_digest
+            assert out.improved_cut <= out.standard_cut == std.edgecut
+
+            # The standard entry is untouched: an exact-key hit is still
+            # bit-identical to the original cold compute.
+            again = svc.partition(g, 8, seed=4)
+            assert same_result(again, std)
+
+            # The improved result lives under the NEW high-effort key and
+            # matches a direct high-effort request bit for bit.
+            high = svc.partition(g, 8, seed=4, effort="high")
+            assert int(high.edgecut) == out.improved_cut
+            direct = part_graph(g, 8, seed=4, effort="high")
+            assert np.array_equal(high.part, direct.part)
+
+            # A second sweep finds the high key already cached.
+            (again_out,) = imp.run_once()
+            assert again_out.status == "cached"
+            stats = svc.stats()
+            assert stats["serve.improver.sweeps"] == 2
+
+    def test_candidates_skip_high_effort_entries(self):
+        from repro.serve import Improver
+
+        g = make_graph(300, 1, seed=2)
+        cfg = ServiceConfig(warm_start=False, retain_graphs=4)
+        with PartitionService(cfg) as svc:
+            svc.partition(g, 4, seed=1, effort="high")
+            svc.partition(g, 4, seed=1, effort="high")
+            imp = Improver(svc)
+            assert imp.candidates() == []
+            assert imp.run_once() == []
+
 
 # --------------------------------------------------------------------- #
 # Deadlines / errors
