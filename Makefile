@@ -74,7 +74,10 @@ parallel-shm-smoke:
 # flight recorder must yield cut + per-constraint imbalance at every
 # level of both ladders, a valid Prometheus exposition with >= 1
 # histogram family, a bit-identical partition, and no drift from the
-# committed baseline (benchmarks/results/OBS_baseline.json).  See
+# committed baseline (benchmarks/results/OBS_baseline.json, checked
+# under the gate's widened tolerances), plus a traced 2-rank shm run
+# whose merged profile must carry per-rank compute/pipe-wait/publish
+# rows (written to benchmarks/results/OBS_merged_profile.json).  See
 # docs/observability.md; refresh the baseline with
 # `PYTHONPATH=src:benchmarks python benchmarks/obs_smoke.py --record`.
 obs-smoke:

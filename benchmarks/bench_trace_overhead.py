@@ -16,7 +16,13 @@ cost of the null-tracer calls.  This bench bounds the cost three ways on a
    run (plus a small absolute slack for timer noise) **and** return the
    bit-identical partition -- recording must never perturb results;
 3. *end-to-end sanity*: a fully-traced run (in-memory sink) must stay
-   within 1.3x of the untraced run.
+   within 1.3x of the untraced run;
+4. *worker telemetry* (schema v2): a traced 2-rank shm run -- per-reply
+   deltas, drain merge, span grafting -- must stay within 10% of the
+   same run untraced (plus absolute slack: the spawn cost both sides pay
+   dwarfs the delta shipping, and on a loaded 1-core box the ratio is
+   noisy) with the bit-identical partition
+   (``shm_traced_overhead`` in the artifact).
 
 Run directly (``python benchmarks/bench_trace_overhead.py``) or through
 pytest.
@@ -35,7 +41,8 @@ from _util import RESULTS_DIR, emit_table, timed
 
 from repro.graph import mesh_like
 from repro.obs import FlightRecorder
-from repro.partition import part_graph
+from repro.parallel import parallel_part_graph
+from repro.partition import PartitionOptions, part_graph
 from repro.trace import NULL_TRACER, InMemorySink, Tracer
 from repro.weights import type1_region_weights
 
@@ -48,6 +55,10 @@ TIMED_REPS = 3               # min-of-N: robust against scheduler noise
 NOOP_BUDGET = 0.05           # no-op tracing: < 5% of an untraced run
 RECORDER_BUDGET = 0.05       # flight recorder: <= 5% (+ absolute slack)
 RECORDER_SLACK_S = 0.05
+SHM_N = 3_000                # smaller: each rep spawns 2 processes
+SHM_RANKS = 2
+SHM_BUDGET = 0.10            # worker telemetry: <= 10% of untraced shm
+SHM_SLACK_S = 0.25           # spawn jitter dominates on small boxes
 
 
 def _graph():
@@ -98,6 +109,28 @@ def _measure() -> dict:
 
     per_span = _null_span_cost()
     est_noop = nspans * per_span
+
+    # Worker telemetry on the shm executor: per-reply deltas + the
+    # shutdown drain ride the existing pipes, so the traced run should
+    # track the untraced one to within noise.
+    gs = mesh_like(SHM_N, seed=SEED)
+    gs = gs.with_vwgt(type1_region_weights(gs, M, seed=SEED))
+    opts = PartitionOptions(seed=SEED)
+    parallel_part_graph(gs, K, SHM_RANKS, options=opts,
+                        executor="shm")  # warm spawn caches
+
+    res_shm_off, t_shm_off = _best_of(lambda: parallel_part_graph(
+        gs, K, SHM_RANKS, options=opts, executor="shm"))
+
+    def shm_traced():
+        tr = Tracer()
+        res = parallel_part_graph(gs, K, SHM_RANKS, options=opts,
+                                  executor="shm", tracer=tr)
+        tr.finish()
+        return res
+
+    res_shm_on, t_shm_on = _best_of(shm_traced)
+
     return {
         "nvtxs": N,
         "k": K,
@@ -117,6 +150,13 @@ def _measure() -> dict:
         "part_identical": bool(np.array_equal(res_off.part, res_rec.part)),
         "profile_levels": int(profile.nlevels),
         "profile_refine_rows": len(profile.uncoarsening),
+        "shm_nvtxs": SHM_N,
+        "shm_ranks": SHM_RANKS,
+        "t_shm_off_seconds": round(t_shm_off, 4),
+        "t_shm_traced_seconds": round(t_shm_on, 4),
+        "shm_traced_overhead": round(t_shm_on / t_shm_off - 1.0, 4),
+        "shm_part_identical": bool(
+            np.array_equal(res_shm_off.part, res_shm_on.part)),
     }
 
 
@@ -136,17 +176,25 @@ def run() -> dict:
             ["on (in-memory)", f"{case['t_traced_seconds']:.2f}", "-", "-",
              "-", "-",
              f"{case['t_traced_seconds'] / case['t_off_seconds'] - 1:+.1%}"],
+            [f"shm x{SHM_RANKS} untraced",
+             f"{case['t_shm_off_seconds']:.2f}", "-", "-", "-", "-", "-"],
+            [f"shm x{SHM_RANKS} telemetry",
+             f"{case['t_shm_traced_seconds']:.2f}", "-", "-", "-", "-",
+             f"{case['shm_traced_overhead']:+.1%}"],
         ],
         f"T1: tracing overhead on part_graph (n={N}, m={M}, k={K})",
     )
 
     record = {
-        "schema": "BENCH_trace/v1",
+        "schema": "BENCH_trace/v2",
         "config": {"n": N, "k": K, "m": M, "seed": SEED,
                    "timed_reps": TIMED_REPS, "null_reps": NULL_REPS,
                    "noop_budget": NOOP_BUDGET,
                    "recorder_budget": RECORDER_BUDGET,
-                   "recorder_slack_seconds": RECORDER_SLACK_S},
+                   "recorder_slack_seconds": RECORDER_SLACK_S,
+                   "shm_n": SHM_N, "shm_ranks": SHM_RANKS,
+                   "shm_budget": SHM_BUDGET,
+                   "shm_slack_seconds": SHM_SLACK_S},
         "case": case,
     }
     os.makedirs(RESULTS_DIR, exist_ok=True)
@@ -182,6 +230,16 @@ def run() -> dict:
             f"{case['t_off_seconds']:.3f}s exceeds the 1.3x sanity bound")
     if case["profile_levels"] < 1 or case["profile_refine_rows"] < 1:
         failures.append("flight recorder produced an empty profile")
+    # Worker telemetry on the shm executor: cheap and bit-preserving.
+    shm_budget = ((1.0 + SHM_BUDGET) * case["t_shm_off_seconds"]
+                  + SHM_SLACK_S)
+    if case["t_shm_traced_seconds"] > shm_budget:
+        failures.append(
+            f"shm worker telemetry {case['t_shm_traced_seconds']:.3f}s "
+            f"exceeds {shm_budget:.3f}s ({SHM_BUDGET:.0%} + {SHM_SLACK_S}s "
+            f"over untraced {case['t_shm_off_seconds']:.3f}s)")
+    if not case["shm_part_identical"]:
+        failures.append("worker telemetry changed the shm partition")
     if failures:
         raise AssertionError("trace overhead contract violated:\n  " +
                              "\n  ".join(failures))

@@ -14,7 +14,9 @@ to a JSON-lines file, ``--trace-summary`` prints the span tree (phase and
 per-level timings, cut, imbalance), ``--profile`` prints the flight
 recorder's per-level dashboard (cut and per-constraint imbalance at every
 coarsening and uncoarsening level) and ``--profile-json FILE`` saves the
-recorded profile as a drift-checkable JSON artifact; see
+recorded profile as a drift-checkable JSON artifact.  ``--metrics-port
+PORT`` serves a live Prometheus scrape endpoint (``/metrics``,
+``/healthz``, ``/profile.json``) for the duration of the run; see
 ``docs/observability.md``.
 
 Parallel: ``--ranks P`` runs the coarse-grain parallel pipeline --
@@ -156,6 +158,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the recorded MultilevelProfile as JSON to "
                         "FILE (implies recording; usable as a drift "
                         "baseline for repro.obs.regress)")
+    p.add_argument("--metrics-port", type=int, metavar="PORT",
+                   help="serve a live Prometheus scrape endpoint on "
+                        "127.0.0.1:PORT for the duration of the run "
+                        "(/metrics, /healthz, /profile.json; 0 picks a "
+                        "free port; see docs/observability.md)")
     p.add_argument("--quiet", action="store_true", help="print only the summary line")
     return p
 
@@ -183,6 +190,7 @@ def _serve_bench(svc, graph, args, cold_seconds: float) -> None:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    metrics_server = None
     try:
         if args.demo:
             graph = mesh_like(args.demo, seed=args.seed)
@@ -241,6 +249,21 @@ def main(argv=None) -> int:
                 recorder = FlightRecorder()
                 sinks.append(recorder)
             tracer = Tracer(sinks)
+
+        if args.metrics_port is not None:
+            from .obs import MetricsServer
+
+            if tracer is None:
+                from .trace import Tracer
+
+                tracer = Tracer()
+            # Scrapes pull straight from the live tracer registry (the
+            # --cache path swaps in the richer service source below).
+            metrics_server = MetricsServer(
+                tracer, port=args.metrics_port,
+                profile=recorder.profile if recorder is not None else None)
+            if not args.quiet:
+                print(f"metrics: {metrics_server.url}/metrics")
 
         if args.fault_spec and not args.ranks:
             print("error: --fault-spec requires --ranks (faults are injected "
@@ -305,6 +328,8 @@ def main(argv=None) -> int:
             cfg = ServiceConfig(backend=args.backend,
                                 cache_dir=args.cache_dir)
             with PartitionService(cfg, tracer=tracer) as svc:
+                if metrics_server is not None:
+                    metrics_server.source = svc
                 res = svc.partition(graph, args.nparts, method=args.method,
                                     ubvec=args.tol, seed=args.seed,
                                     matching=args.matching, **init_opts)
@@ -413,6 +438,9 @@ def main(argv=None) -> int:
     except (ReproError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    finally:
+        if metrics_server is not None:
+            metrics_server.close()
 
 
 if __name__ == "__main__":  # pragma: no cover

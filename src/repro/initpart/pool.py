@@ -29,7 +29,9 @@ from __future__ import annotations
 
 import atexit
 import hashlib
+import os
 import threading
+import time
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from multiprocessing import get_context
@@ -38,6 +40,7 @@ import numpy as np
 
 from ..graph.csr import Graph
 from ..refine.fm2way import BisectScratch, fm2way_refine
+from ..trace import MetricsRegistry, labeled
 
 __all__ = ["InitPool", "get_pool"]
 
@@ -74,12 +77,14 @@ def _worker_get_graph(token: str, blob) -> Graph | None:
 def _worker_refine(token, blob, wstack, target_fracs, ubvec, npasses):
     """Refine one chunk of stacked candidate side-vectors in a worker.
 
-    Returns ``(refined_stack, [FMStats, ...])`` aligned with the chunk, or
-    ``_NEED_GRAPH`` when the worker does not hold the graph and no blob was
-    shipped."""
+    Returns ``((refined_stack, [FMStats, ...]), delta)`` aligned with the
+    chunk, or ``(_NEED_GRAPH, None)`` when the worker does not hold the
+    graph and no blob was shipped.  ``delta`` is the in-process telemetry
+    measurement riding back on the existing result future."""
+    t0 = time.perf_counter()
     g = _worker_get_graph(token, blob)
     if g is None:
-        return _NEED_GRAPH
+        return _NEED_GRAPH, None
     scratch = BisectScratch(g, target_fracs=target_fracs, ubvec=ubvec)
     out = np.empty_like(wstack)
     stats = []
@@ -91,7 +96,10 @@ def _worker_refine(token, blob, wstack, target_fracs, ubvec, npasses):
         )
         out[i] = where
         stats.append(st)
-    return out, stats
+    delta = {"worker": os.getpid(),
+             "refine_seconds": time.perf_counter() - t0,
+             "candidates": int(wstack.shape[0])}
+    return (out, stats), delta
 
 
 # ---------------------------------------------------------------- parent
@@ -129,6 +137,7 @@ class InitPool:
             "initpart.pool.ship.token": 0,
             "initpart.pool.ship.retry": 0,
         }
+        self._telemetry = MetricsRegistry()
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         with self._lock:
@@ -146,6 +155,28 @@ class InitPool:
         with self._lock:
             return dict(self._counters)
 
+    def _absorb_delta(self, delta) -> None:
+        """Fold a worker's refine delta into the labeled registry (the
+        inline path reports under ``worker="inline"``)."""
+        if not delta:
+            return
+        worker = str(delta["worker"])
+        with self._lock:
+            self._telemetry.histogram(
+                labeled("initpart.pool.worker.refine_seconds",
+                        worker=worker)).observe(delta["refine_seconds"])
+            self._telemetry.counter(
+                labeled("initpart.pool.worker.candidates",
+                        worker=worker)).inc(delta["candidates"])
+
+    def metrics(self) -> dict:
+        """Snapshot of the per-worker telemetry registry
+        (``worker="<pid>"`` labeled series, ``worker="inline"`` for the
+        workers=0 path), in
+        :meth:`~repro.trace.MetricsRegistry.as_dict` shape."""
+        with self._lock:
+            return self._telemetry.as_dict()
+
     def refine_batch(self, graph: Graph, candidates, *, target_fracs, ubvec, npasses):
         """FM-refine every candidate side-vector against ``graph``.
 
@@ -158,6 +189,7 @@ class InitPool:
         self._incr("initpart.pool.batches")
         self._incr("initpart.pool.candidates", len(candidates))
         if self.workers <= 0:
+            t0 = time.perf_counter()
             scratch = BisectScratch(graph, target_fracs=target_fracs, ubvec=ubvec)
             out = []
             for w in candidates:
@@ -167,6 +199,9 @@ class InitPool:
                     npasses=npasses, scratch=scratch,
                 )
                 out.append((where, st))
+            self._absorb_delta({"worker": "inline",
+                                "refine_seconds": time.perf_counter() - t0,
+                                "candidates": len(candidates)})
             return out
 
         pool = self._ensure_pool()
@@ -196,13 +231,15 @@ class InitPool:
 
         results: list = [None] * len(candidates)
         for idx, fut in futs:
-            out = fut.result()
+            out, delta = fut.result()
             if isinstance(out, str) and out == _NEED_GRAPH:
                 # Landed on a cold worker: reship the arrays once to it.
                 self._incr("initpart.pool.ship.retry")
                 self._incr("initpart.pool.ship.full")
-                out = pool.submit(_worker_refine, token, blob, wstack[idx],
-                                  target_fracs, ubvec, npasses).result()
+                out, delta = pool.submit(_worker_refine, token, blob,
+                                         wstack[idx], target_fracs, ubvec,
+                                         npasses).result()
+            self._absorb_delta(delta)
             refined, stats = out
             for j, i in enumerate(idx.tolist()):
                 results[i] = (refined[j], stats[j])

@@ -17,6 +17,10 @@ Four pieces (see ``docs/observability.md`` for the full walkthrough):
 * **Drift checking** (:mod:`repro.obs.regress`) -- compare a recorded
   profile against a committed JSON baseline under explicit tolerances;
   powers the ``make obs-smoke`` gate.
+* **Live scrape endpoint** (:mod:`repro.obs.server`) -- a stdlib HTTP
+  server exposing ``/metrics`` (Prometheus), ``/healthz`` and
+  ``/profile.json`` from a live service or tracer; CLI flag
+  ``--metrics-port``.
 """
 
 from .expose import parse_exposition, render_prometheus
@@ -25,6 +29,7 @@ from .recorder import (FlightRecorder, LevelRecord, MultilevelProfile,
 from .regress import (DriftReport, DriftTolerances, check_baseline,
                       compare_profiles, load_baseline)
 from .render import render_profile
+from .server import MetricsServer
 
 __all__ = [
     "FlightRecorder",
@@ -34,6 +39,7 @@ __all__ = [
     "render_profile",
     "render_prometheus",
     "parse_exposition",
+    "MetricsServer",
     "DriftTolerances",
     "DriftReport",
     "compare_profiles",

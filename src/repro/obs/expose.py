@@ -7,11 +7,19 @@ exposition format (version 0.0.4): one ``# TYPE`` line per family,
 names are sanitised (dots become underscores) and prefixed with
 ``repro_`` so they namespace cleanly when scraped next to other jobs.
 
+Labeled series: the registry encodes labels *into* metric names via
+:func:`repro.trace.metrics.labeled` (``'steps{rank="0"}'``).  The
+renderer splits that suffix back out, emits one ``# TYPE`` line per base
+family, and renders each label combination as a separate sample (for
+histograms the ``le`` label joins the encoded ones), so per-rank /
+per-worker telemetry scrapes as proper Prometheus label dimensions.
+
 :func:`parse_exposition` is the matching validator: it parses an
 exposition back into families and checks the histogram invariants
-(cumulative, non-decreasing buckets ending at ``+Inf == _count``),
-raising :class:`~repro.errors.ObsError` on malformed input.  The test
-suite and the ``obs-smoke`` gate run every rendered exposition through it.
+(cumulative, non-decreasing buckets ending at ``+Inf == _count``) *per
+label set*, raising :class:`~repro.errors.ObsError` on malformed input.
+The test suite and the ``obs-smoke`` gate run every rendered exposition
+through it.
 """
 
 from __future__ import annotations
@@ -31,11 +39,28 @@ _SAMPLE_RE = re.compile(
 _LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
 
 
+_ENCODED_LABELS_RE = re.compile(r"^(?P<base>[^{]+)\{(?P<labels>.*)\}$")
+
+
 def _sanitize(name: str, prefix: str) -> str:
     out = prefix + _NAME_RE.sub("_", str(name))
     if out[0].isdigit():
         out = "_" + out
     return out
+
+
+def _split_labels(name) -> tuple[str, str | None]:
+    """Split a ``labeled()``-encoded metric name into ``(base, labels)``
+    where ``labels`` is the raw ``k="v",...`` string (or ``None``)."""
+    m = _ENCODED_LABELS_RE.match(str(name))
+    if m:
+        return m.group("base"), m.group("labels")
+    return str(name), None
+
+
+def _series(fam: str, *label_parts) -> str:
+    parts = [p for p in label_parts if p]
+    return f"{fam}{{{','.join(parts)}}}" if parts else fam
 
 
 def _fmt_value(v) -> str:
@@ -92,26 +117,37 @@ def render_prometheus(source=None, *, counters=None, gauges=None,
     cvals, gvals, hvals = _resolve(source, counters, gauges, histograms)
     lines: list[str] = []
 
-    for name, value in sorted(cvals.items()):
-        if value is None:
-            continue
-        n = _sanitize(name, prefix)
-        lines.append(f"# TYPE {n} counter")
-        lines.append(f"{n} {_fmt_value(value)}")
-    for name, value in sorted(gvals.items()):
-        if value is None:
-            continue
-        n = _sanitize(name, prefix)
-        lines.append(f"# TYPE {n} gauge")
-        lines.append(f"{n} {_fmt_value(value)}")
-    for name, hist in sorted(hvals.items()):
-        snap = hist.snapshot() if hasattr(hist, "snapshot") else hist
-        n = _sanitize(name, prefix)
-        lines.append(f"# TYPE {n} histogram")
-        for bound, cum in snap["buckets"]:
-            lines.append(f'{n}_bucket{{le="{_fmt_le(bound)}"}} {int(cum)}')
-        lines.append(f"{n}_sum {_fmt_value(snap['sum'])}")
-        lines.append(f"{n}_count {int(snap['count'])}")
+    def group(vals):
+        """``{family: [(labels, value), ...]}`` -- one family per base
+        name, label combinations (sorted by encoded name) as series."""
+        fams: dict[str, list] = {}
+        for name, value in sorted(vals.items()):
+            if value is None:
+                continue
+            base, labels = _split_labels(name)
+            fams.setdefault(_sanitize(base, prefix), []).append(
+                (labels, value))
+        return fams
+
+    for typ, vals in (("counter", cvals), ("gauge", gvals)):
+        fams = group(vals)
+        for fam in sorted(fams):
+            lines.append(f"# TYPE {fam} {typ}")
+            for labels, value in fams[fam]:
+                lines.append(f"{_series(fam, labels)} {_fmt_value(value)}")
+    fams = group(hvals)
+    for fam in sorted(fams):
+        lines.append(f"# TYPE {fam} histogram")
+        for labels, hist in fams[fam]:
+            snap = hist.snapshot() if hasattr(hist, "snapshot") else hist
+            for bound, cum in snap["buckets"]:
+                le = f'le="{_fmt_le(bound)}"'
+                lines.append(
+                    f"{_series(fam + '_bucket', labels, le)} {int(cum)}")
+            lines.append(
+                f"{_series(fam + '_sum', labels)} {_fmt_value(snap['sum'])}")
+            lines.append(
+                f"{_series(fam + '_count', labels)} {int(snap['count'])}")
     return "\n".join(lines) + "\n" if lines else ""
 
 
@@ -168,22 +204,35 @@ def parse_exposition(text: str) -> dict:
     for fam, data in families.items():
         if data["type"] != "histogram":
             continue
-        buckets = [(labels.get("le"), value)
-                   for name, labels, value in data["samples"]
-                   if name == fam + "_bucket"]
-        counts = [value for name, labels, value in data["samples"]
-                  if name == fam + "_count"]
-        if not buckets or not counts:
+        # Validate per label set: a labeled family carries one independent
+        # bucket ladder (and one _count) per non-``le`` label combination.
+        groups: dict[tuple, list] = {}
+        counts: dict[tuple, float] = {}
+        for name, labels, value in data["samples"]:
+            if name == fam + "_bucket":
+                key = tuple(sorted((k, v) for k, v in labels.items()
+                                   if k != "le"))
+                groups.setdefault(key, []).append((labels.get("le"), value))
+            elif name == fam + "_count":
+                counts[tuple(sorted(labels.items()))] = value
+        if not groups or not counts:
             raise ObsError(
                 f"histogram {fam!r} is missing _bucket or _count samples")
-        if buckets[-1][0] != "+Inf":
-            raise ObsError(
-                f"histogram {fam!r}: last bucket must be le=\"+Inf\"")
-        cums = [v for _, v in buckets]
-        if any(b > a for b, a in zip(cums, cums[1:])):
-            raise ObsError(f"histogram {fam!r}: buckets are not cumulative")
-        if cums[-1] != counts[0]:
-            raise ObsError(
-                f"histogram {fam!r}: +Inf bucket ({cums[-1]:g}) != _count "
-                f"({counts[0]:g})")
+        for key, buckets in groups.items():
+            where = fam if not key else (
+                fam + "{" + ",".join(f'{k}="{v}"' for k, v in key) + "}")
+            if key not in counts:
+                raise ObsError(
+                    f"histogram {where!r} is missing its _count sample")
+            if buckets[-1][0] != "+Inf":
+                raise ObsError(
+                    f"histogram {where!r}: last bucket must be le=\"+Inf\"")
+            cums = [v for _, v in buckets]
+            if any(b > a for b, a in zip(cums, cums[1:])):
+                raise ObsError(
+                    f"histogram {where!r}: buckets are not cumulative")
+            if cums[-1] != counts[key]:
+                raise ObsError(
+                    f"histogram {where!r}: +Inf bucket ({cums[-1]:g}) != "
+                    f"_count ({counts[key]:g})")
     return families

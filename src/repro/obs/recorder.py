@@ -101,6 +101,11 @@ class MultilevelProfile:
     gauges: dict = field(default_factory=dict)
     #: ``{name: snapshot}``, see :meth:`repro.trace.metrics.Histogram.snapshot`.
     histograms: dict = field(default_factory=dict)
+    #: per-rank worker phase table of a parallel shm run: one row per
+    #: rank -- ``{"rank", "compute_seconds", "pipe_wait_seconds",
+    #: "publish_seconds", "steps", "phases": {phase: {...same keys...}}}``.
+    #: Empty for serial runs or with worker telemetry off.
+    rank_phases: list = field(default_factory=list)
 
     @property
     def nlevels(self) -> int:
@@ -134,6 +139,7 @@ class MultilevelProfile:
             "counters": dict(self.counters),
             "gauges": dict(self.gauges),
             "histograms": dict(self.histograms),
+            "rank_phases": [dict(r) for r in self.rank_phases],
         }
 
     def to_json(self, *, indent: int = 2) -> str:
@@ -161,6 +167,7 @@ class MultilevelProfile:
             counters=dict(d.get("counters") or {}),
             gauges=dict(d.get("gauges") or {}),
             histograms=dict(d.get("histograms") or {}),
+            rank_phases=[dict(r) for r in d.get("rank_phases") or []],
         )
 
 
@@ -261,6 +268,30 @@ def profile_from_events(events) -> MultilevelProfile:
         sp = root.child(name)
         if sp is not None and sp.seconds is not None:
             prof.phase_seconds[name] = sp.seconds
+
+    # Per-rank worker rows of a parallel shm run: each worker's grafted
+    # ``shm_worker`` span carries its in-process totals as attributes and
+    # one child span per phase (see repro.parallel.shm).
+    for wsp in root.children:
+        if wsp.name != "shm_worker":
+            continue
+        row = {
+            "rank": wsp.attrs.get("rank"),
+            "compute_seconds": wsp.attrs.get("compute_seconds", 0.0),
+            "pipe_wait_seconds": wsp.attrs.get("pipe_wait_seconds", 0.0),
+            "publish_seconds": wsp.attrs.get("publish_seconds", 0.0),
+            "steps": wsp.attrs.get("steps", 0),
+            "phases": {
+                ph.name: {
+                    "compute_seconds": ph.attrs.get("compute_seconds", 0.0),
+                    "pipe_wait_seconds": ph.attrs.get("pipe_wait_seconds", 0.0),
+                    "publish_seconds": ph.attrs.get("publish_seconds", 0.0),
+                    "steps": ph.attrs.get("steps", 0),
+                } for ph in wsp.children
+            },
+        }
+        prof.rank_phases.append(row)
+    prof.rank_phases.sort(key=lambda r: (r["rank"] is None, r["rank"]))
 
     refine_phases = ("refine", "fm_refine")
     initial_phases = ("initpart", "initbisect")

@@ -98,4 +98,21 @@ def render_profile(profile) -> str:
         lines.append("phases: " + "  ".join(
             f"{name}={format_seconds(sec)}"
             for name, sec in profile.phase_seconds.items()))
+
+    if profile.rank_phases:
+        lines.append("workers (shm):")
+        wcols = ("rank", "compute", "pipe-wait", "publish", "steps")
+        wrows = [(str(r.get("rank")),
+                  format_seconds(r.get("compute_seconds") or 0.0),
+                  format_seconds(r.get("pipe_wait_seconds") or 0.0),
+                  format_seconds(r.get("publish_seconds") or 0.0),
+                  str(r.get("steps") or 0))
+                 for r in profile.rank_phases]
+        wwidths = [max(len(c), *(len(row[i]) for row in wrows))
+                   for i, c in enumerate(wcols)]
+        lines.append("  " + "  ".join(
+            c.rjust(wwidths[i]) for i, c in enumerate(wcols)))
+        for row in wrows:
+            lines.append("  " + "  ".join(
+                cell.rjust(wwidths[i]) for i, cell in enumerate(row)))
     return "\n".join(lines)

@@ -1,0 +1,167 @@
+"""Live Prometheus scrape endpoint over a service or tracer.
+
+:class:`MetricsServer` is a stdlib :mod:`http.server` wrapper (no new
+dependencies) that serves three routes from a background daemon thread:
+
+* ``GET /metrics`` -- the Prometheus text exposition (version 0.0.4),
+  pulled fresh from the source on every scrape;
+* ``GET /healthz`` -- ``ok`` while the server is up (liveness probe);
+* ``GET /profile.json`` -- the attached
+  :class:`~repro.obs.recorder.MultilevelProfile` as JSON (404 when none
+  was attached).
+
+The metrics ``source`` may be a live :class:`~repro.serve.service.
+PartitionService` (its ``metrics_text()`` runs under the service lock, so
+a scrape mid-traffic sees a consistent snapshot), a
+:class:`~repro.trace.Tracer` / :class:`~repro.trace.MetricsRegistry` /
+``as_dict()``-style mapping (rendered via :func:`render_prometheus`), or
+a zero-argument callable returning exposition text.
+
+Shutdown contract: :meth:`MetricsServer.close` is idempotent and safe
+from any thread -- it stops accepting connections, finishes in-flight
+requests, joins the serving thread, and releases the port.  Construction
+failures (port in use, privileged port, out-of-range port) raise
+:class:`~repro.errors.ObsError` with the bind address in the message.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from ..errors import ObsError
+from .expose import render_prometheus
+
+__all__ = ["MetricsServer"]
+
+_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class MetricsServer:
+    """Serve ``/metrics``, ``/healthz`` and ``/profile.json`` over HTTP.
+
+    Parameters
+    ----------
+    source:
+        Where ``/metrics`` text comes from: an object with a
+        ``metrics_text()`` method (a :class:`PartitionService`), a
+        tracer/registry/mapping accepted by :func:`render_prometheus`, or
+        a zero-argument callable returning exposition text.  May be
+        swapped at runtime by assigning :attr:`source`.
+    port:
+        TCP port to bind; ``0`` picks a free ephemeral port (read the
+        bound one from :attr:`port`).
+    host:
+        Bind address; loopback by default -- expose deliberately.
+    profile:
+        Optional :class:`~repro.obs.recorder.MultilevelProfile` (or dict,
+        or zero-argument callable producing either) behind
+        ``/profile.json``; assignable at runtime via :attr:`profile`.
+    """
+
+    def __init__(self, source=None, *, port: int = 0,
+                 host: str = "127.0.0.1", profile=None):
+        if not (0 <= int(port) <= 65535):
+            raise ObsError(
+                f"cannot bind metrics server: port {port!r} is outside "
+                "0..65535")
+        self.source = source
+        self.profile = profile
+        self._lock = threading.Lock()
+        self._closed = False
+        server = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            def log_message(self, *args):  # silence per-request stderr spam
+                pass
+
+            def do_GET(self):
+                try:
+                    if self.path in ("/metrics", "/metrics/"):
+                        body = server._metrics_text().encode()
+                        ctype = _CONTENT_TYPE
+                    elif self.path in ("/healthz", "/healthz/"):
+                        body, ctype = b"ok\n", "text/plain; charset=utf-8"
+                    elif self.path in ("/profile.json", "/profile.json/"):
+                        payload = server._profile_json()
+                        if payload is None:
+                            self.send_error(404, "no profile attached")
+                            return
+                        body = payload.encode()
+                        ctype = "application/json; charset=utf-8"
+                    else:
+                        self.send_error(404)
+                        return
+                except Exception as exc:  # surface, don't kill the thread
+                    self.send_error(500, str(exc))
+                    return
+                self.send_response(200)
+                self.send_header("Content-Type", ctype)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+        try:
+            self._httpd = ThreadingHTTPServer((host, int(port)), _Handler)
+        except OSError as exc:
+            raise ObsError(
+                f"cannot bind metrics server to {host}:{port}: "
+                f"{exc}") from exc
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, daemon=True,
+            name="repro-metrics-server")
+        self._thread.start()
+
+    # --------------------------------------------------------- routes
+
+    def _metrics_text(self) -> str:
+        src = self.source
+        if src is None:
+            return ""
+        metrics_text = getattr(src, "metrics_text", None)
+        if callable(metrics_text):
+            return metrics_text()
+        if callable(src):
+            return str(src())
+        return render_prometheus(src)
+
+    def _profile_json(self) -> str | None:
+        prof = self.profile
+        if callable(prof):
+            prof = prof()
+        if prof is None:
+            return None
+        if hasattr(prof, "to_json"):
+            return prof.to_json()
+        return json.dumps(prof, indent=2, sort_keys=True, default=str)
+
+    # ------------------------------------------------------ lifecycle
+
+    @property
+    def port(self) -> int:
+        """The actually bound port (useful with ``port=0``)."""
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host = self._httpd.server_address[0]
+        return f"http://{host}:{self.port}"
+
+    def close(self) -> None:
+        """Stop serving and release the port (idempotent, thread-safe)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "MetricsServer":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False

@@ -61,13 +61,19 @@ class ParityReport:
 
 
 def run_parity(graph, nparts: int, nranks: int, *,
-               options: PartitionOptions | None = None) -> ParityReport:
+               options: PartitionOptions | None = None,
+               tracer=None) -> ParityReport:
     """Partition ``graph`` on both executors and compare.
 
     Both runs receive the same :class:`PartitionOptions` (the seed must be
     a stable value, not a live ``Generator`` -- the default options
     qualify) and a fresh :class:`MessageLog`; the report carries both
     results plus the equality verdicts.
+
+    ``tracer`` (optional) is applied to the shm run, turning worker-side
+    telemetry on; the parity verdict must be unaffected -- telemetry
+    piggybacks on pipe replies, which the message log never records (the
+    test-suite pins traced == untraced digests at 1/2/4 ranks).
     """
     if options is None:
         options = PartitionOptions()
@@ -84,9 +90,9 @@ def run_parity(graph, nparts: int, nranks: int, *,
                                      executor=sim_fabric)
 
     shm_log = MessageLog()
-    shm_fabric = ShmFabric(nranks, message_log=shm_log)
+    shm_fabric = ShmFabric(nranks, message_log=shm_log, tracer=tracer)
     shm_result = parallel_part_graph(graph, nparts, nranks, options=options,
-                                     executor=shm_fabric)
+                                     executor=shm_fabric, tracer=tracer)
 
     divergence = sim_log.diff(shm_log)
     return ParityReport(

@@ -33,6 +33,20 @@ Observability: ``parallel.shm.*`` counters (workers, dispatches,
 messages, bytes, segments, crashes) and per-phase wall-latency
 histograms (``parallel.shm.phase_seconds.<phase>``) flow through the
 tracer into the usual ``repro.obs`` profile.
+
+Cross-process telemetry: when the fabric's tracer is enabled each worker
+owns its own :class:`~repro.trace.Tracer` (root span ``shm_worker`` with
+per-phase children) and accounts compute / pipe-wait / shm-publish
+seconds from *inside* the process.  Deltas piggyback on the existing
+reply tuples -- every reply is ``(kind, payload, delta)`` where ``delta``
+is ``None`` with telemetry off -- and the final ``exit`` reply carries
+the full drain (registry state + span events).  The parent folds deltas
+into rank-labeled ``parallel.shm.worker.*`` counters as they arrive,
+then at :meth:`ShmFabric.close` merges each worker's histograms
+(labels ``{rank=...}``) and grafts its span tree under the driver span.
+No new IPC channel exists and the :class:`MessageLog` only ever records
+collectives, so telemetry cannot perturb parity digests -- pinned by
+``tests/test_parallel_shm.py``.
 """
 
 from __future__ import annotations
@@ -49,7 +63,7 @@ from multiprocessing import get_context, shared_memory
 import numpy as np
 
 from ..errors import PhaseTimeoutError, RankCrashedError
-from ..trace import as_tracer
+from ..trace import InMemorySink, Tracer, as_tracer, labeled, spans_from_events
 from .fabric import MessageLog, _FabricBase
 from .rankprog import RANK_FNS, RankContext
 
@@ -160,20 +174,117 @@ class ShmArena:
         return False
 
 
-def _worker_main(conn, rank: int, nranks: int) -> None:
-    """Worker loop: attach published segments, dispatch rank steps."""
+class _WorkerTelemetry:
+    """Worker-side tracer plus per-phase compute / pipe-wait / publish
+    accounting.
+
+    Small ``{"phases": {...}}`` deltas (seconds + steps accumulated since
+    the last reply) piggyback on every ``ok`` reply; the final ``exit``
+    drain additionally carries the registry state (per-step latency
+    histograms) and the closed ``shm_worker`` span tree as events.  The
+    wire format is documented in docs/observability.md.
+    """
+
+    __slots__ = ("rank", "tracer", "sink", "root", "_phase", "_phase_span",
+                 "_acc", "_pending")
+
+    KINDS = ("compute", "pipe_wait", "publish")
+
+    def __init__(self, rank: int):
+        self.rank = rank
+        self.sink = InMemorySink()
+        self.tracer = Tracer([self.sink])
+        self.root = self.tracer.span("shm_worker", rank=rank, pid=os.getpid())
+        self._phase: str | None = None
+        self._phase_span = None
+        self._acc: dict[str, dict] = {}
+        self._pending: dict[str, dict] = {}
+
+    def set_phase(self, phase: str | None) -> None:
+        if phase == self._phase:
+            return
+        self._close_phase()
+        self._phase = phase
+        if phase is not None:
+            self._phase_span = self.tracer.span(phase)
+
+    def _close_phase(self) -> None:
+        if self._phase_span is not None:
+            acc = self._acc.get(self._phase or "startup", {})
+            self._phase_span.set(
+                compute_seconds=acc.get("compute", 0.0),
+                pipe_wait_seconds=acc.get("pipe_wait", 0.0),
+                publish_seconds=acc.get("publish", 0.0),
+                steps=int(acc.get("steps", 0)))
+            self._phase_span.__exit__(None, None, None)
+            self._phase_span = None
+
+    def add(self, kind: str, seconds: float) -> None:
+        phase = self._phase or "startup"
+        for store in (self._acc, self._pending):
+            ph = store.setdefault(phase, {})
+            ph[kind] = ph.get(kind, 0.0) + seconds
+        self.tracer.observe(f"worker.{kind}_seconds", seconds)
+
+    def step(self) -> None:
+        phase = self._phase or "startup"
+        for store in (self._acc, self._pending):
+            ph = store.setdefault(phase, {})
+            ph["steps"] = ph.get("steps", 0) + 1
+
+    def delta(self) -> dict | None:
+        """Pending-only phase accumulators; ``None`` when nothing new."""
+        if not self._pending:
+            return None
+        out, self._pending = self._pending, {}
+        return {"phases": out}
+
+    def drain(self) -> dict:
+        """Final drain: remaining phase deltas + registry state + spans."""
+        self._close_phase()
+        totals: dict[str, float] = {}
+        for acc in self._acc.values():
+            for k, v in acc.items():
+                totals[k] = totals.get(k, 0) + v
+        self.root.set(
+            compute_seconds=totals.get("compute", 0.0),
+            pipe_wait_seconds=totals.get("pipe_wait", 0.0),
+            publish_seconds=totals.get("publish", 0.0),
+            steps=int(totals.get("steps", 0)))
+        out = self.delta() or {"phases": {}}
+        out["metrics"] = self.tracer.metrics.state()
+        self.tracer.finish()
+        out["spans"] = [ev for ev in self.sink.events
+                        if ev.get("event") == "span"]
+        return out
+
+
+def _worker_main(conn, rank: int, nranks: int, telemetry: bool = False) -> None:
+    """Worker loop: attach published segments, dispatch rank steps.
+
+    Every reply is a ``(kind, payload, delta)`` 3-tuple; ``delta`` is the
+    telemetry piggyback (``None`` when telemetry is off or nothing
+    accumulated since the last reply).
+    """
     arrays: dict[str, np.ndarray] = {}
     segs: dict[str, shared_memory.SharedMemory] = {}
     state: dict = {}
     ctx = RankContext(rank, nranks, arrays, state)
+    telem = _WorkerTelemetry(rank) if telemetry else None
     try:
         while True:
+            t_wait = time.perf_counter() if telem is not None else 0.0
             try:
                 cmd = conn.recv()
             except (EOFError, OSError):
                 break
+            if telem is not None:
+                telem.add("pipe_wait", time.perf_counter() - t_wait)
             op = cmd[0]
             if op == "publish":
+                if telem is not None:
+                    telem.set_phase(cmd[2])
+                t0 = time.perf_counter() if telem is not None else 0.0
                 for key, segname, shape, dtype in cmd[1]:
                     arrays.pop(key, None)
                     old = segs.pop(key, None)
@@ -182,18 +293,29 @@ def _worker_main(conn, rank: int, nranks: int) -> None:
                     shm = _attach(segname)
                     segs[key] = shm
                     arrays[key] = np.ndarray(shape, dtype=dtype, buffer=shm.buf)
-                conn.send(("ok", None))
+                if telem is not None:
+                    telem.add("publish", time.perf_counter() - t0)
+                conn.send(("ok", None,
+                           telem.delta() if telem is not None else None))
             elif op == "run":
-                _, fn_name, kwargs = cmd
+                _, fn_name, kwargs, phase = cmd
+                if telem is not None:
+                    telem.set_phase(phase)
                 try:
+                    t0 = time.perf_counter() if telem is not None else 0.0
                     result, ops = RANK_FNS[fn_name](ctx, **kwargs)
-                    conn.send(("ok", (result, ops)))
+                    if telem is not None:
+                        telem.add("compute", time.perf_counter() - t0)
+                        telem.step()
+                    conn.send(("ok", (result, ops),
+                               telem.delta() if telem is not None else None))
                 except BaseException:
-                    conn.send(("err", traceback.format_exc()))
+                    conn.send(("err", traceback.format_exc(), None))
             elif op == "die":
                 os._exit(1)
             elif op == "exit":
-                conn.send(("ok", None))
+                conn.send(("ok", None,
+                           telem.drain() if telem is not None else None))
                 break
     finally:
         arrays.clear()
@@ -254,6 +376,8 @@ class ShmFabric(_FabricBase):
         self._phase_t0 = time.perf_counter()
         self._closed = False
         self._dead: set[int] = set()
+        self._telemetry = bool(self.tracer.enabled)
+        self._worker_phases: dict[int, dict] = {r: {} for r in range(nranks)}
 
         ctx = get_context("spawn")
         self._conns = []
@@ -261,7 +385,7 @@ class ShmFabric(_FabricBase):
         for r in range(nranks):
             parent_conn, child_conn = ctx.Pipe(duplex=True)
             proc = ctx.Process(target=_worker_main,
-                               args=(child_conn, r, nranks),
+                               args=(child_conn, r, nranks, self._telemetry),
                                daemon=True, name=f"repro-shm-rank{r}")
             proc.start()
             child_conn.close()
@@ -302,7 +426,7 @@ class ShmFabric(_FabricBase):
                 specs.append(spec)
         if specs:
             self.tracer.incr("parallel.shm.segments", len(specs))
-            self._command_all(("publish", specs))
+            self._command_all(("publish", specs, self.phase))
 
     def publish_graph(self, graph) -> None:
         if self._graph_token is id(graph):
@@ -328,7 +452,9 @@ class ShmFabric(_FabricBase):
                 0.05, max(deadline - time.perf_counter(), 0.0))
             try:
                 if conn.poll(budget):
-                    kind, payload = conn.recv()
+                    kind, payload, delta = conn.recv()
+                    if delta is not None:
+                        self._absorb_delta(rank, delta)
                     if kind == "err":
                         raise RuntimeError(
                             f"shm worker {rank} failed:\n{payload}")
@@ -355,6 +481,66 @@ class ShmFabric(_FabricBase):
             self.stats.crashes += 1
             self.tracer.incr("parallel.shm.crashes")
 
+    # -- worker telemetry ----------------------------------------------- #
+
+    def _absorb_delta(self, rank: int, delta: dict) -> None:
+        """Fold a worker's piggybacked phase delta into the per-rank table
+        and the live rank-labeled totals counters."""
+        for phase, acc in delta.get("phases", {}).items():
+            dst = self._worker_phases[rank].setdefault(phase, {})
+            for k, v in acc.items():
+                dst[k] = dst.get(k, 0) + v
+            for kind in ("compute", "pipe_wait", "publish"):
+                if kind in acc:
+                    self.tracer.incr(
+                        labeled(f"parallel.shm.worker.{kind}_seconds_total",
+                                rank=rank), acc[kind])
+            if "steps" in acc:
+                self.tracer.incr(
+                    labeled("parallel.shm.worker.steps_total", rank=rank),
+                    acc["steps"])
+
+    def worker_phases(self) -> dict:
+        """``{rank: {phase: {"compute"/"pipe_wait"/"publish": seconds,
+        "steps": n}}}`` accumulated from shipped worker deltas.  Complete
+        once :meth:`close` has drained the workers; empty with telemetry
+        off."""
+        return {r: {ph: dict(acc) for ph, acc in phases.items()}
+                for r, phases in self._worker_phases.items()}
+
+    def _drain_telemetry(self) -> None:
+        """Collect each live worker's final drain after ``exit`` was sent:
+        skim any replies still buffered in the pipe (a degraded run
+        abandons in-flight steps), then merge the drain's histograms under
+        rank labels and graft its span tree under the driver span."""
+        for r, conn in enumerate(self._conns):
+            if r in self._dead:
+                continue
+            drain = None
+            deadline = time.perf_counter() + 2.0
+            try:
+                while time.perf_counter() < deadline:
+                    if not conn.poll(0.05):
+                        if not self._procs[r].is_alive():
+                            break
+                        continue
+                    msg = conn.recv()
+                    delta = msg[2] if len(msg) == 3 else None
+                    if isinstance(delta, dict):
+                        self._absorb_delta(r, delta)
+                        if "spans" in delta:
+                            drain = delta
+                            break
+            except (EOFError, OSError):  # pragma: no cover - worker died
+                pass
+            if drain is None:
+                continue
+            self.tracer.metrics.merge(drain.get("metrics", {}),
+                                      labels={"rank": r},
+                                      prefix="parallel.shm.")
+            for root in spans_from_events(drain.get("spans", [])):
+                self.tracer.graft(root, parent=self.tracer.root)
+
     def _command_all(self, cmd) -> list:
         for conn in self._conns:
             conn.send(cmd)
@@ -368,7 +554,7 @@ class ShmFabric(_FabricBase):
                 self._injected = True
                 conn.send(("die",))
             else:
-                conn.send(("run", fn_name, kwargs_list[r]))
+                conn.send(("run", fn_name, kwargs_list[r], self.phase))
         results = [self._collect(r) for r in range(self.nranks)]
         self.stats.dispatches += 1
         self.tracer.incr("parallel.shm.dispatches")
@@ -451,6 +637,8 @@ class ShmFabric(_FabricBase):
                 conn.send(("exit",))
             except (BrokenPipeError, OSError):
                 pass
+        if self._telemetry:
+            self._drain_telemetry()
         for r, proc in enumerate(self._procs):
             proc.join(timeout=5.0)
             if proc.is_alive():  # pragma: no cover - hung worker

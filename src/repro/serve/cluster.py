@@ -24,6 +24,13 @@ process compute is **bit-identical** to the same request on the thread
 backend (the oracle).  ``tests/test_serve_cluster.py`` pins this parity;
 the load harness (``benchmarks/bench_serve_cluster.py``) re-checks it on
 every run and records violations (must be zero).
+
+Worker telemetry: every compute reply carries a small in-process
+measurement delta -- ``(result, {"worker": pid, "compute_seconds": dt,
+"cached_graphs": n})`` over the pool's existing result future, no extra
+IPC.  The parent folds deltas into a :class:`~repro.trace.MetricsRegistry`
+with ``worker="<pid>"`` labels; :meth:`ProcessBackend.metrics` exposes
+the snapshot and the service merges it into its Prometheus exposition.
 """
 
 from __future__ import annotations
@@ -37,6 +44,7 @@ from multiprocessing import get_context
 
 from ..graph.csr import Graph
 from ..partition.api import part_graph
+from ..trace import MetricsRegistry, labeled
 from .executor import ComputeBackend
 
 __all__ = ["ProcessBackend"]
@@ -72,12 +80,20 @@ def _worker_get_graph(token: str, blob) -> Graph | None:
 
 
 def _worker_compute(token, blob, nparts, method, options, target_fracs):
-    """One cold compute inside a worker process."""
+    """One cold compute inside a worker process.
+
+    Returns ``(result_or_NEED_GRAPH, delta_or_None)``: the telemetry delta
+    measured *inside* the process rides back on the existing result future
+    (``None`` on the token-miss answer, which did no work)."""
+    t0 = time.perf_counter()
     g = _worker_get_graph(token, blob)
     if g is None:
-        return _NEED_GRAPH
-    return part_graph(g, nparts, method=method, options=options,
-                      target_fracs=target_fracs)
+        return _NEED_GRAPH, None
+    res = part_graph(g, nparts, method=method, options=options,
+                     target_fracs=target_fracs)
+    return res, {"worker": os.getpid(),
+                 "compute_seconds": time.perf_counter() - t0,
+                 "cached_graphs": len(_worker_graphs)}
 
 
 def _worker_ping(seconds: float) -> int:
@@ -117,6 +133,7 @@ class ProcessBackend(ComputeBackend):
             "serve.cluster.ship.token": 0,
             "serve.cluster.ship.retry": 0,
         }
+        self._telemetry = MetricsRegistry()
 
     # ------------------------------------------------------------- pool
 
@@ -159,8 +176,9 @@ class ProcessBackend(ComputeBackend):
             # Optimistic: some worker already holds this graph.
             with self._lock:
                 self._counters["serve.cluster.ship.token"] += 1
-            out = pool.submit(_worker_compute, token, None, nparts,
-                              method, options, target_fracs).result()
+            out, delta = pool.submit(_worker_compute, token, None, nparts,
+                                     method, options, target_fracs).result()
+            self._absorb_delta(delta)
             if not (isinstance(out, str) and out == _NEED_GRAPH):
                 return out
             # Landed on a cold worker: reship the arrays once to it.
@@ -169,9 +187,35 @@ class ProcessBackend(ComputeBackend):
         with self._lock:
             self._counters["serve.cluster.ship.full"] += 1
             self._shipped.add(token)
-        return pool.submit(_worker_compute, token, self._blob(graph), nparts,
-                           method, options, target_fracs).result()
+        out, delta = pool.submit(_worker_compute, token, self._blob(graph),
+                                 nparts, method, options,
+                                 target_fracs).result()
+        self._absorb_delta(delta)
+        return out
+
+    def _absorb_delta(self, delta) -> None:
+        """Fold a worker's compute delta into the labeled registry."""
+        if not delta:
+            return
+        worker = str(delta["worker"])
+        with self._lock:
+            self._telemetry.histogram(
+                labeled("serve.cluster.worker.compute_seconds",
+                        worker=worker)).observe(delta["compute_seconds"])
+            self._telemetry.counter(
+                labeled("serve.cluster.worker.computes",
+                        worker=worker)).inc()
+            self._telemetry.gauge(
+                labeled("serve.cluster.worker.cached_graphs",
+                        worker=worker)).set(delta["cached_graphs"])
 
     def counters(self) -> dict:
         with self._lock:
             return dict(self._counters)
+
+    def metrics(self) -> dict:
+        """Snapshot of the per-worker telemetry registry (``worker="<pid>"``
+        labeled series), in :meth:`~repro.trace.MetricsRegistry.as_dict`
+        shape; merged into the service's Prometheus exposition."""
+        with self._lock:
+            return self._telemetry.as_dict()

@@ -49,6 +49,12 @@ class ComputeBackend:
         """Backend-specific counters, merged into ``service.stats()``."""
         return {}
 
+    def metrics(self) -> dict | None:
+        """Worker-telemetry snapshot (``{"counters": ..., "gauges": ...,
+        "histograms": ...}``) merged into the service's Prometheus
+        exposition; ``None`` when the backend measures nothing."""
+        return None
+
 
 class ThreadBackend(ComputeBackend):
     """Inline compute in the calling thread (the service's own pool).

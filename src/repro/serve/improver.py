@@ -32,9 +32,10 @@ a ``serve.improver.rejected`` counter from the sweep).
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
-from ..errors import ImproverRejectedError
+from ..errors import ImproverRejectedError, ServiceClosedError
 from .cache import CacheEntry
 from .key import request_key
 
@@ -78,8 +79,12 @@ class Improver:
         ``None`` inherits the service default.
 
     Counters are pushed into the service's counter map
-    (``serve.improver.{improved,no_gain,rejected,sweeps}``) so they show
-    up in ``service.stats()`` and the Prometheus exposition.
+    (``serve.improver.{improved,no_gain,rejected,sweeps,deferred}``) so
+    they show up in ``service.stats()`` and the Prometheus exposition.
+
+    :meth:`watch` runs sweeps on a background thread gated by the live
+    ``serve.queue_depth`` gauge -- the real idle-capacity signal -- so
+    improvement work only happens when no foreground computes are queued.
     """
 
     service: object
@@ -87,6 +92,10 @@ class Improver:
     min_hits: int = 1
     timeout: float | None = None
     outcomes: list = field(default_factory=list, repr=False)
+    _watch_stop: threading.Event | None = field(
+        default=None, repr=False, compare=False)
+    _watch_thread: threading.Thread | None = field(
+        default=None, repr=False, compare=False)
 
     def candidates(self) -> list[CacheEntry]:
         """Hot cold-computed entries not already at ``effort="high"``."""
@@ -122,6 +131,64 @@ class Improver:
         self._incr("serve.improver.sweeps")
         self.outcomes.extend(sweep)
         return sweep
+
+    # ---------------------------------------------------- gauge-driven loop
+
+    def watch(self, *, idle_threshold: int = 0,
+              interval: float = 0.05) -> None:
+        """Start a background loop that sweeps only when the service is idle.
+
+        Every ``interval`` seconds the watcher reads the live
+        ``serve.queue_depth`` gauge (pending foreground computes).  When
+        the depth is at or below ``idle_threshold`` it runs one
+        :meth:`run_once` sweep; otherwise it defers, bumping the
+        ``serve.improver.deferred`` counter, and re-checks next tick --
+        improvement work never competes with queued requests.
+
+        The loop stops on :meth:`close`, or by itself when the owning
+        service closes.  Calling :meth:`watch` while a watcher is already
+        running raises :class:`RuntimeError`.
+        """
+        if self._watch_thread is not None and self._watch_thread.is_alive():
+            raise RuntimeError("Improver.watch() is already running")
+        stop = threading.Event()
+
+        def loop() -> None:
+            while not stop.is_set():
+                try:
+                    with self.service._lock:
+                        if self.service._closed:
+                            break
+                        depth = self.service.admission.gauges()[
+                            "serve.queue_depth"]
+                    if depth > idle_threshold:
+                        self._incr("serve.improver.deferred")
+                    else:
+                        self.run_once()
+                except ServiceClosedError:
+                    break
+                stop.wait(interval)
+
+        self._watch_stop = stop
+        self._watch_thread = threading.Thread(
+            target=loop, daemon=True, name="repro-improver-watch")
+        self._watch_thread.start()
+
+    def close(self) -> None:
+        """Stop the watcher (idempotent; waits for the in-flight tick)."""
+        if self._watch_stop is not None:
+            self._watch_stop.set()
+        if self._watch_thread is not None:
+            self._watch_thread.join(timeout=30.0)
+            self._watch_thread = None
+        self._watch_stop = None
+
+    def __enter__(self) -> "Improver":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
 
     # ----------------------------------------------------------- internal
 

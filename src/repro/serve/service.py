@@ -438,6 +438,11 @@ class PartitionService:
                                         "serve.diskcache.bytes")})
             counters.update(disk)
         counters.update(self._backend.counters())
+        backend_metrics = self._backend.metrics()
+        if backend_metrics:
+            counters.update(backend_metrics.get("counters", {}))
+            gauges.update(backend_metrics.get("gauges", {}))
+            histograms.update(backend_metrics.get("histograms", {}))
         return render_prometheus(counters=counters, gauges=gauges,
                                  histograms=histograms)
 

@@ -27,7 +27,7 @@ Quickstart::
 See ``docs/observability.md`` for the span names and the JSONL schema.
 """
 
-from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, labeled
 from .render import format_attrs, format_seconds, render_span_tree
 from .report import TraceReport
 from .sinks import InMemorySink, JsonlSink, Sink, load_jsonl, spans_from_events
@@ -43,6 +43,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "labeled",
     "Sink",
     "InMemorySink",
     "JsonlSink",

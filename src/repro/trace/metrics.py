@@ -14,6 +14,17 @@ code::
 The :class:`~repro.trace.spans.Tracer` owns one registry and exposes the
 shorthands ``tracer.incr(name, n)`` / ``tracer.gauge(name, value)`` /
 ``tracer.observe(name, value)``.
+
+Registries merge across process boundaries: a worker ships
+:meth:`MetricsRegistry.state` (a plain-picklable dict) over its result
+pipe, and the parent folds it in with :meth:`MetricsRegistry.merge` --
+counters sum, gauges keep the incoming value (last write per labeled
+name), histograms combine bucket counts and, while still possible,
+exact-sample reservoirs (see :meth:`Histogram.merge`).  Per-origin series
+are kept apart by encoding Prometheus-style labels into the metric name
+with :func:`labeled` (``labeled("steps", rank=0)`` ->
+``'steps{rank="0"}'``); :func:`repro.obs.expose.render_prometheus`
+splits the suffix back into real exposition labels.
 """
 
 from __future__ import annotations
@@ -22,7 +33,22 @@ import math
 from bisect import bisect_left, insort
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
-           "default_latency_bounds"]
+           "default_latency_bounds", "labeled"]
+
+
+def labeled(name: str, **labels) -> str:
+    """Encode ``labels`` into ``name`` as a Prometheus-style suffix.
+
+    The registry itself is label-blind -- each label combination is just a
+    distinct metric name -- but the exposition layer recognises the
+    ``name{key="value"}`` shape and renders proper labeled series under
+    one metric family.  Keys are emitted sorted so the same label set
+    always produces the same name.
+    """
+    if not labels:
+        return name
+    inner = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    return f"{name}{{{inner}}}"
 
 
 class Counter:
@@ -155,14 +181,22 @@ class Histogram:
     def snapshot(self) -> dict:
         """JSON-safe summary: count/sum/min/max, p50/p90/p99, cumulative
         buckets as ``[upper_bound, cumulative_count]`` pairs (last bound is
-        the string ``"+Inf"``)."""
+        the string ``"+Inf"``).
+
+        ``quantile_source`` says where the quantiles came from: ``"exact"``
+        while the raw samples are retained, ``"bucket_estimate"`` once the
+        reservoir was dropped (past ``exact_cap`` observations, or after a
+        merge that could not keep exactness) -- in that regime a
+        ``quantile_caveat`` string spells out that p50/p90/p99 are
+        interpolated within log-spaced buckets rather than measured.
+        """
         buckets = []
         cum = 0
         for bound, c in zip(self.bounds, self._bucket_counts):
             cum += c
             buckets.append([bound, cum])
         buckets.append(["+Inf", self.count])
-        return {
+        snap = {
             "count": self.count,
             "sum": self.sum,
             "min": self.min,
@@ -171,8 +205,88 @@ class Histogram:
             "p90": self.quantile(0.90),
             "p99": self.quantile(0.99),
             "exact": self.exact,
+            "quantile_source": "exact" if self.exact else "bucket_estimate",
             "buckets": buckets,
         }
+        if not self.exact:
+            snap["quantile_caveat"] = (
+                "quantiles are interpolated from bucket counts (exact "
+                f"sample cap {self._exact_cap} exceeded); p99 especially "
+                "is an estimate bounded by the containing bucket")
+        return snap
+
+    # ------------------------------------------------- cross-process merge
+
+    def state(self) -> dict:
+        """Plain-picklable full state for shipping across a process
+        boundary; the inverse of :meth:`from_state` and the payload
+        :meth:`merge` accepts."""
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self._bucket_counts),
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "samples": list(self._samples) if self._samples is not None
+                       else None,
+            "exact_cap": self._exact_cap,
+        }
+
+    @classmethod
+    def from_state(cls, name: str, state: dict) -> "Histogram":
+        """Rebuild a histogram from :meth:`state` output."""
+        h = cls(name, bounds=state["bounds"],
+                exact_cap=state.get("exact_cap", 512))
+        h.count = int(state["count"])
+        h.sum = float(state["sum"])
+        h.min = state["min"]
+        h.max = state["max"]
+        counts = list(state["counts"])
+        if len(counts) != len(h._bucket_counts):
+            raise ValueError(
+                f"histogram state for {name!r} has {len(counts)} buckets, "
+                f"expected {len(h._bucket_counts)}")
+        h._bucket_counts = counts
+        samples = state["samples"]
+        h._samples = sorted(float(v) for v in samples) \
+            if samples is not None else None
+        return h
+
+    def merge(self, other) -> "Histogram":
+        """Fold another histogram (or its :meth:`state` dict) into this one.
+
+        Bucket bounds must match exactly.  Counts, sums and extrema
+        combine; the exact-sample reservoirs are merged *honestly*: the
+        result stays exact only when both sides still retain their samples
+        AND the combined count fits under this histogram's ``exact_cap``.
+        Otherwise the samples are dropped and quantiles degrade to bucket
+        estimates -- never a silently subsampled pseudo-exact list.
+        """
+        st = other.state() if isinstance(other, Histogram) else other
+        if tuple(float(b) for b in st["bounds"]) != self.bounds:
+            raise ValueError(
+                f"cannot merge histogram {self.name!r}: bucket bounds "
+                "differ")
+        other_count = int(st["count"])
+        if other_count == 0:
+            return self
+        self.count += other_count
+        self.sum += float(st["sum"])
+        if st["min"] is not None and (self.min is None or st["min"] < self.min):
+            self.min = st["min"]
+        if st["max"] is not None and (self.max is None or st["max"] > self.max):
+            self.max = st["max"]
+        for i, c in enumerate(st["counts"]):
+            self._bucket_counts[i] += c
+        other_samples = st["samples"]
+        if (self._samples is not None and other_samples is not None
+                and self.count <= self._exact_cap):
+            for v in other_samples:
+                insort(self._samples, float(v))
+        else:
+            self._samples = None
+        return self
 
     def __repr__(self) -> str:
         return (f"Histogram({self.name!r}, count={self.count}, "
@@ -225,3 +339,50 @@ class MetricsRegistry:
             "gauges": self.gauge_values(),
             "histograms": self.histogram_values(),
         }
+
+    # ------------------------------------------------- cross-process merge
+
+    def state(self) -> dict:
+        """Plain-picklable full state (histograms keep raw samples, unlike
+        the summary :meth:`as_dict`); the payload :meth:`merge` accepts."""
+        return {
+            "counters": self.counter_values(),
+            "gauges": self.gauge_values(),
+            "histograms": {name: h.state()
+                           for name, h in sorted(self._histograms.items())},
+        }
+
+    def merge(self, other, *, labels=None, prefix: str = "") -> "MetricsRegistry":
+        """Fold another registry (or its :meth:`state` dict) into this one.
+
+        Counters sum; gauges take the incoming value (last write wins --
+        per-origin series stay apart because ``labels`` produce distinct
+        names); histograms combine via :meth:`Histogram.merge`.  Each
+        incoming name is rewritten to ``prefix + name`` plus the
+        :func:`labeled` suffix for ``labels``, so a parent can merge many
+        workers into one registry without collisions::
+
+            parent.merge(worker_state, labels={"rank": r},
+                         prefix="parallel.shm.")
+        """
+        st = other.state() if isinstance(other, MetricsRegistry) else other
+        labels = labels or {}
+
+        def rename(name: str) -> str:
+            return labeled(prefix + name, **labels)
+
+        for name, value in st.get("counters", {}).items():
+            self.counter(rename(name)).inc(value)
+        for name, value in st.get("gauges", {}).items():
+            self.gauge(rename(name)).set(value)
+        for name, hstate in st.get("histograms", {}).items():
+            if isinstance(hstate, Histogram):
+                hstate = hstate.state()
+            full = rename(name)
+            h = self._histograms.get(full)
+            if h is None:
+                h = self._histograms[full] = Histogram(
+                    full, bounds=hstate["bounds"],
+                    exact_cap=hstate.get("exact_cap", 512))
+            h.merge(hstate)
+        return self

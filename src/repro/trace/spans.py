@@ -195,6 +195,43 @@ class Tracer:
             if top is span:
                 break
 
+    def graft(self, span: Span, parent: Span | None = None) -> Span:
+        """Adopt a closed span tree built by *another* tracer (typically a
+        worker process, rebuilt from shipped events via
+        :func:`repro.trace.sinks.spans_from_events`).
+
+        The tree is renumbered from this tracer's id counter so ids stay
+        unique, re-parented under ``parent`` (default: this tracer's root
+        span, or adopted as a new root when there is none), and its span
+        events are emitted to the sinks children-before-parents -- the
+        same order live spans emit in.  The parent may already be closed:
+        event consumers rebuild the tree by id, not by arrival order.
+        """
+        if parent is None:
+            parent = self.root
+
+        def renumber(sp: Span, parent_id) -> None:
+            sp.span_id = self._next_id
+            self._next_id += 1
+            sp.parent_id = parent_id
+            sp._tracer = self
+            for child in sp.children:
+                renumber(child, sp.span_id)
+
+        renumber(span, parent.span_id if parent is not None else None)
+        if parent is None:
+            self.roots.append(span)
+        else:
+            parent.children.append(span)
+
+        def emit_tree(sp: Span) -> None:
+            for child in sp.children:
+                emit_tree(child)
+            self._emit(sp.to_event())
+
+        emit_tree(span)
+        return span
+
     # ---------------------------------------------------------- metrics
 
     def incr(self, name: str, n=1) -> None:
@@ -295,6 +332,9 @@ class NullTracer:
 
     def span(self, name: str, **attrs) -> _NullSpan:
         return _NULL_SPAN
+
+    def graft(self, span, parent=None):
+        return span
 
     def incr(self, name: str, n=1) -> None:
         pass

@@ -166,6 +166,34 @@ class TestTraceFlags:
         assert "trace written" not in capsys.readouterr().out
         assert trace.exists()
 
+    def test_metrics_port_serves_and_closes(self, capsys):
+        rc = main(["--demo", "200", "4", "--seed", "2",
+                   "--metrics-port", "0"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        line = next(ln for ln in out.splitlines()
+                    if ln.startswith("metrics: http://127.0.0.1:"))
+        # The endpoint is torn down with the run: the port is free again.
+        import urllib.error
+        import urllib.request
+        with pytest.raises(urllib.error.URLError):
+            urllib.request.urlopen(line.split("metrics: ")[1], timeout=1)
+
+    def test_metrics_port_quiet_suppresses_url(self, capsys):
+        rc = main(["--demo", "200", "2", "--seed", "0", "--quiet",
+                   "--metrics-port", "0"])
+        assert rc == 0
+        assert "metrics:" not in capsys.readouterr().out
+
+    def test_metrics_port_bind_conflict_errors(self, capsys):
+        from repro.obs import MetricsServer
+
+        with MetricsServer() as srv:
+            rc = main(["--demo", "200", "2", "--seed", "0",
+                       "--metrics-port", str(srv.port)])
+        assert rc == 1
+        assert "cannot bind metrics server" in capsys.readouterr().err
+
     def test_trace_with_ensemble(self, graph_file, tmp_path, capsys):
         from repro.trace import load_jsonl, spans_from_events
 

@@ -111,3 +111,26 @@ class TestBitIdentity:
         assert c["initpart.pool.batches"] == 2
         assert c["initpart.pool.ship.full"] >= 1
         assert c["initpart.pool.ship.token"] >= 1
+        # Worker telemetry shipped back alongside the results: one labeled
+        # refine-latency histogram per worker pid (one observation per
+        # chunk), every candidate accounted for exactly once.
+        m = pool.metrics()
+        hists = {k: v for k, v in m["histograms"].items()
+                 if k.startswith("initpart.pool.worker.refine_seconds")}
+        assert hists and all('worker="' in k for k in hists)
+        assert sum(v["count"] for v in hists.values()) == 4  # 2 batches x 2
+        cand = sum(v for k, v in m["counters"].items()
+                   if "candidates" in k)
+        assert cand == 12
+
+
+class TestWorkerTelemetry:
+    def test_inline_pool_labels_worker_inline(self, small_graph):
+        pool = InitPool(0)
+        pool.refine_batch(small_graph, _candidates(small_graph, 3, seed=5),
+                          target_fracs=(0.5, 0.5), ubvec=1.05, npasses=2)
+        m = pool.metrics()
+        key = 'initpart.pool.worker.refine_seconds{worker="inline"}'
+        assert m["histograms"][key]["count"] == 1  # one inline batch
+        assert m["counters"][
+            'initpart.pool.worker.candidates{worker="inline"}'] == 3

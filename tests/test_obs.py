@@ -179,6 +179,24 @@ class TestProfileSerialisation:
         assert prof.method is None and prof.rows() == []
         assert prof.nlevels == 0
 
+    def test_rank_phases_round_trip_and_render(self, kway):
+        _, base = kway
+        prof = MultilevelProfile.from_dict(base.to_dict())
+        prof.rank_phases = [
+            {"rank": 0, "compute_seconds": 0.5, "pipe_wait_seconds": 0.1,
+             "publish_seconds": 0.01, "steps": 12,
+             "phases": {"coarsen": {"compute": 0.4}}},
+            {"rank": 1, "compute_seconds": 0.4, "pipe_wait_seconds": 0.2,
+             "publish_seconds": 0.02, "steps": 12, "phases": {}},
+        ]
+        back = MultilevelProfile.from_dict(json.loads(prof.to_json()))
+        assert back.rank_phases == prof.rank_phases
+        out = render_profile(back)
+        assert "workers (shm):" in out
+        assert "pipe-wait" in out
+        # Profiles without worker rows keep the old dashboard untouched.
+        assert "workers (shm):" not in render_profile(base)
+
 
 class TestRenderProfile:
     def test_dashboard_contents(self, kway):
@@ -255,6 +273,41 @@ class TestPrometheus:
             "repro_h_count 1\n"
         )
         with pytest.raises(ObsError):
+            parse_exposition(bad)
+
+    def test_labeled_series_round_trip(self):
+        from repro.trace import MetricsRegistry, labeled
+
+        reg = MetricsRegistry()
+        for rank in (0, 1):
+            reg.counter(labeled("shm.worker.steps", rank=rank)).inc(rank + 1)
+            reg.histogram(
+                labeled("shm.worker.compute_seconds", rank=rank)).observe(
+                    0.01 * (rank + 1))
+        text = render_prometheus(reg)
+        # One TYPE line per base family despite two label combinations.
+        assert text.count("# TYPE repro_shm_worker_steps counter") == 1
+        assert text.count(
+            "# TYPE repro_shm_worker_compute_seconds histogram") == 1
+        families = parse_exposition(text)
+        samples = families["repro_shm_worker_steps"]["samples"]
+        by_rank = {s[1]["rank"]: s[2] for s in samples}
+        assert by_rank == {"0": 1.0, "1": 2.0}
+        hsamples = families["repro_shm_worker_compute_seconds"]["samples"]
+        counts = {s[1]["rank"]: s[2] for s in hsamples
+                  if s[0].endswith("_count")}
+        assert counts == {"0": 1.0, "1": 1.0}
+
+    def test_labeled_histogram_invariants_checked_per_label_set(self):
+        bad = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{rank="0",le="+Inf"} 2\n'
+            'repro_h_count{rank="0"} 2\n'
+            'repro_h_bucket{rank="1",le="+Inf"} 5\n'
+            'repro_h_count{rank="1"} 4\n'  # +Inf != count for rank=1 only
+            "repro_h_sum 1\n"
+        )
+        with pytest.raises(ObsError, match='rank="1"'):
             parse_exposition(bad)
 
 

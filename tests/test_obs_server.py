@@ -1,0 +1,117 @@
+"""Tests for the live Prometheus scrape endpoint (repro.obs.server).
+
+The contract: ``/metrics`` always serves a parseable exposition pulled
+fresh from the source, concurrent scrapes are safe, ``close()`` is
+idempotent and releases the port, and bind failures surface as
+:class:`~repro.errors.ObsError` (never a raw socket error).
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.errors import ObsError
+from repro.obs import MetricsServer, parse_exposition
+from repro.trace import Tracer
+
+
+def _get(url: str):
+    with urllib.request.urlopen(url, timeout=5) as resp:
+        return resp.status, resp.headers.get("Content-Type"), resp.read()
+
+
+class TestRoutes:
+    def test_metrics_from_tracer_parses(self):
+        tracer = Tracer()
+        tracer.incr("runs", 2)
+        tracer.gauge("depth", 3)
+        tracer.observe("lat", 0.5)
+        with MetricsServer(tracer) as srv:
+            status, ctype, body = _get(srv.url + "/metrics")
+            assert status == 200
+            assert ctype.startswith("text/plain")
+            assert "version=0.0.4" in ctype
+            families = parse_exposition(body.decode())
+            assert families["repro_runs"]["samples"][0][2] == 2.0
+            assert families["repro_depth"]["type"] == "gauge"
+            assert families["repro_lat"]["type"] == "histogram"
+
+    def test_source_swap_and_callable_source(self):
+        with MetricsServer(lambda: "# TYPE repro_x counter\nrepro_x 1\n") \
+                as srv:
+            _, _, body = _get(srv.url + "/metrics")
+            assert b"repro_x 1" in body
+            srv.source = None
+            _, _, body = _get(srv.url + "/metrics")
+            assert body == b""
+
+    def test_healthz(self):
+        with MetricsServer() as srv:
+            status, _, body = _get(srv.url + "/healthz")
+            assert (status, body) == (200, b"ok\n")
+
+    def test_profile_404_then_served(self):
+        with MetricsServer() as srv:
+            with pytest.raises(urllib.error.HTTPError) as exc:
+                _get(srv.url + "/profile.json")
+            assert exc.value.code == 404
+            srv.profile = {"final_cut": 41}
+            status, ctype, body = _get(srv.url + "/profile.json")
+            assert status == 200 and ctype.startswith("application/json")
+            assert json.loads(body) == {"final_cut": 41}
+
+    def test_unknown_route_404(self):
+        with MetricsServer() as srv:
+            with pytest.raises(urllib.error.HTTPError) as exc:
+                _get(srv.url + "/nope")
+            assert exc.value.code == 404
+
+    def test_broken_source_returns_500_not_dead_server(self):
+        def boom():
+            raise RuntimeError("source exploded")
+
+        with MetricsServer(boom) as srv:
+            with pytest.raises(urllib.error.HTTPError) as exc:
+                _get(srv.url + "/metrics")
+            assert exc.value.code == 500
+            # The serving thread survived; a good route still answers.
+            status, _, _ = _get(srv.url + "/healthz")
+            assert status == 200
+
+
+class TestConcurrencyAndLifecycle:
+    def test_concurrent_scrapes(self):
+        tracer = Tracer()
+        tracer.incr("hits", 5)
+        with MetricsServer(tracer) as srv:
+            with ThreadPoolExecutor(8) as pool:
+                bodies = list(pool.map(
+                    lambda _: _get(srv.url + "/metrics")[2], range(16)))
+        assert len(bodies) == 16
+        for body in bodies:
+            assert parse_exposition(
+                body.decode())["repro_hits"]["samples"][0][2] == 5.0
+
+    def test_close_idempotent_and_releases_port(self):
+        srv = MetricsServer()
+        port = srv.port
+        srv.close()
+        srv.close()
+        # The port is free again: a new server can bind it immediately.
+        srv2 = MetricsServer(port=port)
+        assert srv2.port == port
+        srv2.close()
+
+    def test_bind_conflict_raises_obs_error(self):
+        with MetricsServer() as srv:
+            with pytest.raises(ObsError, match=str(srv.port)):
+                MetricsServer(port=srv.port)
+
+    def test_out_of_range_port_raises_obs_error(self):
+        with pytest.raises(ObsError, match="65535"):
+            MetricsServer(port=99999)

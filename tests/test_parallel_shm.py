@@ -28,9 +28,10 @@ from repro.parallel import (
     parallel_part_graph,
     run_parity,
 )
+from repro.obs import FlightRecorder
 from repro.parallel.shm import ShmArena, active_segments
 from repro.partition import PartitionOptions
-from repro.trace import TraceReport, Tracer
+from repro.trace import TraceReport, Tracer, labeled
 from repro.weights import type1_region_weights
 
 
@@ -127,6 +128,77 @@ class TestShmEdgeCases:
     def test_unknown_executor_rejected(self, mesh_mc):
         with pytest.raises(FaultSpecError):
             parallel_part_graph(mesh_mc, 2, 2, executor="mpi")
+
+
+class TestShmWorkerTelemetry:
+    """Worker-side telemetry piggybacks on the existing pipe replies, so
+    it must not perturb parity (digests, partitions) at any rank count,
+    and the drained deltas must merge into per-rank profile rows."""
+
+    @pytest.mark.parametrize("nranks", [1, 2, 4])
+    def test_traced_parity_bit_identical(self, mesh_mc, nranks):
+        recorder = FlightRecorder()
+        tracer = Tracer([recorder])
+        rep = run_parity(mesh_mc, 4, nranks,
+                         options=PartitionOptions(seed=17), tracer=tracer)
+        assert rep.ok, rep.summary()  # equal digests AND equal partitions
+        tracer.finish()
+        prof = recorder.profile()
+        ranks = [r["rank"] for r in prof.rank_phases]
+        assert ranks == list(range(nranks))
+        for row in prof.rank_phases:
+            for key in ("compute_seconds", "pipe_wait_seconds",
+                        "publish_seconds"):
+                assert row[key] >= 0.0
+            assert row["steps"] > 0
+        _no_leaks()
+
+    def test_traced_partition_matches_untraced(self, mesh_mc):
+        opts = PartitionOptions(seed=23)
+        plain = parallel_part_graph(mesh_mc, 4, 2, options=opts,
+                                    executor="shm")
+        tracer = Tracer()
+        traced = parallel_part_graph(mesh_mc, 4, 2, options=opts,
+                                     executor="shm", tracer=tracer)
+        assert np.array_equal(plain.part, traced.part)
+        assert plain.edgecut == traced.edgecut
+        _no_leaks()
+
+    def test_drained_metrics_carry_rank_labels(self, mesh_mc):
+        tracer = Tracer()
+        parallel_part_graph(mesh_mc, 4, 2,
+                            options=PartitionOptions(seed=17),
+                            executor="shm", tracer=tracer)
+        counters = tracer.metrics.counter_values()
+        hists = tracer.metrics.histogram_values()
+        for rank in (0, 1):
+            # Live per-reply counters accumulated while the run progressed.
+            assert counters[labeled(
+                "parallel.shm.worker.steps_total", rank=rank)] > 0
+            # Drain-merged worker histograms, re-labeled per rank.
+            assert hists[labeled(
+                "parallel.shm.worker.compute_seconds", rank=rank)]["count"] > 0
+        _no_leaks()
+
+    def test_worker_phases_accessor_and_untraced_default(self, mesh_mc):
+        fab = ShmFabric(2, tracer=Tracer())
+        try:
+            parallel_part_graph(mesh_mc, 4, 2,
+                                options=PartitionOptions(seed=17),
+                                executor=fab, tracer=fab.tracer)
+            phases = fab.worker_phases()
+            assert set(phases) == {0, 1}
+            assert any("coarsen" in p for p in phases.values())
+        finally:
+            fab.close()
+        # Untraced fabric: telemetry off, nothing accumulated.
+        fab2 = ShmFabric(2)
+        try:
+            assert fab2._telemetry is False
+            assert fab2.worker_phases() == {0: {}, 1: {}}
+        finally:
+            fab2.close()
+        _no_leaks()
 
 
 class TestShmCrash:

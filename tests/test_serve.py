@@ -463,6 +463,70 @@ class TestImprover:
             assert imp.run_once() == []
 
 
+class TestImproverWatch:
+    def test_watch_sweeps_when_idle(self):
+        from repro.serve import Improver
+
+        g = make_graph(300, 1, seed=6)
+        cfg = ServiceConfig(warm_start=False, retain_graphs=4)
+        with PartitionService(cfg) as svc:
+            svc.partition(g, 4, seed=4)
+            svc.partition(g, 4, seed=4)  # hot
+            with Improver(svc) as imp:
+                imp.watch(idle_threshold=0, interval=0.01)
+                with pytest.raises(RuntimeError, match="already running"):
+                    imp.watch()
+                deadline = time.time() + 30
+                while time.time() < deadline:
+                    st = svc.stats()
+                    if (st.get("serve.improver.improved", 0)
+                            + st.get("serve.improver.no_gain", 0)) >= 1:
+                        break
+                    time.sleep(0.02)
+            st = svc.stats()
+            assert st.get("serve.improver.sweeps", 0) >= 1
+            assert (st.get("serve.improver.improved", 0)
+                    + st.get("serve.improver.no_gain", 0)) >= 1
+            imp.close()  # idempotent
+
+    def test_watch_defers_while_queue_is_deep(self):
+        from repro.serve import Improver
+
+        cfg = ServiceConfig(warm_start=False, retain_graphs=4)
+        with PartitionService(cfg) as svc:
+            # Fake a deep foreground queue: the watcher must only defer.
+            with svc._lock:
+                svc.admission.pending = 3
+            try:
+                with Improver(svc) as imp:
+                    imp.watch(idle_threshold=0, interval=0.005)
+                    deadline = time.time() + 10
+                    while time.time() < deadline:
+                        if svc.stats().get(
+                                "serve.improver.deferred", 0) >= 3:
+                            break
+                        time.sleep(0.01)
+                st = svc.stats()
+                assert st.get("serve.improver.deferred", 0) >= 3
+                assert st.get("serve.improver.sweeps", 0) == 0
+            finally:
+                with svc._lock:
+                    svc.admission.pending = 0
+
+    def test_watch_stops_when_service_closes(self):
+        from repro.serve import Improver
+
+        svc = PartitionService(ServiceConfig(warm_start=False,
+                                             retain_graphs=4))
+        imp = Improver(svc)
+        imp.watch(interval=0.01)
+        thread = imp._watch_thread
+        svc.close()
+        thread.join(timeout=10.0)
+        assert not thread.is_alive()
+        imp.close()
+
+
 # --------------------------------------------------------------------- #
 # Deadlines / errors
 # --------------------------------------------------------------------- #

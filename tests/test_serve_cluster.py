@@ -162,6 +162,33 @@ class TestProcessParity:
         assert stats["serve.cluster.ship.retry"] <= stats[
             "serve.cluster.ship.full"]
 
+    def test_worker_telemetry_labeled_per_pid(self, process_service):
+        """Every process compute ships a telemetry delta back on its
+        result future: pid-labeled latency histograms plus live worker
+        gauges, surfaced through metrics_text() as parseable series."""
+        from repro.obs import parse_exposition
+
+        g = make_graph(140, 1, seed=50)
+        ref = part_graph(g, 3, seed=2)
+        assert same_result(process_service.partition(g, 3, seed=2), ref)
+
+        m = process_service._backend.metrics()
+        hists = {k: v for k, v in m["histograms"].items()
+                 if k.startswith("serve.cluster.worker.compute_seconds")}
+        assert hists and all('worker="' in k for k in hists)
+        assert sum(v["count"] for v in hists.values()) >= 1
+        assert any(k.startswith("serve.cluster.worker.computes")
+                   for k in m["counters"])
+        assert any(k.startswith("serve.cluster.worker.cached_graphs")
+                   for k in m["gauges"])
+        families = parse_exposition(process_service.metrics_text())
+        fam = families["repro_serve_cluster_worker_compute_seconds"]
+        assert fam["type"] == "histogram"
+        assert all("worker" in s[1] for s in fam["samples"])
+
+    def test_thread_backend_has_no_worker_metrics(self):
+        assert ThreadBackend().metrics() is None
+
     def test_worker_error_propagates(self, process_service):
         """An error raised inside a worker process surfaces to the caller
         as the original typed error, and the pool survives it."""

@@ -28,6 +28,7 @@ from repro.trace import (
     TraceReport,
     Tracer,
     as_tracer,
+    labeled,
     load_jsonl,
     render_span_tree,
     spans_from_events,
@@ -174,6 +175,125 @@ class TestMetrics:
         assert Histogram("h").quantile(0.5) is None
         with pytest.raises(ValueError):
             Histogram("h", bounds=(1.0, 1.0))
+
+    def test_snapshot_carries_quantile_caveat_past_cap(self):
+        h = Histogram("h", exact_cap=8)
+        for i in range(20):
+            h.observe(float(i))
+        snap = h.snapshot()
+        assert snap["quantile_source"] == "bucket_estimate"
+        assert "8" in snap["quantile_caveat"]
+        exact = Histogram("h2")
+        exact.observe(1.0)
+        snap2 = exact.snapshot()
+        assert snap2["quantile_source"] == "exact"
+        assert "quantile_caveat" not in snap2
+
+
+class TestMetricsMerge:
+    """Cross-process merge semantics: merging per-worker registry splits
+    must equal one registry that saw every observation."""
+
+    def test_labeled_encodes_sorted_labels(self):
+        assert labeled("steps", rank=0) == 'steps{rank="0"}'
+        assert (labeled("x", b="2", a="1")
+                == labeled("x", a="1", b="2")
+                == 'x{a="1",b="2"}')
+
+    def test_histogram_merge_of_splits_equals_whole(self):
+        vals = [0.001 * (1 + i % 37) for i in range(60)]
+        whole = Histogram("h", exact_cap=512)
+        for v in vals:
+            whole.observe(v)
+        left, right = Histogram("h"), Histogram("h")
+        for v in vals[:25]:
+            left.observe(v)
+        for v in vals[25:]:
+            right.observe(v)
+        left.merge(right)
+        assert left.count == whole.count
+        assert left.sum == pytest.approx(whole.sum)
+        assert left.min == whole.min and left.max == whole.max
+        assert left.snapshot()["buckets"] == whole.snapshot()["buckets"]
+        # Both sides exact and merged count under the cap: quantiles exact.
+        assert left.exact
+        for q in (0.0, 0.5, 0.9, 1.0):
+            assert left.quantile(q) == pytest.approx(whole.quantile(q))
+
+    def test_merge_drops_samples_honestly_past_cap(self):
+        a, b = Histogram("h", exact_cap=8), Histogram("h", exact_cap=8)
+        for i in range(6):
+            a.observe(float(i))
+            b.observe(float(i))
+        a.merge(b)  # 12 samples > cap of 8
+        assert a.count == 12 and not a.exact
+        assert a.snapshot()["quantile_source"] == "bucket_estimate"
+
+    def test_merge_accepts_state_dict_and_rejects_bounds_mismatch(self):
+        a = Histogram("h")
+        b = Histogram("h")
+        b.observe(0.5)
+        a.merge(b.state())
+        assert a.count == 1 and a.sum == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            a.merge(Histogram("o", bounds=(1.0, 2.0)))
+
+    def test_registry_merge_with_labels_and_prefix(self):
+        worker = MetricsRegistry()
+        worker.counter("steps").inc(7)
+        worker.gauge("cached").set(3)
+        worker.histogram("lat").observe(0.25)
+        parent = MetricsRegistry()
+        parent.merge(worker.state(), labels={"rank": 1}, prefix="shm.")
+        assert parent.counter_values() == {'shm.steps{rank="1"}': 7}
+        assert parent.gauge_values() == {'shm.cached{rank="1"}': 3}
+        h = parent.histogram_values()['shm.lat{rank="1"}']
+        assert h["count"] == 1 and h["sum"] == pytest.approx(0.25)
+
+    def test_registry_merge_of_splits_equals_whole(self):
+        whole = MetricsRegistry()
+        parts = [MetricsRegistry() for _ in range(3)]
+        for i in range(30):
+            reg = parts[i % 3]
+            for r in (whole, reg):
+                r.counter("n").inc()
+                r.histogram("v").observe(0.01 * i)
+        merged = MetricsRegistry()
+        for reg in parts:
+            merged.merge(reg)
+        assert merged.counter_values() == whole.counter_values()
+        ma = merged.histogram_values()["v"]
+        wa = whole.histogram_values()["v"]
+        assert ma["count"] == wa["count"]
+        assert ma["sum"] == pytest.approx(wa["sum"])
+        assert ma["buckets"] == wa["buckets"]
+
+
+class TestSpanGraft:
+    def test_graft_reparents_and_renumbers(self):
+        child_tr = Tracer()
+        with child_tr.span("worker", rank=0):
+            with child_tr.span("phase"):
+                pass
+        child_tr.finish()
+        sink = InMemorySink()
+        tr = Tracer([sink])
+        with tr.span("driver"):
+            pass
+        grafted = tr.graft(child_tr.root, parent=tr.root)
+        assert grafted in tr.root.children
+        assert grafted.parent_id == tr.root.span_id
+        ids = {tr.root.span_id, grafted.span_id,
+               grafted.children[0].span_id}
+        assert len(ids) == 3  # renumbered: no collisions with the host
+        roots = spans_from_events(sink.events)
+        host = next(r for r in roots if r.name == "driver")
+        assert [c.name for c in host.children] == ["worker"]
+        assert [c.name for c in host.children[0].children] == ["phase"]
+
+    def test_null_tracer_graft_is_noop(self):
+        sp = Span(name="x", span_id=1)
+        assert NULL_TRACER.graft(sp) is sp
 
 
 class TestSinks:
